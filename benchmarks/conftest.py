@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures: cached datasets, checkers, constants.
+
+Every benchmark regenerates one artefact of the paper's Section 7.  The
+datasets are scaled-down analogues (see DESIGN.md §4); dataset
+generation is cached per session so the benchmarks measure DCSat, not
+the generator.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.bitcoin.generator import PRESETS, Dataset, DatasetSpec, generate_dataset
+from repro.core.checker import DCSatChecker
+from repro.workloads.constants import ConstantPicker
+
+_dataset_cache: dict[tuple, Dataset] = {}
+
+
+def cached_dataset(spec: DatasetSpec | str) -> Dataset:
+    """Generate (once) and cache a dataset."""
+    key = spec if isinstance(spec, str) else (
+        spec.name, spec.committed_blocks, spec.pending_blocks,
+        spec.txs_per_block, spec.users, spec.contradictions, spec.seed,
+    )
+    if key not in _dataset_cache:
+        _dataset_cache[key] = generate_dataset(spec)
+    return _dataset_cache[key]
+
+
+_checker_cache: dict[tuple, DCSatChecker] = {}
+
+
+def cached_checker(spec: DatasetSpec | str, backend: str = "memory") -> DCSatChecker:
+    """Build (once) and cache a checker over a dataset's relational image."""
+    dataset = cached_dataset(spec)
+    key = (id(dataset), backend)
+    if key not in _checker_cache:
+        _checker_cache[key] = DCSatChecker(
+            dataset.to_blockchain_database(),
+            backend=backend,
+            assume_nonnegative_sums=True,
+        )
+    return _checker_cache[key]
+
+
+_picker_cache: dict[int, ConstantPicker] = {}
+
+
+def cached_picker(spec: DatasetSpec | str) -> ConstantPicker:
+    dataset = cached_dataset(spec)
+    if id(dataset) not in _picker_cache:
+        _picker_cache[id(dataset)] = ConstantPicker(dataset)
+    return _picker_cache[id(dataset)]
+
+
+@pytest.fixture(scope="session")
+def default_checker() -> DCSatChecker:
+    """The paper's default configuration: D200-scale, 20 contradictions."""
+    return cached_checker("D200-S")
+
+
+@pytest.fixture(scope="session")
+def default_picker() -> ConstantPicker:
+    return cached_picker("D200-S")

@@ -1,0 +1,46 @@
+"""The benchmark query sets: the paper's four families, instantiated
+with satisfying or non-satisfying constants against a dataset."""
+
+from __future__ import annotations
+
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.workloads.constants import ConstantPicker, fresh_address
+from repro.workloads.queries import (
+    aggregate_constraint,
+    path_constraint,
+    simple_constraint,
+    star_constraint,
+)
+
+Query = ConjunctiveQuery | AggregateQuery
+
+
+def satisfied_queries() -> dict[str, Query]:
+    """Constants no dataset contains: the constraints hold vacuously."""
+    return {
+        "qs": simple_constraint(fresh_address("qs")),
+        "qp3": path_constraint(3, fresh_address("qp-src"), fresh_address("qp-snk")),
+        "qr3": star_constraint(3, fresh_address("qr")),
+        "qa": aggregate_constraint(fresh_address("qa"), 100),
+    }
+
+
+def unsatisfied_queries(picker: ConstantPicker) -> dict[str, Query]:
+    """Constants mined from the dataset: each constraint has a violating
+    possible world that needs pending transactions."""
+    source, sink = picker.path_endpoints(3)
+    agg_address, agg_threshold = picker.aggregate_target()
+    return {
+        "qs": simple_constraint(picker.pending_recipient()),
+        "qp3": path_constraint(3, source, sink),
+        "qr3": star_constraint(3, picker.star_source(3)),
+        "qa": aggregate_constraint(agg_address, agg_threshold),
+    }
+
+
+def algorithms_for(name: str) -> tuple[str, ...]:
+    """Opt requires connectivity; q_a (aggregate) is not connected, so
+    the paper runs it under NaiveDCSat only (Section 7, Query Type)."""
+    if name == "qa":
+        return ("naive",)
+    return ("naive", "opt")

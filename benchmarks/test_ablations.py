@@ -1,0 +1,80 @@
+"""Ablations: the design choices Section 6.3 calls out, toggled.
+
+* Bron–Kerbosch pivoting on/off (the Tomita optimization [44]);
+* the ``Covers`` constant pruning on/off (OptDCSat line 2);
+* the ``q(R ∪ T)`` short-circuit on/off (satisfied constraints);
+* the memory overlay vs. the SQL backend (the paper's Postgres path);
+* the assignment-driven solver vs. the paper's two algorithms.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_checker, cached_picker
+from benchmarks.queryset import satisfied_queries
+from repro.workloads.queries import path_constraint, simple_constraint
+
+
+def _unsat_path(length=3):
+    picker = cached_picker("D200-S")
+    source, sink = picker.path_endpoints(length)
+    return path_constraint(length, source, sink)
+
+
+class TestPivoting:
+    @pytest.mark.parametrize("pivot", [True, False], ids=["pivot", "no-pivot"])
+    def test_pivot_ablation(self, benchmark, pivot):
+        checker = cached_checker("D200-S")
+        query = _unsat_path()
+        result = benchmark(
+            checker.check, query, algorithm="naive", pivot=pivot
+        )
+        assert not result.satisfied
+
+
+class TestCoveragePruning:
+    @pytest.mark.parametrize(
+        "use_coverage", [True, False], ids=["covers", "no-covers"]
+    )
+    def test_coverage_ablation(self, benchmark, use_coverage):
+        checker = cached_checker("D200-S")
+        query = _unsat_path()
+        result = benchmark(
+            checker.check, query, algorithm="opt", use_coverage=use_coverage
+        )
+        assert not result.satisfied
+
+
+class TestShortCircuit:
+    @pytest.mark.parametrize(
+        "short_circuit", [True, False], ids=["shortcircuit", "full-run"]
+    )
+    def test_short_circuit_ablation(self, benchmark, short_circuit):
+        """Satisfied constraint: with the short-circuit the answer is one
+        overlay evaluation; without it, full clique enumeration runs."""
+        checker = cached_checker("D200-S")
+        query = satisfied_queries()["qs"]
+        result = benchmark(
+            checker.check, query, algorithm="opt", short_circuit=short_circuit
+        )
+        assert result.satisfied
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_backend_ablation(self, benchmark, backend):
+        """The SQL path pays for real UPDATE-based ``current`` flips and
+        SQL evaluation per world — the cost profile the paper reports."""
+        checker = cached_checker("D200-S", backend=backend)
+        query = _unsat_path()
+        result = benchmark(checker.check, query, algorithm="opt")
+        assert not result.satisfied
+
+
+class TestSolverComparison:
+    @pytest.mark.parametrize("algorithm", ["naive", "opt", "assign"])
+    def test_solver_comparison(self, benchmark, algorithm):
+        checker = cached_checker("D200-S")
+        picker = cached_picker("D200-S")
+        query = simple_constraint(picker.pending_recipient())
+        result = benchmark(checker.check, query, algorithm=algorithm)
+        assert not result.satisfied

@@ -1,0 +1,48 @@
+"""Batched vs. sequential checking of a constraint battery.
+
+A monitoring node watches many constraints at once; the batch API shares
+the maximal-clique sweep across every still-undecided constraint.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_checker, cached_picker
+from repro.workloads.queries import (
+    aggregate_constraint,
+    path_constraint,
+    simple_constraint,
+)
+from repro.workloads.constants import fresh_address
+
+
+def _battery():
+    picker = cached_picker("D200-S")
+    source, sink = picker.path_endpoints(3)
+    agg_addr, agg_thr = picker.aggregate_target()
+    return [
+        simple_constraint(picker.pending_recipient()),
+        simple_constraint(fresh_address("batch-1")),
+        path_constraint(3, source, sink),
+        path_constraint(3, fresh_address("batch-2"), fresh_address("batch-3")),
+        aggregate_constraint(agg_addr, agg_thr),
+        aggregate_constraint(fresh_address("batch-4"), 10),
+    ]
+
+
+def test_sequential_battery(benchmark):
+    checker = cached_checker("D200-S")
+    battery = _battery()
+
+    def run():
+        return [checker.check(q, algorithm="naive") for q in battery]
+
+    results = benchmark(run)
+    assert [r.satisfied for r in results] == [False, True, False, True, False, True]
+
+
+def test_batched_battery(benchmark):
+    checker = cached_checker("D200-S")
+    battery = _battery()
+
+    results = benchmark(checker.check_batch, battery)
+    assert [r.satisfied for r in results] == [False, True, False, True, False, True]

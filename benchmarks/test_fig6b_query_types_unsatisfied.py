@@ -1,0 +1,27 @@
+"""Figure 6b: execution time per query type, *unsatisfied* constraints.
+
+Paper shape: runtimes grow to seconds; OptDCSat is usually (not always —
+q_r3 is the paper's counterexample) faster than NaiveDCSat because its
+components induce far smaller possible worlds.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_picker
+from benchmarks.queryset import algorithms_for, unsatisfied_queries
+
+CASES = [
+    (name, algorithm)
+    for name in ("qs", "qp3", "qr3", "qa")
+    for algorithm in algorithms_for(name)
+]
+
+
+@pytest.mark.parametrize("name,algorithm", CASES, ids=lambda c: str(c))
+def test_fig6b_unsatisfied(benchmark, default_checker, name, algorithm):
+    queries = unsatisfied_queries(cached_picker("D200-S"))
+    query = queries[name]
+
+    result = benchmark(default_checker.check, query, algorithm=algorithm)
+    assert not result.satisfied
+    assert result.witness  # the violating world needs pending txs

@@ -1,0 +1,29 @@
+"""Figure 6c: varying the number of pending transactions, satisfied q_p3.
+
+Paper shape: runtime stays sub-second as pending blocks grow from 10 to
+50 — the short-circuit evaluation only grows with |R ∪ T|.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_checker
+from benchmarks.queryset import satisfied_queries
+from repro.bitcoin.generator import PRESETS
+
+PENDING_BLOCKS = [10, 20, 30, 40, 50]
+
+
+def _spec(pending_blocks: int):
+    return PRESETS["D200-S"].scaled(
+        name=f"D200-S/p{pending_blocks}", pending_blocks=pending_blocks
+    )
+
+
+@pytest.mark.parametrize("pending_blocks", PENDING_BLOCKS)
+def test_fig6c_pending_satisfied(benchmark, pending_blocks):
+    checker = cached_checker(_spec(pending_blocks))
+    query = satisfied_queries()["qp3"]
+
+    result = benchmark(checker.check, query, algorithm="opt")
+    assert result.satisfied
+    assert result.stats.short_circuit_used

@@ -1,0 +1,30 @@
+"""Figure 6d: varying the number of pending transactions, unsatisfied q_p3.
+
+Paper shape: OptDCSat consistently beats NaiveDCSat, and the gap widens
+with the pending set (Naive's maximal worlds contain every compatible
+pending transaction; Opt's stay component-sized).
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_checker, cached_picker
+from benchmarks.test_fig6c_pending_satisfied import PENDING_BLOCKS, _spec
+from repro.workloads.queries import path_constraint
+
+CASES = [
+    (blocks, algorithm)
+    for blocks in PENDING_BLOCKS
+    for algorithm in ("naive", "opt")
+]
+
+
+@pytest.mark.parametrize("pending_blocks,algorithm", CASES, ids=lambda c: str(c))
+def test_fig6d_pending_unsatisfied(benchmark, pending_blocks, algorithm):
+    spec = _spec(pending_blocks)
+    checker = cached_checker(spec)
+    picker = cached_picker(spec)
+    source, sink = picker.path_endpoints(3)
+    query = path_constraint(3, source, sink)
+
+    result = benchmark(checker.check, query, algorithm=algorithm)
+    assert not result.satisfied

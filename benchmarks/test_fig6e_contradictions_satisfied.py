@@ -1,0 +1,28 @@
+"""Figure 6e: varying the number of fd-contradictions, satisfied q_p3.
+
+Paper shape: flat, sub-second (the short-circuit does not look at the
+conflict structure at all).
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_checker
+from benchmarks.queryset import satisfied_queries
+from repro.bitcoin.generator import PRESETS
+
+CONTRADICTIONS = [10, 20, 30, 40, 50]
+
+
+def _spec(contradictions: int):
+    return PRESETS["D200-S"].scaled(
+        name=f"D200-S/c{contradictions}", contradictions=contradictions
+    )
+
+
+@pytest.mark.parametrize("contradictions", CONTRADICTIONS)
+def test_fig6e_contradictions_satisfied(benchmark, contradictions):
+    checker = cached_checker(_spec(contradictions))
+    query = satisfied_queries()["qp3"]
+
+    result = benchmark(checker.check, query, algorithm="opt")
+    assert result.satisfied

@@ -1,0 +1,31 @@
+"""Figure 6f: varying the number of fd-contradictions, unsatisfied q_p3.
+
+Paper shape (and the paper's own surprise): runtime is *highest at few
+contradictions* — fewer conflicts mean larger possible worlds, and
+selecting the world's tuples (the ``current`` column updates / active
+set) dominates.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_checker, cached_picker
+from benchmarks.test_fig6e_contradictions_satisfied import CONTRADICTIONS, _spec
+from repro.workloads.queries import path_constraint
+
+CASES = [
+    (contradictions, algorithm)
+    for contradictions in CONTRADICTIONS
+    for algorithm in ("naive", "opt")
+]
+
+
+@pytest.mark.parametrize("contradictions,algorithm", CASES, ids=lambda c: str(c))
+def test_fig6f_contradictions_unsatisfied(benchmark, contradictions, algorithm):
+    spec = _spec(contradictions)
+    checker = cached_checker(spec)
+    picker = cached_picker(spec)
+    source, sink = picker.path_endpoints(3)
+    query = path_constraint(3, source, sink)
+
+    result = benchmark(checker.check, query, algorithm=algorithm)
+    assert not result.satisfied

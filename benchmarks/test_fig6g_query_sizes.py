@@ -1,0 +1,29 @@
+"""Figure 6g: varying the path-query length (2–5), unsatisfied.
+
+Paper shape: runtime grows only slightly with the query — query
+evaluation is a small fraction of the total; world construction
+dominates.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_checker, cached_picker
+from repro.workloads.queries import path_constraint
+
+LENGTHS = [2, 3, 4, 5]
+CASES = [
+    (length, algorithm)
+    for length in LENGTHS
+    for algorithm in ("naive", "opt")
+]
+
+
+@pytest.mark.parametrize("length,algorithm", CASES, ids=lambda c: str(c))
+def test_fig6g_query_sizes(benchmark, length, algorithm):
+    checker = cached_checker("D200-S")
+    picker = cached_picker("D200-S")
+    source, sink = picker.path_endpoints(length)
+    query = path_constraint(length, source, sink)
+
+    result = benchmark(checker.check, query, algorithm=algorithm)
+    assert not result.satisfied

@@ -1,0 +1,28 @@
+"""Figure 6h: varying the dataset size (D100/D200/D300 analogues),
+unsatisfied q_p3.
+
+Paper shape: runtime grows moderately with the data; OptDCSat remains
+significantly faster than NaiveDCSat throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_checker, cached_picker
+from repro.workloads.queries import path_constraint
+
+CASES = [
+    (name, algorithm)
+    for name in ("D100-S", "D200-S", "D300-S")
+    for algorithm in ("naive", "opt")
+]
+
+
+@pytest.mark.parametrize("name,algorithm", CASES, ids=lambda c: str(c))
+def test_fig6h_data_sizes(benchmark, name, algorithm):
+    checker = cached_checker(name)
+    picker = cached_picker(name)
+    source, sink = picker.path_endpoints(3)
+    query = path_constraint(3, source, sink)
+
+    result = benchmark(checker.check, query, algorithm=algorithm)
+    assert not result.satisfied

@@ -1,0 +1,90 @@
+"""Steady-state precomputation costs (Section 6.3).
+
+The paper maintains its data structures incrementally as transactions
+are issued and committed.  These benchmarks measure (a) building the
+precomputed structures from scratch, (b) the incremental cost of one
+issue and one commit, and (c) a full world switch on each backend — the
+``current``-column flip whose cost Figure 6f revolves around.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import cached_dataset
+from repro.core.checker import DCSatChecker
+from repro.core.fd_graph import FdTransactionGraph
+from repro.core.ind_graph import IndQTransactionGraph
+from repro.core.workspace import Workspace
+
+
+def _db(name="D200-S"):
+    return cached_dataset(name).to_blockchain_database()
+
+
+class TestColdStart:
+    @pytest.mark.parametrize("name", ["D100-S", "D200-S", "D300-S"])
+    def test_fd_graph_build(self, benchmark, name):
+        db = _db(name)
+        workspace = Workspace(db)
+        graph = benchmark(FdTransactionGraph, workspace)
+        assert graph.conflict_count() >= 20
+
+    def test_ind_component_index_build(self, benchmark):
+        db = _db()
+        workspace = Workspace(db)
+
+        def build():
+            graph = IndQTransactionGraph(workspace)
+            return graph.components()
+
+        components = benchmark(build)
+        assert len(components) > 1
+
+    def test_full_checker_construction(self, benchmark):
+        db = _db()
+        checker = benchmark(DCSatChecker, db)
+        assert checker.fd_graph.nodes
+
+
+class TestIncremental:
+    def test_issue_and_forget(self, benchmark):
+        checker = DCSatChecker(_db())
+        counter = itertools.count()
+
+        def issue_forget():
+            from repro.relational.transaction import Transaction
+
+            tx = Transaction(
+                {"TxOut": [(f"bench-tx-{next(counter)}", 1, "BenchPk", 1)]},
+                tx_id=f"bench-{next(counter)}",
+            )
+            checker.issue(tx)
+            checker.forget(tx.tx_id)
+
+        benchmark(issue_forget)
+
+    def test_world_switch_memory(self, benchmark):
+        checker = DCSatChecker(_db())
+        ids = list(checker.db.pending_ids)
+        half = frozenset(ids[: len(ids) // 2])
+        states = itertools.cycle([half, frozenset(ids), frozenset()])
+
+        def switch():
+            checker.workspace.set_active(next(states))
+
+        benchmark(switch)
+
+    def test_world_switch_sqlite(self, benchmark):
+        """The real UPDATE-based flip — the paper's dominant cost when
+        worlds are large (few contradictions, Figure 6f)."""
+        checker = DCSatChecker(_db(), backend="sqlite")
+        ids = list(checker.db.pending_ids)
+        half = frozenset(ids[: len(ids) // 2])
+        states = itertools.cycle([half, frozenset(ids), frozenset()])
+
+        def switch():
+            checker.backend.set_active(next(states))
+
+        benchmark(switch)
+        checker.close()

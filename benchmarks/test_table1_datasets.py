@@ -1,0 +1,61 @@
+"""Table 1: dataset statistics.
+
+The paper's Table 1 reports, for D100/D200/D300, the number of blocks,
+transactions, input rows and output rows of the current state and of the
+pending set.  This benchmark generates the scaled analogues, prints the
+same table shape, and measures the end-to-end cost of building the
+relational image (the paper's "parse the chain into Postgres" step).
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_dataset
+from repro.bitcoin.relmap import to_blockchain_database
+
+PRESETS = ["D100-S", "D200-S", "D300-S"]
+
+_printed = False
+
+
+def _print_table() -> None:
+    global _printed
+    if _printed:
+        return
+    _printed = True
+    header = f"{'R':<8}{'Blocks':>8}{'Transactions':>14}{'Input':>8}{'Output':>8}"
+    print("\n" + "=" * 66)
+    print("Table 1: Datasets (scaled-down analogues of the paper's table)")
+    print("=" * 66)
+    print(header)
+    for name in PRESETS:
+        stats = cached_dataset(name).stats()
+        print(
+            f"{name:<8}{stats.blocks:>8}{stats.transactions:>14}"
+            f"{stats.inputs:>8}{stats.outputs:>8}"
+        )
+    print()
+    print(f"{'T':<8}{'Blocks':>8}{'Transactions':>14}{'Input':>8}{'Output':>8}")
+    for name in PRESETS:
+        stats = cached_dataset(name).stats()
+        print(
+            f"{name:<8}{stats.pending_blocks:>8}{stats.pending_transactions:>14}"
+            f"{stats.pending_inputs:>8}{stats.pending_outputs:>8}"
+        )
+    print("=" * 66)
+
+
+@pytest.mark.parametrize("name", PRESETS)
+def test_table1_relational_image(benchmark, name):
+    """Benchmark: chain + mempool -> blockchain database (R, I, T)."""
+    dataset = cached_dataset(name)
+    _print_table()
+
+    db = benchmark(
+        to_blockchain_database, dataset.chain, dataset.pending
+    )
+    stats = dataset.stats()
+    assert len(db.current["TxOut"]) == stats.outputs
+    assert len(db.current["TxIn"]) == stats.inputs
+    assert len(db.pending) == stats.pending_transactions
+    # Structural trend of the paper's Table 1: denser later datasets.
+    assert stats.outputs > stats.transactions

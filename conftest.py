@@ -1,0 +1,9 @@
+"""Repo-level pytest bootstrap: make ``src/`` importable even when the
+package has not been pip-installed (offline environments)."""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

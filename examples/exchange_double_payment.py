@@ -1,0 +1,117 @@
+"""The paper's motivating example (Section 1): a Bitcoin exchange
+reissuing a stuck withdrawal.
+
+Simulates the full story on the Bitcoin substrate:
+
+1. The exchange pays a customer; fees spike and the withdrawal sits in
+   the mempool.
+2. The exchange wants to reissue.  A *dry run* of the double-payment
+   denial constraint shows the naive reissue (from fresh coins) is
+   unsafe — some possible world pays the customer twice.
+3. The safe reissue is a fee bump spending the same inputs: the two
+   versions contradict, so no world contains both.  The dry run now
+   reports the constraint satisfied and the exchange broadcasts.
+
+Run:  python examples/exchange_double_payment.py
+"""
+
+from repro.bitcoin import (
+    Blockchain,
+    KeyPair,
+    Mempool,
+    Miner,
+    TxOutput,
+    Wallet,
+    to_blockchain_database,
+)
+from repro.bitcoin.relmap import combined_resolver, transaction_to_relational
+from repro.bitcoin.transactions import COIN
+from repro.core import DCSatChecker
+
+exchange = Wallet(KeyPair.generate("exchange"), name="exchange")
+customer = Wallet(KeyPair.generate("customer"), name="customer")
+miner = Miner(KeyPair.generate("miner").public_key)
+
+
+def double_payment_constraint() -> str:
+    """No two different transactions may move exchange funds to the
+    customer (Example 4's constraint, instantiated with real keys)."""
+    return (
+        f"q() <- TxIn(pt1, ps1, '{exchange.public_key}', a1, n1, sg1), "
+        f"TxOut(n1, os1, '{customer.public_key}', b1), "
+        f"TxIn(pt2, ps2, '{exchange.public_key}', a2, n2, sg2), "
+        f"TxOut(n2, os2, '{customer.public_key}', b2), n1 != n2"
+    )
+
+
+def main() -> None:
+    # -- Setup: the exchange holds two coins on-chain. ------------------
+    chain = Blockchain()
+    chain.append_genesis(
+        [
+            TxOutput(30 * COIN, exchange.script),
+            TxOutput(15 * COIN, exchange.script),
+        ]
+    )
+    print(f"Chain bootstrapped: exchange holds {exchange.balance(chain.utxos) / COIN} coins")
+
+    # -- Step 1: the withdrawal is issued but not confirmed. ------------
+    withdrawal = exchange.create_payment(
+        chain.utxos, customer.public_key, 5 * COIN, fee=100
+    )
+    print(f"\nWithdrawal issued: {withdrawal.txid[:16]}... (fee 100, stuck)")
+
+    db = to_blockchain_database(chain, [withdrawal])
+    checker = DCSatChecker(db)
+    constraint = double_payment_constraint()
+    print(
+        "Initial check: constraint "
+        + ("SATISFIED" if checker.check(constraint).satisfied else "VIOLATED")
+    )
+
+    # -- Step 2: dry-run the naive reissue. ------------------------------
+    naive_reissue = exchange.reissue_unsafe(
+        chain.utxos, withdrawal, customer.public_key, 5 * COIN, fee=500
+    )
+    resolve = combined_resolver(chain, [withdrawal, naive_reissue])
+    result = checker.dry_run(
+        transaction_to_relational(naive_reissue, resolve), constraint
+    )
+    print(
+        f"\nDry run, naive reissue {naive_reissue.txid[:16]}...: "
+        + ("SAFE" if result.satisfied else "UNSAFE — a world pays twice!")
+    )
+    assert not result.satisfied
+
+    # -- Step 3: dry-run the fee-bumped (conflicting) reissue. -----------
+    bumped = exchange.bump_fee(chain.utxos, withdrawal, extra_fee=900)
+    resolve = combined_resolver(chain, [withdrawal, bumped])
+    result = checker.dry_run(
+        transaction_to_relational(bumped, resolve), constraint
+    )
+    print(
+        f"Dry run, fee-bumped reissue {bumped.txid[:16]}...: "
+        + ("SAFE — conflicts with the original" if result.satisfied else "UNSAFE")
+    )
+    assert result.satisfied
+
+    # -- Step 4: broadcast the safe version; a miner picks one. ----------
+    pool = Mempool(allow_conflicts=True)  # the network-wide view
+    pool.add(withdrawal, chain)
+    pool.add(bumped, chain)
+    block = miner.mine(pool, chain)
+    confirmed = {tx.txid for tx in block.transactions}
+    winner = "fee-bumped" if bumped.txid in confirmed else "original"
+    print(f"\nMiner confirmed the {winner} withdrawal (higher feerate wins).")
+    paid = sum(
+        output.value
+        for tx in block.transactions
+        for output in tx.outputs
+        if output.script.owner == customer.public_key
+    )
+    print(f"Customer received {paid / COIN} coins — exactly once.")
+    assert paid == 5 * COIN
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Why DCSat is CoNP-complete: the SAT reduction, live.
+
+Theorem 1 places denial-constraint satisfaction with keys *and*
+inclusion dependencies in CoNP-complete territory.  This example builds
+the witnessing gadget for a concrete formula and lets the DCSat solvers
+decide satisfiability:
+
+* each propositional variable becomes a *pair of contradicting pending
+  transactions* (the key on ``Assign`` admits one truth value);
+* each literal transaction also inserts ``Sat(c)`` facts for the clauses
+  it satisfies;
+* a *collector* transaction carries ``Done`` plus one ``Clause(c)`` fact
+  per clause under ``Clause[clause] ⊆ Sat[clause]`` — it can only be
+  appended once every clause is witnessed.
+
+``D |= ¬(q() <- Done(0))`` therefore holds iff the formula is
+UNSATISFIABLE: the solvers are deciding SAT.
+
+Run:  python examples/hardness_gadget.py
+"""
+
+from repro.core import DCSatChecker
+from repro.core.possible_worlds import enumerate_possible_worlds
+from repro.reductions import (
+    CnfFormula,
+    brute_force_satisfiable,
+    reduction_from_cnf,
+)
+
+#: (x1 ∨ ¬x2) ∧ (x2 ∨ x3) ∧ (¬x1 ∨ ¬x3) — satisfiable (e.g. x1, x2, ¬x3)
+SATISFIABLE = CnfFormula(
+    (
+        ((1, True), (2, False)),
+        ((2, True), (3, True)),
+        ((1, False), (3, False)),
+    )
+)
+
+#: x1 ∧ ¬x1 spread over three clauses via x2 — unsatisfiable.
+UNSATISFIABLE = CnfFormula(
+    (
+        ((1, True), (2, True)),
+        ((1, True), (2, False)),
+        ((1, False),),
+    )
+)
+
+
+def analyze(label: str, formula: CnfFormula) -> None:
+    print(f"\n=== {label} ===")
+    clauses = " ∧ ".join(
+        "(" + " ∨ ".join(
+            ("" if polarity else "¬") + f"x{var}" for var, polarity in clause
+        ) + ")"
+        for clause in formula.clauses
+    )
+    print(f"φ = {clauses}")
+    print(f"SAT oracle: {'satisfiable' if brute_force_satisfiable(formula) else 'UNSAT'}")
+
+    db, query = reduction_from_cnf(formula)
+    print(
+        f"gadget: {len(db.pending)} pending transactions "
+        f"({len(formula.variables)} variable pairs + collector), "
+        f"constraint q = {query}"
+    )
+
+    worlds = list(enumerate_possible_worlds(db))
+    done_worlds = [w for w in worlds if "collector" in w]
+    print(f"possible worlds: {len(worlds)}, containing Done: {len(done_worlds)}")
+    if done_worlds:
+        witness = min(done_worlds, key=len)
+        assignment = sorted(t for t in witness if t != "collector")
+        print(f"smallest satisfying world encodes the assignment {assignment}")
+
+    checker = DCSatChecker(db)
+    for algorithm in ("naive", "assign", "brute"):
+        result = checker.check(query, algorithm=algorithm)
+        verdict = "UNSAT (constraint satisfied)" if result.satisfied else "SAT (constraint violated)"
+        print(f"  DCSat[{algorithm:>6}] says: {verdict}")
+        assert result.satisfied == (not brute_force_satisfiable(formula))
+
+
+def main() -> None:
+    print("Deciding SAT with a blockchain database (Theorem 1.2 gadget)")
+    analyze("satisfiable formula", SATISFIABLE)
+    analyze("unsatisfiable formula", UNSATISFIABLE)
+    print(
+        "\nBoth answers match the oracle — the reduction is faithful, and\n"
+        "this is exactly why no polynomial algorithm can exist for the\n"
+        "full {key, ind} fragment (unless P = NP)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""A steady-state node: blocks arrive, the mempool churns, and the
+DCSat engine maintains its precomputed structures incrementally
+(Section 6.3) while estimating violation likelihoods (future work §8).
+
+The simulation runs a three-node network.  One node hosts the
+:class:`DCSatChecker`; every broadcast updates the checker via
+``issue`` and every mined block via ``commit``/``forget``, so the
+fd-transaction graph and Θ_I index never need rebuilding from scratch.
+
+Run:  python examples/mempool_monitor.py
+"""
+
+import random
+
+from repro.bitcoin import (
+    KeyPair,
+    Miner,
+    Network,
+    Node,
+    TxOutput,
+    Wallet,
+    to_blockchain_database,
+)
+from repro.bitcoin.relmap import combined_resolver, transaction_to_relational
+from repro.bitcoin.transactions import COIN
+from repro.core import DCSatChecker
+from repro.errors import ChainValidationError
+from repro.likelihood import estimate_violation_probability, feerate_inclusion_model
+from repro.workloads.queries import aggregate_constraint
+
+rng = random.Random(2020)
+wallets = [Wallet(KeyPair.generate(f"user{i}"), name=f"user{i}") for i in range(6)]
+watched = wallets[3]  # the account our denial constraint watches
+
+
+def build_network() -> Network:
+    network = Network()
+    for index in range(3):
+        network.add_node(
+            Node(
+                f"node{index}",
+                allow_conflicts=False,
+                miner=Miner(KeyPair.generate("miner").public_key)
+                if index == 0
+                else None,
+            )
+        )
+    first = next(iter(network.nodes.values()))
+    genesis = first.chain.append_genesis(
+        [TxOutput(8 * COIN, w.script) for w in wallets]
+    )
+    for node in list(network.nodes.values())[1:]:
+        node.chain.append_block(genesis)
+    return network
+
+
+def random_payment(network: Network):
+    node = network.nodes["node0"]
+    view = node.mempool.extended_utxos(node.chain)
+    exclude = node.mempool.spent_outpoints()
+    payer = rng.choice(wallets)
+    payee = rng.choice([w for w in wallets if w is not payer])
+    balance = sum(o.value for _, o in payer.spendable(view, exclude))
+    if balance < 10_000:
+        return None
+    amount = rng.randint(1000, balance // 3)
+    fee = rng.randint(50, 5000)
+    try:
+        return payer.create_payment(view, payee.public_key, amount, fee, exclude=exclude)
+    except ChainValidationError:
+        return None
+
+
+def main() -> None:
+    network = build_network()
+    node = network.nodes["node0"]
+
+    db = to_blockchain_database(node.chain, [])
+    checker = DCSatChecker(db, assume_nonnegative_sums=True)
+    # Denial constraint: the watched account never accumulates 20+ coins.
+    constraint = aggregate_constraint(watched.public_key, 20 * COIN)
+    print(f"Watching: {watched.name} must never reach 20 coins\n")
+
+    for round_index in range(1, 6):
+        # --- Mempool churn: new payments gossip through the network. ---
+        arrivals = 0
+        for _ in range(6):
+            tx = random_payment(network)
+            if tx is None:
+                continue
+            accepted = network.broadcast_transaction(tx)
+            if accepted["node0"]:
+                resolve = combined_resolver(
+                    node.chain, list(node.mempool) + [tx]
+                )
+                checker.issue(transaction_to_relational(tx, resolve))
+                arrivals += 1
+
+        result = checker.check(constraint, algorithm="naive")
+        feerates = {
+            tx.txid: node.mempool.feerate(tx.txid) for tx in node.mempool
+        }
+        risk = "n/a"
+        if feerates and not result.satisfied:
+            model = feerate_inclusion_model(feerates)
+            estimate = estimate_violation_probability(
+                checker.db, constraint, model, samples=300, seed=round_index
+            )
+            risk = f"{estimate.probability:.1%} ± {1.96 * estimate.stderr:.1%}"
+        print(
+            f"round {round_index}: +{arrivals} pending "
+            f"(total {len(checker.db.pending_ids)}), constraint "
+            f"{'SATISFIED' if result.satisfied else 'VIOLABLE'}, "
+            f"P(violation) = {risk}"
+        )
+
+        # --- A block is mined; sync the checker with reality. ----------
+        block = network.mine_block("node0")
+        confirmed = {tx.txid for tx in block.transactions}
+        for tx_id in list(checker.db.pending_ids):
+            if tx_id in confirmed:
+                checker.commit(tx_id)
+            elif tx_id not in node.mempool:
+                checker.forget(tx_id)  # evicted (conflict confirmed)
+        # The coinbase was never pending: absorb its rows directly.
+        from repro.bitcoin.relmap import chain_resolver
+
+        checker.absorb(
+            transaction_to_relational(block.coinbase, chain_resolver(node.chain))
+        )
+        print(
+            f"         block {block.height} confirmed "
+            f"{len(block.transactions) - 1} txs; "
+            f"fd-graph: {checker.fd_graph}"
+        )
+
+    final = checker.check(constraint, algorithm="naive")
+    print(
+        f"\nFinal state: constraint "
+        f"{'SATISFIED' if final.satisfied else 'VIOLABLE'} with "
+        f"{len(checker.db.pending_ids)} pending transactions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the blockchain database of Figure 2 (the simplified Bitcoin
+schema of Example 1 with pending transactions T1–T5), enumerates its
+possible worlds (Example 3), and checks denial constraints with every
+solver — including Example 4's "did I pay twice?" constraint.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BlockchainDatabase,
+    ConstraintSet,
+    Database,
+    DCSatChecker,
+    InclusionDependency,
+    Key,
+    Transaction,
+    enumerate_possible_worlds,
+    make_schema,
+)
+
+
+def build_figure2() -> BlockchainDatabase:
+    """The blockchain database D = (R, I, T) of Figure 2."""
+    schema = make_schema(
+        {
+            "TxOut": ["txId", "ser", "pk", "amount"],
+            "TxIn": ["prevTxId", "prevSer", "pk", "amount", "newTxId", "sig"],
+        }
+    )
+    constraints = ConstraintSet(
+        schema,
+        [
+            Key("TxOut", ["txId", "ser"], schema),
+            Key("TxIn", ["prevTxId", "prevSer"], schema),
+            InclusionDependency(
+                "TxIn",
+                ["prevTxId", "prevSer", "pk", "amount"],
+                "TxOut",
+                ["txId", "ser", "pk", "amount"],
+            ),
+            InclusionDependency("TxIn", ["newTxId"], "TxOut", ["txId"]),
+        ],
+    )
+    current = Database.from_dict(
+        schema,
+        {
+            "TxOut": [
+                (1, 1, "U1Pk", 1.0),
+                (2, 1, "U1Pk", 1.0),
+                (2, 2, "U2Pk", 4.0),
+                (3, 1, "U3Pk", 1.0),
+                (3, 2, "U4Pk", 0.5),
+                (3, 3, "U1Pk", 0.5),
+            ],
+            "TxIn": [
+                (1, 1, "U1Pk", 1.0, 3, "U1Sig"),
+                (2, 1, "U1Pk", 1.0, 3, "U1Sig"),
+            ],
+        },
+    )
+    pending = [
+        Transaction(
+            {
+                "TxIn": [(2, 2, "U2Pk", 4.0, 4, "U2Sig")],
+                "TxOut": [(4, 1, "U5Pk", 1.0), (4, 2, "U2Pk", 3.0)],
+            },
+            tx_id="T1",
+        ),
+        Transaction(
+            {
+                "TxIn": [(4, 2, "U2Pk", 3.0, 5, "U2Sig")],
+                "TxOut": [(5, 1, "U4Pk", 3.0)],
+            },
+            tx_id="T2",
+        ),
+        Transaction(
+            {
+                "TxIn": [(3, 3, "U1Pk", 0.5, 6, "U1Sig")],
+                "TxOut": [(6, 1, "U4Pk", 0.5)],
+            },
+            tx_id="T3",
+        ),
+        Transaction(
+            {
+                "TxIn": [
+                    (6, 1, "U4Pk", 0.5, 7, "U4Sig"),
+                    (5, 1, "U4Pk", 3.0, 7, "U4Sig"),
+                ],
+                "TxOut": [(7, 1, "U7Pk", 2.5), (7, 2, "U8Pk", 1.0)],
+            },
+            tx_id="T4",
+        ),
+        Transaction(
+            {
+                "TxIn": [(2, 2, "U2Pk", 4.0, 8, "U2Sig")],
+                "TxOut": [(8, 1, "U7Pk", 4.0)],
+            },
+            tx_id="T5",
+        ),
+    ]
+    return BlockchainDatabase(current, constraints, pending)
+
+
+def main() -> None:
+    db = build_figure2()
+    print(f"Blockchain database: {db}")
+
+    # Example 3: the nine possible worlds.
+    print("\nPossible worlds (Example 3):")
+    for world in sorted(
+        enumerate_possible_worlds(db), key=lambda w: (len(w), sorted(w))
+    ):
+        label = " ∪ ".join(sorted(world)) if world else "(current state only)"
+        print(f"  R ∪ {{{label}}}" if world else f"  R {label}")
+
+    checker = DCSatChecker(db, assume_nonnegative_sums=True)
+
+    # Example 6/8: can U8Pk ever receive bitcoins?
+    qs = "qs() <- TxOut(ntx, s, 'U8Pk', a)"
+    for algorithm in ("naive", "opt", "assign"):
+        result = checker.check(qs, algorithm=algorithm)
+        status = "SATISFIED" if result.satisfied else "VIOLATED"
+        print(
+            f"\n[{algorithm:>6}] {qs}\n         -> {status}"
+            + (f" by world {sorted(result.witness)}" if result.witness else "")
+            + f" ({result.stats.worlds_checked} worlds checked)"
+        )
+
+    # Example 4 flavour: does any world transfer U2Pk's money to U7Pk
+    # twice, under two different transactions?
+    double_pay = (
+        "q1() <- TxIn(pt1, ps1, 'U2Pk', a1, n1, 'U2Sig'), "
+        "TxOut(n1, s1, 'U7Pk', b1), "
+        "TxIn(pt2, ps2, 'U2Pk', a2, n2, 'U2Sig'), "
+        "TxOut(n2, s2, 'U7Pk', b2), n1 != n2"
+    )
+    result = checker.check(double_pay)
+    print(
+        f"\nDouble-payment denial constraint: "
+        f"{'SATISFIED — safe' if result.satisfied else 'VIOLATED — unsafe'}"
+    )
+
+    # An aggregate constraint: U7Pk must never receive 6+ coins in total.
+    qa = "[qa(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 6"
+    result = checker.check(qa, algorithm="naive")
+    print(
+        f"Aggregate constraint (U7Pk total < 6): "
+        f"{'SATISFIED — safe' if result.satisfied else 'VIOLATED'}"
+        " (T4's 2.5 and T5's 4.0 can never coexist)"
+    )
+
+
+if __name__ == "__main__":
+    main()

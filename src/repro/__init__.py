@@ -1,0 +1,84 @@
+"""repro — Reasoning about the Future in Blockchain Databases.
+
+A full reproduction of Cohen, Rosenthal and Zohar (ICDE 2020): an
+abstract model of databases whose storage layer is a blockchain, the
+denial-constraint satisfaction problem over their possible worlds, the
+NaiveDCSat / OptDCSat algorithms with the paper's steady-state
+optimizations, the tractable special cases of Theorems 1–2, and a
+Bitcoin-style substrate for generating realistic workloads.
+
+Quickstart::
+
+    from repro import (
+        BlockchainDatabase, ConstraintSet, Database, DCSatChecker,
+        Key, InclusionDependency, Transaction, make_schema, parse_query,
+    )
+
+    schema = make_schema({"Pay": ["payer", "payee", "amount", "txid"]})
+    constraints = ConstraintSet(schema, [Key("Pay", ["txid"], schema)])
+    state = Database.from_dict(schema, {"Pay": []})
+    tx = Transaction({"Pay": [("alice", "bob", 1, "t1")]}, tx_id="T1")
+    db = BlockchainDatabase(state, constraints, [tx])
+    checker = DCSatChecker(db)
+    result = checker.check("q() <- Pay('alice', 'bob', a, t)")
+    assert not result.satisfied          # some possible world pays Bob
+"""
+
+from repro.core import (
+    BlockchainDatabase,
+    DCSatChecker,
+    DCSatResult,
+    DCSatStats,
+    enumerate_possible_worlds,
+    get_maximal,
+    is_possible_world,
+    world_database,
+)
+from repro.query import (
+    AggregateQuery,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    evaluate,
+    parse_query,
+)
+from repro.relational import (
+    ConstraintSet,
+    Database,
+    FunctionalDependency,
+    InclusionDependency,
+    Key,
+    Transaction,
+)
+from repro.relational.database import make_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockchainDatabase",
+    "DCSatChecker",
+    "DCSatResult",
+    "DCSatStats",
+    "enumerate_possible_worlds",
+    "is_possible_world",
+    "world_database",
+    "get_maximal",
+    "AggregateQuery",
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Constant",
+    "Variable",
+    "evaluate",
+    "parse_query",
+    "ConstraintSet",
+    "Database",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "Key",
+    "Transaction",
+    "make_schema",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""A Bitcoin-style blockchain substrate, implemented from scratch.
+
+The paper grounds its model in Bitcoin (Section 2) and evaluates over
+real Bitcoin data (Section 7).  This package provides everything needed
+to reproduce that setting offline: deterministic toy keys and
+signatures, UTXO transactions with challenge scripts, hash-linked blocks
+with a proof-of-work stub, a validating chain with a UTXO set, mempools,
+a greedy fee-maximizing miner, a gossiping node network, wallets (with
+fee bumping, i.e. conflicting reissues), a synthetic-history generator,
+and the mapping from chain + mempool to the paper's relational schema
+(Example 1).
+
+The cryptography is deliberately *toy*: signatures are deterministic
+hashes binding (public key, transaction digest).  They model the
+authorization structure Bitcoin's validity rules impose — which is all
+the denial-constraint machinery observes — not adversarial security.
+"""
+
+from repro.bitcoin.keys import KeyPair, address_of, verify_signature
+from repro.bitcoin.script import (
+    HashLockScript,
+    MultiSigScript,
+    P2PKHScript,
+    P2PKScript,
+    Witness,
+)
+from repro.bitcoin.transactions import (
+    BitcoinTransaction,
+    OutPoint,
+    TxInput,
+    TxOutput,
+)
+from repro.bitcoin.alerts import Alert, DoubleSpendWatcher
+from repro.bitcoin.blocks import Block
+from repro.bitcoin.chain import Blockchain, UTXOSet
+from repro.bitcoin.explorer import BalanceReport, ChainExplorer
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.network import Network, Node
+from repro.bitcoin.wallet import Wallet
+from repro.bitcoin.generator import Dataset, DatasetSpec, generate_dataset
+from repro.bitcoin.relmap import (
+    BITCOIN_RELATIONS,
+    bitcoin_constraints,
+    bitcoin_schema,
+    chain_to_database,
+    to_blockchain_database,
+    transaction_to_relational,
+)
+
+__all__ = [
+    "Alert",
+    "DoubleSpendWatcher",
+    "BalanceReport",
+    "ChainExplorer",
+    "KeyPair",
+    "address_of",
+    "verify_signature",
+    "P2PKScript",
+    "P2PKHScript",
+    "MultiSigScript",
+    "HashLockScript",
+    "Witness",
+    "BitcoinTransaction",
+    "OutPoint",
+    "TxInput",
+    "TxOutput",
+    "Block",
+    "Blockchain",
+    "UTXOSet",
+    "Mempool",
+    "Miner",
+    "Network",
+    "Node",
+    "Wallet",
+    "Dataset",
+    "DatasetSpec",
+    "generate_dataset",
+    "BITCOIN_RELATIONS",
+    "bitcoin_schema",
+    "bitcoin_constraints",
+    "chain_to_database",
+    "to_blockchain_database",
+    "transaction_to_relational",
+]

@@ -1,0 +1,154 @@
+"""Double-spend surveillance over a mempool.
+
+The motivating example's exchange was attacked because nobody *watched*
+for conflicting versions of its withdrawals.  :class:`DoubleSpendWatcher`
+observes a conflict-tolerant mempool (the network-wide pending view) and
+raises alerts when:
+
+* two pending transactions spend the same outpoint (a conflict pair);
+* a watched address is the payer of a transaction that has a pending
+  conflict — the "your withdrawal may be raced" signal;
+* a confirmed block orphans pending transactions that a watched address
+  *received from* — the "your incoming payment just died" signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.transactions import BitcoinTransaction, OutPoint
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One surveillance finding."""
+
+    kind: str  # "conflict", "watched-payer-conflict", "incoming-died"
+    message: str
+    txids: tuple[str, ...]
+
+
+class DoubleSpendWatcher:
+    """Tracks conflicts in a mempool; optionally focuses on addresses."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        mempool: Mempool,
+        watched_owners: Iterable[str] = (),
+    ):
+        self.chain = chain
+        self.mempool = mempool
+        self.watched_owners = set(watched_owners)
+        self._reported: set[frozenset[str]] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+
+    def _owner_of(self, outpoint: OutPoint) -> str | None:
+        tx = self.chain.get_transaction(outpoint.txid) or self.mempool.get(
+            outpoint.txid
+        )
+        if tx is None or outpoint.index >= len(tx.outputs):
+            return None
+        return tx.outputs[outpoint.index].script.owner
+
+    def conflict_pairs(self) -> list[tuple[str, str]]:
+        """Every unordered pair of pending transactions sharing an input."""
+        pairs: set[frozenset[str]] = set()
+        spenders: dict[OutPoint, list[str]] = {}
+        for tx in self.mempool:
+            for outpoint in tx.outpoints():
+                spenders.setdefault(outpoint, []).append(tx.txid)
+        for txids in spenders.values():
+            for i, first in enumerate(txids):
+                for second in txids[i + 1 :]:
+                    pairs.add(frozenset({first, second}))
+        return sorted(tuple(sorted(pair)) for pair in pairs)
+
+    def payer_of(self, tx: BitcoinTransaction) -> set[str]:
+        owners = set()
+        for tx_input in tx.inputs:
+            owner = self._owner_of(tx_input.outpoint)
+            if owner is not None:
+                owners.add(owner)
+        return owners
+
+    # ------------------------------------------------------------------
+    # Alert production
+
+    def scan(self) -> list[Alert]:
+        """New conflict alerts since the last scan (deduplicated)."""
+        alerts: list[Alert] = []
+        for first, second in self.conflict_pairs():
+            pair = frozenset({first, second})
+            if pair in self._reported:
+                continue
+            self._reported.add(pair)
+            alerts.append(
+                Alert(
+                    kind="conflict",
+                    message=(
+                        f"pending transactions {first[:12]} and {second[:12]} "
+                        "spend the same output"
+                    ),
+                    txids=(first, second),
+                )
+            )
+            payers = set()
+            for txid in (first, second):
+                tx = self.mempool.get(txid)
+                if tx is not None:
+                    payers |= self.payer_of(tx)
+            watched = payers & self.watched_owners
+            if watched:
+                alerts.append(
+                    Alert(
+                        kind="watched-payer-conflict",
+                        message=(
+                            f"watched payer(s) {sorted(o[:12] for o in watched)} "
+                            "have a conflicting withdrawal in flight — "
+                            "do not reissue from fresh coins"
+                        ),
+                        txids=(first, second),
+                    )
+                )
+        return alerts
+
+    def on_block(self, confirmed_txids: set[str]) -> list[Alert]:
+        """Alerts for watched incoming payments killed by a block.
+
+        Call *before* pruning the mempool: residents conflicting with a
+        confirmed transaction can never be mined; if a watched owner was
+        a recipient, they were waiting for money that will never arrive.
+        """
+        alerts: list[Alert] = []
+        confirmed_spends: set[OutPoint] = set()
+        for txid in confirmed_txids:
+            tx = self.chain.get_transaction(txid)
+            if tx is not None:
+                confirmed_spends.update(tx.outpoints())
+        for tx in self.mempool:
+            if tx.txid in confirmed_txids:
+                continue
+            if not (set(tx.outpoints()) & confirmed_spends):
+                continue
+            recipients = {
+                output.script.owner for output in tx.outputs
+            } & self.watched_owners
+            if recipients:
+                alerts.append(
+                    Alert(
+                        kind="incoming-died",
+                        message=(
+                            f"pending payment {tx.txid[:12]} to watched "
+                            f"recipient(s) {sorted(r[:12] for r in recipients)} "
+                            "was double-spent by a confirmed transaction"
+                        ),
+                        txids=(tx.txid,),
+                    )
+                )
+        return alerts

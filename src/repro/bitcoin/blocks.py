@@ -1,0 +1,94 @@
+"""Blocks: ordered transaction batches chained by predecessor hashes.
+
+Each block commits to its transactions through a Merkle root, points to
+its predecessor's header hash, and carries a nonce satisfying a
+(deliberately easy) proof-of-work condition.  Timestamps are
+deterministic functions of the height so the whole substrate is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.bitcoin.transactions import BitcoinTransaction
+from repro.errors import ChainValidationError
+
+#: Seconds between blocks in the deterministic timestamp schedule.
+BLOCK_INTERVAL = 600
+
+#: Hash of the (nonexistent) predecessor of the genesis block.
+GENESIS_PREV_HASH = "0" * 64
+
+
+def merkle_root(txids: Iterable[str]) -> str:
+    """The Merkle root of a transaction id list (duplicate-last rule)."""
+    level = [txid for txid in txids]
+    if not level:
+        return hashlib.sha256(b"empty").hexdigest()
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        level = [
+            hashlib.sha256((left + right).encode()).hexdigest()
+            for left, right in zip(level[::2], level[1::2])
+        ]
+    return level[0]
+
+
+def meets_difficulty(header_hash: str, difficulty: int) -> bool:
+    """Toy proof-of-work: the hash starts with *difficulty* zero hex digits."""
+    return header_hash.startswith("0" * difficulty)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block: header fields plus the transaction batch."""
+
+    height: int
+    prev_hash: str
+    transactions: tuple[BitcoinTransaction, ...]
+    nonce: int = 0
+    merkle: str = field(init=False)
+    timestamp: int = field(init=False)
+
+    def __post_init__(self):
+        if not self.transactions:
+            raise ChainValidationError("a block needs at least a coinbase")
+        object.__setattr__(
+            self, "merkle", merkle_root(tx.txid for tx in self.transactions)
+        )
+        object.__setattr__(self, "timestamp", self.height * BLOCK_INTERVAL)
+
+    def header_hash(self) -> str:
+        payload = (
+            f"{self.height}|{self.prev_hash}|{self.merkle}|"
+            f"{self.timestamp}|{self.nonce}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def with_nonce(self, nonce: int) -> "Block":
+        return Block(self.height, self.prev_hash, self.transactions, nonce)
+
+    def solve(self, difficulty: int, max_attempts: int = 1_000_000) -> "Block":
+        """Grind nonces until the header hash meets the difficulty."""
+        block = self
+        for nonce in range(max_attempts):
+            block = self.with_nonce(nonce)
+            if meets_difficulty(block.header_hash(), difficulty):
+                return block
+        raise ChainValidationError(
+            f"no nonce under {max_attempts} meets difficulty {difficulty}"
+        )
+
+    @property
+    def coinbase(self) -> BitcoinTransaction:
+        return self.transactions[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(height={self.height}, {len(self.transactions)} txs, "
+            f"hash={self.header_hash()[:12]}...)"
+        )

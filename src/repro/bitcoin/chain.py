@@ -1,0 +1,214 @@
+"""The validating blockchain: UTXO set, validity rules, appending.
+
+Implements the consistency rules of Section 2: inputs must point to
+unspent outputs and satisfy their scripts, a transaction fully spends
+its inputs (sharing an input means conflict), input value covers output
+value (the difference is the miner's fee), and the coinbase claims at
+most subsidy + fees.  Forks are not modelled — the paper's framework
+explicitly sets them aside (Remark 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.bitcoin.blocks import GENESIS_PREV_HASH, Block, meets_difficulty
+from repro.bitcoin.transactions import COIN, BitcoinTransaction, OutPoint, TxOutput
+from repro.errors import ChainValidationError
+
+#: Initial block subsidy and halving schedule (scaled-down Bitcoin).
+INITIAL_SUBSIDY = 50 * COIN
+HALVING_INTERVAL = 10_000
+
+
+def block_subsidy(height: int) -> int:
+    """The subsidy minted by the coinbase of a block at *height*."""
+    halvings = height // HALVING_INTERVAL
+    if halvings >= 64:
+        return 0
+    return INITIAL_SUBSIDY >> halvings
+
+
+class UTXOSet:
+    """The unspent-transaction-output set: outpoint -> output."""
+
+    __slots__ = ("_utxos",)
+
+    def __init__(self, utxos: dict[OutPoint, TxOutput] | None = None):
+        self._utxos: dict[OutPoint, TxOutput] = dict(utxos or {})
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return outpoint in self._utxos
+
+    def __len__(self) -> int:
+        return len(self._utxos)
+
+    def __iter__(self) -> Iterator[OutPoint]:
+        return iter(self._utxos)
+
+    def get(self, outpoint: OutPoint) -> TxOutput | None:
+        return self._utxos.get(outpoint)
+
+    def require(self, outpoint: OutPoint) -> TxOutput:
+        output = self._utxos.get(outpoint)
+        if output is None:
+            raise ChainValidationError(f"outpoint {outpoint} is not unspent")
+        return output
+
+    def apply(self, tx: BitcoinTransaction) -> None:
+        """Spend the transaction's inputs and add its outputs."""
+        for tx_input in tx.inputs:
+            if tx_input.outpoint not in self._utxos:
+                raise ChainValidationError(
+                    f"{tx.txid[:12]} spends missing outpoint {tx_input.outpoint}"
+                )
+        for tx_input in tx.inputs:
+            del self._utxos[tx_input.outpoint]
+        for index, output in enumerate(tx.outputs):
+            self._utxos[OutPoint(tx.txid, index)] = output
+
+    def copy(self) -> "UTXOSet":
+        return UTXOSet(self._utxos)
+
+    def total_value(self) -> int:
+        return sum(o.value for o in self._utxos.values())
+
+    def by_owner(self, owner: str) -> list[tuple[OutPoint, TxOutput]]:
+        """All unspent outputs whose script owner matches *owner*."""
+        return [
+            (outpoint, output)
+            for outpoint, output in self._utxos.items()
+            if output.script.owner == owner
+        ]
+
+
+class Blockchain:
+    """A single (forkless) chain with full validation on append."""
+
+    def __init__(self, difficulty: int = 0):
+        self.difficulty = difficulty
+        self.blocks: list[Block] = []
+        self.utxos = UTXOSet()
+        self._tx_index: dict[str, tuple[int, BitcoinTransaction]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks) - 1
+
+    @property
+    def tip_hash(self) -> str:
+        return self.blocks[-1].header_hash() if self.blocks else GENESIS_PREV_HASH
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def transactions(self) -> Iterator[BitcoinTransaction]:
+        for block in self.blocks:
+            yield from block.transactions
+
+    def get_transaction(self, txid: str) -> BitcoinTransaction | None:
+        entry = self._tx_index.get(txid)
+        return entry[1] if entry else None
+
+    def contains_transaction(self, txid: str) -> bool:
+        return txid in self._tx_index
+
+    # ------------------------------------------------------------------
+    # Validation
+
+    def transaction_fee(
+        self, tx: BitcoinTransaction, utxos: UTXOSet | None = None
+    ) -> int:
+        """The fee (input value − output value) of a non-coinbase tx."""
+        utxos = utxos if utxos is not None else self.utxos
+        if tx.is_coinbase:
+            return 0
+        value_in = sum(utxos.require(i.outpoint).value for i in tx.inputs)
+        return value_in - tx.total_output_value
+
+    def validate_transaction(
+        self, tx: BitcoinTransaction, utxos: UTXOSet | None = None
+    ) -> int:
+        """Validate a non-coinbase transaction against a UTXO set.
+
+        Returns the fee.  Raises :class:`ChainValidationError` on any
+        rule violation (missing outpoint, unsatisfied script, negative
+        fee, no inputs).
+        """
+        utxos = utxos if utxos is not None else self.utxos
+        if tx.is_coinbase:
+            raise ChainValidationError(
+                "coinbase transactions are only valid as a block's first tx"
+            )
+        digest = tx.signing_digest()
+        value_in = 0
+        for tx_input in tx.inputs:
+            output = utxos.require(tx_input.outpoint)
+            if not output.script.satisfied_by(tx_input.witness, digest):
+                raise ChainValidationError(
+                    f"{tx.txid[:12]}: witness does not satisfy the script of "
+                    f"{tx_input.outpoint}"
+                )
+            value_in += output.value
+        fee = value_in - tx.total_output_value
+        if fee < 0:
+            raise ChainValidationError(
+                f"{tx.txid[:12]}: outputs exceed inputs by {-fee}"
+            )
+        return fee
+
+    def _validate_block(self, block: Block) -> None:
+        expected_height = len(self.blocks)
+        if block.height != expected_height:
+            raise ChainValidationError(
+                f"block height {block.height} != expected {expected_height}"
+            )
+        if block.prev_hash != self.tip_hash:
+            raise ChainValidationError("block does not extend the chain tip")
+        if not meets_difficulty(block.header_hash(), self.difficulty):
+            raise ChainValidationError("block fails the proof-of-work check")
+        coinbase = block.transactions[0]
+        if not coinbase.is_coinbase:
+            raise ChainValidationError("first block transaction must be coinbase")
+        scratch = self.utxos.copy()
+        total_fees = 0
+        for tx in block.transactions[1:]:
+            if tx.is_coinbase:
+                raise ChainValidationError("only the first tx may be coinbase")
+            total_fees += self.validate_transaction(tx, scratch)
+            scratch.apply(tx)
+        allowed = block_subsidy(block.height) + total_fees
+        if coinbase.total_output_value > allowed:
+            raise ChainValidationError(
+                f"coinbase claims {coinbase.total_output_value}, "
+                f"allowed {allowed}"
+            )
+
+    # ------------------------------------------------------------------
+    # Appending
+
+    def append_block(self, block: Block) -> None:
+        """Validate and append a block (transactions enter the UTXO set)."""
+        self._validate_block(block)
+        for tx in block.transactions:
+            self.utxos.apply(tx)
+            self._tx_index[tx.txid] = (block.height, tx)
+        self.blocks.append(block)
+
+    def append_genesis(self, coinbase_outputs: Iterable[TxOutput]) -> Block:
+        """Create and append the genesis block paying *coinbase_outputs*."""
+        if self.blocks:
+            raise ChainValidationError("chain already has a genesis block")
+        coinbase = BitcoinTransaction([], list(coinbase_outputs), tag="coinbase:0")
+        block = Block(0, GENESIS_PREV_HASH, (coinbase,)).solve(self.difficulty)
+        self.append_block(block)
+        return block
+
+    def __repr__(self) -> str:
+        return (
+            f"Blockchain({len(self.blocks)} blocks, "
+            f"{len(self._tx_index)} txs, {len(self.utxos)} utxos)"
+        )

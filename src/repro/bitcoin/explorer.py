@@ -1,0 +1,209 @@
+"""A small block explorer over a chain and (optionally) a mempool.
+
+Answers the questions wallets and dashboards ask — balances, address
+history, confirmation status, fee summaries — and exposes the
+*uncertain* balance range the paper's model makes precise: an address's
+future balance depends on which pending transactions commit, so the
+explorer reports ``[min over possible worlds, max over possible worlds]``
+for small pending sets, and the naive optimistic/pessimistic bounds
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.transactions import BitcoinTransaction, OutPoint
+
+
+@dataclass(frozen=True)
+class AddressEvent:
+    """One history entry for an address: a credit or debit."""
+
+    height: int | None  # None = pending
+    txid: str
+    delta: int
+
+    @property
+    def confirmed(self) -> bool:
+        return self.height is not None
+
+
+@dataclass
+class BalanceReport:
+    """Confirmed balance plus the pending-world uncertainty band."""
+
+    confirmed: int
+    pessimistic: int
+    optimistic: int
+    pending_incoming: int = 0
+    pending_outgoing: int = 0
+    exact: bool = False
+    events: list[AddressEvent] = field(default_factory=list)
+
+
+class ChainExplorer:
+    """Read-only analytics over a chain (and optional mempool)."""
+
+    def __init__(self, chain: Blockchain, mempool: Mempool | None = None):
+        self.chain = chain
+        self.mempool = mempool
+
+    # ------------------------------------------------------------------
+    # Lookups
+
+    def transaction_height(self, txid: str) -> int | None:
+        """The block height of a confirmed transaction, else None."""
+        entry = self.chain._tx_index.get(txid)
+        return entry[0] if entry else None
+
+    def is_pending(self, txid: str) -> bool:
+        return bool(self.mempool and txid in self.mempool)
+
+    def output_owner(self, outpoint: OutPoint) -> str | None:
+        tx = self.chain.get_transaction(outpoint.txid)
+        if tx is None and self.mempool is not None:
+            tx = self.mempool.get(outpoint.txid)
+        if tx is None or outpoint.index >= len(tx.outputs):
+            return None
+        return tx.outputs[outpoint.index].script.owner
+
+    # ------------------------------------------------------------------
+    # Address analytics
+
+    def _delta_for(self, tx: BitcoinTransaction, owner: str) -> int:
+        credit = sum(
+            output.value for output in tx.outputs if output.script.owner == owner
+        )
+        debit = 0
+        for tx_input in tx.inputs:
+            source = self.chain.get_transaction(tx_input.outpoint.txid)
+            if source is None and self.mempool is not None:
+                source = self.mempool.get(tx_input.outpoint.txid)
+            if source is None:
+                continue
+            spent = source.outputs[tx_input.outpoint.index]
+            if spent.script.owner == owner:
+                debit += spent.value
+        return credit - debit
+
+    def history(self, owner: str) -> list[AddressEvent]:
+        """Every confirmed and pending event touching *owner*, in chain
+        order (pending last)."""
+        events: list[AddressEvent] = []
+        for height, block in enumerate(self.chain.blocks):
+            for tx in block.transactions:
+                delta = self._delta_for(tx, owner)
+                if delta != 0:
+                    events.append(AddressEvent(height, tx.txid, delta))
+        if self.mempool is not None:
+            for tx in self.mempool:
+                delta = self._delta_for(tx, owner)
+                if delta != 0:
+                    events.append(AddressEvent(None, tx.txid, delta))
+        return events
+
+    def balance(self, owner: str, exact_limit: int = 12) -> BalanceReport:
+        """The confirmed balance plus the uncertainty band.
+
+        The pessimistic bound applies every pending debit and no pending
+        credit; the optimistic bound the reverse.  When the pending set
+        is small (≤ *exact_limit*) the bounds are tightened to the exact
+        min/max over the mempool's *conflict-respecting* outcomes by
+        enumerating possible subsets.
+        """
+        confirmed = sum(
+            output.value
+            for _, output in self.chain.utxos.by_owner(owner)
+        )
+        events = self.history(owner)
+        pending = [event for event in events if not event.confirmed]
+        incoming = sum(e.delta for e in pending if e.delta > 0)
+        outgoing = -sum(e.delta for e in pending if e.delta < 0)
+        report = BalanceReport(
+            confirmed=confirmed,
+            pessimistic=confirmed - outgoing,
+            optimistic=confirmed + incoming,
+            pending_incoming=incoming,
+            pending_outgoing=outgoing,
+            events=events,
+        )
+        if self.mempool is not None and 0 < len(self.mempool) <= exact_limit:
+            report.pessimistic, report.optimistic = self._exact_bounds(owner)
+            report.exact = True
+        return report
+
+    def _exact_bounds(self, owner: str) -> tuple[int, int]:
+        """Exact balance min/max over conflict-free pending subsets that
+        are closed under parents (a mineable outcome)."""
+        import itertools
+
+        assert self.mempool is not None
+        pending = list(self.mempool)
+        by_id = {tx.txid: tx for tx in pending}
+        deltas = {tx.txid: self._delta_for(tx, owner) for tx in pending}
+        low = high = 0
+        for size in range(len(pending) + 1):
+            for combo in itertools.combinations(pending, size):
+                chosen = {tx.txid for tx in combo}
+                spent: set[OutPoint] = set()
+                feasible = True
+                for tx in combo:
+                    for outpoint in tx.outpoints():
+                        if outpoint in spent:
+                            feasible = False
+                            break
+                        spent.add(outpoint)
+                        if (
+                            outpoint.txid in by_id
+                            and outpoint.txid not in chosen
+                        ):
+                            feasible = False  # parent not included
+                            break
+                    if not feasible:
+                        break
+                if not feasible:
+                    continue
+                total = sum(deltas[txid] for txid in chosen)
+                low = min(low, total)
+                high = max(high, total)
+        confirmed = sum(
+            output.value for _, output in self.chain.utxos.by_owner(owner)
+        )
+        return confirmed + low, confirmed + high
+
+    # ------------------------------------------------------------------
+    # Chain-wide summaries
+
+    def richest(self, top: int = 10) -> list[tuple[str, int]]:
+        """The top owners by confirmed balance."""
+        totals: dict[str, int] = {}
+        for _, output in (
+            (outpoint, self.chain.utxos.require(outpoint))
+            for outpoint in self.chain.utxos
+        ):
+            owner = output.script.owner
+            totals[owner] = totals.get(owner, 0) + output.value
+        ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:top]
+
+    def fee_summary(self) -> dict[str, float]:
+        """Total and mean fee over all confirmed non-coinbase txs."""
+        fees: list[int] = []
+        replay = {}
+        for tx in self.chain.transactions():
+            for index, output in enumerate(tx.outputs):
+                replay[OutPoint(tx.txid, index)] = output.value
+            if tx.is_coinbase:
+                continue
+            value_in = sum(replay[i.outpoint] for i in tx.inputs)
+            fees.append(value_in - tx.total_output_value)
+        if not fees:
+            return {"count": 0, "total": 0, "mean": 0.0}
+        return {
+            "count": len(fees),
+            "total": sum(fees),
+            "mean": sum(fees) / len(fees),
+        }

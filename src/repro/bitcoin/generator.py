@@ -1,0 +1,299 @@
+"""Synthetic Bitcoin histories: the offline stand-in for the paper's data.
+
+The paper parses 100k–300k real Bitcoin blocks into Postgres and treats
+subsequent blocks as the pending set (Table 1).  We cannot ship the real
+chain, so this generator produces structurally comparable histories at
+laptop scale: users paying each other with change outputs, fees drawn
+from a range, child transactions spending unconfirmed parents (giving
+the pending set real dependency chains), and a controllable number of
+injected functional-dependency contradictions (double-spends), matching
+the paper's experimental knob (10–50 contradictions in thousands of
+pending transactions).
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.script import P2PKScript
+from repro.bitcoin.transactions import COIN, BitcoinTransaction, TxOutput
+from repro.bitcoin.wallet import Wallet
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.errors import ChainValidationError, ReproError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parameters of a synthetic dataset."""
+
+    name: str = "custom"
+    committed_blocks: int = 40
+    pending_blocks: int = 10
+    txs_per_block: int = 8
+    users: int = 25
+    contradictions: int = 20
+    fee_min: int = 100
+    fee_max: int = 2_000
+    seed: int = 7
+    max_block_size: int = 100_000
+    #: Fraction of users who only start *spending* in the pending period
+    #: (they still receive earlier) — gives the star queries sources whose
+    #: outgoing transfers exist only among pending transactions.
+    late_user_fraction: float = 0.2
+    #: Probability that a pending payment goes to a brand-new one-off
+    #: address — gives the simple/aggregate queries recipients the
+    #: committed state has never seen.
+    fresh_recipient_rate: float = 0.25
+    #: Probability that a payment may spend *unconfirmed* outputs (child
+    #: pays for parent).  Kept moderate: heavy chaining fuses the whole
+    #: pending set into one ind-graph component, which is unrealistic and
+    #: removes the component structure OptDCSat exploits.
+    chain_on_pending_rate: float = 0.25
+
+    def scaled(self, **overrides) -> "DatasetSpec":
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Scaled-down analogues of the paper's Table 1 datasets.  The paper's
+#: D100/D200/D300 are 100k/200k/300k real blocks with growing density;
+#: these keep the density *trend* at sizes a pure-Python engine sweeps
+#: in seconds.
+PRESETS = {
+    "D100-S": DatasetSpec(
+        name="D100-S", committed_blocks=60, pending_blocks=25,
+        txs_per_block=4, users=20, contradictions=20, seed=100,
+    ),
+    "D200-S": DatasetSpec(
+        name="D200-S", committed_blocks=120, pending_blocks=30,
+        txs_per_block=8, users=30, contradictions=20, seed=200,
+    ),
+    "D300-S": DatasetSpec(
+        name="D300-S", committed_blocks=180, pending_blocks=18,
+        txs_per_block=12, users=40, contradictions=20, seed=300,
+    ),
+}
+
+
+@dataclass
+class DatasetStats:
+    """Table 1's row shape: sizes of the current state and pending set."""
+
+    blocks: int = 0
+    transactions: int = 0
+    inputs: int = 0
+    outputs: int = 0
+    pending_blocks: int = 0
+    pending_transactions: int = 0
+    pending_inputs: int = 0
+    pending_outputs: int = 0
+    contradictions: int = 0
+
+
+@dataclass
+class Dataset:
+    """A generated history: chain, pending transactions, bookkeeping."""
+
+    spec: DatasetSpec
+    chain: Blockchain
+    pending: list[BitcoinTransaction]
+    wallets: list[Wallet]
+    creators: dict[str, Wallet] = field(default_factory=dict)
+    recipients: dict[str, str] = field(default_factory=dict)
+    contradiction_pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: One-off recipient public keys that only ever appear in pending txs.
+    fresh_recipients: list[str] = field(default_factory=list)
+    #: Wallets that only start spending in the pending period.
+    late_wallets: list[Wallet] = field(default_factory=list)
+
+    def stats(self) -> DatasetStats:
+        committed = list(self.chain.transactions())
+        return DatasetStats(
+            blocks=len(self.chain.blocks),
+            transactions=len(committed),
+            inputs=sum(len(tx.inputs) for tx in committed),
+            outputs=sum(len(tx.outputs) for tx in committed),
+            pending_blocks=self.spec.pending_blocks,
+            pending_transactions=len(self.pending),
+            pending_inputs=sum(len(tx.inputs) for tx in self.pending),
+            pending_outputs=sum(len(tx.outputs) for tx in self.pending),
+            contradictions=len(self.contradiction_pairs),
+        )
+
+    def to_blockchain_database(self, validate: bool = True) -> BlockchainDatabase:
+        from repro.bitcoin.relmap import to_blockchain_database
+
+        return to_blockchain_database(self.chain, self.pending, validate=validate)
+
+
+class _Builder:
+    """One-shot generator state machine."""
+
+    def __init__(self, spec: DatasetSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.wallets = [
+            Wallet(KeyPair.generate(f"{spec.seed}:user:{i}"), name=f"user{i}")
+            for i in range(spec.users)
+        ]
+        late_count = int(spec.users * spec.late_user_fraction)
+        self.late_wallets = self.wallets[spec.users - late_count :] if late_count else []
+        self.early_wallets = self.wallets[: spec.users - late_count]
+        self.chain = Blockchain(difficulty=0)
+        self.creators: dict[str, Wallet] = {}
+        self.recipients: dict[str, str] = {}
+        self.fresh_recipients: list[str] = []
+        self._fresh_counter = 0
+
+    def _genesis(self) -> None:
+        share = (50 * COIN) // self.spec.users
+        outputs = [
+            TxOutput(share, P2PKScript(wallet.public_key))
+            for wallet in self.wallets
+        ]
+        self.chain.append_genesis(outputs)
+
+    def _block_tx_count(self) -> int:
+        base = self.spec.txs_per_block
+        jitter = max(1, base // 4)
+        return max(1, base + self.rng.randint(-jitter, jitter))
+
+    def _pick_recipient(self, payer: Wallet, allow_fresh: bool) -> str:
+        if allow_fresh and self.rng.random() < self.spec.fresh_recipient_rate:
+            self._fresh_counter += 1
+            keypair = KeyPair.generate(
+                f"{self.spec.seed}:fresh:{self._fresh_counter}"
+            )
+            self.fresh_recipients.append(keypair.public_key)
+            return keypair.public_key
+        recipient = self.rng.choice([w for w in self.wallets if w is not payer])
+        return recipient.public_key
+
+    def _make_payment(
+        self, mempool: Mempool, payers: list[Wallet], allow_fresh: bool
+    ) -> BitcoinTransaction | None:
+        if self.rng.random() < self.spec.chain_on_pending_rate:
+            view = mempool.extended_utxos(self.chain)
+        else:
+            view = self.chain.utxos
+        exclude = mempool.spent_outpoints()
+        payer = self.rng.choice(payers)
+        spendable = payer.spendable(view, exclude)
+        balance = sum(output.value for _, output in spendable)
+        fee = self.rng.randint(self.spec.fee_min, self.spec.fee_max)
+        if balance <= fee + 1:
+            return None
+        amount = self.rng.randint(1, max(1, (balance - fee) // 2))
+        recipient_key = self._pick_recipient(payer, allow_fresh)
+        try:
+            tx = payer.create_payment(
+                view, recipient_key, amount, fee, exclude=exclude
+            )
+        except ChainValidationError:
+            return None
+        self.creators[tx.txid] = payer
+        self.recipients[tx.txid] = recipient_key
+        return tx
+
+    def _fill_mempool(
+        self,
+        mempool: Mempool,
+        target: int,
+        payers: list[Wallet],
+        allow_fresh: bool = False,
+    ) -> None:
+        misses = 0
+        while len(mempool) < target and misses < 10 * target + 20:
+            tx = self._make_payment(mempool, payers, allow_fresh)
+            if tx is None:
+                misses += 1
+                continue
+            try:
+                mempool.add(tx, self.chain)
+            except ChainValidationError:
+                misses += 1
+
+    def _mine_committed(self) -> None:
+        payers = self.early_wallets or self.wallets
+        for index in range(self.spec.committed_blocks):
+            mempool = Mempool()
+            self._fill_mempool(mempool, self._block_tx_count(), payers)
+            reward_wallet = payers[index % len(payers)]
+            miner = Miner(
+                reward_wallet.public_key, max_block_size=self.spec.max_block_size
+            )
+            miner.mine(mempool, self.chain)
+
+    def _build_pending(self) -> tuple[list[BitcoinTransaction], Mempool]:
+        mempool = Mempool()
+        for _ in range(self.spec.pending_blocks):
+            target = len(mempool) + self._block_tx_count()
+            # Late joiners spend alongside everyone else in the pending
+            # period; a slice of payments goes to one-off fresh addresses.
+            self._fill_mempool(mempool, target, self.wallets, allow_fresh=True)
+        return mempool.transactions(), mempool
+
+    def _inject_contradictions(
+        self, pending: list[BitcoinTransaction], mempool: Mempool
+    ) -> list[tuple[str, str]]:
+        """Double-spend *contradictions* of the pending transactions.
+
+        Each injected transaction spends the same inputs as its target
+        with a bumped fee and (thus) a different txid: in the relational
+        image the two insert ``TxIn`` rows sharing the key
+        ``(prevTxId, prevSer)`` — a functional-dependency contradiction.
+        """
+        pairs: list[tuple[str, str]] = []
+        view = mempool.extended_utxos(self.chain)
+        candidates = [tx for tx in pending if not tx.is_coinbase and tx.inputs]
+        self.rng.shuffle(candidates)
+        for tx in candidates:
+            if len(pairs) >= self.spec.contradictions:
+                break
+            creator = self.creators.get(tx.txid)
+            if creator is None:
+                continue
+            try:
+                bump = self.rng.randint(self.spec.fee_min, self.spec.fee_max)
+                conflict = creator.bump_fee(view, tx, bump)
+            except (ChainValidationError, ReproError):
+                continue
+            self.creators[conflict.txid] = creator
+            self.recipients[conflict.txid] = self.recipients.get(tx.txid, "")
+            pending.append(conflict)
+            pairs.append((tx.txid, conflict.txid))
+        return pairs
+
+
+def generate_dataset(spec: DatasetSpec | str) -> Dataset:
+    """Generate a dataset from a spec or a preset name (``"D200-S"``)."""
+    if isinstance(spec, str):
+        try:
+            spec = PRESETS[spec]
+        except KeyError:
+            raise ReproError(
+                f"unknown dataset preset {spec!r}; options: {sorted(PRESETS)}"
+            ) from None
+    builder = _Builder(spec)
+    builder._genesis()
+    builder._mine_committed()
+    pending, mempool = builder._build_pending()
+    pairs = builder._inject_contradictions(pending, mempool)
+    return Dataset(
+        spec=spec,
+        chain=builder.chain,
+        pending=pending,
+        wallets=builder.wallets,
+        creators=builder.creators,
+        recipients=builder.recipients,
+        contradiction_pairs=pairs,
+        fresh_recipients=builder.fresh_recipients,
+        late_wallets=builder.late_wallets,
+    )

@@ -1,0 +1,69 @@
+"""Deterministic toy keys, addresses and signatures.
+
+Real Bitcoin uses secp256k1 ECDSA; the denial-constraint machinery only
+ever observes *equality* of keys and signatures, so this substrate uses
+hash-derived identifiers instead:
+
+* ``private key`` — ``H("priv" || seed)``;
+* ``public key``  — ``H("pub" || private key)``;
+* ``address``     — ``H("addr" || public key)`` truncated;
+* ``signature``   — ``H("sig" || public key || digest)``.
+
+Signatures deterministically bind a public key to a transaction digest
+and are *verifiable from public data alone* — which also makes them
+forgeable by anyone.  That is fine here: we model the authorization
+structure of the validity rules, not adversarial security (the paper's
+algorithms never depend on unforgeability).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+def _hash(*parts: str) -> str:
+    payload = "\x1f".join(parts).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def address_of(public_key: str) -> str:
+    """The address associated with a public key (a shorter identifier)."""
+    return "addr_" + _hash("addr", public_key)[:24]
+
+
+def sign(private_key: str, digest: str) -> str:
+    """Produce the toy signature of *digest* under *private_key*."""
+    public_key = _hash("pub", private_key)
+    return _hash("sig", public_key, digest)
+
+
+def verify_signature(public_key: str, digest: str, signature: str) -> bool:
+    """Check that *signature* binds *public_key* to *digest*."""
+    return signature == _hash("sig", public_key, digest)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A toy keypair; build with :meth:`generate` for determinism."""
+
+    private_key: str
+    public_key: str = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "public_key", _hash("pub", self.private_key))
+
+    @classmethod
+    def generate(cls, seed: str | int) -> "KeyPair":
+        """Derive a keypair deterministically from a seed."""
+        return cls(private_key=_hash("priv", str(seed)))
+
+    @property
+    def address(self) -> str:
+        return address_of(self.public_key)
+
+    def sign(self, digest: str) -> str:
+        return sign(self.private_key, digest)
+
+    def __repr__(self) -> str:
+        return f"KeyPair(pub={self.public_key[:12]}...)"

@@ -1,0 +1,174 @@
+"""The mempool: pending transactions awaiting inclusion (Section 2).
+
+A node's mempool holds valid-but-unconfirmed transactions.  Transactions
+may spend the outputs of other mempool transactions (child pays for
+parent chains).  Conflicting transactions — sharing an input with a
+resident — are rejected by default, accepted as *replacements* when they
+pay a strictly higher feerate and ``allow_replacement`` is set (RBF),
+or admitted side by side when ``allow_conflicts`` is set.  The last mode
+models the *network-wide* pending set the paper reasons about: different
+nodes may hold contradicting transactions, and the DCSat machinery is
+exactly about not knowing which will win.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bitcoin.chain import Blockchain, UTXOSet
+from repro.bitcoin.transactions import BitcoinTransaction, OutPoint, TxOutput
+from repro.errors import ChainValidationError
+
+
+class Mempool:
+    """Pending transactions with conflict policy and fee tracking."""
+
+    def __init__(
+        self,
+        allow_replacement: bool = False,
+        allow_conflicts: bool = False,
+    ):
+        self.allow_replacement = allow_replacement
+        self.allow_conflicts = allow_conflicts
+        self._txs: dict[str, BitcoinTransaction] = {}
+        self._fees: dict[str, int] = {}
+        # outpoint -> txids spending it (plural only with allow_conflicts)
+        self._spenders: dict[OutPoint, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Views
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def __contains__(self, txid: str) -> bool:
+        return txid in self._txs
+
+    def __iter__(self) -> Iterator[BitcoinTransaction]:
+        return iter(self._txs.values())
+
+    def get(self, txid: str) -> BitcoinTransaction | None:
+        return self._txs.get(txid)
+
+    def fee(self, txid: str) -> int:
+        return self._fees[txid]
+
+    def feerate(self, txid: str) -> float:
+        tx = self._txs[txid]
+        return self._fees[txid] / tx.size
+
+    def transactions(self) -> list[BitcoinTransaction]:
+        return list(self._txs.values())
+
+    def spent_outpoints(self) -> set[OutPoint]:
+        """Every outpoint some resident spends (coin-selection exclusion)."""
+        return set(self._spenders)
+
+    def conflicts_of(self, tx: BitcoinTransaction) -> set[str]:
+        """Resident txids sharing an input with *tx*."""
+        out: set[str] = set()
+        for outpoint in tx.outpoints():
+            out |= self._spenders.get(outpoint, set())
+        out.discard(tx.txid)
+        return out
+
+    # ------------------------------------------------------------------
+    # The extended UTXO view (chain UTXOs + mempool outputs)
+
+    def extended_utxos(self, chain: Blockchain) -> UTXOSet:
+        """Chain UTXOs plus the outputs created by mempool transactions.
+
+        Inputs already spent by residents are *not* removed — with
+        ``allow_conflicts`` several residents may spend the same output,
+        and each must still validate individually.
+        """
+        view = chain.utxos.copy()
+        extra: dict[OutPoint, TxOutput] = {}
+        for tx in self._txs.values():
+            for index, output in enumerate(tx.outputs):
+                extra[OutPoint(tx.txid, index)] = output
+        return UTXOSet({**{o: view.require(o) for o in view}, **extra})
+
+    # ------------------------------------------------------------------
+    # Admission
+
+    def add(self, tx: BitcoinTransaction, chain: Blockchain) -> int:
+        """Validate and admit a transaction; return its fee.
+
+        Raises :class:`ChainValidationError` when the transaction is
+        invalid against the extended UTXO view or loses a conflict.
+        """
+        if tx.txid in self._txs:
+            return self._fees[tx.txid]
+        if chain.contains_transaction(tx.txid):
+            raise ChainValidationError(f"{tx.txid[:12]} is already on-chain")
+        fee = chain.validate_transaction(tx, self.extended_utxos(chain))
+        conflicts = self.conflicts_of(tx)
+        if conflicts and not self.allow_conflicts:
+            if not self.allow_replacement:
+                raise ChainValidationError(
+                    f"{tx.txid[:12]} conflicts with mempool txs "
+                    f"{sorted(c[:12] for c in conflicts)}"
+                )
+            feerate = fee / tx.size
+            if any(self.feerate(c) >= feerate for c in conflicts):
+                raise ChainValidationError(
+                    f"{tx.txid[:12]} does not pay enough to replace its "
+                    "conflicts"
+                )
+            for conflict in conflicts:
+                self.remove(conflict)
+        self._txs[tx.txid] = tx
+        self._fees[tx.txid] = fee
+        for outpoint in tx.outpoints():
+            self._spenders.setdefault(outpoint, set()).add(tx.txid)
+        return fee
+
+    def remove(self, txid: str) -> BitcoinTransaction | None:
+        tx = self._txs.pop(txid, None)
+        if tx is None:
+            return None
+        self._fees.pop(txid, None)
+        for outpoint in tx.outpoints():
+            spenders = self._spenders.get(outpoint)
+            if spenders is not None:
+                spenders.discard(txid)
+                if not spenders:
+                    del self._spenders[outpoint]
+        return tx
+
+    def remove_confirmed(self, block_txids: set[str]) -> list[str]:
+        """Evict transactions that were confirmed in a block.
+
+        Residents that now conflict with a confirmed spend are handled
+        separately by :meth:`evict_invalid`.  Returns the evicted ids.
+        """
+        evicted = [txid for txid in block_txids if txid in self._txs]
+        for txid in evicted:
+            self.remove(txid)
+        return evicted
+
+    def evict_invalid(self, chain: Blockchain) -> list[str]:
+        """Re-validate residents against the chain; drop the now-invalid.
+
+        Called after a block lands: residents whose inputs were spent by
+        confirmed transactions can never be mined and are evicted.
+        Residents are retried until a fixpoint because evicting a parent
+        invalidates its children.
+        """
+        evicted: list[str] = []
+        changed = True
+        while changed:
+            changed = False
+            view = self.extended_utxos(chain)
+            for tx in list(self._txs.values()):
+                try:
+                    chain.validate_transaction(tx, view)
+                except ChainValidationError:
+                    self.remove(tx.txid)
+                    evicted.append(tx.txid)
+                    changed = True
+        return evicted
+
+    def __repr__(self) -> str:
+        return f"Mempool({len(self._txs)} txs)"

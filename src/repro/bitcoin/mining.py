@@ -1,0 +1,99 @@
+"""The miner: greedy fee-maximizing block assembly plus proof-of-work.
+
+The paper notes that choosing transactions to include is a constrained
+knapsack — blocks have a maximum size, transactions have sizes and fees,
+and inclusion may depend on other transactions being in (parents) or out
+(conflicts) of the block.  We implement the classic greedy heuristic
+real miners use: sort by feerate, take a transaction when its parents
+are available and it conflicts with nothing already selected.
+"""
+
+from __future__ import annotations
+
+from repro.bitcoin.blocks import Block
+from repro.bitcoin.chain import Blockchain, block_subsidy
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.script import P2PKScript
+from repro.bitcoin.transactions import BitcoinTransaction, OutPoint, TxOutput
+from repro.errors import ChainValidationError
+
+
+class Miner:
+    """Assembles and mines blocks paying rewards to *reward_public_key*."""
+
+    def __init__(self, reward_public_key: str, max_block_size: int = 400):
+        self.reward_public_key = reward_public_key
+        self.max_block_size = max_block_size
+
+    # ------------------------------------------------------------------
+    # Selection
+
+    def select_transactions(
+        self, mempool: Mempool, chain: Blockchain
+    ) -> list[BitcoinTransaction]:
+        """Greedy knapsack: highest feerate first, dependency- and
+        conflict-aware, until the block is full."""
+        candidates = sorted(
+            mempool.transactions(),
+            key=lambda tx: (-mempool.feerate(tx.txid), tx.txid),
+        )
+        selected: list[BitcoinTransaction] = []
+        selected_ids: set[str] = set()
+        spent: set[OutPoint] = set()
+        size = 0
+        progress = True
+        while progress:
+            progress = False
+            for tx in candidates:
+                if tx.txid in selected_ids:
+                    continue
+                if size + tx.size > self.max_block_size:
+                    continue
+                outpoints = tx.outpoints()
+                if any(op in spent for op in outpoints):
+                    continue  # conflicts with a selected transaction
+                ready = all(
+                    op.txid in selected_ids
+                    or chain.utxos.get(op) is not None
+                    for op in outpoints
+                )
+                if not ready:
+                    continue  # parent not yet available
+                selected.append(tx)
+                selected_ids.add(tx.txid)
+                spent.update(outpoints)
+                size += tx.size
+                progress = True
+        return selected
+
+    # ------------------------------------------------------------------
+    # Assembly and mining
+
+    def build_block(
+        self, chain: Blockchain, transactions: list[BitcoinTransaction]
+    ) -> Block:
+        """Build (and solve) the next block containing *transactions*."""
+        height = len(chain.blocks)
+        scratch = chain.utxos.copy()
+        total_fees = 0
+        for tx in transactions:
+            total_fees += chain.validate_transaction(tx, scratch)
+            scratch.apply(tx)
+        reward = block_subsidy(height) + total_fees
+        if reward <= 0:
+            raise ChainValidationError("mining would produce a zero coinbase")
+        coinbase = BitcoinTransaction(
+            [], [TxOutput(reward, P2PKScript(self.reward_public_key))],
+            tag=f"coinbase:{height}",
+        )
+        block = Block(height, chain.tip_hash, (coinbase, *transactions))
+        return block.solve(chain.difficulty)
+
+    def mine(self, mempool: Mempool, chain: Blockchain) -> Block:
+        """Select, assemble, solve and append one block; prune the mempool."""
+        transactions = self.select_transactions(mempool, chain)
+        block = self.build_block(chain, transactions)
+        chain.append_block(block)
+        mempool.remove_confirmed({tx.txid for tx in block.transactions})
+        mempool.evict_invalid(chain)
+        return block

@@ -1,0 +1,107 @@
+"""A small node network with gossip propagation.
+
+Nodes hold a chain copy and a mempool; broadcasting a transaction offers
+it to every node (each applies its own admission policy, so a node that
+already holds a conflicting transaction silently drops the newcomer —
+exactly the divergence in pending sets the paper's model allows).  Blocks
+are propagated to all nodes; consensus is single-chain (Remark 1: forks
+are out of scope).
+"""
+
+from __future__ import annotations
+
+from repro.bitcoin.blocks import Block
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.transactions import BitcoinTransaction
+from repro.errors import ChainValidationError, ReproError
+
+
+class Node:
+    """A network participant: chain copy + mempool (+ optional miner)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        difficulty: int = 0,
+        allow_replacement: bool = False,
+        allow_conflicts: bool = False,
+        miner: Miner | None = None,
+    ):
+        self.node_id = node_id
+        self.chain = Blockchain(difficulty=difficulty)
+        self.mempool = Mempool(
+            allow_replacement=allow_replacement, allow_conflicts=allow_conflicts
+        )
+        self.miner = miner
+
+    def offer_transaction(self, tx: BitcoinTransaction) -> bool:
+        """Apply the admission policy; True when the tx entered the pool."""
+        try:
+            self.mempool.add(tx, self.chain)
+            return True
+        except ChainValidationError:
+            return False
+
+    def accept_block(self, block: Block) -> None:
+        self.chain.append_block(block)
+        self.mempool.remove_confirmed({tx.txid for tx in block.transactions})
+        self.mempool.evict_invalid(self.chain)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.node_id}, height={self.chain.height}, "
+            f"mempool={len(self.mempool)})"
+        )
+
+
+class Network:
+    """All nodes, with flood-style gossip."""
+
+    def __init__(self, nodes: list[Node] | None = None):
+        self.nodes: dict[str, Node] = {}
+        for node in nodes or []:
+            self.add_node(node)
+
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self.nodes:
+            raise ReproError(f"duplicate node id {node.node_id!r}")
+        if self.nodes:
+            reference = next(iter(self.nodes.values()))
+            for block in reference.chain.blocks:
+                node.chain.append_block(block)
+        self.nodes[node.node_id] = node
+
+    def broadcast_transaction(self, tx: BitcoinTransaction) -> dict[str, bool]:
+        """Offer *tx* to every node; returns acceptance per node."""
+        return {
+            node_id: node.offer_transaction(tx)
+            for node_id, node in self.nodes.items()
+        }
+
+    def mine_block(self, node_id: str) -> Block:
+        """Have one node mine from its own mempool; propagate the block."""
+        node = self.nodes[node_id]
+        if node.miner is None:
+            raise ReproError(f"node {node_id!r} has no miner configured")
+        block = node.miner.mine(node.mempool, node.chain)
+        for other_id, other in self.nodes.items():
+            if other_id != node_id:
+                other.accept_block(block)
+        return block
+
+    def pending_union(self) -> dict[str, BitcoinTransaction]:
+        """The network-wide pending set: the union of all mempools.
+
+        This is the ``T`` of the paper's model — a user cannot know
+        which of these will eventually be committed.
+        """
+        union: dict[str, BitcoinTransaction] = {}
+        for node in self.nodes.values():
+            for tx in node.mempool:
+                union[tx.txid] = tx
+        return union
+
+    def __repr__(self) -> str:
+        return f"Network({len(self.nodes)} nodes)"

@@ -1,0 +1,170 @@
+"""Mapping the Bitcoin substrate onto the paper's relational schema.
+
+Example 1 of the paper models the chain with two relations::
+
+    TxOut(txId, ser, pk, amount)
+    TxIn(prevTxId, prevSer, pk, amount, newTxId, sig)
+
+with keys ``TxOut(txId, ser)`` and ``TxIn(prevTxId, prevSer)`` and the
+inclusion dependencies
+
+* ``TxIn[prevTxId, prevSer, pk, amount] ⊆ TxOut[txId, ser, pk, amount]``
+  (every input consumes an existing output, with matching owner and
+  amount), and
+* ``TxIn[newTxId] ⊆ TxOut[txId]`` (every transaction has outputs).
+
+The ``TxIn`` key is precisely the double-spend rule: two relational
+transactions inserting ``TxIn`` rows with the same ``(prevTxId,
+prevSer)`` but different remaining columns contradict.
+
+Output serial numbers are 1-based, as in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.transactions import BitcoinTransaction, OutPoint, TxOutput
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.errors import ReproError
+from repro.relational.constraints import ConstraintSet, InclusionDependency, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.schema import Schema
+from repro.relational.transaction import Transaction
+
+#: The relational schema of Example 1.
+BITCOIN_RELATIONS = {
+    "TxOut": ["txId", "ser", "pk", "amount"],
+    "TxIn": ["prevTxId", "prevSer", "pk", "amount", "newTxId", "sig"],
+}
+
+
+def bitcoin_schema() -> Schema:
+    """Build the Example 1 schema."""
+    return make_schema(BITCOIN_RELATIONS)
+
+
+def bitcoin_constraints(schema: Schema | None = None) -> ConstraintSet:
+    """The keys and inclusion dependencies of Example 1."""
+    schema = schema if schema is not None else bitcoin_schema()
+    return ConstraintSet(
+        schema,
+        [
+            Key("TxOut", ["txId", "ser"], schema),
+            Key("TxIn", ["prevTxId", "prevSer"], schema),
+            InclusionDependency(
+                "TxIn",
+                ["prevTxId", "prevSer", "pk", "amount"],
+                "TxOut",
+                ["txId", "ser", "pk", "amount"],
+            ),
+            InclusionDependency("TxIn", ["newTxId"], "TxOut", ["txId"]),
+        ],
+    )
+
+
+#: Resolves an outpoint to the output it references.
+OutputResolver = Callable[[OutPoint], TxOutput]
+
+
+def chain_resolver(chain: Blockchain) -> OutputResolver:
+    """Resolve outpoints against the transactions stored in *chain*."""
+
+    def resolve(outpoint: OutPoint) -> TxOutput:
+        tx = chain.get_transaction(outpoint.txid)
+        if tx is None or outpoint.index >= len(tx.outputs):
+            raise ReproError(f"cannot resolve outpoint {outpoint}")
+        return tx.outputs[outpoint.index]
+
+    return resolve
+
+
+def combined_resolver(
+    chain: Blockchain, pending: Iterable[BitcoinTransaction]
+) -> OutputResolver:
+    """Resolve against the chain first, then the pending transactions."""
+    pending_index = {tx.txid: tx for tx in pending}
+    from_chain = chain_resolver(chain)
+
+    def resolve(outpoint: OutPoint) -> TxOutput:
+        tx = pending_index.get(outpoint.txid)
+        if tx is not None and outpoint.index < len(tx.outputs):
+            return tx.outputs[outpoint.index]
+        return from_chain(outpoint)
+
+    return resolve
+
+
+def _signature_of(tx: BitcoinTransaction, input_index: int) -> str:
+    witness = tx.inputs[input_index].witness
+    if witness.signatures:
+        return witness.signatures[0]
+    if witness.preimage is not None:
+        return f"preimage:{witness.preimage}"
+    return "nosig"
+
+
+def relational_rows(
+    tx: BitcoinTransaction, resolve: OutputResolver
+) -> tuple[list[tuple], list[tuple]]:
+    """The ``(TxOut rows, TxIn rows)`` a transaction contributes."""
+    out_rows = [
+        (tx.txid, index + 1, output.script.owner, output.value)
+        for index, output in enumerate(tx.outputs)
+    ]
+    in_rows = []
+    for input_index, tx_input in enumerate(tx.inputs):
+        consumed = resolve(tx_input.outpoint)
+        in_rows.append(
+            (
+                tx_input.outpoint.txid,
+                tx_input.outpoint.index + 1,
+                consumed.script.owner,
+                consumed.value,
+                tx.txid,
+                _signature_of(tx, input_index),
+            )
+        )
+    return out_rows, in_rows
+
+
+def transaction_to_relational(
+    tx: BitcoinTransaction, resolve: OutputResolver
+) -> Transaction:
+    """An insert transaction (the paper's sense) for one Bitcoin tx."""
+    out_rows, in_rows = relational_rows(tx, resolve)
+    return Transaction({"TxOut": out_rows, "TxIn": in_rows}, tx_id=tx.txid)
+
+
+def chain_to_database(chain: Blockchain, schema: Schema | None = None) -> Database:
+    """The current state ``R``: every committed transaction's rows."""
+    schema = schema if schema is not None else bitcoin_schema()
+    db = Database(schema)
+    resolve = chain_resolver(chain)
+    for tx in chain.transactions():
+        out_rows, in_rows = relational_rows(tx, resolve)
+        db["TxOut"].insert_many(out_rows)
+        db["TxIn"].insert_many(in_rows)
+    return db
+
+
+def to_blockchain_database(
+    chain: Blockchain,
+    pending: Iterable[BitcoinTransaction],
+    validate: bool = True,
+) -> BlockchainDatabase:
+    """Build the full blockchain database ``D = (R, I, T)``.
+
+    ``R`` is the relational image of *chain*, ``I`` the Example 1
+    constraints, and ``T`` one insert transaction per pending Bitcoin
+    transaction.  Pending inputs may reference pending outputs (the
+    inclusion dependency then creates the corresponding dependency edge).
+    """
+    pending = list(pending)
+    schema = bitcoin_schema()
+    current = chain_to_database(chain, schema)
+    constraints = bitcoin_constraints(schema)
+    resolve = combined_resolver(chain, pending)
+    transactions = [transaction_to_relational(tx, resolve) for tx in pending]
+    return BlockchainDatabase(current, constraints, transactions, validate=validate)

@@ -1,0 +1,141 @@
+"""Output scripts: the challenges guarding spendable outputs.
+
+Bitcoin outputs associate an amount with a script specifying how the
+money is claimed (Section 2): typically a signature matching a public
+key, but also multi-signature scripts and hash preimages.  We model the
+four classic shapes.  An input presents a :class:`Witness`; a script
+decides whether the witness satisfies it for a given signing digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.bitcoin.keys import address_of, verify_signature
+from repro.errors import ChainValidationError
+
+
+@dataclass(frozen=True)
+class Witness:
+    """The response to an output script's challenge.
+
+    ``public_keys``/``signatures`` are parallel tuples; ``preimage``
+    answers hash-lock challenges.
+    """
+
+    public_keys: tuple[str, ...] = ()
+    signatures: tuple[str, ...] = ()
+    preimage: str | None = None
+
+    def __post_init__(self):
+        if len(self.public_keys) != len(self.signatures):
+            raise ChainValidationError(
+                "witness public keys and signatures must be parallel"
+            )
+
+    def serialize(self) -> str:
+        return "|".join(
+            [",".join(self.public_keys), ",".join(self.signatures), self.preimage or ""]
+        )
+
+
+@dataclass(frozen=True)
+class P2PKScript:
+    """Pay-to-public-key: a signature from exactly this key."""
+
+    public_key: str
+
+    def satisfied_by(self, witness: Witness, digest: str) -> bool:
+        return any(
+            pk == self.public_key and verify_signature(pk, digest, sig)
+            for pk, sig in zip(witness.public_keys, witness.signatures)
+        )
+
+    @property
+    def owner(self) -> str:
+        """The identifier stored in the relational ``pk`` column."""
+        return self.public_key
+
+    def serialize(self) -> str:
+        return f"p2pk:{self.public_key}"
+
+
+@dataclass(frozen=True)
+class P2PKHScript:
+    """Pay-to-public-key-hash: reveal a key hashing to the address, sign."""
+
+    address: str
+
+    def satisfied_by(self, witness: Witness, digest: str) -> bool:
+        return any(
+            address_of(pk) == self.address and verify_signature(pk, digest, sig)
+            for pk, sig in zip(witness.public_keys, witness.signatures)
+        )
+
+    @property
+    def owner(self) -> str:
+        return self.address
+
+    def serialize(self) -> str:
+        return f"p2pkh:{self.address}"
+
+
+@dataclass(frozen=True)
+class MultiSigScript:
+    """m-of-n multi-signature: at least *m* of the listed keys sign."""
+
+    required: int
+    public_keys: tuple[str, ...]
+
+    def __post_init__(self):
+        if not 1 <= self.required <= len(self.public_keys):
+            raise ChainValidationError(
+                f"multisig requires 1 <= m <= n, got m={self.required}, "
+                f"n={len(self.public_keys)}"
+            )
+
+    def satisfied_by(self, witness: Witness, digest: str) -> bool:
+        valid_signers = {
+            pk
+            for pk, sig in zip(witness.public_keys, witness.signatures)
+            if pk in self.public_keys and verify_signature(pk, digest, sig)
+        }
+        return len(valid_signers) >= self.required
+
+    @property
+    def owner(self) -> str:
+        keys = ",".join(k[:8] for k in self.public_keys)
+        return f"multisig({self.required}/{len(self.public_keys)}:{keys})"
+
+    def serialize(self) -> str:
+        return f"multisig:{self.required}:{','.join(self.public_keys)}"
+
+
+@dataclass(frozen=True)
+class HashLockScript:
+    """Hash lock: reveal a preimage of the stored hash."""
+
+    digest: str
+
+    @classmethod
+    def for_preimage(cls, preimage: str) -> "HashLockScript":
+        return cls(hashlib.sha256(preimage.encode()).hexdigest())
+
+    def satisfied_by(self, witness: Witness, digest: str) -> bool:
+        if witness.preimage is None:
+            return False
+        return (
+            hashlib.sha256(witness.preimage.encode()).hexdigest() == self.digest
+        )
+
+    @property
+    def owner(self) -> str:
+        return f"hashlock({self.digest[:12]})"
+
+    def serialize(self) -> str:
+        return f"hashlock:{self.digest}"
+
+
+#: Every supported script type (useful for isinstance checks).
+Script = (P2PKScript, P2PKHScript, MultiSigScript, HashLockScript)

@@ -1,0 +1,162 @@
+"""UTXO transactions: many-to-many transfers from inputs to outputs.
+
+A transaction fully spends the outputs its inputs point to (Section 2);
+two transactions sharing even one input conflict and can never coexist
+in the chain.  Faithful to pre-SegWit Bitcoin, the *transaction id*
+covers the witnesses while the *signing digest* does not — which is what
+made transactions malleable (the MtGox incident the paper's introduction
+recounts); a test exercises exactly that scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.bitcoin.script import Witness
+from repro.errors import ChainValidationError
+
+#: Amounts are integer satoshi-like units to keep arithmetic exact.
+COIN = 100_000_000
+
+
+@dataclass(frozen=True)
+class OutPoint:
+    """A reference to the *index*-th output of transaction *txid*."""
+
+    txid: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.txid[:12]}:{self.index}"
+
+
+@dataclass(frozen=True)
+class TxOutput:
+    """An amount guarded by a script."""
+
+    value: int
+    script: object  # one of the script types in repro.bitcoin.script
+
+    def __post_init__(self):
+        if not isinstance(self.value, int) or isinstance(self.value, bool):
+            raise ChainValidationError("output value must be an integer amount")
+        if self.value < 0:
+            raise ChainValidationError("output value must be non-negative")
+
+    def serialize(self) -> str:
+        return f"{self.value}:{self.script.serialize()}"
+
+
+@dataclass(frozen=True)
+class TxInput:
+    """An outpoint plus the witness satisfying its script."""
+
+    outpoint: OutPoint
+    witness: Witness = field(default_factory=Witness)
+
+    def serialize(self, with_witness: bool = True) -> str:
+        base = f"{self.outpoint.txid}:{self.outpoint.index}"
+        if with_witness:
+            return f"{base}<{self.witness.serialize()}>"
+        return base
+
+
+class BitcoinTransaction:
+    """An immutable transaction: inputs, outputs, and derived ids.
+
+    * :attr:`txid` — hash over the full serialization *including
+      witnesses* (malleable, as in pre-SegWit Bitcoin);
+    * :meth:`signing_digest` — hash over outpoints and outputs only, so
+      witnesses can be produced after the digest is fixed.
+
+    A transaction with no inputs is a *coinbase*; it mints the block
+    subsidy plus fees and is only valid as the first transaction of a
+    block.
+    """
+
+    __slots__ = ("inputs", "outputs", "tag", "txid", "_signing_digest")
+
+    def __init__(
+        self,
+        inputs: Iterable[TxInput],
+        outputs: Iterable[TxOutput],
+        tag: str = "",
+    ):
+        # The tag enters the digest; miners stamp coinbases with their
+        # block height so two equal-value coinbases never share a txid
+        # (Bitcoin's BIP34 fix for the duplicate-coinbase problem).
+        self.tag = tag
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        if not self.outputs:
+            raise ChainValidationError("a transaction needs at least one output")
+        seen = set()
+        for tx_input in self.inputs:
+            if tx_input.outpoint in seen:
+                raise ChainValidationError(
+                    f"transaction spends outpoint {tx_input.outpoint} twice"
+                )
+            seen.add(tx_input.outpoint)
+        self._signing_digest = self._digest(with_witness=False)
+        self.txid = self._digest(with_witness=True)
+
+    def _digest(self, with_witness: bool) -> str:
+        parts = [self.tag]
+        parts.extend(i.serialize(with_witness=with_witness) for i in self.inputs)
+        parts.append("/")
+        parts.extend(o.serialize() for o in self.outputs)
+        return hashlib.sha256("\x1e".join(parts).encode()).hexdigest()
+
+    @property
+    def is_coinbase(self) -> bool:
+        return not self.inputs
+
+    def signing_digest(self) -> str:
+        """The digest input witnesses must sign (witness-independent)."""
+        return self._signing_digest
+
+    @property
+    def total_output_value(self) -> int:
+        return sum(o.value for o in self.outputs)
+
+    @property
+    def size(self) -> int:
+        """A simple size proxy: one unit per input or output."""
+        return len(self.inputs) + len(self.outputs)
+
+    def outpoints(self) -> tuple[OutPoint, ...]:
+        return tuple(i.outpoint for i in self.inputs)
+
+    def conflicts_with(self, other: "BitcoinTransaction") -> bool:
+        """Two transactions conflict when they share an input outpoint."""
+        return bool(set(self.outpoints()) & set(other.outpoints()))
+
+    def with_witnesses(self, witnesses: Iterable[Witness]) -> "BitcoinTransaction":
+        """A copy with the inputs' witnesses replaced (same signing digest,
+        *different* txid — the malleability lever)."""
+        witnesses = tuple(witnesses)
+        if len(witnesses) != len(self.inputs):
+            raise ChainValidationError(
+                "need exactly one witness per transaction input"
+            )
+        new_inputs = [
+            TxInput(tx_input.outpoint, witness)
+            for tx_input, witness in zip(self.inputs, witnesses)
+        ]
+        return BitcoinTransaction(new_inputs, self.outputs, tag=self.tag)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitcoinTransaction):
+            return NotImplemented
+        return self.txid == other.txid
+
+    def __hash__(self) -> int:
+        return hash(self.txid)
+
+    def __repr__(self) -> str:
+        return (
+            f"BitcoinTransaction({self.txid[:12]}..., "
+            f"{len(self.inputs)} in, {len(self.outputs)} out)"
+        )

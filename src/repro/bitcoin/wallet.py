@@ -1,0 +1,170 @@
+"""Wallets: building, signing and reissuing payments.
+
+Implements the behaviour from the paper's motivating example (Section
+1): creating a payment with change back to the sender (as Example 3
+observes real users do), and *reissuing* a stuck payment either unsafely
+(fresh inputs — both versions may confirm and the payee is paid twice)
+or safely (a conflicting replacement spending the same input with a
+higher fee, so no possible world contains both).
+"""
+
+from __future__ import annotations
+
+from repro.bitcoin.chain import Blockchain, UTXOSet
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.script import P2PKScript, Witness
+from repro.bitcoin.transactions import (
+    BitcoinTransaction,
+    OutPoint,
+    TxInput,
+    TxOutput,
+)
+from repro.errors import ChainValidationError, ReproError
+
+
+class Wallet:
+    """A single-key wallet tracking its unspent outputs."""
+
+    def __init__(self, keypair: KeyPair, name: str | None = None):
+        self.keypair = keypair
+        self.name = name or keypair.public_key[:8]
+
+    @property
+    def public_key(self) -> str:
+        return self.keypair.public_key
+
+    @property
+    def script(self) -> P2PKScript:
+        return P2PKScript(self.public_key)
+
+    # ------------------------------------------------------------------
+    # Funds
+
+    def spendable(
+        self, utxos: UTXOSet, exclude: set[OutPoint] | None = None
+    ) -> list[tuple[OutPoint, TxOutput]]:
+        """This wallet's unspent outputs, minus any *exclude*d outpoints."""
+        exclude = exclude or set()
+        coins = [
+            (outpoint, output)
+            for outpoint, output in utxos.by_owner(self.public_key)
+            if outpoint not in exclude
+        ]
+        coins.sort(key=lambda pair: (-pair[1].value, pair[0].txid, pair[0].index))
+        return coins
+
+    def balance(self, utxos: UTXOSet) -> int:
+        return sum(output.value for _, output in self.spendable(utxos))
+
+    # ------------------------------------------------------------------
+    # Payments
+
+    def _select_coins(
+        self,
+        utxos: UTXOSet,
+        amount: int,
+        fee: int,
+        exclude: set[OutPoint] | None = None,
+    ) -> list[tuple[OutPoint, TxOutput]]:
+        needed = amount + fee
+        picked: list[tuple[OutPoint, TxOutput]] = []
+        total = 0
+        for outpoint, output in self.spendable(utxos, exclude):
+            picked.append((outpoint, output))
+            total += output.value
+            if total >= needed:
+                return picked
+        raise ChainValidationError(
+            f"wallet {self.name}: insufficient funds "
+            f"({total} available, {needed} needed)"
+        )
+
+    def _sign_inputs(
+        self, inputs: list[TxInput], outputs: list[TxOutput]
+    ) -> BitcoinTransaction:
+        unsigned = BitcoinTransaction(inputs, outputs)
+        digest = unsigned.signing_digest()
+        signature = self.keypair.sign(digest)
+        witnesses = [
+            Witness((self.public_key,), (signature,)) for _ in inputs
+        ]
+        return unsigned.with_witnesses(witnesses)
+
+    def create_payment(
+        self,
+        utxos: UTXOSet,
+        recipient_public_key: str,
+        amount: int,
+        fee: int,
+        exclude: set[OutPoint] | None = None,
+    ) -> BitcoinTransaction:
+        """Pay *amount* to a recipient, returning change to this wallet."""
+        if amount <= 0 or fee < 0:
+            raise ReproError("payment amount must be positive, fee non-negative")
+        coins = self._select_coins(utxos, amount, fee, exclude)
+        total_in = sum(output.value for _, output in coins)
+        outputs = [TxOutput(amount, P2PKScript(recipient_public_key))]
+        change = total_in - amount - fee
+        if change > 0:
+            outputs.append(TxOutput(change, self.script))
+        inputs = [TxInput(outpoint) for outpoint, _ in coins]
+        return self._sign_inputs(inputs, outputs)
+
+    # ------------------------------------------------------------------
+    # Reissuing (the motivating example)
+
+    def reissue_unsafe(
+        self,
+        utxos: UTXOSet,
+        original: BitcoinTransaction,
+        recipient_public_key: str,
+        amount: int,
+        fee: int,
+    ) -> BitcoinTransaction:
+        """Reissue a stuck payment from *fresh* inputs.
+
+        This is the exchange's mistake: the new transaction does not
+        conflict with the original, so a possible world contains both and
+        the recipient is paid twice.  Provided so examples and tests can
+        demonstrate the hazard the denial constraint guards against.
+        """
+        spent_by_original = set(original.outpoints())
+        return self.create_payment(
+            utxos, recipient_public_key, amount, fee, exclude=spent_by_original
+        )
+
+    def bump_fee(
+        self,
+        utxos: UTXOSet,
+        original: BitcoinTransaction,
+        extra_fee: int,
+    ) -> BitcoinTransaction:
+        """The safe reissue: same inputs, higher fee (RBF).
+
+        The replacement spends exactly the original's inputs, so the two
+        share every outpoint and can never coexist in the chain; the
+        extra fee is taken out of the change output (or, failing that,
+        the payment itself must have left room).
+        """
+        if extra_fee <= 0:
+            raise ReproError("fee bump must be positive")
+        outputs = list(original.outputs)
+        # Take the extra fee from this wallet's change output.
+        for index in range(len(outputs) - 1, -1, -1):
+            output = outputs[index]
+            if output.script == self.script and output.value >= extra_fee:
+                remaining = output.value - extra_fee
+                if remaining > 0:
+                    outputs[index] = TxOutput(remaining, self.script)
+                else:
+                    del outputs[index]
+                break
+        else:
+            raise ChainValidationError(
+                f"wallet {self.name}: no change output can absorb the bump"
+            )
+        inputs = [TxInput(tx_input.outpoint) for tx_input in original.inputs]
+        return self._sign_inputs(inputs, outputs)
+
+    def __repr__(self) -> str:
+        return f"Wallet({self.name}, pub={self.public_key[:12]}...)"

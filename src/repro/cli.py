@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+::
+
+    python -m repro generate --preset D100-S --out chain.json
+    python -m repro stats chain.json
+    python -m repro check chain.json --query "q() <- TxOut(t, s, 'X', a)"
+    python -m repro worlds chain.json --limit 50
+
+``generate`` builds a synthetic Bitcoin dataset and serializes its
+relational blockchain database; ``check`` runs denial-constraint
+satisfaction over a serialized database (exit status 1 signals a
+violable constraint — script-friendly); ``worlds`` enumerates possible
+worlds of small instances.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import serialize
+from repro.core.checker import ALGORITHMS, DCSatChecker
+from repro.errors import ReproError
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.bitcoin.generator import PRESETS, generate_dataset
+
+    spec = PRESETS.get(args.preset)
+    if spec is None:
+        print(
+            f"unknown preset {args.preset!r}; options: {sorted(PRESETS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.contradictions is not None:
+        spec = spec.scaled(contradictions=args.contradictions)
+    if args.seed is not None:
+        spec = spec.scaled(seed=args.seed)
+    dataset = generate_dataset(spec)
+    db = dataset.to_blockchain_database()
+    serialize.dump(db, args.out)
+    stats = dataset.stats()
+    print(
+        f"wrote {args.out}: {stats.blocks} blocks, "
+        f"{stats.transactions} committed txs, "
+        f"{stats.pending_transactions} pending "
+        f"({stats.contradictions} contradictions)"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db = serialize.load(args.database)
+    print(f"relations: {', '.join(db.current.relation_names)}")
+    for name in db.current.relation_names:
+        print(f"  {name}: {len(db.current[name])} committed tuples")
+    print(f"constraints: {len(db.constraints.fds)} FDs, {len(db.constraints.inds)} INDs")
+    for constraint in db.constraints:
+        print(f"  {constraint}")
+    print(f"pending transactions: {len(db.pending)}")
+    checker = DCSatChecker(db)
+    graph = checker.fd_graph
+    print(
+        f"fd-graph: {len(graph.nodes)} appendable, "
+        f"{graph.conflict_count()} conflict pairs, "
+        f"{len(graph.never_appendable)} never-appendable"
+    )
+    print(f"ind-components: {len(checker.ind_graph.components())}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    db = serialize.load(args.database)
+    checker = DCSatChecker(
+        db,
+        backend=args.backend,
+        assume_nonnegative_sums=args.assume_nonnegative_sums,
+    )
+    result = checker.check(
+        args.query,
+        algorithm=args.algorithm,
+        short_circuit=not args.no_short_circuit,
+    )
+    stats = result.stats
+    if result.satisfied:
+        print("SATISFIED: the denial constraint holds in every possible world")
+    else:
+        witness = sorted(result.witness or ())
+        world = " + ".join(witness) if witness else "(the current state)"
+        print(f"VIOLATED: possible world {world} satisfies the query")
+        if args.explain:
+            from repro.core.explain import explain_violation
+            from repro.query.parser import parse_query
+
+            explanation = explain_violation(
+                db, parse_query(args.query), result
+            )
+            print(explanation.render())
+    print(
+        f"  algorithm={stats.algorithm} worlds={stats.worlds_checked} "
+        f"cliques={stats.cliques_enumerated} "
+        f"components={stats.components_total} "
+        f"(pruned {stats.components_pruned}) "
+        f"elapsed={stats.elapsed_seconds * 1000:.2f}ms"
+    )
+    return 0 if result.satisfied else 1
+
+
+def _cmd_worlds(args: argparse.Namespace) -> int:
+    from repro.core.possible_worlds import enumerate_possible_worlds
+
+    db = serialize.load(args.database)
+    count = 0
+    try:
+        for world in enumerate_possible_worlds(db, limit=args.limit):
+            label = " + ".join(sorted(world)) if world else "(current state)"
+            print(f"  R ∪ {{{label}}}" if world else f"  R {label}")
+            count += 1
+    except ReproError as error:
+        print(f"stopped: {error}", file=sys.stderr)
+        return 3
+    print(f"{count} possible worlds")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Denial-constraint satisfaction over blockchain databases "
+            "(Cohen, Rosenthal, Zohar — ICDE 2020 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic dataset and serialize it"
+    )
+    generate.add_argument("--preset", default="D100-S")
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--contradictions", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="summarize a serialized database")
+    stats.add_argument("database")
+    stats.set_defaults(func=_cmd_stats)
+
+    check = sub.add_parser(
+        "check", help="check a denial constraint (exit 1 when violable)"
+    )
+    check.add_argument("database")
+    check.add_argument("--query", required=True)
+    check.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
+    check.add_argument("--backend", choices=["memory", "sqlite"], default="memory")
+    check.add_argument("--no-short-circuit", action="store_true")
+    check.add_argument("--assume-nonnegative-sums", action="store_true")
+    check.add_argument(
+        "--explain", action="store_true",
+        help="when violated, print the witnessing assignment and facts",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    worlds = sub.add_parser("worlds", help="enumerate possible worlds")
+    worlds.add_argument("database")
+    worlds.add_argument("--limit", type=int, default=256)
+    worlds.set_defaults(func=_cmd_worlds)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""The issuance advisor: the paper's user story as a single call.
+
+Example 4's workflow — *before* broadcasting, hypothetically add the
+transaction, check every denial constraint you care about, and only
+issue when all hold — packaged with explanations and a repair
+suggestion: when the hypothetical transaction is unsafe because it
+coexists with an earlier pending transaction, the advisor proposes
+reissuing *as a contradiction* of the culprit instead (the safe
+fee-bump pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.checker import DCSatChecker
+from repro.core.explain import Explanation, explain_violation
+from repro.errors import ReproError
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.relational.transaction import Transaction
+
+Query = ConjunctiveQuery | AggregateQuery
+
+
+@dataclass
+class ConstraintViolation:
+    """One constraint the hypothetical issuance would make violable."""
+
+    name: str
+    explanation: Explanation | None
+
+    @property
+    def culprits(self) -> frozenset[str]:
+        if self.explanation is None:
+            return frozenset()
+        return self.explanation.culprit_transactions
+
+
+@dataclass
+class Advice:
+    """The advisor's verdict for a proposed transaction."""
+
+    safe: bool
+    violations: list[ConstraintViolation] = field(default_factory=list)
+    suggestion: str = ""
+
+    def render(self) -> str:
+        if self.safe:
+            return "SAFE TO ISSUE: every registered constraint stays satisfied."
+        lines = ["DO NOT ISSUE:"]
+        for violation in self.violations:
+            lines.append(f"  constraint {violation.name!r} becomes violable")
+            if violation.explanation is not None:
+                for fact in violation.explanation.facts:
+                    lines.append(f"    via {fact}")
+        if self.suggestion:
+            lines.append(self.suggestion)
+        return "\n".join(lines)
+
+
+class IssuanceAdvisor:
+    """Registers denial constraints; advises on hypothetical issuances."""
+
+    def __init__(self, checker: DCSatChecker):
+        self.checker = checker
+        self._constraints: dict[str, Query] = {}
+
+    def register(self, name: str, query: Query | str) -> None:
+        if name in self._constraints:
+            raise ReproError(f"constraint {name!r} already registered")
+        self._constraints[name] = (
+            parse_query(query) if isinstance(query, str) else query
+        )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._constraints)
+
+    def advise(self, tx: Transaction, explain: bool = True) -> Advice:
+        """Dry-run *tx* against every registered constraint.
+
+        The transaction is issued hypothetically, each constraint
+        checked (and violations explained while the transaction is still
+        in place), then retracted — the database is left untouched.
+        """
+        if not self._constraints:
+            raise ReproError("advisor has no registered constraints")
+        self.checker.issue(tx)
+        try:
+            violations: list[ConstraintViolation] = []
+            for name, query in self._constraints.items():
+                result = self.checker.check(query)
+                if result.satisfied:
+                    continue
+                explanation = (
+                    explain_violation(self.checker.db, query, result)
+                    if explain
+                    else None
+                )
+                violations.append(ConstraintViolation(name, explanation))
+        finally:
+            self.checker.forget(tx.tx_id)
+        if not violations:
+            return Advice(safe=True)
+        return Advice(
+            safe=False,
+            violations=violations,
+            suggestion=self._suggest(tx, violations),
+        )
+
+    def _suggest(
+        self, tx: Transaction, violations: list[ConstraintViolation]
+    ) -> str:
+        """Propose the safe-reissue repair when a specific pending
+        transaction co-stars in the violation."""
+        culprits: set[str] = set()
+        for violation in violations:
+            culprits |= violation.culprits
+        culprits.discard(tx.tx_id)
+        if not culprits:
+            return (
+                "suggestion: the current state alone enables the violation; "
+                "issuing any version of this transaction is unsafe"
+            )
+        named = ", ".join(sorted(culprits))
+        return (
+            f"suggestion: reissue as a contradiction of [{named}] "
+            "(e.g. spend the same input with a fee bump) so no possible "
+            "world contains both — see repro.core.contradiction"
+        )

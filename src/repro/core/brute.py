@@ -1,0 +1,66 @@
+"""Brute-force reference solver: enumerate ``Poss(D)`` and evaluate.
+
+Exponential in the number of pending transactions — the oracle against
+which the practical algorithms are validated, and the fallback for
+non-monotone denial constraints on small instances (where maximal worlds
+do not suffice).
+"""
+
+from __future__ import annotations
+
+from repro.core.results import DCSatResult, DCSatStats
+from repro.core.workspace import Workspace
+from repro.errors import AlgorithmError
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.relational.checking import can_extend
+
+#: Refuse to enumerate beyond this many pending transactions by default.
+DEFAULT_PENDING_LIMIT = 20
+
+
+def brute_dcsat(
+    workspace: Workspace,
+    query: ConjunctiveQuery | AggregateQuery,
+    evaluate_world,
+    pending_limit: int = DEFAULT_PENDING_LIMIT,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """Decide ``D |= ¬q`` by checking the query over every possible world.
+
+    Sound and complete for *any* Boolean query (monotone or not).
+    Raises :class:`AlgorithmError` when the pending set exceeds
+    *pending_limit* (the world count can be exponential in it).
+    """
+    db = workspace.db
+    if len(db.pending_ids) > pending_limit:
+        raise AlgorithmError(
+            f"brute-force DCSat refused: {len(db.pending_ids)} pending "
+            f"transactions exceed the limit of {pending_limit}"
+        )
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "brute"
+
+    seen: set[frozenset[str]] = {frozenset()}
+    frontier: list[frozenset[str]] = [frozenset()]
+    while frontier:
+        next_frontier: list[frozenset[str]] = []
+        for world in frontier:
+            stats.worlds_checked += 1
+            stats.evaluations += 1
+            if evaluate_world(query, world):
+                return DCSatResult(satisfied=False, witness=world, stats=stats)
+            workspace.set_active(world)
+            for tx_id in db.pending_ids:
+                if tx_id in world:
+                    continue
+                candidate = world | {tx_id}
+                if candidate in seen:
+                    continue
+                workspace.set_active(world)
+                if can_extend(
+                    workspace, db.constraints, workspace.transaction_facts(tx_id)
+                ):
+                    seen.add(candidate)
+                    next_frontier.append(candidate)
+        frontier = next_frontier
+    return DCSatResult(satisfied=True, stats=stats)

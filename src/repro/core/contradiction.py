@@ -1,0 +1,112 @@
+"""Deriving contradicting transactions (the paper's future-work item).
+
+Section 8 names "automatically derive a new transaction that contradicts
+previous transactions" as future work.  Two transactions contradict when
+no possible world contains both — in the model, the robust way to force
+this is a functional-dependency clash: give the new transaction a tuple
+agreeing with a target tuple on some FD's left-hand side but differing
+on its right-hand side.  (This is exactly Bitcoin's trick of reissuing a
+payment that spends one of the original inputs: both spends share the
+``TxIn`` key ``(prevTxId, prevSer)`` with different ``newTxId``.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.errors import ReproError
+from repro.relational.checking import transactions_fd_consistent
+from repro.relational.transaction import Transaction
+
+
+def _bump_value(value: object) -> object:
+    """A deterministic, type-preserving 'different' value."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, str):
+        return value + "'"
+    if isinstance(value, bytes):
+        return value + b"'"
+    raise ReproError(f"cannot derive a distinct value for {value!r}")
+
+
+def conflict_candidates(
+    db: BlockchainDatabase, target: Transaction
+) -> list[tuple[str, tuple, int]]:
+    """All ``(relation, tuple, rhs position)`` conflict points of *target*.
+
+    Each entry names a fact of the target transaction that is governed by
+    a functional dependency, together with a right-hand-side position
+    *outside* the left-hand side that a contradicting tuple can differ
+    on.
+    """
+    candidates: list[tuple[str, tuple, int]] = []
+    for rel in target.relation_names:
+        for rfd in db.constraints.fds_for(rel):
+            mutable = [
+                p for p in rfd.rhs_positions if p not in rfd.lhs_positions
+            ]
+            if not mutable:
+                continue
+            for values in target.tuples(rel):
+                for position in mutable:
+                    candidates.append((rel, values, position))
+    return candidates
+
+
+def contradicting_transaction(
+    db: BlockchainDatabase,
+    target: Transaction,
+    payload: Iterable[tuple[str, tuple]] = (),
+    tx_id: str | None = None,
+    mutate: Callable[[object], object] = _bump_value,
+) -> Transaction:
+    """Build a transaction that can never coexist with *target*.
+
+    Takes the first conflict point of *target* (a fact governed by a
+    functional dependency), copies it with the right-hand side changed by
+    *mutate*, and bundles it with any extra *payload* facts.  Raises
+    :class:`~repro.errors.ReproError` when the target has no fact
+    governed by a functional dependency — in that case no insert-only
+    transaction can contradict it.
+    """
+    candidates = conflict_candidates(db, target)
+    if not candidates:
+        raise ReproError(
+            f"transaction {target.tx_id!r} has no FD-governed fact; "
+            "it cannot be contradicted by insertion"
+        )
+    relation, values, position = candidates[0]
+    clashing = list(values)
+    clashing[position] = mutate(values[position])
+    facts = [(relation, tuple(clashing))] + [
+        (rel, tuple(vals)) for rel, vals in payload
+    ]
+    conflict = Transaction(facts, tx_id=tx_id)
+    if transactions_fd_consistent(
+        {rel: list(conflict.tuples(rel)) for rel in conflict.relation_names},
+        {rel: list(target.tuples(rel)) for rel in target.relation_names},
+        db.constraints,
+    ):
+        raise ReproError(
+            "derived transaction does not actually contradict the target "
+            "(mutate produced an equivalent right-hand side?)"
+        )
+    return conflict
+
+
+def are_contradicting(
+    db: BlockchainDatabase, first: Transaction, second: Transaction
+) -> bool:
+    """True when the two transactions can never share a possible world
+    because of the functional dependencies (``T ∪ T' ⊭ I_fd``)."""
+    return not transactions_fd_consistent(
+        {rel: list(first.tuples(rel)) for rel in first.relation_names},
+        {rel: list(second.tuples(rel)) for rel in second.relation_names},
+        db.constraints,
+    )

@@ -1,0 +1,233 @@
+"""The fd-transaction graph ``G^fd_T`` (Section 6.1, Figure 3).
+
+Nodes are pending transactions; there is an edge ``(T, T')`` whenever
+``T ∪ T' |= I_fd``.  Every possible world corresponds to a clique, so
+the DCSat algorithms enumerate maximal cliques.
+
+Representation: real mempools contain very few mutually contradicting
+transactions (the paper injects 10–50 into thousands), so ``G^fd_T`` is
+nearly complete.  Materializing its adjacency sets would be quadratic;
+instead we store the sparse *complement* — the conflict pairs — and
+derive cliques from it: transactions with no conflicts ("free" nodes)
+belong to every maximal clique, and the maximal cliques of the full
+graph are exactly ``free ∪ C`` for the maximal cliques ``C`` of the
+induced subgraph on the conflicted nodes.
+
+Transactions that can *never* be appended because of functional
+dependencies alone — internally inconsistent, or clashing with the
+committed state (FD violations cannot be repaired by adding tuples) —
+are excluded from the node set up front and reported separately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.workspace import Workspace
+from repro.graphs import UndirectedGraph, bron_kerbosch
+from repro.relational.checking import transactions_fd_consistent
+from repro.relational.relation import project
+
+
+class FdTransactionGraph:
+    """``G^fd_T`` with complement (conflict-pair) representation."""
+
+    def __init__(self, workspace: Workspace):
+        self._workspace = workspace
+        self.conflicts: dict[str, set[str]] = {}
+        self.nodes: set[str] = set()
+        self.never_appendable: set[str] = set()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction / maintenance
+
+    def _build(self) -> None:
+        self.conflicts = {}
+        self.nodes = set()
+        self.never_appendable = set()
+        self._group_index = {}
+        for tx_id in self._workspace.db.pending_ids:
+            self._add_node(tx_id)
+
+    def _fd_signature(self, tx_id: str) -> list[tuple[tuple, tuple]]:
+        """``(group key, rhs projection)`` pairs for every fact and FD.
+
+        The group key identifies the FD and the left-hand-side value;
+        two transactions conflict iff they share a group key with
+        different right-hand sides.
+        """
+        constraints = self._workspace.db.constraints
+        tx = self._workspace.db.transaction(tx_id)
+        signature: list[tuple[tuple, tuple]] = []
+        for rel in tx.relation_names:
+            for fd_index, rfd in enumerate(constraints.fds_for(rel)):
+                for values in tx.tuples(rel):
+                    group = (rel, fd_index, project(values, rfd.lhs_positions))
+                    signature.append((group, project(values, rfd.rhs_positions)))
+        return signature
+
+    def _clashes_with_base(self, tx_id: str) -> bool:
+        constraints = self._workspace.db.constraints
+        tx = self._workspace.db.transaction(tx_id)
+        base = self._workspace.base
+        for rel in tx.relation_names:
+            for rfd in constraints.fds_for(rel):
+                for values in tx.tuples(rel):
+                    key = project(values, rfd.lhs_positions)
+                    rhs = project(values, rfd.rhs_positions)
+                    for existing in base[rel].lookup(rfd.lhs_positions, key):
+                        if project(existing, rfd.rhs_positions) != rhs:
+                            return True
+        return False
+
+    def _internally_inconsistent(self, tx_id: str) -> bool:
+        groups: dict[tuple, tuple] = {}
+        for group, rhs in self._fd_signature(tx_id):
+            seen = groups.get(group)
+            if seen is None:
+                groups[group] = rhs
+            elif seen != rhs:
+                return True
+        return False
+
+    # group key -> {rhs projection -> set of tx ids}
+    _group_index: dict[tuple, dict[tuple, set[str]]]
+
+    def _add_node(self, tx_id: str) -> None:
+        if self._internally_inconsistent(tx_id) or self._clashes_with_base(tx_id):
+            self.never_appendable.add(tx_id)
+            return
+        self.nodes.add(tx_id)
+        self.conflicts.setdefault(tx_id, set())
+        for group, rhs in self._fd_signature(tx_id):
+            bucket = self._group_index.setdefault(group, {})
+            for other_rhs, others in bucket.items():
+                if other_rhs != rhs:
+                    for other in others:
+                        if other != tx_id:
+                            self.conflicts[tx_id].add(other)
+                            self.conflicts[other].add(tx_id)
+            bucket.setdefault(rhs, set()).add(tx_id)
+
+    def add_transaction(self, tx_id: str) -> None:
+        """Steady-state maintenance: a new transaction was issued."""
+        self._add_node(tx_id)
+
+    def remove_transaction(self, tx_id: str) -> None:
+        """Steady-state maintenance: a transaction left the pending set.
+
+        When a transaction is *committed*, transactions conflicting with
+        the now-committed facts become never-appendable; callers should
+        invoke :meth:`refresh_after_commit` afterwards.
+        """
+        self.never_appendable.discard(tx_id)
+        if tx_id not in self.nodes:
+            return
+        self.nodes.discard(tx_id)
+        for other in self.conflicts.pop(tx_id, set()):
+            self.conflicts[other].discard(tx_id)
+        for bucket in self._group_index.values():
+            for others in bucket.values():
+                others.discard(tx_id)
+
+    def refresh_after_commit(self) -> None:
+        """Re-evaluate base clashes after the committed state grew."""
+        for tx_id in list(self.nodes):
+            if self._clashes_with_base(tx_id):
+                self.remove_transaction(tx_id)
+                self.never_appendable.add(tx_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def has_edge(self, u: str, v: str) -> bool:
+        """``T ∪ T' |= I_fd`` for two (appendable) transactions."""
+        if u not in self.nodes or v not in self.nodes or u == v:
+            return False
+        return v not in self.conflicts[u]
+
+    def conflicted_nodes(self) -> set[str]:
+        return {tx for tx, cs in self.conflicts.items() if cs}
+
+    def free_nodes(self) -> set[str]:
+        return {tx for tx, cs in self.conflicts.items() if not cs}
+
+    def conflict_count(self) -> int:
+        return sum(len(cs) for cs in self.conflicts.values()) // 2
+
+    def conflict_subgraph(self, restrict: Iterable[str] | None = None) -> UndirectedGraph:
+        """The *complement* restricted to the conflicted nodes — i.e. the
+        fd-graph induced on conflicted nodes, for clique enumeration."""
+        if restrict is None:
+            pool = self.conflicted_nodes()
+        else:
+            pool = {t for t in restrict if t in self.nodes and self.conflicts[t]}
+        graph = UndirectedGraph(nodes=pool)
+        pool_list = sorted(pool)
+        for i, u in enumerate(pool_list):
+            for v in pool_list[i + 1 :]:
+                if v not in self.conflicts[u]:
+                    graph.add_edge(u, v)
+        return graph
+
+    def maximal_cliques(
+        self, restrict: Iterable[str] | None = None, pivot: bool = True
+    ) -> Iterator[frozenset[str]]:
+        """Yield the maximal cliques of ``G^fd_T`` (optionally of the
+        subgraph induced by *restrict*).
+
+        Conflict-free nodes join every maximal clique; clique structure
+        on the conflicted nodes is enumerated with Bron–Kerbosch.
+        """
+        if restrict is None:
+            pool = set(self.nodes)
+        else:
+            pool = {t for t in restrict if t in self.nodes}
+        free = {t for t in pool if not (self.conflicts[t] & pool)}
+        contested = pool - free
+        if not contested:
+            yield frozenset(free)
+            return
+        subgraph = UndirectedGraph(nodes=contested)
+        contested_list = sorted(contested)
+        for i, u in enumerate(contested_list):
+            for v in contested_list[i + 1 :]:
+                if v not in self.conflicts[u]:
+                    subgraph.add_edge(u, v)
+        for clique in bron_kerbosch(subgraph, pivot=pivot):
+            yield frozenset(free) | clique
+
+    def is_clique(self, tx_ids: Iterable[str]) -> bool:
+        ids = [t for t in tx_ids]
+        if any(t not in self.nodes for t in ids):
+            return False
+        for i, u in enumerate(ids):
+            for v in ids[i + 1 :]:
+                if u != v and v in self.conflicts[u]:
+                    return False
+        return True
+
+    def verify_against(self) -> None:
+        """Cross-check the conflict index with pairwise fd checks (tests)."""
+        ids = sorted(self.nodes)
+        for i, u in enumerate(ids):
+            for v in ids[i + 1 :]:
+                expected = transactions_fd_consistent(
+                    self._workspace.transaction_facts(u),
+                    self._workspace.transaction_facts(v),
+                    self._workspace.db.constraints,
+                )
+                actual = self.has_edge(u, v)
+                if expected != actual:
+                    raise AssertionError(
+                        f"fd-graph mismatch for ({u}, {v}): "
+                        f"pairwise={expected} index={actual}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"FdTransactionGraph({len(self.nodes)} nodes, "
+            f"{self.conflict_count()} conflicts, "
+            f"{len(self.never_appendable)} never-appendable)"
+        )

@@ -1,0 +1,205 @@
+"""A standing constraint monitor over a live blockchain database.
+
+Downstream systems rarely check one constraint once: an exchange keeps a
+battery of invariants ("no customer is paid twice", "hot-wallet outflow
+stays under X") that must be re-examined as the mempool churns.
+:class:`ConstraintMonitor` wraps a :class:`~repro.core.checker.DCSatChecker`,
+registers named denial constraints, caches verdicts, and invalidates
+only the constraints whose relations a state change touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.checker import DCSatChecker
+from repro.core.results import DCSatResult
+from repro.errors import ReproError
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.relational.transaction import Transaction
+
+
+@dataclass
+class MonitorEntry:
+    """One registered constraint and its cached verdict."""
+
+    name: str
+    query: ConjunctiveQuery | AggregateQuery
+    check_kwargs: dict = field(default_factory=dict)
+    result: DCSatResult | None = None
+    checks_run: int = 0
+    cache_hits: int = 0
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return self.query.relations()
+
+
+class ConstraintMonitor:
+    """Registers denial constraints; re-checks lazily on state changes."""
+
+    def __init__(self, checker: DCSatChecker):
+        self.checker = checker
+        self._entries: dict[str, MonitorEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register(
+        self,
+        name: str,
+        query: ConjunctiveQuery | AggregateQuery | str,
+        **check_kwargs,
+    ) -> MonitorEntry:
+        """Register a named denial constraint.
+
+        ``check_kwargs`` are forwarded to
+        :meth:`~repro.core.checker.DCSatChecker.check` (algorithm
+        selection, pruning toggles).
+        """
+        if name in self._entries:
+            raise ReproError(f"constraint {name!r} is already registered")
+        if isinstance(query, str):
+            query = parse_query(query)
+        entry = MonitorEntry(name=name, query=query, check_kwargs=check_kwargs)
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        if name not in self._entries:
+            raise ReproError(f"no constraint named {name!r}")
+        del self._entries[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def entry(self, name: str) -> MonitorEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ReproError(f"no constraint named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Checking with verdict caching (and optional subsumption)
+
+    def _subsumed_by_satisfied(self, entry: MonitorEntry) -> str | None:
+        """A registered constraint whose cached SATISFIED verdict
+        logically covers *entry* (denial subsumption), if any.
+
+        If ``¬q1`` subsumes ``¬q2`` and ``q1`` is satisfied on this
+        database, ``q2`` is satisfied too — no solver run needed.  Only
+        positive conjunctive queries participate (the containment test's
+        scope).
+        """
+        from repro.query.ast import ConjunctiveQuery
+        from repro.query.containment import denial_subsumes
+
+        if not isinstance(entry.query, ConjunctiveQuery) or not entry.query.is_positive:
+            return None
+        for other in self._entries.values():
+            if other is entry or other.result is None:
+                continue
+            if not other.result.satisfied:
+                continue
+            if not isinstance(other.query, ConjunctiveQuery):
+                continue
+            if not other.query.is_positive:
+                continue
+            if denial_subsumes(other.query, entry.query):
+                return other.name
+        return None
+
+    def status(self, name: str, use_subsumption: bool = True) -> DCSatResult:
+        """The (possibly cached) verdict for one constraint.
+
+        With ``use_subsumption`` (default), a constraint subsumed by an
+        already-verified satisfied constraint is answered for free.
+        """
+        entry = self.entry(name)
+        if entry.result is None and use_subsumption:
+            covering = self._subsumed_by_satisfied(entry)
+            if covering is not None:
+                from repro.core.results import DCSatStats
+
+                entry.result = DCSatResult(
+                    satisfied=True,
+                    stats=DCSatStats(algorithm=f"subsumed-by:{covering}"),
+                )
+                return entry.result
+        if entry.result is None:
+            entry.result = self.checker.check(entry.query, **entry.check_kwargs)
+            entry.checks_run += 1
+        else:
+            entry.cache_hits += 1
+        return entry.result
+
+    def status_all(self, batch: bool = True) -> dict[str, DCSatResult]:
+        """Verdicts for every registered constraint.
+
+        With ``batch=True`` (default), uncached constraints that are
+        monotone and use default check options are decided together in a
+        single world sweep (:meth:`DCSatChecker.check_batch`); the rest
+        fall back to individual checks.
+        """
+        if batch:
+            from repro.query.analysis import is_monotone
+
+            batchable = [
+                entry
+                for entry in self._entries.values()
+                if entry.result is None
+                and not entry.check_kwargs
+                and is_monotone(
+                    entry.query, self.checker.assume_nonnegative_sums
+                )
+            ]
+            if len(batchable) > 1:
+                results = self.checker.check_batch(
+                    [entry.query for entry in batchable]
+                )
+                for entry, result in zip(batchable, results):
+                    entry.result = result
+                    entry.checks_run += 1
+        return {name: self.status(name) for name in self._entries}
+
+    def violated(self) -> dict[str, DCSatResult]:
+        """The subset of constraints that some possible world violates."""
+        return {
+            name: result
+            for name, result in self.status_all().items()
+            if not result.satisfied
+        }
+
+    # ------------------------------------------------------------------
+    # State changes (targeted invalidation)
+
+    def _invalidate_touching(self, relations: frozenset[str]) -> list[str]:
+        invalidated = []
+        for entry in self._entries.values():
+            if entry.result is not None and entry.relations & relations:
+                entry.result = None
+                invalidated.append(entry.name)
+        return invalidated
+
+    def issue(self, tx: Transaction) -> list[str]:
+        """Forward a newly issued transaction; returns the names of the
+        constraints whose cached verdicts were invalidated."""
+        self.checker.issue(tx)
+        return self._invalidate_touching(frozenset(tx.relation_names))
+
+    def commit(self, tx_id: str) -> list[str]:
+        tx = self.checker.commit(tx_id)
+        return self._invalidate_touching(frozenset(tx.relation_names))
+
+    def forget(self, tx_id: str) -> list[str]:
+        tx = self.checker.forget(tx_id)
+        return self._invalidate_touching(frozenset(tx.relation_names))
+
+    def __repr__(self) -> str:
+        cached = sum(1 for e in self._entries.values() if e.result is not None)
+        return (
+            f"ConstraintMonitor({len(self._entries)} constraints, "
+            f"{cached} cached verdicts)"
+        )

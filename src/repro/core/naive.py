@@ -1,0 +1,47 @@
+"""NaiveDCSat (Figure 4).
+
+Iterates over every maximal clique of the fd-transaction graph, builds
+the unique maximal possible world for the clique with ``getMaximal``,
+and evaluates the denial constraint there.  Sound and complete for
+*monotone* denial constraints: a monotone query satisfied in any world
+is satisfied in some maximal world, and every maximal world arises from
+a maximal clique.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.fd_graph import FdTransactionGraph
+from repro.core.possible_worlds import get_maximal
+from repro.core.results import DCSatResult, DCSatStats
+from repro.core.workspace import Workspace
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+
+#: Evaluates the query over the workspace's currently active world.
+WorldEvaluator = Callable[[ConjunctiveQuery | AggregateQuery, frozenset[str]], bool]
+
+
+def naive_dcsat(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    query: ConjunctiveQuery | AggregateQuery,
+    evaluate_world: WorldEvaluator,
+    pivot: bool = True,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """Decide ``D |= ¬q`` for a monotone denial constraint.
+
+    Returns ``satisfied=False`` with the violating world as witness as
+    soon as the query evaluates to true over some maximal world.
+    """
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "naive"
+    for clique in fd_graph.maximal_cliques(pivot=pivot):
+        stats.cliques_enumerated += 1
+        world = get_maximal(workspace, clique)
+        stats.worlds_checked += 1
+        stats.evaluations += 1
+        if evaluate_world(query, world):
+            return DCSatResult(satisfied=False, witness=world, stats=stats)
+    return DCSatResult(satisfied=True, stats=stats)

@@ -1,0 +1,84 @@
+"""OptDCSat (Figure 5).
+
+For connected, monotone denial constraints: split the pending set into
+connected components of the ind-q-transaction graph, discard components
+that cannot cover the query's constants, and run the maximal-clique
+machinery within each surviving component independently (Proposition 2:
+no satisfying assignment spans two components).
+
+Reproduction note: Proposition 2, as stated in the paper, can fail when
+two pending transactions are joined only *through tuples of the current
+state* — the chain of shared query variables passes through ``R``, so no
+equality constraint links the transactions directly and they may land in
+different components even though one assignment touches both.  This
+implementation is faithful to the paper (the Bitcoin workloads of the
+evaluation never trigger the case, because a committed tuple's join
+partners on the chain side are committed too); the test suite contains a
+crafted instance demonstrating the divergence, and
+:mod:`repro.core.assignment` provides a sound-and-complete alternative.
+"""
+
+from __future__ import annotations
+
+from repro.core.coverage import covers
+from repro.core.fd_graph import FdTransactionGraph
+from repro.core.ind_graph import IndQTransactionGraph
+from repro.core.naive import WorldEvaluator
+from repro.core.possible_worlds import get_maximal
+from repro.core.results import DCSatResult, DCSatStats
+from repro.core.workspace import Workspace
+from repro.errors import AlgorithmError
+from repro.query.analysis import constant_patterns, is_connected
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+
+
+def opt_dcsat(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    ind_graph: IndQTransactionGraph,
+    query: ConjunctiveQuery | AggregateQuery,
+    evaluate_world: WorldEvaluator,
+    pivot: bool = True,
+    use_coverage: bool = True,
+    check_connected: bool = True,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """Decide ``D |= ¬q`` for a connected, monotone denial constraint.
+
+    ``use_coverage=False`` disables the ``Covers`` pruning (ablation).
+    ``check_connected=False`` skips the connectivity validation (callers
+    that already verified it).
+    """
+    if check_connected and not is_connected(query):
+        raise AlgorithmError(
+            "OptDCSat requires a connected conjunctive query; "
+            f"{query!s} is not connected"
+        )
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "opt"
+    patterns = constant_patterns(query)
+
+    # Components also include never-appendable transactions (they carry
+    # no worlds); restrict every component to fd-graph nodes.  Coverage
+    # filtering happens for every component up front (the cheap test),
+    # then only the surviving components pay for clique enumeration.
+    survivors: list[set[str]] = []
+    for component in ind_graph.components(query):
+        stats.components_total += 1
+        candidates = component & fd_graph.nodes
+        if not candidates:
+            stats.components_pruned += 1
+            continue
+        if use_coverage and not covers(workspace, candidates, patterns):
+            stats.components_pruned += 1
+            continue
+        survivors.append(candidates)
+    for candidates in survivors:
+        for clique in fd_graph.maximal_cliques(restrict=candidates, pivot=pivot):
+            stats.cliques_enumerated += 1
+            world = get_maximal(workspace, clique)
+            stats.worlds_checked += 1
+            stats.evaluations += 1
+            if evaluate_world(query, world):
+                return DCSatResult(satisfied=False, witness=world, stats=stats)
+    return DCSatResult(satisfied=True, stats=stats)

@@ -1,0 +1,51 @@
+"""Result and statistics types returned by the DCSat solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DCSatStats:
+    """Work counters for one denial-constraint satisfaction check."""
+
+    algorithm: str = ""
+    short_circuit_used: bool = False
+    short_circuit_result: bool | None = None
+    components_total: int = 0
+    components_pruned: int = 0
+    cliques_enumerated: int = 0
+    worlds_checked: int = 0
+    evaluations: int = 0
+    assignments_examined: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "DCSatStats") -> None:
+        self.components_total += other.components_total
+        self.components_pruned += other.components_pruned
+        self.cliques_enumerated += other.cliques_enumerated
+        self.worlds_checked += other.worlds_checked
+        self.evaluations += other.evaluations
+        self.assignments_examined += other.assignments_examined
+
+
+@dataclass
+class DCSatResult:
+    """Outcome of checking ``D |= ¬q``.
+
+    ``satisfied`` is True when the denial constraint holds in *every*
+    possible world (the safe answer); when False, ``witness`` names the
+    pending transactions of a violating possible world (empty frozenset
+    means the current state itself already violates the constraint).
+    """
+
+    satisfied: bool
+    witness: frozenset[str] | None = None
+    stats: DCSatStats = field(default_factory=DCSatStats)
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+    def __repr__(self) -> str:
+        outcome = "satisfied" if self.satisfied else f"violated by {set(self.witness or ())}"
+        return f"DCSatResult({outcome}, {self.stats.algorithm})"

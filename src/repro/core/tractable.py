@@ -1,0 +1,325 @@
+"""PTIME special cases of the denial-constraint satisfaction problem.
+
+Theorems 1 and 2 identify fragments where ``DCSat`` is tractable; this
+module implements direct polynomial algorithms for the constructive
+cases (data complexity — the query is constant-size):
+
+* ``DCSat(Qc, {key, fd})`` — conjunctive queries (negation allowed) when
+  only functional dependencies are declared.  With FDs alone, *every*
+  pairwise-consistent set of pending transactions is appendable in any
+  order, so ``q`` is violated iff some satisfying assignment of its
+  positive part touches a mutually-consistent support set whose minimal
+  world avoids the negated facts.
+* ``DCSat(Qc, {ind})`` — conjunctive queries when only inclusion
+  dependencies are declared.  There are no conflicts, so there is a
+  single ⊆-maximal world; negation is handled by removing the
+  transactions carrying forbidden facts and re-saturating.
+* ``DCSat(Q_max, {key, fd})`` with ``>``/``>=`` and the ``<``-threshold
+  aggregate cases of Theorem 2.2 (count/cntd/sum decrease to minimal
+  worlds).
+* ``DCSat(Q+_α,>, {ind})`` — positive aggregates with ``>`` over the
+  unique maximal world (Theorem 2.4; for ``sum`` the caller must vouch
+  for non-negative values).
+
+Calling a solver outside its fragment raises
+:class:`~repro.errors.AlgorithmError` — these functions never guess.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.fd_graph import FdTransactionGraph
+from repro.core.possible_worlds import get_maximal
+from repro.core.results import DCSatResult, DCSatStats
+from repro.core.workspace import Workspace
+from repro.errors import AlgorithmError
+from repro.query.ast import AggregateQuery, ConjunctiveQuery, Constant
+from repro.query.evaluator import evaluate, iter_matches
+
+#: Guard for the provider-combination product (polynomial in the data,
+#: exponent bounded by the constant query size, but still guarded).
+MAX_PROVIDER_COMBINATIONS = 4096
+
+
+def _positive_body(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The query with negated atoms dropped (safety is preserved —
+    safety only ever relies on positive atoms)."""
+    if query.is_positive:
+        return query
+    return ConjunctiveQuery(
+        query.positive_atoms, query.comparisons, name=f"{query.name}_pos"
+    )
+
+
+def _ground_negated_atoms(
+    query: ConjunctiveQuery, assignment: dict[str, object]
+) -> list[tuple[str, tuple]]:
+    facts = []
+    for atom in query.negated_atoms:
+        values = tuple(
+            term.value if isinstance(term, Constant) else assignment[term.name]
+            for term in atom.terms
+        )
+        facts.append((atom.relation, values))
+    return facts
+
+
+def _provider_choices(workspace: Workspace, matched):
+    """Provider option lists for the matched facts outside the base."""
+    options: list[list[str]] = []
+    for relation, values in matched:
+        if workspace.fact_in_base(relation, values):
+            continue
+        providers = sorted(workspace.providers_of(relation, values))
+        if not providers:
+            return None
+        options.append(providers)
+    total = 1
+    for providers in options:
+        total *= len(providers)
+    if total > MAX_PROVIDER_COMBINATIONS:
+        raise AlgorithmError(
+            f"tractable solver aborted: {total} provider combinations"
+        )
+    return options
+
+
+def dcsat_fd_only(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    query: ConjunctiveQuery,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """``DCSat(Qc, {key, fd})`` in polynomial time (Theorem 1.1).
+
+    Works for arbitrary conjunctive queries, including negation — the
+    witnessing world is the *minimal* one ``R ∪ S``.
+    """
+    constraints = workspace.db.constraints
+    if constraints.has_inds:
+        raise AlgorithmError("dcsat_fd_only requires a {key, fd}-only database")
+    if isinstance(query, AggregateQuery):
+        raise AlgorithmError("dcsat_fd_only handles conjunctive queries only")
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "tractable-fd"
+
+    positive = _positive_body(query)
+    workspace.activate_all()
+    matches = [
+        (dict(assignment), list(matched))
+        for assignment, matched in iter_matches(positive, workspace)
+    ]
+    for assignment, matched in matches:
+        stats.assignments_examined += 1
+        forbidden = _ground_negated_atoms(query, assignment)
+        if any(workspace.fact_in_base(rel, values) for rel, values in forbidden):
+            continue
+        options = _provider_choices(workspace, matched)
+        if options is None:
+            continue
+        for combo in itertools.product(*options) if options else [()]:
+            support = frozenset(combo)
+            if not fd_graph.is_clique(support):
+                continue
+            # Minimal world R ∪ S: negated facts must not be dragged in
+            # by the support transactions themselves.
+            support_facts: set[tuple[str, tuple]] = set()
+            for tx_id in support:
+                support_facts.update(workspace.db.transaction(tx_id).facts)
+            if any(fact in support_facts for fact in forbidden):
+                continue
+            stats.worlds_checked += 1
+            return DCSatResult(satisfied=False, witness=support, stats=stats)
+    return DCSatResult(satisfied=True, stats=stats)
+
+
+def dcsat_ind_only(
+    workspace: Workspace,
+    query: ConjunctiveQuery,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """``DCSat(Qc, {ind})`` in polynomial time (Theorem 1.1).
+
+    With inclusion dependencies only there are no conflicts: the pending
+    set has one ⊆-maximal appendable subset ``M``, and every world is a
+    subset of ``R ∪ M``.  For each satisfying assignment of the positive
+    part, remove the transactions carrying its (grounded) negated facts,
+    re-saturate, and test whether the assignment's facts survive.
+    """
+    constraints = workspace.db.constraints
+    if constraints.has_fds:
+        raise AlgorithmError("dcsat_ind_only requires an {ind}-only database")
+    if isinstance(query, AggregateQuery):
+        raise AlgorithmError("dcsat_ind_only handles conjunctive queries only")
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "tractable-ind"
+
+    all_ids = list(workspace.db.pending_ids)
+    maximal = get_maximal(workspace, all_ids)
+    stats.worlds_checked += 1
+    positive = _positive_body(query)
+    workspace.set_active(maximal)
+    matches = [
+        (dict(assignment), list(matched))
+        for assignment, matched in iter_matches(positive, workspace)
+    ]
+    for assignment, matched in matches:
+        stats.assignments_examined += 1
+        forbidden = _ground_negated_atoms(query, assignment)
+        if any(workspace.fact_in_base(rel, values) for rel, values in forbidden):
+            continue
+        banned_txs: set[str] = set()
+        for rel, values in forbidden:
+            banned_txs |= workspace.providers_of(rel, values)
+        if banned_txs:
+            allowed = [tx for tx in all_ids if tx not in banned_txs]
+            world = get_maximal(workspace, allowed)
+            stats.worlds_checked += 1
+        else:
+            world = maximal
+        workspace.set_active(world)
+        survives = all(
+            workspace.has_fact(rel, values) for rel, values in matched
+        )
+        workspace.set_active(maximal)
+        if survives:
+            return DCSatResult(satisfied=False, witness=world, stats=stats)
+    return DCSatResult(satisfied=True, stats=stats)
+
+
+def _minimal_world_aggregate(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    query: AggregateQuery,
+    stats: DCSatStats,
+) -> DCSatResult:
+    """``α(B) < c`` (or ``<=``) over {key, fd}: scan minimal worlds.
+
+    A world with a non-empty bag and a small aggregate exists iff some
+    single assignment's minimal world ``R ∪ S(h)`` already passes the
+    threshold — aggregates over positive bodies only grow with more
+    transactions (count/cntd always; sum for the non-negative workloads
+    these constraints are written for).
+    """
+    positive = _positive_body(query.body)
+    workspace.activate_all()
+    matches = [
+        (dict(assignment), list(matched))
+        for assignment, matched in iter_matches(positive, workspace)
+    ]
+    for _, matched in matches:
+        stats.assignments_examined += 1
+        options = _provider_choices(workspace, matched)
+        if options is None:
+            continue
+        for combo in itertools.product(*options) if options else [()]:
+            support = frozenset(combo)
+            if not fd_graph.is_clique(support):
+                continue
+            workspace.set_active(support)
+            stats.worlds_checked += 1
+            stats.evaluations += 1
+            if evaluate(query, workspace):
+                return DCSatResult(satisfied=False, witness=support, stats=stats)
+    return DCSatResult(satisfied=True, stats=stats)
+
+
+def dcsat_aggregate_fd(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    query: AggregateQuery,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """Tractable aggregate cases over ``{key, fd}`` (Theorem 2.1/2.2).
+
+    Supported: ``max`` with ``>``/``>=`` (witnessed by one assignment),
+    and ``count``/``cntd``/``sum``/``max``/``min`` with ``<``/``<=``
+    (witnessed by a minimal world).  The body must be positive.
+    """
+    constraints = workspace.db.constraints
+    if constraints.has_inds:
+        raise AlgorithmError("dcsat_aggregate_fd requires a {key, fd}-only database")
+    if not query.is_positive:
+        raise AlgorithmError("dcsat_aggregate_fd requires a positive body")
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "tractable-fd-agg"
+
+    if query.func == "max" and query.op in (">", ">="):
+        # max(B) > c iff one assignment exceeds c and extends to a world;
+        # with FDs only, the minimal world of the assignment suffices.
+        positive = _positive_body(query.body)
+        workspace.activate_all()
+        matches = [
+            (dict(assignment), list(matched))
+            for assignment, matched in iter_matches(positive, workspace)
+        ]
+        for assignment, matched in matches:
+            stats.assignments_examined += 1
+            term = query.agg_terms[0]
+            value = (
+                term.value if isinstance(term, Constant) else assignment[term.name]
+            )
+            comparison_ok = (
+                value > query.threshold
+                if query.op == ">"
+                else value >= query.threshold
+            )
+            if not comparison_ok:
+                continue
+            options = _provider_choices(workspace, matched)
+            if options is None:
+                continue
+            for combo in itertools.product(*options) if options else [()]:
+                support = frozenset(combo)
+                if fd_graph.is_clique(support):
+                    stats.worlds_checked += 1
+                    return DCSatResult(
+                        satisfied=False, witness=support, stats=stats
+                    )
+        return DCSatResult(satisfied=True, stats=stats)
+
+    if query.op in ("<", "<="):
+        return _minimal_world_aggregate(workspace, fd_graph, query, stats)
+
+    raise AlgorithmError(
+        f"aggregate case ({query.func}, {query.op}) over {{key, fd}} is "
+        "CoNP-complete (Theorem 2.3) or unsupported; use NaiveDCSat"
+    )
+
+
+def dcsat_aggregate_ind(
+    workspace: Workspace,
+    query: AggregateQuery,
+    assume_nonnegative: bool = False,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """``DCSat(Q+_α,>, {ind})`` (Theorem 2.4): evaluate at the unique
+    maximal world.
+
+    ``count``/``cntd``/``max`` only grow with more transactions; ``sum``
+    requires the caller to vouch that aggregated values are non-negative.
+    """
+    constraints = workspace.db.constraints
+    if constraints.has_fds:
+        raise AlgorithmError("dcsat_aggregate_ind requires an {ind}-only database")
+    if not query.is_positive:
+        raise AlgorithmError("dcsat_aggregate_ind requires a positive body")
+    if query.op not in (">", ">="):
+        raise AlgorithmError(
+            f"aggregate case ({query.func}, {query.op}) over {{ind}} is "
+            "CoNP-complete (Theorem 2.5/2.6) or unsupported; use NaiveDCSat"
+        )
+    if query.func == "sum" and not assume_nonnegative:
+        raise AlgorithmError(
+            "sum over {ind} is only monotone for non-negative values; "
+            "pass assume_nonnegative=True to vouch for the data"
+        )
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "tractable-ind-agg"
+    maximal = get_maximal(workspace, workspace.db.pending_ids)
+    stats.worlds_checked += 1
+    stats.evaluations += 1
+    if evaluate(query, workspace):
+        return DCSatResult(satisfied=False, witness=maximal, stats=stats)
+    return DCSatResult(satisfied=True, stats=stats)

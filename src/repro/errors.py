@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems define narrower types
+below it (schema problems, constraint violations, query issues, chain
+validation failures, storage errors).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation, attribute or arity does not match the declared schema."""
+
+
+class ConstraintError(ReproError):
+    """An integrity-constraint definition is malformed."""
+
+
+class IntegrityViolationError(ReproError):
+    """A state update would violate the declared integrity constraints.
+
+    Attributes:
+        violations: the list of :class:`repro.relational.checking.Violation`
+            objects describing every constraint breached, when available.
+    """
+
+    def __init__(self, message: str, violations: list | None = None):
+        super().__init__(message)
+        self.violations = violations or []
+
+
+class QueryError(ReproError):
+    """A denial constraint / query is malformed (unsafe, bad arity, ...)."""
+
+
+class ParseError(QueryError):
+    """The textual query could not be parsed.
+
+    Attributes:
+        position: offset in the input where parsing failed, if known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class ChainValidationError(ReproError):
+    """A Bitcoin-style block or transaction failed substrate validation."""
+
+
+class StorageError(ReproError):
+    """A storage backend could not complete the requested operation."""
+
+
+class AlgorithmError(ReproError):
+    """A DCSat algorithm was asked to run outside its supported scope
+    (e.g. OptDCSat on a disconnected query, a tractable-case solver on a
+    database whose constraints fall outside the tractable fragment)."""

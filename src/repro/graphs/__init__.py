@@ -1,0 +1,19 @@
+"""Graph utilities used by the DCSat engine.
+
+The paper's implementation enumerates maximal cliques of the
+fd-transaction graph with the Bron–Kerbosch algorithm [9] using the
+pivoting optimization of Tomita et al. [44], and splits the
+ind-q-transaction graph into connected components.  Both are implemented
+here over a minimal adjacency-set graph type.
+"""
+
+from repro.graphs.undirected import UndirectedGraph
+from repro.graphs.cliques import bron_kerbosch, maximal_cliques
+from repro.graphs.components import connected_components
+
+__all__ = [
+    "UndirectedGraph",
+    "bron_kerbosch",
+    "maximal_cliques",
+    "connected_components",
+]

@@ -1,0 +1,83 @@
+"""A minimal undirected graph over hashable nodes (adjacency sets)."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+
+class UndirectedGraph:
+    """Simple undirected graph: nodes are hashable, edges unweighted.
+
+    Self-loops are ignored (a transaction is always consistent with
+    itself in the graphs we build, so a loop carries no information).
+    """
+
+    def __init__(self, nodes: Iterable[Hashable] = (), edges: Iterable[tuple] = ()):
+        self._adj: dict[Hashable, set] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_node(self, node: Hashable) -> None:
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        if u == v:
+            self.add_node(u)
+            return
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_node(self, node: Hashable) -> None:
+        for neighbor in self._adj.pop(node, set()):
+            self._adj[neighbor].discard(node)
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return v in self._adj.get(u, ())
+
+    def neighbors(self, node: Hashable) -> frozenset:
+        return frozenset(self._adj.get(node, ()))
+
+    def degree(self, node: Hashable) -> int:
+        return len(self._adj.get(node, ()))
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._adj)
+
+    def edges(self) -> Iterator[tuple]:
+        seen: set = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if (v, u) not in seen:
+                    seen.add((u, v))
+                    yield (u, v)
+
+    def edge_count(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "UndirectedGraph":
+        """The induced subgraph on *nodes* (unknown nodes are ignored)."""
+        keep = {n for n in nodes if n in self._adj}
+        sub = UndirectedGraph(nodes=keep)
+        for u in keep:
+            for v in self._adj[u] & keep:
+                sub.add_edge(u, v)
+        return sub
+
+    def adjacency(self) -> dict[Hashable, frozenset]:
+        """A frozen copy of the adjacency structure."""
+        return {u: frozenset(nbrs) for u, nbrs in self._adj.items()}
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:
+        return f"UndirectedGraph({len(self)} nodes, {self.edge_count()} edges)"

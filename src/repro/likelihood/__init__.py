@@ -1,0 +1,36 @@
+"""Weighted possible worlds (the paper's second future-work item).
+
+Section 8 proposes studying denial-constraint satisfaction "when
+weighting possible worlds by learning an estimation of their actual
+likelihood".  This package implements a concrete instance: each pending
+transaction gets an inclusion probability (e.g. a logistic function of
+its feerate), worlds are drawn by offering each transaction
+independently and appending the offers in a random order (consistency
+permitting), and the quantity of interest becomes
+
+    ``P(q is violated) = P(the drawn world satisfies q)``
+
+instead of the paper's worst-case "violated in *some* world".  Exact
+enumeration is provided for small pending sets and Monte-Carlo
+estimation for larger ones.
+"""
+
+from repro.likelihood.model import (
+    InclusionModel,
+    UniformInclusion,
+    feerate_inclusion_model,
+)
+from repro.likelihood.estimator import (
+    ViolationEstimate,
+    estimate_violation_probability,
+    exact_violation_probability,
+)
+
+__all__ = [
+    "InclusionModel",
+    "UniformInclusion",
+    "feerate_inclusion_model",
+    "ViolationEstimate",
+    "estimate_violation_probability",
+    "exact_violation_probability",
+]

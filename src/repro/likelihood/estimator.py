@@ -1,0 +1,160 @@
+"""Estimating the probability that a denial constraint is violated.
+
+World model: every pending transaction is independently *offered* with
+its model probability; the offered transactions are then appended in a
+uniformly random order, each taken exactly when consistent with the
+state built so far (the can-append relation).  The resulting set of
+accepted transactions is a possible world by construction; order
+resolves races between conflicting offers the way block inclusion does.
+
+* :func:`exact_violation_probability` — enumerate offer subsets × orders
+  (feasible for roughly a dozen pending transactions);
+* :func:`estimate_violation_probability` — Monte-Carlo with a seeded RNG
+  and a normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.workspace import Workspace
+from repro.errors import ReproError
+from repro.likelihood.model import InclusionModel
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.query.evaluator import evaluate
+from repro.relational.checking import can_extend
+
+
+@dataclass(frozen=True)
+class ViolationEstimate:
+    """The estimated probability, with sampling metadata."""
+
+    probability: float
+    samples: int
+    stderr: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """A normal-approximation CI (default 95%). Exact results have
+        stderr 0 and collapse to a point."""
+        low = max(0.0, self.probability - z * self.stderr)
+        high = min(1.0, self.probability + z * self.stderr)
+        return (low, high)
+
+
+def _apply_order(
+    workspace: Workspace, offered: list[str]
+) -> frozenset[str]:
+    """Append the offered transactions in order; return the accepted set."""
+    constraints = workspace.db.constraints
+    accepted: set[str] = set()
+    workspace.set_active(accepted)
+    progress = True
+    remaining = list(offered)
+    # A transaction rejected early may become appendable after a later
+    # one supplies its inclusion-dependency parents, so sweep to fixpoint
+    # while preserving the order-priority of earlier offers.
+    while progress and remaining:
+        progress = False
+        leftover: list[str] = []
+        for tx_id in remaining:
+            if can_extend(
+                workspace, constraints, workspace.transaction_facts(tx_id)
+            ):
+                accepted.add(tx_id)
+                workspace.activate(tx_id)
+                progress = True
+            else:
+                leftover.append(tx_id)
+        remaining = leftover
+    return frozenset(accepted)
+
+
+def _violated_in(
+    workspace: Workspace,
+    query: ConjunctiveQuery | AggregateQuery,
+    world: frozenset[str],
+) -> bool:
+    workspace.set_active(world)
+    return evaluate(query, workspace)
+
+
+def exact_violation_probability(
+    db: BlockchainDatabase,
+    query: ConjunctiveQuery | AggregateQuery,
+    model: InclusionModel,
+    pending_limit: int = 8,
+) -> ViolationEstimate:
+    """Exact ``P(q violated)`` by enumerating offers × arrival orders.
+
+    Complexity is ``O(2^k · k!)`` in the number of pending transactions,
+    so the limit is strict; larger instances should use
+    :func:`estimate_violation_probability`.
+    """
+    tx_ids = list(db.pending_ids)
+    if len(tx_ids) > pending_limit:
+        raise ReproError(
+            f"exact estimation limited to {pending_limit} pending txs; "
+            f"got {len(tx_ids)} (use estimate_violation_probability)"
+        )
+    workspace = Workspace(db)
+    violated_cache: dict[frozenset[str], bool] = {}
+
+    def violated(world: frozenset[str]) -> bool:
+        cached = violated_cache.get(world)
+        if cached is None:
+            cached = _violated_in(workspace, query, world)
+            violated_cache[world] = cached
+        return cached
+
+    total = 0.0
+    for mask in itertools.product([False, True], repeat=len(tx_ids)):
+        offered = [tx for tx, bit in zip(tx_ids, mask) if bit]
+        weight = 1.0
+        for tx, bit in zip(tx_ids, mask):
+            p = model.probability(tx)
+            weight *= p if bit else (1.0 - p)
+        if weight == 0.0:
+            continue
+        if not offered:
+            if violated(frozenset()):
+                total += weight
+            continue
+        orders = list(itertools.permutations(offered))
+        hit = 0
+        for order in orders:
+            world = _apply_order(workspace, list(order))
+            if violated(world):
+                hit += 1
+        total += weight * (hit / len(orders))
+    workspace.clear_active()
+    return ViolationEstimate(probability=total, samples=0, stderr=0.0)
+
+
+def estimate_violation_probability(
+    db: BlockchainDatabase,
+    query: ConjunctiveQuery | AggregateQuery,
+    model: InclusionModel,
+    samples: int = 1000,
+    seed: int = 0,
+) -> ViolationEstimate:
+    """Monte-Carlo ``P(q violated)`` with a seeded RNG."""
+    if samples <= 0:
+        raise ReproError("need at least one sample")
+    rng = random.Random(seed)
+    workspace = Workspace(db)
+    tx_ids = list(db.pending_ids)
+    hits = 0
+    for _ in range(samples):
+        offered = [tx for tx in tx_ids if rng.random() < model.probability(tx)]
+        rng.shuffle(offered)
+        world = _apply_order(workspace, offered)
+        if _violated_in(workspace, query, world):
+            hits += 1
+    workspace.clear_active()
+    p = hits / samples
+    stderr = math.sqrt(max(p * (1.0 - p), 1e-12) / samples)
+    return ViolationEstimate(probability=p, samples=samples, stderr=stderr)

@@ -1,0 +1,95 @@
+"""Inclusion models: per-transaction acceptance probabilities.
+
+The paper observes that realistic probabilities are hard to pin down
+(miners choose freely); these models are *estimations* in the spirit of
+the future-work proposal.  The built-in one is logistic in the feerate —
+higher-paying transactions are likelier to be mined — which matches the
+fee-market intuition of the motivating example.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Protocol
+
+from repro.errors import ReproError
+
+
+class InclusionModel(Protocol):
+    """Maps a pending transaction id to its inclusion probability."""
+
+    def probability(self, tx_id: str) -> float:
+        """P(the transaction is offered for inclusion), in [0, 1]."""
+
+
+class UniformInclusion:
+    """Every pending transaction is offered with the same probability."""
+
+    def __init__(self, probability: float = 0.5):
+        if not 0.0 <= probability <= 1.0:
+            raise ReproError("inclusion probability must be in [0, 1]")
+        self._probability = probability
+
+    def probability(self, tx_id: str) -> float:
+        return self._probability
+
+
+class MappingInclusion:
+    """Explicit per-transaction probabilities (with a default)."""
+
+    def __init__(self, probabilities: Mapping[str, float], default: float = 0.5):
+        for tx_id, p in probabilities.items():
+            if not 0.0 <= p <= 1.0:
+                raise ReproError(f"probability for {tx_id!r} out of [0, 1]: {p}")
+        if not 0.0 <= default <= 1.0:
+            raise ReproError("default probability must be in [0, 1]")
+        self._probabilities = dict(probabilities)
+        self._default = default
+
+    def probability(self, tx_id: str) -> float:
+        return self._probabilities.get(tx_id, self._default)
+
+
+def _sigmoid(z: float) -> float:
+    """Numerically stable logistic function."""
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-z))
+    e = math.exp(z)
+    return e / (1.0 + e)
+
+
+def feerate_inclusion_model(
+    feerates: Mapping[str, float],
+    midpoint: float | None = None,
+    steepness: float = 1.0,
+) -> MappingInclusion:
+    """A logistic-in-feerate model: ``P = σ(steepness · (rate − mid)/s)``.
+
+    *midpoint* defaults to the median feerate, so roughly half the
+    mempool is more-likely-in and half more-likely-out — a reasonable
+    zero-knowledge prior for a congested fee market.  Rates are
+    normalized by their median absolute deviation ``s`` so the model is
+    insensitive to the fee unit (satoshis vs. coins).
+    """
+    if not feerates:
+        raise ReproError("feerate model needs at least one transaction")
+    ordered = sorted(feerates.values())
+    if midpoint is None:
+        midpoint = ordered[len(ordered) // 2]
+    deviations = sorted(abs(rate - midpoint) for rate in ordered)
+    scale = deviations[len(deviations) // 2] or 1.0
+    probabilities: dict[str, float] = {}
+    for tx_id, rate in feerates.items():
+        z = steepness * (rate - midpoint) / scale
+        probabilities[tx_id] = _sigmoid(z)
+    return MappingInclusion(probabilities)
+
+
+def model_from_callable(fn: Callable[[str], float]) -> InclusionModel:
+    """Adapt a plain function into an inclusion model."""
+
+    class _Fn:
+        def probability(self, tx_id: str) -> float:
+            return fn(tx_id)
+
+    return _Fn()

@@ -1,0 +1,52 @@
+"""Denial constraints: conjunctive and aggregate Boolean queries.
+
+Implements the query classes of Section 5 — conjunctive queries with
+negated atoms and comparisons (``Qc``), their positive fragment
+(``Q+c``), and aggregate queries ``[q(α(x̄)) <- body] θ c`` for
+``α ∈ {count, cntd, sum, max, min}`` — plus a small Datalog-style text
+parser, an index-backed evaluator, and the structural analyses the DCSat
+algorithms rely on (safety, monotonicity, Gaifman-graph connectivity,
+equality-constraint derivation).
+"""
+
+from repro.query.ast import (
+    AGGREGATE_FUNCTIONS,
+    AggregateQuery,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+)
+from repro.query.parser import parse_query
+from repro.query.evaluator import evaluate, find_assignment, iter_assignments
+from repro.query.analysis import (
+    EqualityConstraint,
+    constant_patterns,
+    equality_constraints_from_inds,
+    equality_constraints_from_query,
+    is_connected,
+    is_monotone,
+)
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "AggregateQuery",
+    "AGGREGATE_FUNCTIONS",
+    "parse_query",
+    "evaluate",
+    "find_assignment",
+    "iter_assignments",
+    "EqualityConstraint",
+    "equality_constraints_from_query",
+    "equality_constraints_from_inds",
+    "constant_patterns",
+    "is_connected",
+    "is_monotone",
+]

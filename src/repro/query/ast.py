@@ -1,0 +1,275 @@
+"""Abstract syntax for denial constraints.
+
+A *conjunctive query* has the form ``q() <- P, N, C`` where ``P`` is a
+conjunction of positive relational atoms, ``N`` of negated atoms and
+``C`` of comparisons (Section 5).  All queries are Boolean.  An
+*aggregate query* wraps a conjunctive body with an aggregate function
+over a tuple of variables and compares the aggregate to a constant:
+``[q(α(x̄)) <- P, N, C] θ c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import QueryError
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Aggregate functions supported, as in Theorem 2 (cntd = count distinct).
+AGGREGATE_FUNCTIONS = ("count", "cntd", "sum", "max", "min")
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise QueryError(f"invalid variable name: {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A ground value appearing in a query."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tn)``, possibly negated."""
+
+    relation: str
+    terms: tuple[Term, ...]
+    negated: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "terms", tuple(self.terms))
+        for t in self.terms:
+            if not isinstance(t, (Variable, Constant)):
+                raise QueryError(f"atom term must be Variable or Constant: {t!r}")
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Variable))
+
+    @property
+    def constants(self) -> tuple[Constant, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Constant))
+
+    def constant_positions(self) -> tuple[tuple[int, object], ...]:
+        """``(position, value)`` pairs for every constant in the atom."""
+        return tuple(
+            (i, t.value) for i, t in enumerate(self.terms) if isinstance(t, Constant)
+        )
+
+    def __str__(self) -> str:
+        body = f"{self.relation}({', '.join(map(str, self.terms))})"
+        return f"not {body}" if self.negated else body
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A comparison between two terms, e.g. ``x != y`` or ``a > 5``."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise QueryError(f"unsupported comparison operator: {self.op!r}")
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def holds(self, left_value: object, right_value: object) -> bool:
+        """Evaluate the comparison on ground values.
+
+        Equality comparisons work for any values; ordering comparisons
+        between incomparable types (e.g. str vs int) evaluate to False
+        rather than raising, matching SQL's type-strict spirit without
+        aborting whole query runs.
+        """
+        if self.op == "=":
+            return left_value == right_value
+        if self.op == "!=":
+            return left_value != right_value
+        try:
+            if self.op == "<":
+                return left_value < right_value
+            if self.op == "<=":
+                return left_value <= right_value
+            if self.op == ">":
+                return left_value > right_value
+            return left_value >= right_value
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+class ConjunctiveQuery:
+    """A Boolean conjunctive query ``q() <- P, N, C``.
+
+    The query must be *safe*: every variable (including those in negated
+    atoms and comparisons) appears in some positive relational atom.
+    """
+
+    def __init__(
+        self,
+        atoms: tuple[Atom, ...] | list[Atom],
+        comparisons: tuple[Comparison, ...] | list[Comparison] = (),
+        name: str = "q",
+    ):
+        self.name = name
+        self.atoms = tuple(atoms)
+        self.comparisons = tuple(comparisons)
+        if not self.positive_atoms:
+            raise QueryError(f"query {name!r} needs at least one positive atom")
+        self._check_safety()
+
+    @property
+    def positive_atoms(self) -> tuple[Atom, ...]:
+        return tuple(a for a in self.atoms if not a.negated)
+
+    @property
+    def negated_atoms(self) -> tuple[Atom, ...]:
+        return tuple(a for a in self.atoms if a.negated)
+
+    @property
+    def is_positive(self) -> bool:
+        """True when the query is in ``Q+c`` (no negated atoms)."""
+        return not self.negated_atoms
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        out: set[Variable] = set()
+        for a in self.atoms:
+            out.update(a.variables)
+        for c in self.comparisons:
+            out.update(c.variables)
+        return frozenset(out)
+
+    def _check_safety(self) -> None:
+        positive_vars = {v for a in self.positive_atoms for v in a.variables}
+        unsafe = self.variables - positive_vars
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise QueryError(
+                f"query {self.name!r} is unsafe: variables [{names}] do not "
+                "appear in any positive relational atom"
+            )
+
+    def relations(self) -> frozenset[str]:
+        return frozenset(a.relation for a in self.atoms)
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.atoms] + [str(c) for c in self.comparisons]
+        return f"{self.name}() <- {', '.join(parts)}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({self})"
+
+
+class AggregateQuery:
+    """An aggregate Boolean query ``[q(α(x̄)) <- body] θ c``.
+
+    Semantics (Section 5): let ``H`` be the set of satisfying assignments
+    of the body and ``B`` the bag ``{{h(x̄) | h ∈ H}}``; the query returns
+    ``α(B) θ c``, and *false* when ``B`` is empty.
+    """
+
+    def __init__(
+        self,
+        func: str,
+        agg_terms: tuple[Term, ...] | list[Term],
+        atoms: tuple[Atom, ...] | list[Atom],
+        op: str,
+        threshold: object,
+        comparisons: tuple[Comparison, ...] | list[Comparison] = (),
+        name: str = "q",
+    ):
+        if func not in AGGREGATE_FUNCTIONS:
+            raise QueryError(f"unsupported aggregate function: {func!r}")
+        if op not in COMPARISON_OPS:
+            raise QueryError(f"unsupported aggregate comparison: {op!r}")
+        self.func = func
+        self.agg_terms = tuple(agg_terms)
+        if func in ("sum", "max", "min") and len(self.agg_terms) != 1:
+            raise QueryError(f"aggregate {func!r} takes exactly one argument")
+        if func == "cntd" and not self.agg_terms:
+            raise QueryError("cntd needs at least one argument")
+        for t in self.agg_terms:
+            if not isinstance(t, (Variable, Constant)):
+                raise QueryError(f"aggregate argument must be a term: {t!r}")
+        self.op = op
+        self.threshold = threshold
+        self.name = name
+        # Reuse the conjunctive machinery (incl. the safety check) for the body.
+        self.body = ConjunctiveQuery(atoms, comparisons, name=f"{name}_body")
+        agg_vars = {t for t in self.agg_terms if isinstance(t, Variable)}
+        body_vars = self.body.variables
+        missing = agg_vars - body_vars
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise QueryError(
+                f"aggregate variables [{names}] do not appear in the query body"
+            )
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        return self.body.atoms
+
+    @property
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return self.body.comparisons
+
+    @property
+    def positive_atoms(self) -> tuple[Atom, ...]:
+        return self.body.positive_atoms
+
+    @property
+    def negated_atoms(self) -> tuple[Atom, ...]:
+        return self.body.negated_atoms
+
+    @property
+    def is_positive(self) -> bool:
+        return self.body.is_positive
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return self.body.variables
+
+    def relations(self) -> frozenset[str]:
+        return self.body.relations()
+
+    def __str__(self) -> str:
+        args = ", ".join(map(str, self.agg_terms))
+        parts = [str(a) for a in self.atoms] + [str(c) for c in self.comparisons]
+        return (
+            f"[{self.name}({self.func}({args})) <- {', '.join(parts)}] "
+            f"{self.op} {self.threshold!r}"
+        )
+
+    def __repr__(self) -> str:
+        return f"AggregateQuery({self})"
+
+
+#: Any denial-constraint query.
+Query = Union[ConjunctiveQuery, AggregateQuery]

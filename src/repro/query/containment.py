@@ -1,0 +1,121 @@
+"""Conjunctive-query containment via homomorphisms (Chandra–Merkin).
+
+For Boolean positive conjunctive queries, ``q1 ⊑ q2`` (every database
+satisfying ``q1`` satisfies ``q2``) holds iff there is a homomorphism
+from ``q2``'s atoms into ``q1``'s — map variables to terms so every atom
+of ``q2`` lands on an atom of ``q1``.  Denial constraints benefit
+directly: if ``q1 ⊑ q2`` then ``D |= ¬q2`` implies ``D |= ¬q1``, so a
+monitor can skip checking constraints subsumed by an already-satisfied
+one, and an unsatisfiable-anywhere constraint can be reported without
+touching the data.
+
+Comparisons restrict the classical theorem, so this module handles them
+conservatively: homomorphisms are only sought between the relational
+atoms, and queries with comparisons are rejected unless the target
+query's comparisons map to syntactically identical ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import AlgorithmError
+from repro.query.ast import Atom, Comparison, ConjunctiveQuery, Constant, Term, Variable
+
+#: A homomorphism: target-query variable name -> term of the source query.
+Homomorphism = dict[str, Term]
+
+
+def _apply(term: Term, hom: Homomorphism) -> Term:
+    if isinstance(term, Variable):
+        return hom.get(term.name, term)
+    return term
+
+
+def _extend(
+    atom: Atom, target: Atom, hom: Homomorphism
+) -> Homomorphism | None:
+    """Try to extend *hom* so that ``hom(atom) == target``."""
+    if atom.relation != target.relation or len(atom.terms) != len(target.terms):
+        return None
+    extended = dict(hom)
+    for term, image in zip(atom.terms, target.terms):
+        if isinstance(term, Constant):
+            if term != image:
+                return None
+        else:
+            bound = extended.get(term.name)
+            if bound is None:
+                extended[term.name] = image
+            elif bound != image:
+                return None
+    return extended
+
+
+def _search(
+    atoms: tuple[Atom, ...],
+    targets: tuple[Atom, ...],
+    hom: Homomorphism,
+) -> Iterator[Homomorphism]:
+    if not atoms:
+        yield dict(hom)
+        return
+    first, rest = atoms[0], atoms[1:]
+    for target in targets:
+        extended = _extend(first, target, hom)
+        if extended is not None:
+            yield from _search(rest, targets, extended)
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Homomorphism | None:
+    """A homomorphism from *source*'s atoms into *target*'s, or None.
+
+    Both queries must be positive; comparisons in *source* must map to
+    comparisons syntactically present in *target* (a sound, incomplete
+    treatment — the classical theorem does not cover inequalities).
+    """
+    if not source.is_positive or not target.is_positive:
+        raise AlgorithmError("homomorphism containment needs positive queries")
+    for hom in _search(source.positive_atoms, target.positive_atoms, {}):
+        target_comparisons = set(target.comparisons)
+        mapped_ok = True
+        for comparison in source.comparisons:
+            image = Comparison(
+                _apply(comparison.left, hom),
+                comparison.op,
+                _apply(comparison.right, hom),
+            )
+            if image not in target_comparisons and not _trivially_true(image):
+                mapped_ok = False
+                break
+        if mapped_ok:
+            return hom
+    return None
+
+
+def _trivially_true(comparison: Comparison) -> bool:
+    if isinstance(comparison.left, Constant) and isinstance(
+        comparison.right, Constant
+    ):
+        return comparison.holds(comparison.left.value, comparison.right.value)
+    return False
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """``q1 ⊑ q2``: every state satisfying ``q1`` satisfies ``q2``.
+
+    Decided by homomorphism **from q2 into q1** (the direction always
+    trips people up: the *less constrained* query receives the map).
+    """
+    return find_homomorphism(q2, q1) is not None
+
+
+def denial_subsumes(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """As denial constraints: does ``¬q1`` subsume ``¬q2``?
+
+    If ``q2 ⊑ q1`` then whenever ``¬q1`` holds (no world satisfies
+    ``q1``), ``¬q2`` holds too — checking ``q1`` suffices for both.
+    """
+    return is_contained_in(q2, q1)

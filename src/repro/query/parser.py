@@ -1,0 +1,249 @@
+"""A small text syntax for denial constraints.
+
+Examples (mirroring the paper's notation)::
+
+    q() <- TxOut(ntx, s, 'U8Pk', a)
+
+    q2() <- TxIn(pt, ps, 'AlcPK', a, ntx, 'AlcSig'),
+            TxOut(ntx, s, pk, a2), not Trusted(pk)
+
+    [q3(sum(a)) <- TxIn(t, s, 'AlcPK', a, nt, 'AlcSig')] > 5
+
+    q1() <- TxIn(pt1, ps1, 'AlicePK', 1, ntx1, 'AliceSig'),
+            TxOut(ntx1, ns1, 'BobPK', 1),
+            TxIn(pt2, ps2, 'AlicePK', 1, ntx2, 'AliceSig'),
+            TxOut(ntx2, ns2, 'BobPK', 1), ntx1 != ntx2
+
+Identifiers are variables, quoted strings and numbers are constants,
+``not`` (or ``¬``) negates an atom, and an aggregate query is written in
+square brackets followed by a comparison with a constant.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    AGGREGATE_FUNCTIONS,
+    AggregateQuery,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow><-|:-|←)
+  | (?P<op><=|>=|!=|≠|=|<|>)
+  | (?P<punct>[()\[\],])
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*|¬)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r} at offset {pos}", position=pos
+            )
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, m.group(), pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", position=len(self.source))
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text!r} at offset {token.position}",
+                position=token.position,
+            )
+        return token
+
+    def parse(self) -> ConjunctiveQuery | AggregateQuery:
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == "[":
+            query = self._parse_aggregate()
+        else:
+            query = self._parse_conjunctive()
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r} at offset "
+                f"{trailing.position}",
+                position=trailing.position,
+            )
+        return query
+
+    def _parse_conjunctive(self) -> ConjunctiveQuery:
+        name = self._expect("ident").text
+        self._expect("punct", "(")
+        self._expect("punct", ")")
+        self._expect("arrow")
+        atoms, comparisons = self._parse_body()
+        return ConjunctiveQuery(atoms, comparisons, name=name)
+
+    def _parse_aggregate(self) -> AggregateQuery:
+        self._expect("punct", "[")
+        name = self._expect("ident").text
+        self._expect("punct", "(")
+        func_token = self._expect("ident")
+        func = func_token.text
+        if func not in AGGREGATE_FUNCTIONS:
+            raise ParseError(
+                f"unknown aggregate function {func!r} at offset "
+                f"{func_token.position}",
+                position=func_token.position,
+            )
+        self._expect("punct", "(")
+        agg_terms: list[Term] = []
+        if not self._at_punct(")"):
+            agg_terms.append(self._parse_term())
+            while self._at_punct(","):
+                self._next()
+                agg_terms.append(self._parse_term())
+        self._expect("punct", ")")
+        self._expect("punct", ")")
+        self._expect("arrow")
+        atoms, comparisons = self._parse_body(stop_at="]")
+        self._expect("punct", "]")
+        op = self._expect("op").text
+        if op == "≠":
+            op = "!="
+        threshold_term = self._parse_term()
+        if not isinstance(threshold_term, Constant):
+            raise ParseError("aggregate threshold must be a constant")
+        return AggregateQuery(
+            func,
+            tuple(agg_terms),
+            atoms,
+            op,
+            threshold_term.value,
+            comparisons,
+            name=name,
+        )
+
+    def _parse_body(
+        self, stop_at: str | None = None
+    ) -> tuple[list[Atom], list[Comparison]]:
+        atoms: list[Atom] = []
+        comparisons: list[Comparison] = []
+        while True:
+            self._parse_body_item(atoms, comparisons)
+            if self._at_punct(","):
+                self._next()
+                continue
+            break
+        if stop_at is not None and not self._at_punct(stop_at):
+            token = self._peek()
+            pos = token.position if token else len(self.source)
+            raise ParseError(f"expected {stop_at!r} at offset {pos}", position=pos)
+        return atoms, comparisons
+
+    def _parse_body_item(
+        self, atoms: list[Atom], comparisons: list[Comparison]
+    ) -> None:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query body", position=len(self.source))
+        if token.kind == "ident" and token.text in ("not", "¬"):
+            self._next()
+            atoms.append(self._parse_atom(negated=True))
+            return
+        # Lookahead: ident followed by "(" is an atom; otherwise the item
+        # is a comparison between two terms.
+        if token.kind == "ident":
+            after = (
+                self.tokens[self.index + 1]
+                if self.index + 1 < len(self.tokens)
+                else None
+            )
+            if after is not None and after.kind == "punct" and after.text == "(":
+                atoms.append(self._parse_atom(negated=False))
+                return
+        left = self._parse_term()
+        op = self._expect("op").text
+        if op == "≠":
+            op = "!="
+        right = self._parse_term()
+        comparisons.append(Comparison(left, op, right))
+
+    def _parse_atom(self, negated: bool) -> Atom:
+        relation = self._expect("ident").text
+        self._expect("punct", "(")
+        terms: list[Term] = [self._parse_term()]
+        while self._at_punct(","):
+            self._next()
+            terms.append(self._parse_term())
+        self._expect("punct", ")")
+        return Atom(relation, tuple(terms), negated=negated)
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "ident":
+            return Variable(token.text)
+        if token.kind == "number":
+            text = token.text
+            return Constant(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            raw = token.text[1:-1]
+            unescaped = raw.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+            return Constant(unescaped)
+        raise ParseError(
+            f"expected a term, found {token.text!r} at offset {token.position}",
+            position=token.position,
+        )
+
+    def _at_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "punct" and token.text == text
+
+
+def parse_query(source: str) -> ConjunctiveQuery | AggregateQuery:
+    """Parse a denial constraint from its textual form.
+
+    Returns a :class:`ConjunctiveQuery` or an :class:`AggregateQuery`.
+    Raises :class:`~repro.errors.ParseError` on malformed input and
+    :class:`~repro.errors.QueryError` on semantic problems (unsafe
+    variables, bad aggregate arity).
+    """
+    return _Parser(source).parse()

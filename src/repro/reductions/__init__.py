@@ -1,0 +1,18 @@
+"""Hardness gadgets: constructive reductions behind the CoNP lower bounds.
+
+Theorem 1.2 states that ``DCSat(Q+c, {key, ind})`` is CoNP-complete.
+:mod:`repro.reductions.sat` builds the reduction witnessing hardness:
+from any CNF formula, a blockchain database and a (fixed, constant-size)
+positive conjunctive denial constraint such that the constraint is
+satisfied iff the formula is unsatisfiable.  The test suite checks the
+reduction against a brute-force SAT oracle, which simultaneously
+exercises the solvers on adversarial instances.
+"""
+
+from repro.reductions.sat import (
+    CnfFormula,
+    brute_force_satisfiable,
+    reduction_from_cnf,
+)
+
+__all__ = ["CnfFormula", "reduction_from_cnf", "brute_force_satisfiable"]

@@ -1,0 +1,121 @@
+"""SAT → DCSat: the {key, ind} hardness gadget (Theorem 1.2 flavour).
+
+Given a CNF formula φ over variables ``x1..xn`` with clauses ``c1..cm``,
+build a blockchain database ``D`` and the fixed denial constraint
+
+    ``q() <- Done(m)``
+
+such that **D ⊭ ¬q iff φ is satisfiable**:
+
+* Relations: ``Assign(var, value)`` with key ``var`` (a variable gets
+  one truth value), ``Sat(clause)``, ``Done(marker)``.
+* For each variable ``x`` two pending transactions ``x=true`` /
+  ``x=false``; each inserts its ``Assign`` fact plus ``Sat(c)`` for
+  every clause its literal satisfies.  The key on ``Assign`` makes the
+  two conflict — at most one truth value per variable.
+* One *collector* transaction inserts ``Done(marker)`` together with
+  ``Clause(c)`` facts for every clause, under the inclusion dependency
+  ``Clause[clause] ⊆ Sat[clause]`` — it can only be appended once every
+  clause is satisfied.
+
+A possible world containing the ``Done`` marker therefore encodes a
+(partial, but clause-covering) assignment satisfying every clause, and
+conversely any satisfying assignment yields such a world.  The query is
+constant-size, as data complexity demands.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.errors import ReproError
+from repro.query.ast import Atom, ConjunctiveQuery, Constant
+from repro.relational.constraints import ConstraintSet, InclusionDependency, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+#: A literal: (variable index, polarity); ``(3, False)`` means ``¬x3``.
+Literal = tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class CnfFormula:
+    """A CNF formula: a tuple of clauses, each a tuple of literals."""
+
+    clauses: tuple[tuple[Literal, ...], ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "clauses",
+            tuple(tuple(clause) for clause in self.clauses),
+        )
+        for clause in self.clauses:
+            if not clause:
+                raise ReproError("empty clauses make the formula trivially unsat")
+
+    @property
+    def variables(self) -> tuple[int, ...]:
+        return tuple(
+            sorted({var for clause in self.clauses for var, _ in clause})
+        )
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return all(
+            any(assignment.get(var, False) == polarity for var, polarity in clause)
+            for clause in self.clauses
+        )
+
+
+def brute_force_satisfiable(formula: CnfFormula) -> bool:
+    """The oracle: try every assignment (for test-sized formulas)."""
+    variables = formula.variables
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        if formula.evaluate(dict(zip(variables, bits))):
+            return True
+    return False
+
+
+def reduction_from_cnf(
+    formula: CnfFormula,
+) -> tuple[BlockchainDatabase, ConjunctiveQuery]:
+    """Build ``(D, q)`` with ``D |= ¬q`` iff *formula* is unsatisfiable."""
+    schema = make_schema(
+        {
+            "Assign": ["var", "value"],
+            "Sat": ["clause"],
+            "Clause": ["clause"],
+            "Done": ["marker"],
+        }
+    )
+    constraints = ConstraintSet(
+        schema,
+        [
+            Key("Assign", ["var"], schema),
+            InclusionDependency("Clause", ["clause"], "Sat", ["clause"]),
+        ],
+    )
+    current = Database(schema)
+
+    transactions: list[Transaction] = []
+    for var in formula.variables:
+        for polarity in (True, False):
+            facts: list[tuple[str, tuple]] = [("Assign", (var, int(polarity)))]
+            for clause_index, clause in enumerate(formula.clauses):
+                if (var, polarity) in clause:
+                    facts.append(("Sat", (clause_index,)))
+            suffix = "t" if polarity else "f"
+            transactions.append(
+                Transaction(facts, tx_id=f"x{var}={suffix}")
+            )
+
+    collector_facts: list[tuple[str, tuple]] = [("Done", (0,))]
+    for clause_index in range(len(formula.clauses)):
+        collector_facts.append(("Clause", (clause_index,)))
+    transactions.append(Transaction(collector_facts, tx_id="collector"))
+
+    db = BlockchainDatabase(current, constraints, transactions)
+    query = ConjunctiveQuery([Atom("Done", (Constant(0),))], name="q_done")
+    return db, query

@@ -1,0 +1,43 @@
+"""The relational substrate: schemas, relations, databases, transactions
+and integrity constraints.
+
+This package implements the classical relational machinery the paper's
+model is built on (Section 4): relations of ground tuples, insert-only
+transactions, and the three constraint classes studied — key constraints,
+functional dependencies and inclusion dependencies — together with full
+and incremental satisfaction checking.
+"""
+
+from repro.relational.schema import Attribute, RelationSchema, Schema
+from repro.relational.relation import Relation
+from repro.relational.database import Database
+from repro.relational.transaction import Transaction
+from repro.relational.constraints import (
+    ConstraintSet,
+    FunctionalDependency,
+    InclusionDependency,
+    Key,
+)
+from repro.relational.checking import (
+    Violation,
+    can_extend,
+    check_database,
+    find_violations,
+)
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "Schema",
+    "Relation",
+    "Database",
+    "Transaction",
+    "Key",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "ConstraintSet",
+    "Violation",
+    "check_database",
+    "find_violations",
+    "can_extend",
+]

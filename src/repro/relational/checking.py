@@ -1,0 +1,232 @@
+"""Integrity-constraint checking: full and incremental.
+
+The core algorithms repeatedly ask two questions:
+
+* does a set of relations satisfy ``I`` (``R |= I``)?
+* can a possible world be extended with the facts of one more pending
+  transaction without violating ``I`` (the test on line 6 of
+  ``getMaximal`` in Figure 4)?
+
+Both are answered here.  Functions accept any *fact view* — an object
+exposing the small read interface of :class:`DatabaseFactView` — so the
+same logic serves plain :class:`~repro.relational.database.Database`
+instances and the overlay world views used by the DCSat engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Protocol
+
+from repro.relational.constraints import (
+    ConstraintSet,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.database import Database
+from repro.relational.relation import project
+
+
+class FactView(Protocol):
+    """The read interface constraint checking needs from a state."""
+
+    def iter_tuples(self, relation: str) -> Iterable[tuple]:
+        """All tuples currently in *relation*."""
+
+    def lookup(self, relation: str, positions: tuple[int, ...], key: tuple) -> Iterable[tuple]:
+        """Tuples of *relation* whose projection on *positions* equals *key*."""
+
+    def has_projection(self, relation: str, positions: tuple[int, ...], key: tuple) -> bool:
+        """Whether some tuple of *relation* projects onto *key*."""
+
+    def has_fact(self, relation: str, values: tuple) -> bool:
+        """Whether *relation* contains exactly *values* (negated atoms)."""
+
+    def count_tuples(self, relation: str) -> int:
+        """Number of tuples in *relation* (used for join ordering)."""
+
+
+class DatabaseFactView:
+    """Adapter presenting a :class:`Database` through the FactView protocol."""
+
+    __slots__ = ("db",)
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    def iter_tuples(self, relation: str) -> Iterable[tuple]:
+        return self.db[relation]
+
+    def lookup(self, relation: str, positions: tuple[int, ...], key: tuple) -> Iterable[tuple]:
+        return self.db[relation].lookup(positions, key)
+
+    def has_projection(self, relation: str, positions: tuple[int, ...], key: tuple) -> bool:
+        return bool(self.db[relation].lookup(positions, key))
+
+    def has_fact(self, relation: str, values: tuple) -> bool:
+        return values in self.db[relation]
+
+    def count_tuples(self, relation: str) -> int:
+        return len(self.db[relation])
+
+
+def as_fact_view(state: Database | FactView) -> FactView:
+    """Wrap a :class:`Database` in a fact view; pass views through."""
+    if isinstance(state, Database):
+        return DatabaseFactView(state)
+    return state
+
+
+_as_view = as_fact_view
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One breached constraint, with the facts witnessing the breach.
+
+    For a functional dependency the witnesses are the two clashing tuples;
+    for an inclusion dependency, the dangling child tuple.
+    """
+
+    constraint: FunctionalDependency | InclusionDependency
+    relation: str
+    witnesses: tuple[tuple, ...]
+
+    def __str__(self) -> str:
+        facts = "; ".join(repr(w) for w in self.witnesses)
+        return f"violation of [{self.constraint}] by {facts}"
+
+
+def find_violations(
+    state: Database | FactView,
+    constraints: ConstraintSet,
+    relations: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Return every constraint violation in *state* (empty list if R |= I).
+
+    When *relations* is given, only constraints touching those relations
+    are checked.
+    """
+    view = _as_view(state)
+    names = set(relations) if relations is not None else set(constraints.schema.relation_names)
+    violations: list[Violation] = []
+
+    for name in names:
+        for rfd in constraints.fds_for(name):
+            groups: dict[tuple, tuple] = {}
+            for t in view.iter_tuples(name):
+                key = project(t, rfd.lhs_positions)
+                rhs = project(t, rfd.rhs_positions)
+                seen = groups.get(key)
+                if seen is None:
+                    groups[key] = rhs
+                elif seen != rhs:
+                    clashing = next(
+                        s
+                        for s in view.lookup(name, rfd.lhs_positions, key)
+                        if project(s, rfd.rhs_positions) == seen
+                    )
+                    violations.append(Violation(rfd.fd, name, (clashing, t)))
+
+    for name in names:
+        for rind in constraints.inds_for_child(name):
+            for t in view.iter_tuples(name):
+                key = project(t, rind.child_positions)
+                if not view.has_projection(rind.ind.parent, rind.parent_positions, key):
+                    violations.append(Violation(rind.ind, name, (t,)))
+    return violations
+
+
+def check_database(state: Database | FactView, constraints: ConstraintSet) -> bool:
+    """Return True iff *state* satisfies every constraint (``R |= I``)."""
+    return not find_violations(state, constraints)
+
+
+def can_extend(
+    state: Database | FactView,
+    constraints: ConstraintSet,
+    new_facts: Mapping[str, Iterable[tuple]],
+) -> bool:
+    """Would inserting *new_facts* into *state* preserve ``I``?
+
+    *state* is assumed to already satisfy ``I``.  Because transactions
+    are insert-only, it suffices to check the new tuples: a functional
+    dependency can only break between a new tuple and an existing or new
+    tuple with the same left-hand side, and an inclusion dependency can
+    only break for a new child tuple (existing child tuples keep their
+    parents — nothing is ever deleted).
+
+    This is the ``R' |= I`` test of the can-append relation and of
+    ``getMaximal``, in incremental form.
+    """
+    view = _as_view(state)
+    materialized = {rel: [tuple(t) for t in tuples] for rel, tuples in new_facts.items()}
+
+    # Functional dependencies: new vs existing, then new vs new.
+    for rel, tuples in materialized.items():
+        for rfd in constraints.fds_for(rel):
+            local: dict[tuple, tuple] = {}
+            for t in tuples:
+                key = project(t, rfd.lhs_positions)
+                rhs = project(t, rfd.rhs_positions)
+                seen = local.get(key)
+                if seen is None:
+                    for existing in view.lookup(rel, rfd.lhs_positions, key):
+                        if project(existing, rfd.rhs_positions) != rhs:
+                            return False
+                    local[key] = rhs
+                elif seen != rhs:
+                    return False
+
+    # Inclusion dependencies: every new child tuple needs a parent in the
+    # extended state (existing parents or new tuples — possibly from the
+    # same transaction).
+    new_projections: dict[tuple[str, tuple[int, ...]], set[tuple]] = {}
+
+    def extended_has_parent(parent: str, positions: tuple[int, ...], key: tuple) -> bool:
+        if view.has_projection(parent, positions, key):
+            return True
+        cache_key = (parent, positions)
+        proj = new_projections.get(cache_key)
+        if proj is None:
+            proj = {project(t, positions) for t in materialized.get(parent, ())}
+            new_projections[cache_key] = proj
+        return key in proj
+
+    for rel, tuples in materialized.items():
+        for rind in constraints.inds_for_child(rel):
+            for t in tuples:
+                key = project(t, rind.child_positions)
+                if not extended_has_parent(
+                    rind.ind.parent, rind.parent_positions, key
+                ):
+                    return False
+    return True
+
+
+def transactions_fd_consistent(
+    facts_a: Mapping[str, Iterable[tuple]],
+    facts_b: Mapping[str, Iterable[tuple]],
+    constraints: ConstraintSet,
+) -> bool:
+    """Check ``T ∪ T' |= I_fd`` — the edge test of the fd-transaction graph.
+
+    Only functional dependencies are considered (inclusion dependencies
+    are handled by the ind-q-transaction graph and ``getMaximal``).
+    Each argument maps relation names to tuple collections.
+    """
+    relations = set(facts_a) | set(facts_b)
+    for rel in relations:
+        for rfd in constraints.fds_for(rel):
+            groups: dict[tuple, tuple] = {}
+            for source in (facts_a, facts_b):
+                for t in source.get(rel, ()):
+                    t = tuple(t)
+                    key = project(t, rfd.lhs_positions)
+                    rhs = project(t, rfd.rhs_positions)
+                    seen = groups.get(key)
+                    if seen is None:
+                        groups[key] = rhs
+                    elif seen != rhs:
+                        return False
+    return True

@@ -1,0 +1,183 @@
+"""Integrity constraints: keys, functional dependencies, inclusion
+dependencies (Section 4 of the paper).
+
+A functional dependency over ``R(Ā)`` has the form ``X -> Y`` with
+``X, Y ⊆ Ā``; it is a *key* when ``Y = Ā``.  An inclusion dependency has
+the form ``R[X] ⊆ S[Y]``.  A :class:`ConstraintSet` groups the
+constraints of a blockchain database, pre-resolving attribute names to
+tuple positions against a schema for fast checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConstraintError
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``relation: lhs -> rhs`` (attribute names)."""
+
+    relation: str
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "lhs", tuple(self.lhs))
+        object.__setattr__(self, "rhs", tuple(self.rhs))
+        if not self.lhs or not self.rhs:
+            raise ConstraintError(
+                f"functional dependency on {self.relation!r} needs non-empty sides"
+            )
+
+    @property
+    def is_trivial(self) -> bool:
+        return set(self.rhs) <= set(self.lhs)
+
+    def __str__(self) -> str:
+        return f"{self.relation}: {','.join(self.lhs)} -> {','.join(self.rhs)}"
+
+
+def Key(relation: str, attributes: Sequence[str], schema: Schema) -> FunctionalDependency:
+    """Build the key constraint ``attributes -> all attributes`` of *relation*.
+
+    Keys are the special case of functional dependencies whose right-hand
+    side is the full attribute list, so this is a factory rather than a
+    separate class.
+    """
+    all_attrs = schema[relation].attribute_names
+    for a in attributes:
+        schema[relation].position(a)  # validates the attribute exists
+    return FunctionalDependency(relation, tuple(attributes), all_attrs)
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """An inclusion dependency ``child[child_attrs] ⊆ parent[parent_attrs]``."""
+
+    child: str
+    child_attrs: tuple[str, ...]
+    parent: str
+    parent_attrs: tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "child_attrs", tuple(self.child_attrs))
+        object.__setattr__(self, "parent_attrs", tuple(self.parent_attrs))
+        if len(self.child_attrs) != len(self.parent_attrs):
+            raise ConstraintError(
+                f"inclusion dependency {self} has mismatched attribute lists"
+            )
+        if not self.child_attrs:
+            raise ConstraintError("inclusion dependency needs at least one attribute")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.child}[{','.join(self.child_attrs)}] ⊆ "
+            f"{self.parent}[{','.join(self.parent_attrs)}]"
+        )
+
+
+@dataclass(frozen=True)
+class _ResolvedFd:
+    """A functional dependency with attribute names resolved to positions."""
+
+    fd: FunctionalDependency
+    lhs_positions: tuple[int, ...]
+    rhs_positions: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _ResolvedInd:
+    """An inclusion dependency with attribute names resolved to positions."""
+
+    ind: InclusionDependency
+    child_positions: tuple[int, ...]
+    parent_positions: tuple[int, ...]
+
+
+class ConstraintSet:
+    """The integrity constraints ``I`` of a blockchain database.
+
+    Resolves every constraint against the schema once, exposing
+    position-level access paths used by the checker, the fd-transaction
+    graph and the ind-q-transaction graph.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        constraints: Iterable[FunctionalDependency | InclusionDependency] = (),
+    ):
+        self.schema = schema
+        self.fds: list[FunctionalDependency] = []
+        self.inds: list[InclusionDependency] = []
+        self._fds_by_relation: dict[str, list[_ResolvedFd]] = {}
+        self._inds_by_child: dict[str, list[_ResolvedInd]] = {}
+        self._inds_by_parent: dict[str, list[_ResolvedInd]] = {}
+        for c in constraints:
+            self.add(c)
+
+    def add(self, constraint: FunctionalDependency | InclusionDependency) -> None:
+        if isinstance(constraint, FunctionalDependency):
+            rel = self.schema[constraint.relation]
+            resolved = _ResolvedFd(
+                constraint,
+                rel.positions(constraint.lhs),
+                rel.positions(constraint.rhs),
+            )
+            self.fds.append(constraint)
+            self._fds_by_relation.setdefault(constraint.relation, []).append(resolved)
+        elif isinstance(constraint, InclusionDependency):
+            child = self.schema[constraint.child]
+            parent = self.schema[constraint.parent]
+            resolved = _ResolvedInd(
+                constraint,
+                child.positions(constraint.child_attrs),
+                parent.positions(constraint.parent_attrs),
+            )
+            self.inds.append(constraint)
+            self._inds_by_child.setdefault(constraint.child, []).append(resolved)
+            self._inds_by_parent.setdefault(constraint.parent, []).append(resolved)
+        else:
+            raise ConstraintError(f"unsupported constraint type: {constraint!r}")
+
+    def fds_for(self, relation: str) -> list[_ResolvedFd]:
+        """Resolved functional dependencies whose relation is *relation*."""
+        return self._fds_by_relation.get(relation, [])
+
+    def inds_for_child(self, relation: str) -> list[_ResolvedInd]:
+        """Resolved inclusion dependencies whose child is *relation*."""
+        return self._inds_by_child.get(relation, [])
+
+    def inds_for_parent(self, relation: str) -> list[_ResolvedInd]:
+        """Resolved inclusion dependencies whose parent is *relation*."""
+        return self._inds_by_parent.get(relation, [])
+
+    @property
+    def has_fds(self) -> bool:
+        return bool(self.fds)
+
+    @property
+    def has_inds(self) -> bool:
+        return bool(self.inds)
+
+    def only_keys_and_fds(self) -> bool:
+        """True when the set falls in the ``{key, fd}`` fragment."""
+        return not self.inds
+
+    def only_inds(self) -> bool:
+        """True when the set falls in the ``{ind}`` fragment."""
+        return not self.fds
+
+    def __iter__(self):
+        yield from self.fds
+        yield from self.inds
+
+    def __len__(self) -> int:
+        return len(self.fds) + len(self.inds)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({len(self.fds)} FDs, {len(self.inds)} INDs)"

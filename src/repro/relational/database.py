@@ -1,0 +1,99 @@
+"""The database: a set of relations forming the current state ``R``."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, Schema
+
+
+class Database:
+    """A set of relations over a fixed schema.
+
+    This is the paper's current state ``R``: the relational image of the
+    data already committed to the blockchain.  It is append-only — tuples
+    can be inserted but never deleted.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._relations: dict[str, Relation] = {
+            rel.name: Relation(rel) for rel in schema
+        }
+
+    @classmethod
+    def from_dict(
+        cls, schema: Schema, contents: Mapping[str, Iterable[tuple]]
+    ) -> "Database":
+        """Build a database from ``{relation name: iterable of tuples}``."""
+        db = cls(schema)
+        for name, tuples in contents.items():
+            db[name].insert_many(tuples)
+        return db
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"database has no relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def insert(self, relation: str, values: tuple) -> bool:
+        """Insert one tuple into *relation*; return True if it was new."""
+        return self[relation].insert(values)
+
+    def insert_facts(self, facts: Iterable[tuple[str, tuple]]) -> int:
+        """Insert ``(relation name, tuple)`` facts; return the number new."""
+        return sum(1 for rel, values in facts if self.insert(rel, values))
+
+    def facts(self) -> Iterator[tuple[str, tuple]]:
+        """Iterate over all ``(relation name, tuple)`` facts."""
+        for rel in self._relations.values():
+            for t in rel:
+                yield rel.name, t
+
+    def contains_fact(self, relation: str, values: tuple) -> bool:
+        return relation in self._relations and values in self[relation]
+
+    def copy(self) -> "Database":
+        """Return an independent deep copy of the database contents."""
+        clone = Database(self.schema)
+        for name, rel in self._relations.items():
+            clone._relations[name] = rel.copy()
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        # Relation declaration order is presentation, not semantics.
+        if set(self.relation_names) != set(other.relation_names):
+            return False
+        return all(
+            self[name].tuples == other[name].tuples for name in self.relation_names
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(rel)}" for name, rel in self._relations.items()
+        )
+        return f"Database({parts})"
+
+
+def make_schema(relations: Mapping[str, Iterable[str]]) -> Schema:
+    """Convenience constructor: ``{"R": ["a", "b"], ...}`` -> :class:`Schema`."""
+    return Schema(RelationSchema(name, tuple(attrs)) for name, attrs in relations.items())

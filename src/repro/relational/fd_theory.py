@@ -1,0 +1,138 @@
+"""Functional-dependency theory: closures, implication, covers, keys.
+
+Classical relational machinery used to preprocess a blockchain
+database's constraint set:
+
+* :func:`attribute_closure` — ``X+`` under a set of FDs (the linear-time
+  Beeri–Bernstein algorithm);
+* :func:`implies` — does a set of FDs entail another FD (via closure)?
+* :func:`minimal_cover` — an equivalent, non-redundant FD set with
+  singleton right-hand sides and no extraneous left-hand attributes;
+  shrinking ``I_fd`` shrinks every conflict check the DCSat engine runs;
+* :func:`candidate_keys` — all minimal keys of a relation;
+* :func:`is_key` — is an attribute set a (super)key?
+
+All functions operate on one relation's FDs (functional dependencies in
+this model never span relations).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.errors import ConstraintError
+from repro.relational.constraints import FunctionalDependency
+
+
+def _same_relation(fds: Iterable[FunctionalDependency]) -> list[FunctionalDependency]:
+    fds = list(fds)
+    relations = {fd.relation for fd in fds}
+    if len(relations) > 1:
+        raise ConstraintError(
+            f"FD-theory functions work per relation; got {sorted(relations)}"
+        )
+    return fds
+
+
+def attribute_closure(
+    attributes: Iterable[str], fds: Iterable[FunctionalDependency]
+) -> frozenset[str]:
+    """The closure ``X+``: every attribute determined by *attributes*."""
+    fds = _same_relation(fds)
+    closure = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if set(fd.lhs) <= closure and not set(fd.rhs) <= closure:
+                closure.update(fd.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def implies(
+    fds: Iterable[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Do *fds* logically entail *candidate* (Armstrong-complete test)?"""
+    fds = _same_relation(fds)
+    if fds and fds[0].relation != candidate.relation:
+        raise ConstraintError("candidate FD must be over the same relation")
+    return set(candidate.rhs) <= attribute_closure(candidate.lhs, fds)
+
+
+def equivalent(
+    first: Iterable[FunctionalDependency], second: Iterable[FunctionalDependency]
+) -> bool:
+    """Do the two FD sets entail each other?"""
+    first, second = list(first), list(second)
+    return all(implies(first, fd) for fd in second) and all(
+        implies(second, fd) for fd in first
+    )
+
+
+def minimal_cover(
+    fds: Iterable[FunctionalDependency],
+) -> list[FunctionalDependency]:
+    """An equivalent minimal cover: singleton RHS, no extraneous LHS
+    attributes, no redundant dependencies.  Deterministic output order
+    (sorted) so results are stable across runs."""
+    fds = _same_relation(fds)
+    if not fds:
+        return []
+    relation = fds[0].relation
+
+    # 1. Singleton right-hand sides, dropping trivial parts.
+    split: list[FunctionalDependency] = []
+    for fd in fds:
+        for attr in fd.rhs:
+            if attr not in fd.lhs:
+                split.append(FunctionalDependency(relation, fd.lhs, (attr,)))
+    split = sorted(set(split), key=lambda fd: (fd.lhs, fd.rhs))
+
+    # 2. Remove extraneous left-hand attributes.
+    reduced: list[FunctionalDependency] = []
+    for fd in split:
+        lhs = list(fd.lhs)
+        for attr in list(lhs):
+            if len(lhs) == 1:
+                break
+            trimmed = tuple(a for a in lhs if a != attr)
+            if fd.rhs[0] in attribute_closure(trimmed, split):
+                lhs = list(trimmed)
+        reduced.append(FunctionalDependency(relation, tuple(lhs), fd.rhs))
+    reduced = sorted(set(reduced), key=lambda fd: (fd.lhs, fd.rhs))
+
+    # 3. Remove redundant dependencies.
+    result = list(reduced)
+    for fd in list(reduced):
+        rest = [other for other in result if other != fd]
+        if rest and implies(rest, fd):
+            result = rest
+    return sorted(result, key=lambda fd: (fd.lhs, fd.rhs))
+
+
+def is_superkey(
+    attributes: Iterable[str],
+    all_attributes: Sequence[str],
+    fds: Iterable[FunctionalDependency],
+) -> bool:
+    """Does *attributes* determine every attribute of the relation?"""
+    return set(all_attributes) <= attribute_closure(attributes, list(fds))
+
+
+def candidate_keys(
+    all_attributes: Sequence[str], fds: Iterable[FunctionalDependency]
+) -> list[frozenset[str]]:
+    """All minimal keys, smallest first (exponential in arity — relations
+    in this model are narrow)."""
+    fds = list(fds)
+    keys: list[frozenset[str]] = []
+    for size in range(1, len(all_attributes) + 1):
+        for combo in itertools.combinations(sorted(all_attributes), size):
+            candidate = frozenset(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_superkey(candidate, all_attributes, fds):
+                keys.append(candidate)
+    return sorted(keys, key=lambda key: (len(key), sorted(key)))

@@ -1,0 +1,159 @@
+"""Relation schemas.
+
+A :class:`RelationSchema` names a relation and its attributes; a
+:class:`Schema` is a collection of relation schemas forming the database
+schema.  Attributes may optionally carry a Python type used to validate
+ground tuples on insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+#: Python types accepted for attribute values.  ``None`` in an attribute
+#: declaration means "untyped" (any hashable value accepted).
+SUPPORTED_TYPES = (int, float, str, bytes, bool)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute of a relation, with an optional value type."""
+
+    name: str
+    dtype: type | None = None
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.dtype is not None and self.dtype not in SUPPORTED_TYPES:
+            raise SchemaError(
+                f"unsupported attribute type {self.dtype!r} for {self.name!r}"
+            )
+
+    def accepts(self, value: object) -> bool:
+        """Return True if *value* is a legal value for this attribute."""
+        if self.dtype is None:
+            return True
+        if self.dtype is float:
+            # Ints are acceptable where floats are expected (amounts).
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.dtype is int:
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, self.dtype)
+
+
+class RelationSchema:
+    """The schema of a single relation: a name and an ordered attribute list.
+
+    Supports fast position lookup by attribute name, which the constraint
+    and query machinery uses heavily.
+    """
+
+    __slots__ = ("name", "attributes", "_positions")
+
+    def __init__(self, name: str, attributes: Sequence[Attribute | str]):
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid relation name: {name!r}")
+        attrs = tuple(
+            a if isinstance(a, Attribute) else Attribute(a) for a in attributes
+        )
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in relation {name!r}")
+        self.name = name
+        self.attributes = attrs
+        self._positions = {a.name: i for i, a in enumerate(attrs)}
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def position(self, attribute: str) -> int:
+        """Return the 0-based position of *attribute*.
+
+        Raises :class:`SchemaError` for unknown attributes.
+        """
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def positions(self, attributes: Iterable[str]) -> tuple[int, ...]:
+        """Return the positions of several attributes, in the given order."""
+        return tuple(self.position(a) for a in attributes)
+
+    def validate_tuple(self, values: tuple) -> tuple:
+        """Check arity and attribute types of a ground tuple; return it."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} expects arity {self.arity}, "
+                f"got tuple of length {len(values)}: {values!r}"
+            )
+        for attr, value in zip(self.attributes, values):
+            if not attr.accepts(value):
+                raise SchemaError(
+                    f"attribute {self.name}.{attr.name} does not accept "
+                    f"value {value!r} of type {type(value).__name__}"
+                )
+        return values
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.name == other.name
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(a.name for a in self.attributes)
+        return f"RelationSchema({self.name}({cols}))"
+
+
+class Schema:
+    """A database schema: a named collection of relation schemas."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: dict[str, RelationSchema] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: RelationSchema) -> None:
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation {relation.name!r} in schema")
+        self._relations[relation.name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"schema has no relation {name!r}") from None
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self._relations)})"

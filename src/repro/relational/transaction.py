@@ -1,0 +1,80 @@
+"""Insert transactions: the pending updates of a blockchain database.
+
+A transaction (Section 4) is simply a finite set of ground tuples for
+(some of) the relations of the schema.  Transactions are immutable and
+hashable, so they can serve directly as graph nodes in the
+fd-transaction and ind-q-transaction graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping
+
+_counter = itertools.count(1)
+
+
+class Transaction:
+    """An immutable set of ``(relation name, ground tuple)`` facts.
+
+    Attributes:
+        tx_id: a unique, human-readable identifier.  Auto-generated
+            (``"T1"``, ``"T2"``, ...) when not supplied.
+    """
+
+    __slots__ = ("tx_id", "_facts", "_by_relation", "_hash")
+
+    def __init__(
+        self,
+        facts: Iterable[tuple[str, tuple]] | Mapping[str, Iterable[tuple]],
+        tx_id: str | None = None,
+    ):
+        if isinstance(facts, Mapping):
+            flat = [
+                (rel, tuple(values))
+                for rel, tuples in facts.items()
+                for values in tuples
+            ]
+        else:
+            flat = [(rel, tuple(values)) for rel, values in facts]
+        self.tx_id = tx_id if tx_id is not None else f"T{next(_counter)}"
+        self._facts = frozenset(flat)
+        by_relation: dict[str, set[tuple]] = {}
+        for rel, values in self._facts:
+            by_relation.setdefault(rel, set()).add(values)
+        self._by_relation = {
+            rel: frozenset(tuples) for rel, tuples in by_relation.items()
+        }
+        self._hash = hash((self.tx_id, self._facts))
+
+    @property
+    def facts(self) -> frozenset[tuple[str, tuple]]:
+        return self._facts
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._by_relation)
+
+    def tuples(self, relation: str) -> frozenset[tuple]:
+        """The tuples this transaction inserts into *relation* (maybe empty)."""
+        return self._by_relation.get(relation, frozenset())
+
+    def __iter__(self) -> Iterator[tuple[str, tuple]]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact: tuple[str, tuple]) -> bool:
+        return fact in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transaction):
+            return NotImplemented
+        return self.tx_id == other.tx_id and self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.tx_id}, {len(self._facts)} facts)"

@@ -1,0 +1,164 @@
+"""JSON (de)serialization of blockchain databases.
+
+Lets users persist and exchange `D = (R, I, T)` instances — schema,
+constraints, committed state and pending transactions — and powers the
+command-line interface.  Values are restricted to JSON scalars (str,
+int, float, bool); tuples round-trip through lists.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "schema": {"TxOut": ["txId", "ser", "pk", "amount"], ...},
+      "constraints": {
+        "fds":  [{"relation": "TxOut", "lhs": [...], "rhs": [...]}],
+        "inds": [{"child": "TxIn", "child_attrs": [...],
+                  "parent": "TxOut", "parent_attrs": [...]}]
+      },
+      "current": {"TxOut": [[...], ...], ...},
+      "pending": [{"id": "T1", "facts": {"TxOut": [[...]]}}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.errors import ReproError
+from repro.relational.constraints import (
+    ConstraintSet,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.database import Database, make_schema
+
+FORMAT_VERSION = 1
+
+_SCALARS = (str, int, float, bool)
+
+
+def _check_value(value: Any) -> Any:
+    if not isinstance(value, _SCALARS):
+        raise ReproError(
+            f"only JSON scalar values serialize; got {type(value).__name__}: "
+            f"{value!r}"
+        )
+    return value
+
+
+def database_to_dict(db: BlockchainDatabase) -> dict:
+    """Serialize a blockchain database to a JSON-compatible dict."""
+    schema = {
+        rel.name: list(rel.attribute_names) for rel in db.current.schema
+    }
+    constraints = {
+        "fds": [
+            {"relation": fd.relation, "lhs": list(fd.lhs), "rhs": list(fd.rhs)}
+            for fd in db.constraints.fds
+        ],
+        "inds": [
+            {
+                "child": ind.child,
+                "child_attrs": list(ind.child_attrs),
+                "parent": ind.parent,
+                "parent_attrs": list(ind.parent_attrs),
+            }
+            for ind in db.constraints.inds
+        ],
+    }
+    current = {
+        name: sorted(
+            [[_check_value(v) for v in values] for values in db.current[name]]
+        )
+        for name in db.current.relation_names
+    }
+    pending = [
+        {
+            "id": tx.tx_id,
+            "facts": {
+                rel: sorted(
+                    [[_check_value(v) for v in values] for values in tx.tuples(rel)]
+                )
+                for rel in sorted(tx.relation_names)
+            },
+        }
+        for tx in db.pending
+    ]
+    return {
+        "version": FORMAT_VERSION,
+        "schema": schema,
+        "constraints": constraints,
+        "current": current,
+        "pending": pending,
+    }
+
+
+def database_from_dict(payload: dict, validate: bool = True) -> BlockchainDatabase:
+    """Rebuild a blockchain database from :func:`database_to_dict` output."""
+    from repro.relational.transaction import Transaction
+
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported serialization version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        schema = make_schema(payload["schema"])
+        constraint_spec = payload["constraints"]
+        constraints = ConstraintSet(schema)
+        for fd in constraint_spec.get("fds", []):
+            constraints.add(
+                FunctionalDependency(fd["relation"], fd["lhs"], fd["rhs"])
+            )
+        for ind in constraint_spec.get("inds", []):
+            constraints.add(
+                InclusionDependency(
+                    ind["child"], ind["child_attrs"],
+                    ind["parent"], ind["parent_attrs"],
+                )
+            )
+        current = Database.from_dict(
+            schema,
+            {
+                name: [tuple(values) for values in rows]
+                for name, rows in payload["current"].items()
+            },
+        )
+        pending = [
+            Transaction(
+                {
+                    rel: [tuple(values) for values in rows]
+                    for rel, rows in tx["facts"].items()
+                },
+                tx_id=tx["id"],
+            )
+            for tx in payload["pending"]
+        ]
+    except KeyError as missing:
+        raise ReproError(f"malformed serialized database: missing {missing}") from None
+    return BlockchainDatabase(current, constraints, pending, validate=validate)
+
+
+def dumps(db: BlockchainDatabase, indent: int | None = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(database_to_dict(db), indent=indent, sort_keys=True)
+
+
+def loads(text: str, validate: bool = True) -> BlockchainDatabase:
+    """Deserialize from a JSON string."""
+    return database_from_dict(json.loads(text), validate=validate)
+
+
+def dump(db: BlockchainDatabase, path: str) -> None:
+    """Serialize to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(db))
+
+
+def load(path: str, validate: bool = True) -> BlockchainDatabase:
+    """Deserialize from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), validate=validate)

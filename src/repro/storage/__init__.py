@@ -1,0 +1,32 @@
+"""Storage backends for the DCSat engine.
+
+The paper's implementation stores the chain and the mempool in Postgres,
+marks the tuples of the possible world under consideration with a
+Boolean ``current`` column, and evaluates denial constraints with SQL.
+This package reproduces that architecture with two interchangeable
+backends:
+
+* :class:`MemoryBackend` — pure-Python evaluation over the overlay
+  workspace (the active set *is* the ``current`` column);
+* :class:`SqliteBackend` — a real SQL engine (stdlib sqlite3, standing
+  in for Postgres): tables carry a ``_current`` flag maintained with
+  UPDATE statements, and denial constraints are compiled to SQL.
+"""
+
+from repro.storage.base import Backend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite_backend import SqliteBackend
+from repro.storage.sql_compiler import compile_query
+
+__all__ = ["Backend", "MemoryBackend", "SqliteBackend", "compile_query"]
+
+
+def make_backend(name: str) -> Backend:
+    """Build a backend from its name (``"memory"`` or ``"sqlite"``)."""
+    if name == "memory":
+        return MemoryBackend()
+    if name == "sqlite":
+        return SqliteBackend()
+    from repro.errors import StorageError
+
+    raise StorageError(f"unknown backend {name!r} (expected 'memory' or 'sqlite')")

@@ -1,0 +1,44 @@
+"""The backend protocol: what the DCSat engine needs from storage."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.workspace import Workspace
+    from repro.relational.transaction import Transaction
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Storage/evaluation backend used by :class:`~repro.core.checker.DCSatChecker`.
+
+    The engine drives world construction (constraint checks, cliques)
+    against the in-memory workspace; backends are responsible for the
+    query-evaluation side — selecting the tuples of the active world and
+    evaluating denial constraints over them.
+    """
+
+    def attach(self, workspace: "Workspace") -> None:
+        """Bind to a workspace and load its current contents."""
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        active: frozenset[str],
+    ) -> bool:
+        """Evaluate the query over the world ``R ∪ {facts of active}``."""
+
+    def on_issue(self, tx: "Transaction") -> None:
+        """A transaction was added to the pending set."""
+
+    def on_commit(self, tx: "Transaction") -> None:
+        """A pending transaction was committed into the current state."""
+
+    def on_forget(self, tx: "Transaction") -> None:
+        """A pending transaction was dropped without committing."""
+
+    def close(self) -> None:
+        """Release any resources held by the backend."""

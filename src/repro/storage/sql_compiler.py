@@ -1,0 +1,167 @@
+"""Compile denial constraints to SQL (the Postgres-style path).
+
+Conjunctive queries become ``SELECT EXISTS(...)`` over a join of the
+positive atoms, with ``_current = 1`` guards playing the paper's
+``current`` column, ``NOT EXISTS`` subqueries for negated atoms, and
+comparison predicates inlined.  Aggregate queries compile to a
+``SELECT DISTINCT`` over the body's variables — the set ``H`` of
+satisfying assignments — and the aggregate itself is computed by the
+backend in Python, which keeps the bag semantics (including the
+empty-bag-is-false rule) in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AggregateQuery,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+)
+from repro.relational.schema import Schema
+
+_OP_SQL = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an SQL identifier (relation or attribute name)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+@dataclass
+class CompiledQuery:
+    """A compiled denial constraint.
+
+    ``kind`` is ``"exists"`` (conjunctive; the statement returns a single
+    0/1 row) or ``"rows"`` (aggregate; the statement returns one row per
+    satisfying assignment, with columns ordered as ``var_order``).
+    """
+
+    sql: str
+    params: list = field(default_factory=list)
+    kind: str = "exists"
+    var_order: tuple[str, ...] = ()
+
+
+class _Compilation:
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.conditions: list[str] = []
+        self.params: list = []
+        self.var_expr: dict[str, str] = {}
+        self.from_items: list[str] = []
+        self._alias_count = 0
+
+    def _fresh_alias(self) -> str:
+        alias = f"t{self._alias_count}"
+        self._alias_count += 1
+        return alias
+
+    def _column(self, relation: str, position: int) -> str:
+        attrs = self.schema[relation].attribute_names
+        return quote_identifier(attrs[position])
+
+    def add_positive_atom(self, atom: Atom) -> None:
+        alias = self._fresh_alias()
+        self.from_items.append(f"{quote_identifier(atom.relation)} {alias}")
+        self.conditions.append(f"{alias}._current = 1")
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.{self._column(atom.relation, position)}"
+            if isinstance(term, Constant):
+                self.conditions.append(f"{column} = ?")
+                self.params.append(term.value)
+            else:
+                bound = self.var_expr.get(term.name)
+                if bound is None:
+                    self.var_expr[term.name] = column
+                else:
+                    self.conditions.append(f"{column} = {bound}")
+
+    def term_sql(self, term) -> str:
+        if isinstance(term, Constant):
+            self.params.append(term.value)
+            return "?"
+        expr = self.var_expr.get(term.name)
+        if expr is None:
+            raise QueryError(
+                f"variable {term.name!r} is not bound by a positive atom"
+            )
+        return expr
+
+    def add_comparison(self, comparison: Comparison) -> None:
+        left = self.term_sql(comparison.left)
+        op = _OP_SQL[comparison.op]
+        right = self.term_sql(comparison.right)
+        self.conditions.append(f"{left} {op} {right}")
+
+    def add_negated_atom(self, atom: Atom) -> None:
+        alias = self._fresh_alias()
+        inner: list[str] = [f"{alias}._current = 1"]
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.{self._column(atom.relation, position)}"
+            inner.append(f"{column} = {self.term_sql(term)}")
+        table = quote_identifier(atom.relation)
+        self.conditions.append(
+            f"NOT EXISTS (SELECT 1 FROM {table} {alias} WHERE "
+            + " AND ".join(inner)
+            + ")"
+        )
+
+
+def _compile_body(body: ConjunctiveQuery, schema: Schema) -> _Compilation:
+    compilation = _Compilation(schema)
+    for atom in body.positive_atoms:
+        compilation.add_positive_atom(atom)
+    for comparison in body.comparisons:
+        compilation.add_comparison(comparison)
+    for atom in body.negated_atoms:
+        compilation.add_negated_atom(atom)
+    return compilation
+
+
+def compile_query(
+    query: ConjunctiveQuery | AggregateQuery, schema: Schema
+) -> CompiledQuery:
+    """Compile a denial constraint against *schema*.
+
+    See the module docstring for the two compilation shapes.
+    """
+    body = query.body if isinstance(query, AggregateQuery) else query
+    compilation = _compile_body(body, schema)
+    from_clause = ", ".join(compilation.from_items)
+    where_clause = " AND ".join(compilation.conditions) or "1"
+
+    if isinstance(query, ConjunctiveQuery):
+        sql = (
+            f"SELECT EXISTS(SELECT 1 FROM {from_clause} WHERE {where_clause})"
+        )
+        return CompiledQuery(sql=sql, params=compilation.params, kind="exists")
+
+    variables = sorted(compilation.var_expr)
+    if not variables:
+        # A variable-free body has at most one satisfying assignment;
+        # EXISTS answers whether the bag is empty.
+        sql = (
+            f"SELECT EXISTS(SELECT 1 FROM {from_clause} WHERE {where_clause})"
+        )
+        return CompiledQuery(sql=sql, params=compilation.params, kind="exists")
+
+    select_list = ", ".join(
+        f"{compilation.var_expr[name]} AS {quote_identifier(name)}"
+        for name in variables
+    )
+    sql = (
+        f"SELECT DISTINCT {select_list} FROM {from_clause} "
+        f"WHERE {where_clause}"
+    )
+    return CompiledQuery(
+        sql=sql,
+        params=compilation.params,
+        kind="rows",
+        var_order=tuple(variables),
+    )

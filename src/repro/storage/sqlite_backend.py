@@ -1,0 +1,244 @@
+"""SQLite backend: the paper's Postgres architecture on the stdlib engine.
+
+Each relation becomes a table with its attribute columns plus
+
+* ``_tx`` — provenance: ``''`` for committed tuples, else the pending
+  transaction id;
+* ``_current`` — the paper's Boolean ``current`` column: 1 when the
+  tuple belongs to the possible world under consideration.
+
+Selecting a possible world issues real ``UPDATE`` statements flipping
+``_current`` for the transactions entering/leaving the world — the very
+operation the paper reports as a dominant cost — and denial constraints
+run as compiled SQL (:mod:`repro.storage.sql_compiler`).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.query.ast import AggregateQuery, ConjunctiveQuery, Constant
+from repro.storage.sql_compiler import CompiledQuery, compile_query, quote_identifier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.workspace import Workspace
+    from repro.relational.transaction import Transaction
+
+_TYPE_AFFINITY = {int: "INTEGER", float: "REAL", str: "TEXT", bytes: "BLOB", bool: "INTEGER"}
+
+#: sqlite limits host parameters; stay well below the historical 999.
+_CHUNK = 500
+
+
+class SqliteBackend:
+    """Stores the workspace in sqlite and evaluates compiled SQL."""
+
+    def __init__(self, path: str = ":memory:", create_indexes: bool = True):
+        self._path = path
+        self._create_indexes = create_indexes
+        self._conn: sqlite3.Connection | None = None
+        self._workspace: "Workspace | None" = None
+        self._active: frozenset[str] = frozenset()
+        # Keyed by the query's textual form: id()-based keys are unsafe
+        # (CPython recycles addresses of collected query objects, which
+        # would hand a later query a stale compiled plan).
+        self._compiled: dict[str, CompiledQuery] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment / loading
+
+    def attach(self, workspace: "Workspace") -> None:
+        self._workspace = workspace
+        self._conn = sqlite3.connect(self._path)
+        self._conn.execute("PRAGMA journal_mode = MEMORY")
+        self._conn.execute("PRAGMA synchronous = OFF")
+        self._create_schema()
+        self._bulk_load()
+        self._active = frozenset()
+
+    def _require(self) -> tuple[sqlite3.Connection, "Workspace"]:
+        if self._conn is None or self._workspace is None:
+            raise StorageError("sqlite backend is not attached to a workspace")
+        return self._conn, self._workspace
+
+    def _create_schema(self) -> None:
+        conn, workspace = self._require()
+        for rel_schema in workspace.base.schema:
+            columns = []
+            for attr in rel_schema.attributes:
+                affinity = _TYPE_AFFINITY.get(attr.dtype, "")
+                columns.append(
+                    f"{quote_identifier(attr.name)} {affinity}".rstrip()
+                )
+            columns.append("_tx TEXT NOT NULL DEFAULT ''")
+            columns.append("_current INTEGER NOT NULL DEFAULT 0")
+            column_names = ", ".join(
+                quote_identifier(a.name) for a in rel_schema.attributes
+            )
+            table = quote_identifier(rel_schema.name)
+            conn.execute(
+                f"CREATE TABLE {table} ({', '.join(columns)}, "
+                f"UNIQUE ({column_names}, _tx))"
+            )
+            conn.execute(
+                f"CREATE INDEX {quote_identifier('idx_' + rel_schema.name + '_tx')} "
+                f"ON {table} (_tx)"
+            )
+            if self._create_indexes:
+                for attr in rel_schema.attributes:
+                    conn.execute(
+                        f"CREATE INDEX "
+                        f"{quote_identifier(f'idx_{rel_schema.name}_{attr.name}')} "
+                        f"ON {table} ({quote_identifier(attr.name)})"
+                    )
+        conn.commit()
+
+    def _insert_rows(self, relation: str, rows: list[tuple]) -> None:
+        conn, workspace = self._require()
+        arity = workspace.base[relation].schema.arity
+        placeholders = ", ".join("?" for _ in range(arity + 2))
+        conn.executemany(
+            f"INSERT OR IGNORE INTO {quote_identifier(relation)} "
+            f"VALUES ({placeholders})",
+            rows,
+        )
+
+    def _bulk_load(self) -> None:
+        conn, workspace = self._require()
+        for rel in workspace.base:
+            rows = [values + ("", 1) for values in rel]
+            if rows:
+                self._insert_rows(rel.name, rows)
+        for tx in workspace.db.pending:
+            self._load_transaction(tx)
+        conn.commit()
+
+    def _load_transaction(self, tx: "Transaction") -> None:
+        by_relation: dict[str, list[tuple]] = {}
+        for rel, values in tx:
+            by_relation.setdefault(rel, []).append(values + (tx.tx_id, 0))
+        for rel, rows in by_relation.items():
+            self._insert_rows(rel, rows)
+
+    # ------------------------------------------------------------------
+    # Steady-state maintenance
+
+    def on_issue(self, tx: "Transaction") -> None:
+        conn, _ = self._require()
+        self._load_transaction(tx)
+        conn.commit()
+
+    def on_commit(self, tx: "Transaction") -> None:
+        conn, workspace = self._require()
+        for rel in tx.relation_names:
+            table = quote_identifier(rel)
+            conn.execute(f"DELETE FROM {table} WHERE _tx = ?", (tx.tx_id,))
+            rows = [values + ("", 1) for values in tx.tuples(rel)]
+            self._insert_rows(rel, rows)
+        conn.commit()
+        if tx.tx_id in self._active:
+            self._active = self._active - {tx.tx_id}
+
+    def on_forget(self, tx: "Transaction") -> None:
+        conn, _ = self._require()
+        for rel in tx.relation_names:
+            conn.execute(
+                f"DELETE FROM {quote_identifier(rel)} WHERE _tx = ?", (tx.tx_id,)
+            )
+        conn.commit()
+        if tx.tx_id in self._active:
+            self._active = self._active - {tx.tx_id}
+
+    # ------------------------------------------------------------------
+    # World selection (the ``current`` column updates)
+
+    def _flip(self, tx_ids: list[str], value: int) -> None:
+        conn, workspace = self._require()
+        tables = [quote_identifier(name) for name in workspace.base.relation_names]
+        for start in range(0, len(tx_ids), _CHUNK):
+            chunk = tx_ids[start : start + _CHUNK]
+            placeholders = ", ".join("?" for _ in chunk)
+            for table in tables:
+                conn.execute(
+                    f"UPDATE {table} SET _current = ? "
+                    f"WHERE _tx IN ({placeholders})",
+                    [value, *chunk],
+                )
+
+    def set_active(self, active: frozenset[str]) -> None:
+        """Flip ``_current`` so exactly *active* pending txs are current."""
+        added = sorted(active - self._active)
+        removed = sorted(self._active - active)
+        if added:
+            self._flip(added, 1)
+        if removed:
+            self._flip(removed, 0)
+        self._active = active
+
+    # ------------------------------------------------------------------
+    # Evaluation
+
+    def _compiled_query(
+        self, query: ConjunctiveQuery | AggregateQuery
+    ) -> CompiledQuery:
+        _, workspace = self._require()
+        key = f"{type(query).__name__}:{query}"
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = compile_query(query, workspace.base.schema)
+            self._compiled[key] = compiled
+        return compiled
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        active: frozenset[str],
+    ) -> bool:
+        conn, _ = self._require()
+        self.set_active(active)
+        compiled = self._compiled_query(query)
+        cursor = conn.execute(compiled.sql, compiled.params)
+        if compiled.kind == "exists":
+            exists = bool(cursor.fetchone()[0])
+            if isinstance(query, ConjunctiveQuery):
+                return exists
+            # Variable-free aggregate body: the bag is empty or holds the
+            # single constant row.
+            if not exists:
+                return False
+            return self._aggregate_over(query, [{}])
+        rows = cursor.fetchall()
+        if not rows:
+            return False
+        assignments = [dict(zip(compiled.var_order, row)) for row in rows]
+        return self._aggregate_over(query, assignments)
+
+    def _aggregate_over(
+        self, query: AggregateQuery, assignments: list[dict[str, object]]
+    ) -> bool:
+        from repro.query.evaluator import _aggregate_value
+
+        values = [
+            tuple(
+                term.value if isinstance(term, Constant) else assignment[term.name]
+                for term in query.agg_terms
+            )
+            for assignment in assignments
+        ]
+        if not values:
+            return False
+        result = _aggregate_value(query.func, values)
+        from repro.query.ast import Comparison
+
+        return Comparison(
+            Constant(result), query.op, Constant(query.threshold)
+        ).holds(result, query.threshold)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        self._workspace = None
+        self._compiled.clear()

@@ -1,0 +1,40 @@
+"""Experiment workloads: the paper's query families and datasets.
+
+Section 7 evaluates four denial-constraint shapes over Bitcoin data:
+
+* ``q_s`` — *simple*: some address received bitcoins;
+* ``q_p^i`` — *path*: a chain of ``i`` transfers exists;
+* ``q_r^i`` — *star*: an address transferred to ``i`` different
+  transactions;
+* ``q_a^n`` — *aggregate*: an address received more than ``n`` in total.
+
+Constants are instantiated either so the underlying query cannot hold in
+any world (*satisfied* denial constraints — the fast path) or from
+actual dataset chains (*unsatisfied* — the algorithms must find a
+witness world).
+"""
+
+from repro.workloads.queries import (
+    aggregate_constraint,
+    path_constraint,
+    simple_constraint,
+    star_constraint,
+)
+from repro.workloads.constants import (
+    ConstantPicker,
+    fresh_address,
+)
+from repro.workloads.experiments import Experiment, ExperimentSuite
+from repro.workloads.report import render_markdown
+
+__all__ = [
+    "simple_constraint",
+    "path_constraint",
+    "star_constraint",
+    "aggregate_constraint",
+    "ConstantPicker",
+    "fresh_address",
+    "Experiment",
+    "ExperimentSuite",
+    "render_markdown",
+]

@@ -1,0 +1,202 @@
+"""Data-driven constant selection for the experiment queries.
+
+The paper instantiates the ``X``/``Y`` constants of its denial
+constraints either so the underlying query is unsatisfiable (a
+*satisfied* constraint — answered by the ``R ∪ T`` short-circuit) or
+from real chains of transfers (an *unsatisfied* constraint — the solver
+must exhibit a witness world).  :class:`ConstantPicker` mines a
+generated :class:`~repro.bitcoin.generator.Dataset` for such constants,
+preferring witnesses that *require pending transactions*, so the
+interesting code path (clique enumeration over the fd-graph) is
+exercised rather than the trivial current-state check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.bitcoin.generator import Dataset
+from repro.bitcoin.transactions import BitcoinTransaction
+from repro.errors import ReproError
+
+
+def fresh_address(salt: object = 0) -> str:
+    """An address that cannot occur in any generated dataset."""
+    return "addr_none_" + hashlib.sha256(str(salt).encode()).hexdigest()[:20]
+
+
+class ConstantPicker:
+    """Finds satisfying/unsatisfying constants in a generated dataset."""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        self._tx_index: dict[str, BitcoinTransaction] = {
+            tx.txid: tx for tx in dataset.chain.transactions()
+        }
+        self._pending_ids = {tx.txid for tx in dataset.pending}
+        for tx in dataset.pending:
+            self._tx_index[tx.txid] = tx
+        self._conflicted: set[str] = set()
+        for a, b in dataset.contradiction_pairs:
+            self._conflicted.add(a)
+            self._conflicted.add(b)
+
+    # ------------------------------------------------------------------
+    # Helpers
+
+    def _is_clean_pending(self, txid: str) -> bool:
+        return txid in self._pending_ids and txid not in self._conflicted
+
+    def _is_usable(self, txid: str) -> bool:
+        """Committed, or pending without an injected contradiction."""
+        if txid not in self._tx_index:
+            return False
+        if txid in self._pending_ids:
+            return txid not in self._conflicted
+        return True
+
+    def _output_owner(self, txid: str, index: int) -> str:
+        tx = self._tx_index[txid]
+        return tx.outputs[index].script.owner
+
+    # ------------------------------------------------------------------
+    # Simple constraints
+
+    def pending_recipient(self) -> str:
+        """An address that receives coins only in pending transactions
+        (unsatisfied ``q_s``: the witness world needs a pending tx)."""
+        committed_owners = {
+            output.script.owner
+            for tx in self.dataset.chain.transactions()
+            for output in tx.outputs
+        }
+        for tx in self.dataset.pending:
+            if not self._is_clean_pending(tx.txid):
+                continue
+            for output in tx.outputs:
+                owner = output.script.owner
+                if owner not in committed_owners:
+                    return owner
+        raise ReproError("no pending-only recipient found in the dataset")
+
+    # ------------------------------------------------------------------
+    # Path constraints
+
+    def path_endpoints(self, length: int) -> tuple[str, str]:
+        """``(source, sink)`` constants making ``q_p^length`` unsatisfied.
+
+        Walks a real spend chain of ``length + 1`` transactions ending in
+        a clean pending transaction, so the witness world must include
+        pending transactions.  Raises when the dataset holds no chain of
+        the requested length.
+        """
+        late_keys = {w.public_key for w in self.dataset.late_wallets}
+
+        def tails():
+            # Prefer chains whose last hop is paid by a late joiner: its
+            # key never appears in a committed TxIn row, so the current
+            # state alone cannot satisfy the query.
+            for tx in self.dataset.pending:
+                creator = self.dataset.creators.get(tx.txid)
+                if creator is not None and creator.public_key in late_keys:
+                    yield tx
+            yield from self.dataset.pending
+
+        for tail in tails():
+            if not self._is_clean_pending(tail.txid) or not tail.inputs:
+                continue
+            chain = self._walk_back(tail, length)
+            if chain is None:
+                continue
+            # chain = [t_1, ..., t_{length+1}]; hop j spends t_j's output.
+            source = self._consumed_owner(chain[1])
+            sink = self._consumed_owner(chain[length])
+            return source, sink
+        raise ReproError(
+            f"dataset {self.dataset.spec.name!r} contains no clean spend "
+            f"chain of length {length}"
+        )
+
+    def _walk_back(
+        self, tail: BitcoinTransaction, length: int
+    ) -> list[BitcoinTransaction] | None:
+        chain = [tail]
+        current = tail
+        for _ in range(length):
+            if not current.inputs:
+                return None
+            prev_id = current.inputs[0].outpoint.txid
+            if not self._is_usable(prev_id):
+                return None
+            current = self._tx_index[prev_id]
+            chain.append(current)
+        chain.reverse()
+        return chain
+
+    def _consumed_owner(self, tx: BitcoinTransaction) -> str:
+        outpoint = tx.inputs[0].outpoint
+        return self._output_owner(outpoint.txid, outpoint.index)
+
+    # ------------------------------------------------------------------
+    # Star constraints
+
+    def star_source(self, fan_out: int) -> str:
+        """A public key with ``fan_out`` outgoing transfers reachable in
+        one world, at least one of them pending (unsatisfied ``q_r``)."""
+        committed_out: dict[str, set[str]] = {}
+        for tx in self.dataset.chain.transactions():
+            for tx_input in tx.inputs:
+                owner = self._output_owner(
+                    tx_input.outpoint.txid, tx_input.outpoint.index
+                )
+                committed_out.setdefault(owner, set()).add(tx.txid)
+        pending_out: dict[str, set[str]] = {}
+        for tx in self.dataset.pending:
+            if not self._is_clean_pending(tx.txid):
+                continue
+            for tx_input in tx.inputs:
+                owner = self._output_owner(
+                    tx_input.outpoint.txid, tx_input.outpoint.index
+                )
+                pending_out.setdefault(owner, set()).add(tx.txid)
+        # Prefer sources whose outgoing transfers are *all* pending (late
+        # joiners): the witness world then genuinely needs the mempool.
+        best: tuple[int, int, str] | None = None
+        for owner, pending_ids in pending_out.items():
+            committed = len(committed_out.get(owner, ()))
+            total = committed + len(pending_ids)
+            if total >= fan_out and committed < fan_out:
+                score = (-committed, len(pending_ids), owner)
+                if best is None or score > best:
+                    best = score
+        if best is None:
+            raise ReproError(
+                f"no address reaches fan-out {fan_out} with pending help"
+            )
+        return best[2]
+
+    # ------------------------------------------------------------------
+    # Aggregate constraints
+
+    def aggregate_target(self) -> tuple[str, int]:
+        """``(address, threshold)`` making ``q_a`` unsatisfied: the
+        address can cross the threshold only with pending receipts."""
+        committed_sum: dict[str, int] = {}
+        for tx in self.dataset.chain.transactions():
+            for output in tx.outputs:
+                owner = output.script.owner
+                committed_sum[owner] = committed_sum.get(owner, 0) + output.value
+        best: tuple[int, str, int] | None = None
+        for tx in self.dataset.pending:
+            if not self._is_clean_pending(tx.txid):
+                continue
+            for output in tx.outputs:
+                owner = output.script.owner
+                base = committed_sum.get(owner, 0)
+                threshold = base + output.value
+                candidate = (output.value, owner, threshold)
+                if best is None or candidate > best:
+                    best = candidate
+        if best is None:
+            raise ReproError("dataset has no clean pending receipts")
+        return best[1], best[2]

@@ -1,0 +1,355 @@
+"""Programmatic experiment runner: the paper's tables and figures as data.
+
+While ``benchmarks/`` measures with pytest-benchmark rigor, this module
+reproduces each artefact as a plain data series — the rows behind
+Table 1 and the (x, naive, opt) points behind Figures 6a–6h — so they
+can be printed, exported to CSV, or plotted.  Run the whole battery::
+
+    python -m repro.workloads.experiments            # full scaled run
+    python -m repro.workloads.experiments --quick    # smoke-sized
+
+Each experiment reports per point the **median of `repeats` runs**, as
+the paper averages three executions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.bitcoin.generator import PRESETS, Dataset, DatasetSpec, generate_dataset
+from repro.core.checker import DCSatChecker
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.workloads.constants import ConstantPicker, fresh_address
+from repro.workloads.queries import (
+    aggregate_constraint,
+    path_constraint,
+    simple_constraint,
+    star_constraint,
+)
+
+Query = ConjunctiveQuery | AggregateQuery
+
+#: Smoke-sized specs for --quick runs and the test suite.
+QUICK_PRESETS = {
+    "D100-S": DatasetSpec(
+        name="D100-Q", committed_blocks=12, pending_blocks=6,
+        txs_per_block=4, users=12, contradictions=5, seed=100,
+    ),
+    "D200-S": DatasetSpec(
+        name="D200-Q", committed_blocks=20, pending_blocks=8,
+        txs_per_block=5, users=14, contradictions=5, seed=200,
+    ),
+    "D300-S": DatasetSpec(
+        name="D300-Q", committed_blocks=28, pending_blocks=6,
+        txs_per_block=6, users=16, contradictions=5, seed=300,
+    ),
+}
+
+
+@dataclass
+class Row:
+    """One measured point of an experiment series."""
+
+    label: str
+    algorithm: str
+    seconds: float
+    satisfied: bool
+    worlds: int = 0
+
+    def as_csv(self) -> str:
+        return (
+            f"{self.label},{self.algorithm},{self.seconds:.6f},"
+            f"{int(self.satisfied)},{self.worlds}"
+        )
+
+
+@dataclass
+class Experiment:
+    """A named series of measured rows."""
+
+    name: str
+    description: str
+    rows: list[Row] = field(default_factory=list)
+
+    def print(self, stream=None) -> None:
+        stream = stream if stream is not None else sys.stdout
+        print(f"\n== {self.name}: {self.description}", file=stream)
+        width = max((len(r.label) for r in self.rows), default=8)
+        for row in self.rows:
+            print(
+                f"  {row.label:<{width}}  {row.algorithm:<6}  "
+                f"{row.seconds * 1000:9.3f} ms  "
+                f"{'satisfied' if row.satisfied else 'VIOLATED'}",
+                file=stream,
+            )
+
+    def csv(self) -> str:
+        header = "label,algorithm,seconds,satisfied,worlds"
+        return "\n".join([header] + [row.as_csv() for row in self.rows])
+
+
+class ExperimentSuite:
+    """Builds and runs every experiment of Section 7."""
+
+    def __init__(self, quick: bool = False, repeats: int = 3):
+        self.presets = QUICK_PRESETS if quick else PRESETS
+        self.repeats = repeats
+        self._datasets: dict[str, Dataset] = {}
+        self._checkers: dict[str, DCSatChecker] = {}
+        self._pickers: dict[str, ConstantPicker] = {}
+
+    # ------------------------------------------------------------------
+    # Caching plumbing
+
+    def dataset(self, spec: DatasetSpec | str) -> Dataset:
+        if isinstance(spec, str):
+            spec = self.presets[spec]
+        if spec.name not in self._datasets:
+            self._datasets[spec.name] = generate_dataset(spec)
+        return self._datasets[spec.name]
+
+    def checker(self, spec: DatasetSpec | str) -> DCSatChecker:
+        dataset = self.dataset(spec)
+        if dataset.spec.name not in self._checkers:
+            self._checkers[dataset.spec.name] = DCSatChecker(
+                dataset.to_blockchain_database(),
+                assume_nonnegative_sums=True,
+            )
+        return self._checkers[dataset.spec.name]
+
+    def picker(self, spec: DatasetSpec | str) -> ConstantPicker:
+        dataset = self.dataset(spec)
+        if dataset.spec.name not in self._pickers:
+            self._pickers[dataset.spec.name] = ConstantPicker(dataset)
+        return self._pickers[dataset.spec.name]
+
+    def _measure(
+        self, checker: DCSatChecker, query: Query, algorithm: str,
+        label: str,
+    ) -> Row:
+        samples = []
+        result = None
+        for _ in range(self.repeats):
+            started = time.perf_counter()
+            result = checker.check(query, algorithm=algorithm)
+            samples.append(time.perf_counter() - started)
+        assert result is not None
+        return Row(
+            label=label,
+            algorithm=algorithm,
+            seconds=statistics.median(samples),
+            satisfied=result.satisfied,
+            worlds=result.stats.worlds_checked,
+        )
+
+    # ------------------------------------------------------------------
+    # Table 1
+
+    def table1(self) -> Experiment:
+        experiment = Experiment("Table 1", "dataset statistics")
+        for name in self.presets:
+            stats = self.dataset(name).stats()
+            experiment.rows.append(
+                Row(
+                    label=(
+                        f"{name} R: {stats.blocks} blk / {stats.transactions} tx / "
+                        f"{stats.inputs} in / {stats.outputs} out | "
+                        f"T: {stats.pending_transactions} tx / "
+                        f"{stats.pending_inputs} in / {stats.pending_outputs} out"
+                    ),
+                    algorithm="-",
+                    seconds=0.0,
+                    satisfied=True,
+                )
+            )
+        return experiment
+
+    # ------------------------------------------------------------------
+    # Figures
+
+    def _default(self) -> str:
+        return "D200-S"
+
+    def _families(self, satisfied: bool) -> list[tuple[str, Query, tuple[str, ...]]]:
+        if satisfied:
+            return [
+                ("qs", simple_constraint(fresh_address("e1")), ("naive", "opt")),
+                ("qp3", path_constraint(3, fresh_address("e2"), fresh_address("e3")), ("naive", "opt")),
+                ("qr3", star_constraint(3, fresh_address("e4")), ("naive", "opt")),
+                ("qa", aggregate_constraint(fresh_address("e5"), 10), ("naive",)),
+            ]
+        picker = self.picker(self._default())
+        source, sink = picker.path_endpoints(3)
+        agg_addr, agg_thr = picker.aggregate_target()
+        return [
+            ("qs", simple_constraint(picker.pending_recipient()), ("naive", "opt")),
+            ("qp3", path_constraint(3, source, sink), ("naive", "opt")),
+            ("qr3", star_constraint(3, picker.star_source(3)), ("naive", "opt")),
+            ("qa", aggregate_constraint(agg_addr, agg_thr), ("naive",)),
+        ]
+
+    def figure6a(self) -> Experiment:
+        experiment = Experiment("Figure 6a", "query types, satisfied")
+        checker = self.checker(self._default())
+        for label, query, algorithms in self._families(satisfied=True):
+            for algorithm in algorithms:
+                experiment.rows.append(
+                    self._measure(checker, query, algorithm, label)
+                )
+        return experiment
+
+    def figure6b(self) -> Experiment:
+        experiment = Experiment("Figure 6b", "query types, unsatisfied")
+        checker = self.checker(self._default())
+        for label, query, algorithms in self._families(satisfied=False):
+            for algorithm in algorithms:
+                experiment.rows.append(
+                    self._measure(checker, query, algorithm, label)
+                )
+        return experiment
+
+    def _pending_specs(self) -> list[DatasetSpec]:
+        base = self.presets[self._default()]
+        steps = [10, 20, 30, 40, 50] if base.pending_blocks >= 30 else [4, 8, 12]
+        return [
+            base.scaled(name=f"{base.name}/p{blocks}", pending_blocks=blocks)
+            for blocks in steps
+        ]
+
+    def figure6c(self) -> Experiment:
+        experiment = Experiment("Figure 6c", "pending transactions, satisfied")
+        query = path_constraint(3, fresh_address("e6"), fresh_address("e7"))
+        for spec in self._pending_specs():
+            checker = self.checker(spec)
+            experiment.rows.append(
+                self._measure(checker, query, "opt", f"{spec.pending_blocks} blocks")
+            )
+        return experiment
+
+    def figure6d(self) -> Experiment:
+        experiment = Experiment("Figure 6d", "pending transactions, unsatisfied")
+        for spec in self._pending_specs():
+            checker = self.checker(spec)
+            picker = self.picker(spec)
+            source, sink = picker.path_endpoints(3)
+            query = path_constraint(3, source, sink)
+            for algorithm in ("naive", "opt"):
+                experiment.rows.append(
+                    self._measure(
+                        checker, query, algorithm, f"{spec.pending_blocks} blocks"
+                    )
+                )
+        return experiment
+
+    def _contradiction_specs(self) -> list[DatasetSpec]:
+        base = self.presets[self._default()]
+        steps = [10, 20, 30, 40, 50] if base.contradictions >= 20 else [2, 5, 8]
+        return [
+            base.scaled(name=f"{base.name}/c{count}", contradictions=count)
+            for count in steps
+        ]
+
+    def figure6e(self) -> Experiment:
+        experiment = Experiment("Figure 6e", "contradictions, satisfied")
+        query = path_constraint(3, fresh_address("e8"), fresh_address("e9"))
+        for spec in self._contradiction_specs():
+            checker = self.checker(spec)
+            experiment.rows.append(
+                self._measure(
+                    checker, query, "opt", f"{spec.contradictions} contradictions"
+                )
+            )
+        return experiment
+
+    def figure6f(self) -> Experiment:
+        experiment = Experiment("Figure 6f", "contradictions, unsatisfied")
+        for spec in self._contradiction_specs():
+            checker = self.checker(spec)
+            picker = self.picker(spec)
+            source, sink = picker.path_endpoints(3)
+            query = path_constraint(3, source, sink)
+            for algorithm in ("naive", "opt"):
+                experiment.rows.append(
+                    self._measure(
+                        checker, query, algorithm,
+                        f"{spec.contradictions} contradictions",
+                    )
+                )
+        return experiment
+
+    def figure6g(self) -> Experiment:
+        experiment = Experiment("Figure 6g", "query sizes, unsatisfied")
+        checker = self.checker(self._default())
+        picker = self.picker(self._default())
+        lengths = [2, 3, 4, 5]
+        for length in lengths:
+            source, sink = picker.path_endpoints(length)
+            query = path_constraint(length, source, sink)
+            for algorithm in ("naive", "opt"):
+                experiment.rows.append(
+                    self._measure(checker, query, algorithm, f"length {length}")
+                )
+        return experiment
+
+    def figure6h(self) -> Experiment:
+        experiment = Experiment("Figure 6h", "data sizes, unsatisfied")
+        for name in self.presets:
+            checker = self.checker(name)
+            picker = self.picker(name)
+            source, sink = picker.path_endpoints(3)
+            query = path_constraint(3, source, sink)
+            for algorithm in ("naive", "opt"):
+                experiment.rows.append(
+                    self._measure(checker, query, algorithm, name)
+                )
+        return experiment
+
+    # ------------------------------------------------------------------
+    # The whole battery
+
+    def run_all(self) -> list[Experiment]:
+        return [
+            self.table1(),
+            self.figure6a(),
+            self.figure6b(),
+            self.figure6c(),
+            self.figure6d(),
+            self.figure6e(),
+            self.figure6f(),
+            self.figure6g(),
+            self.figure6h(),
+        ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Re-run the paper's Section 7 experiments as data series"
+    )
+    parser.add_argument("--quick", action="store_true", help="smoke-sized datasets")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--csv-dir", default=None, help="also write CSV files")
+    args = parser.parse_args(argv)
+
+    suite = ExperimentSuite(quick=args.quick, repeats=args.repeats)
+    experiments = suite.run_all()
+    for experiment in experiments:
+        experiment.print()
+    if args.csv_dir:
+        import os
+
+        os.makedirs(args.csv_dir, exist_ok=True)
+        for experiment in experiments:
+            slug = experiment.name.lower().replace(" ", "_")
+            path = os.path.join(args.csv_dir, f"{slug}.csv")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(experiment.csv() + "\n")
+        print(f"\nCSV series written to {args.csv_dir}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

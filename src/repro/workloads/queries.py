@@ -1,0 +1,118 @@
+"""Builders for the paper's four denial-constraint families (Section 7).
+
+All builders return query objects over the Example 1 schema
+(``TxOut(txId, ser, pk, amount)`` /
+``TxIn(prevTxId, prevSer, pk, amount, newTxId, sig)``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.query.ast import (
+    AggregateQuery,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+)
+
+
+def simple_constraint(address: str) -> ConjunctiveQuery:
+    """``q_s() <- TxOut(ntx, s, X, a)``: the address received bitcoins."""
+    return ConjunctiveQuery(
+        [
+            Atom(
+                "TxOut",
+                (Variable("ntx"), Variable("s"), Constant(address), Variable("a")),
+            )
+        ],
+        name="q_s",
+    )
+
+
+def path_constraint(length: int, source: str, sink: str | None = None) -> ConjunctiveQuery:
+    """``q_p^i``: a series of *length* transfers moves coins onward.
+
+    Hop ``j`` contributes ``TxOut(ntx_j, s_j, pk_j, a_j)`` and
+    ``TxIn(ntx_j, s_j, pk_j, a_j, ntx_{j+1}, sig_j)`` — output ``j`` is
+    consumed by transaction ``j+1``.  The first output's owner is the
+    constant *source*; when *sink* is given, the last consuming input's
+    key is pinned to it (as ``Y`` in the paper's ``q_p3``).
+    """
+    if length < 1:
+        raise ReproError("path length must be at least 1")
+    atoms: list[Atom] = []
+    for hop in range(1, length + 1):
+        ntx = Variable(f"ntx{hop}")
+        ser = Variable(f"s{hop}")
+        amount = Variable(f"a{hop}")
+        pk: Constant | Variable
+        if hop == 1:
+            pk = Constant(source)
+        elif hop == length and sink is not None:
+            pk = Constant(sink)
+        else:
+            pk = Variable(f"pk{hop}")
+        atoms.append(Atom("TxOut", (ntx, ser, pk, amount)))
+        atoms.append(
+            Atom(
+                "TxIn",
+                (ntx, ser, pk, amount, Variable(f"ntx{hop + 1}"), Variable(f"sig{hop}")),
+            )
+        )
+    return ConjunctiveQuery(atoms, name=f"q_p{length}")
+
+
+def star_constraint(fan_out: int, source: str) -> ConjunctiveQuery:
+    """``q_r^i``: *source* transferred coins in *fan_out* distinct
+    transactions (pairwise different ``newTxId``)."""
+    if fan_out < 1:
+        raise ReproError("star fan-out must be at least 1")
+    atoms: list[Atom] = []
+    comparisons: list[Comparison] = []
+    for arm in range(1, fan_out + 1):
+        ntx = Variable(f"ntx{arm}")
+        atoms.append(
+            Atom(
+                "TxIn",
+                (
+                    Variable(f"pntx{arm}"),
+                    Variable(f"ps{arm}"),
+                    Constant(source),
+                    Variable(f"a{arm}"),
+                    ntx,
+                    Variable(f"sig{arm}"),
+                ),
+            )
+        )
+        atoms.append(
+            Atom(
+                "TxOut",
+                (ntx, Variable(f"os{arm}"), Variable(f"opk{arm}"), Variable(f"oa{arm}")),
+            )
+        )
+    for i in range(1, fan_out + 1):
+        for j in range(i + 1, fan_out + 1):
+            comparisons.append(
+                Comparison(Variable(f"ntx{i}"), "!=", Variable(f"ntx{j}"))
+            )
+    return ConjunctiveQuery(atoms, comparisons, name=f"q_r{fan_out}")
+
+
+def aggregate_constraint(address: str, threshold: int) -> AggregateQuery:
+    """``q_a^n``: *address* received more than *threshold* in total
+    (``[q(sum(a)) <- TxOut(ntx, s, X, a)] >= n``)."""
+    return AggregateQuery(
+        "sum",
+        (Variable("a"),),
+        [
+            Atom(
+                "TxOut",
+                (Variable("ntx"), Variable("s"), Constant(address), Variable("a")),
+            )
+        ],
+        ">=",
+        threshold,
+        name="q_a",
+    )

@@ -1,0 +1,191 @@
+"""The validating chain: UTXO tracking, block/transaction rules."""
+
+import pytest
+
+from repro.bitcoin.blocks import Block
+from repro.bitcoin.chain import Blockchain, UTXOSet, block_subsidy
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.script import P2PKScript, Witness
+from repro.bitcoin.transactions import (
+    COIN,
+    BitcoinTransaction,
+    OutPoint,
+    TxInput,
+    TxOutput,
+)
+from repro.bitcoin.wallet import Wallet
+from repro.errors import ChainValidationError
+
+ALICE = Wallet(KeyPair.generate("alice"), name="alice")
+BOB = Wallet(KeyPair.generate("bob"), name="bob")
+
+
+@pytest.fixture
+def chain() -> Blockchain:
+    chain = Blockchain(difficulty=0)
+    chain.append_genesis([TxOutput(50 * COIN, ALICE.script)])
+    return chain
+
+
+def _payment(chain, wallet, recipient, amount, fee=100):
+    return wallet.create_payment(chain.utxos, recipient.public_key, amount, fee)
+
+
+class TestGenesis:
+    def test_genesis_creates_utxos(self, chain):
+        assert len(chain.blocks) == 1
+        assert chain.utxos.total_value() == 50 * COIN
+        assert ALICE.balance(chain.utxos) == 50 * COIN
+
+    def test_double_genesis_rejected(self, chain):
+        with pytest.raises(ChainValidationError):
+            chain.append_genesis([TxOutput(1, ALICE.script)])
+
+
+class TestTransactionValidation:
+    def test_valid_payment(self, chain):
+        tx = _payment(chain, ALICE, BOB, 10 * COIN)
+        fee = chain.validate_transaction(tx)
+        assert fee == 100
+
+    def test_missing_outpoint(self, chain):
+        tx = BitcoinTransaction(
+            [TxInput(OutPoint("0" * 64, 5))], [TxOutput(1, BOB.script)]
+        )
+        with pytest.raises(ChainValidationError):
+            chain.validate_transaction(tx)
+
+    def test_bad_witness(self, chain):
+        genesis_txid = chain.blocks[0].coinbase.txid
+        unsigned = BitcoinTransaction(
+            [TxInput(OutPoint(genesis_txid, 0))], [TxOutput(1, BOB.script)]
+        )
+        with pytest.raises(ChainValidationError):
+            chain.validate_transaction(unsigned)
+
+    def test_wrong_signer(self, chain):
+        genesis_txid = chain.blocks[0].coinbase.txid
+        unsigned = BitcoinTransaction(
+            [TxInput(OutPoint(genesis_txid, 0))], [TxOutput(1, BOB.script)]
+        )
+        bad = unsigned.with_witnesses(
+            [Witness((BOB.public_key,), (BOB.keypair.sign(unsigned.signing_digest()),))]
+        )
+        with pytest.raises(ChainValidationError):
+            chain.validate_transaction(bad)
+
+    def test_overspend_rejected(self, chain):
+        genesis_txid = chain.blocks[0].coinbase.txid
+        unsigned = BitcoinTransaction(
+            [TxInput(OutPoint(genesis_txid, 0))],
+            [TxOutput(60 * COIN, BOB.script)],
+        )
+        digest = unsigned.signing_digest()
+        signed = unsigned.with_witnesses(
+            [Witness((ALICE.public_key,), (ALICE.keypair.sign(digest),))]
+        )
+        with pytest.raises(ChainValidationError):
+            chain.validate_transaction(signed)
+
+    def test_coinbase_rejected_as_loose_tx(self, chain):
+        coinbase = BitcoinTransaction([], [TxOutput(1, BOB.script)])
+        with pytest.raises(ChainValidationError):
+            chain.validate_transaction(coinbase)
+
+
+class TestBlockValidation:
+    def _mine(self, chain, txs):
+        miner = Miner(BOB.public_key)
+        block = miner.build_block(chain, txs)
+        chain.append_block(block)
+        return block
+
+    def test_payment_updates_utxos(self, chain):
+        tx = _payment(chain, ALICE, BOB, 10 * COIN)
+        self._mine(chain, [tx])
+        assert BOB.balance(chain.utxos) >= 10 * COIN
+        assert ALICE.balance(chain.utxos) == 50 * COIN - 10 * COIN - 100
+
+    def test_double_spend_across_blocks_rejected(self, chain):
+        tx1 = _payment(chain, ALICE, BOB, 10 * COIN)
+        tx2 = _payment(chain, ALICE, BOB, 20 * COIN)  # same coin
+        self._mine(chain, [tx1])
+        miner = Miner(BOB.public_key)
+        with pytest.raises(ChainValidationError):
+            miner.build_block(chain, [tx2])
+
+    def test_intra_block_chain_allowed(self, chain):
+        # Bob spends Alice's payment within the same block.
+        tx1 = _payment(chain, ALICE, BOB, 10 * COIN)
+        utxo_view = chain.utxos.copy()
+        utxo_view.apply(tx1)
+        tx2 = BOB.create_payment(utxo_view, ALICE.public_key, COIN, 50)
+        block = self._mine(chain, [tx1, tx2])
+        assert len(block.transactions) == 3
+
+    def test_wrong_height_rejected(self, chain):
+        coinbase = BitcoinTransaction([], [TxOutput(1, BOB.script)], tag="cb")
+        block = Block(5, chain.tip_hash, (coinbase,))
+        with pytest.raises(ChainValidationError):
+            chain.append_block(block)
+
+    def test_wrong_prev_hash_rejected(self, chain):
+        coinbase = BitcoinTransaction([], [TxOutput(1, BOB.script)], tag="cb")
+        block = Block(1, "9" * 64, (coinbase,))
+        with pytest.raises(ChainValidationError):
+            chain.append_block(block)
+
+    def test_greedy_coinbase_rejected(self, chain):
+        too_much = BitcoinTransaction(
+            [], [TxOutput(block_subsidy(1) + 1, BOB.script)], tag="cb"
+        )
+        block = Block(1, chain.tip_hash, (too_much,))
+        with pytest.raises(ChainValidationError):
+            chain.append_block(block)
+
+    def test_first_tx_must_be_coinbase(self, chain):
+        tx = _payment(chain, ALICE, BOB, COIN)
+        block = Block(1, chain.tip_hash, (tx,))
+        with pytest.raises(ChainValidationError):
+            chain.append_block(block)
+
+    def test_pow_enforced(self):
+        hard = Blockchain(difficulty=2)
+        genesis = hard.append_genesis([TxOutput(COIN, ALICE.script)])
+        assert genesis.header_hash().startswith("00")
+
+
+class TestSubsidy:
+    def test_halving_schedule(self):
+        assert block_subsidy(0) == 50 * COIN
+        assert block_subsidy(9_999) == 50 * COIN
+        assert block_subsidy(10_000) == 25 * COIN
+        assert block_subsidy(20_000) == 12_5 * COIN // 10
+        assert block_subsidy(10_000 * 64) == 0
+
+
+class TestUTXOSet:
+    def test_by_owner(self, chain):
+        coins = chain.utxos.by_owner(ALICE.public_key)
+        assert len(coins) == 1
+        assert coins[0][1].value == 50 * COIN
+
+    def test_copy_isolated(self, chain):
+        snapshot = chain.utxos.copy()
+        tx = _payment(chain, ALICE, BOB, COIN)
+        snapshot.apply(tx)
+        assert len(chain.utxos) == 1
+        assert len(snapshot) == 2  # payment + change
+
+    def test_require(self, chain):
+        with pytest.raises(ChainValidationError):
+            chain.utxos.require(OutPoint("0" * 64, 9))
+
+    def test_apply_missing_input(self, chain):
+        utxos = UTXOSet()
+        tx = BitcoinTransaction(
+            [TxInput(OutPoint("a" * 64, 0))], [TxOutput(1, BOB.script)]
+        )
+        with pytest.raises(ChainValidationError):
+            utxos.apply(tx)

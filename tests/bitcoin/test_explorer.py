@@ -1,0 +1,145 @@
+"""The chain explorer: balances, history, uncertainty bands."""
+
+import pytest
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.explorer import ChainExplorer
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.transactions import COIN, TxOutput
+from repro.bitcoin.wallet import Wallet
+
+ALICE = Wallet(KeyPair.generate("alice"), name="alice")
+BOB = Wallet(KeyPair.generate("bob"), name="bob")
+MINER = Miner(KeyPair.generate("miner").public_key)
+
+
+@pytest.fixture
+def setup():
+    chain = Blockchain()
+    chain.append_genesis(
+        [TxOutput(20 * COIN, ALICE.script), TxOutput(10 * COIN, BOB.script)]
+    )
+    pool = Mempool(allow_conflicts=True)
+    return chain, pool
+
+
+class TestHistory:
+    def test_confirmed_events(self, setup):
+        chain, pool = setup
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, 3 * COIN, 100)
+        pool.add(tx, chain)
+        MINER.mine(pool, chain)
+        explorer = ChainExplorer(chain)
+        bob_events = explorer.history(BOB.public_key)
+        assert [e.delta for e in bob_events] == [10 * COIN, 3 * COIN]
+        alice_events = explorer.history(ALICE.public_key)
+        assert alice_events[-1].delta == -(3 * COIN) - 100
+        assert all(e.confirmed for e in alice_events)
+
+    def test_pending_events(self, setup):
+        chain, pool = setup
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, 3 * COIN, 100)
+        pool.add(tx, chain)
+        explorer = ChainExplorer(chain, pool)
+        pending = [e for e in explorer.history(BOB.public_key) if not e.confirmed]
+        assert len(pending) == 1
+        assert pending[0].delta == 3 * COIN
+        assert pending[0].height is None
+
+
+class TestBalance:
+    def test_no_mempool(self, setup):
+        chain, _ = setup
+        explorer = ChainExplorer(chain)
+        report = explorer.balance(ALICE.public_key)
+        assert report.confirmed == 20 * COIN
+        assert report.pessimistic == report.optimistic == 20 * COIN
+
+    def test_uncertainty_band_with_conflicts(self, setup):
+        chain, pool = setup
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, 3 * COIN, 100)
+        conflict = ALICE.bump_fee(chain.utxos, original, 700)
+        pool.add(original, chain)
+        pool.add(conflict, chain)
+        explorer = ChainExplorer(chain, pool)
+        report = explorer.balance(BOB.public_key)
+        assert report.exact
+        # Bob keeps 10 in the worst case; gains exactly one 3-coin
+        # payment in the best (the two versions conflict).
+        assert report.pessimistic == 10 * COIN
+        assert report.optimistic == 13 * COIN
+
+    def test_parent_closure_respected(self, setup):
+        chain, pool = setup
+        parent = ALICE.create_payment(chain.utxos, BOB.public_key, 5 * COIN, 100)
+        pool.add(parent, chain)
+        view = pool.extended_utxos(chain)
+        # Bob forwards the unconfirmed 5 coins onward (needs the parent).
+        child = BOB.create_payment(
+            view, ALICE.public_key, 12 * COIN, 100,
+            exclude=pool.spent_outpoints(),
+        )
+        pool.add(child, chain)
+        explorer = ChainExplorer(chain, pool)
+        report = explorer.balance(BOB.public_key)
+        assert report.exact
+        # Best case for Bob: only the parent confirms -> +5.
+        assert report.optimistic == 15 * COIN
+        # Worst case: both confirm -> 10 + 5 - 12 - fee accounted change.
+        assert report.pessimistic < 10 * COIN
+
+    def test_inexact_fallback(self, setup):
+        chain, pool = setup
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        pool.add(tx, chain)
+        explorer = ChainExplorer(chain, pool)
+        report = explorer.balance(BOB.public_key, exact_limit=0)
+        assert not report.exact
+        assert report.optimistic == 11 * COIN
+        assert report.pessimistic == 10 * COIN
+
+
+class TestSummaries:
+    def test_richest(self, setup):
+        chain, _ = setup
+        explorer = ChainExplorer(chain)
+        ranked = explorer.richest(top=2)
+        assert ranked[0] == (ALICE.public_key, 20 * COIN)
+        assert ranked[1] == (BOB.public_key, 10 * COIN)
+
+    def test_fee_summary(self, setup):
+        chain, pool = setup
+        tx1 = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        pool.add(tx1, chain)
+        MINER.mine(pool, chain)
+        tx2 = BOB.create_payment(chain.utxos, ALICE.public_key, COIN, 300)
+        pool2 = Mempool()
+        pool2.add(tx2, chain)
+        MINER.mine(pool2, chain)
+        summary = ChainExplorer(chain).fee_summary()
+        assert summary["count"] == 2
+        assert summary["total"] == 400
+        assert summary["mean"] == 200.0
+
+    def test_fee_summary_empty(self, setup):
+        chain, _ = setup
+        assert ChainExplorer(chain).fee_summary()["count"] == 0
+
+    def test_lookups(self, setup):
+        chain, pool = setup
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        pool.add(tx, chain)
+        explorer = ChainExplorer(chain, pool)
+        assert explorer.is_pending(tx.txid)
+        assert explorer.transaction_height(tx.txid) is None
+        genesis_cb = chain.blocks[0].coinbase
+        assert explorer.transaction_height(genesis_cb.txid) == 0
+        from repro.bitcoin.transactions import OutPoint
+
+        assert (
+            explorer.output_owner(OutPoint(genesis_cb.txid, 0))
+            == ALICE.public_key
+        )
+        assert explorer.output_owner(OutPoint("f" * 64, 0)) is None

@@ -1,0 +1,130 @@
+"""The dataset generator and the chain → relational mapping."""
+
+import pytest
+
+from repro.bitcoin.generator import PRESETS, Dataset, DatasetSpec, generate_dataset
+from repro.bitcoin.relmap import (
+    bitcoin_constraints,
+    bitcoin_schema,
+    chain_to_database,
+    to_blockchain_database,
+)
+from repro.errors import ReproError
+from repro.relational.checking import check_database
+
+TINY = DatasetSpec(
+    name="tiny",
+    committed_blocks=8,
+    pending_blocks=3,
+    txs_per_block=4,
+    users=8,
+    contradictions=3,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset() -> Dataset:
+    return generate_dataset(TINY)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_dataset(TINY)
+        b = generate_dataset(TINY)
+        assert [tx.txid for tx in a.pending] == [tx.txid for tx in b.pending]
+        assert a.chain.tip_hash == b.chain.tip_hash
+
+    def test_stats_shape(self, dataset):
+        stats = dataset.stats()
+        assert stats.blocks == TINY.committed_blocks + 1  # + genesis
+        assert stats.transactions > TINY.committed_blocks  # coinbases alone
+        assert stats.pending_transactions >= 3
+        assert stats.contradictions == 3
+        assert stats.outputs > stats.transactions  # change outputs exist
+
+    def test_contradictions_are_real_conflicts(self, dataset):
+        index = {tx.txid: tx for tx in dataset.pending}
+        for original_id, conflict_id in dataset.contradiction_pairs:
+            assert index[original_id].conflicts_with(index[conflict_id])
+
+    def test_unknown_preset(self):
+        with pytest.raises(ReproError):
+            generate_dataset("D999")
+
+    def test_presets_exist(self):
+        assert set(PRESETS) == {"D100-S", "D200-S", "D300-S"}
+
+    def test_fresh_recipients_not_on_chain(self, dataset):
+        committed_owners = {
+            output.script.owner
+            for tx in dataset.chain.transactions()
+            for output in tx.outputs
+        }
+        assert dataset.fresh_recipients
+        for pk in dataset.fresh_recipients:
+            assert pk not in committed_owners
+
+    def test_late_wallets_never_spend_on_chain(self, dataset):
+        late_keys = {w.public_key for w in dataset.late_wallets}
+        assert late_keys
+        for tx in dataset.chain.transactions():
+            for tx_input in tx.inputs:
+                consumed = dataset.chain.get_transaction(tx_input.outpoint.txid)
+                owner = consumed.outputs[tx_input.outpoint.index].script.owner
+                assert owner not in late_keys
+
+    def test_scaled_override(self):
+        spec = TINY.scaled(contradictions=1, name="tweaked")
+        ds = generate_dataset(spec)
+        assert len(ds.contradiction_pairs) == 1
+
+
+class TestRelationalMapping:
+    def test_schema_and_constraints(self):
+        schema = bitcoin_schema()
+        assert schema["TxOut"].attribute_names == ("txId", "ser", "pk", "amount")
+        constraints = bitcoin_constraints(schema)
+        assert len(constraints.fds) == 2
+        assert len(constraints.inds) == 2
+
+    def test_chain_state_satisfies_constraints(self, dataset):
+        schema = bitcoin_schema()
+        current = chain_to_database(dataset.chain, schema)
+        assert check_database(current, bitcoin_constraints(schema))
+
+    def test_row_counts_match_chain(self, dataset):
+        current = chain_to_database(dataset.chain)
+        stats = dataset.stats()
+        assert len(current["TxOut"]) == stats.outputs
+        assert len(current["TxIn"]) == stats.inputs
+
+    def test_blockchain_database_construction(self, dataset):
+        db = dataset.to_blockchain_database()
+        assert len(db.pending) == len(dataset.pending)
+        # Pending transactions contribute both TxOut and TxIn rows.
+        some_tx = db.pending[0]
+        assert some_tx.tuples("TxOut")
+        assert some_tx.tuples("TxIn")
+
+    def test_contradictions_surface_as_fd_conflicts(self, dataset):
+        from repro.core.checker import DCSatChecker
+
+        checker = DCSatChecker(dataset.to_blockchain_database())
+        assert checker.fd_graph.conflict_count() >= len(
+            dataset.contradiction_pairs
+        )
+        for original_id, conflict_id in dataset.contradiction_pairs:
+            assert not checker.fd_graph.has_edge(original_id, conflict_id)
+
+    def test_ser_is_one_based(self, dataset):
+        current = chain_to_database(dataset.chain)
+        sers = {row[1] for row in current["TxOut"]}
+        assert 0 not in sers
+        assert 1 in sers
+
+    def test_coinbases_have_no_txin_rows(self, dataset):
+        current = chain_to_database(dataset.chain)
+        coinbase = dataset.chain.blocks[1].coinbase
+        assert not current["TxIn"].lookup((4,), (coinbase.txid,))
+        assert current["TxOut"].lookup((0,), (coinbase.txid,))

@@ -1,0 +1,112 @@
+"""Toy keys, addresses, signatures and output scripts."""
+
+import pytest
+
+from repro.bitcoin.keys import KeyPair, address_of, sign, verify_signature
+from repro.bitcoin.script import (
+    HashLockScript,
+    MultiSigScript,
+    P2PKHScript,
+    P2PKScript,
+    Witness,
+)
+from repro.errors import ChainValidationError
+
+
+class TestKeys:
+    def test_deterministic_generation(self):
+        a = KeyPair.generate("seed")
+        b = KeyPair.generate("seed")
+        c = KeyPair.generate("other")
+        assert a.public_key == b.public_key
+        assert a.public_key != c.public_key
+
+    def test_sign_verify_roundtrip(self):
+        kp = KeyPair.generate(1)
+        sig = kp.sign("digest")
+        assert verify_signature(kp.public_key, "digest", sig)
+        assert not verify_signature(kp.public_key, "other", sig)
+        assert not verify_signature(KeyPair.generate(2).public_key, "digest", sig)
+
+    def test_module_level_sign(self):
+        kp = KeyPair.generate(1)
+        assert sign(kp.private_key, "d") == kp.sign("d")
+
+    def test_address_is_stable(self):
+        kp = KeyPair.generate(1)
+        assert kp.address == address_of(kp.public_key)
+        assert kp.address.startswith("addr_")
+
+
+class TestWitness:
+    def test_parallel_lists_enforced(self):
+        with pytest.raises(ChainValidationError):
+            Witness(("pk",), ())
+
+
+class TestScripts:
+    def setup_method(self):
+        self.kp = KeyPair.generate("owner")
+        self.other = KeyPair.generate("other")
+        self.digest = "tx-digest"
+
+    def _witness(self, keypair):
+        return Witness((keypair.public_key,), (keypair.sign(self.digest),))
+
+    def test_p2pk(self):
+        script = P2PKScript(self.kp.public_key)
+        assert script.satisfied_by(self._witness(self.kp), self.digest)
+        assert not script.satisfied_by(self._witness(self.other), self.digest)
+        assert script.owner == self.kp.public_key
+
+    def test_p2pk_wrong_digest(self):
+        script = P2PKScript(self.kp.public_key)
+        stale = Witness((self.kp.public_key,), (self.kp.sign("other"),))
+        assert not script.satisfied_by(stale, self.digest)
+
+    def test_p2pkh(self):
+        script = P2PKHScript(self.kp.address)
+        assert script.satisfied_by(self._witness(self.kp), self.digest)
+        assert not script.satisfied_by(self._witness(self.other), self.digest)
+        assert script.owner == self.kp.address
+
+    def test_multisig(self):
+        keys = [KeyPair.generate(i) for i in range(3)]
+        script = MultiSigScript(2, tuple(k.public_key for k in keys))
+        two = Witness(
+            (keys[0].public_key, keys[2].public_key),
+            (keys[0].sign(self.digest), keys[2].sign(self.digest)),
+        )
+        assert script.satisfied_by(two, self.digest)
+        one = Witness((keys[0].public_key,), (keys[0].sign(self.digest),))
+        assert not script.satisfied_by(one, self.digest)
+
+    def test_multisig_duplicate_signer_rejected(self):
+        keys = [KeyPair.generate(i) for i in range(2)]
+        script = MultiSigScript(2, tuple(k.public_key for k in keys))
+        duplicated = Witness(
+            (keys[0].public_key, keys[0].public_key),
+            (keys[0].sign(self.digest),) * 2,
+        )
+        assert not script.satisfied_by(duplicated, self.digest)
+
+    def test_multisig_bad_m(self):
+        with pytest.raises(ChainValidationError):
+            MultiSigScript(0, ("pk",))
+        with pytest.raises(ChainValidationError):
+            MultiSigScript(3, ("pk1", "pk2"))
+
+    def test_hashlock(self):
+        script = HashLockScript.for_preimage("secret")
+        assert script.satisfied_by(Witness(preimage="secret"), self.digest)
+        assert not script.satisfied_by(Witness(preimage="wrong"), self.digest)
+        assert not script.satisfied_by(Witness(), self.digest)
+
+    def test_serialize_unique(self):
+        scripts = [
+            P2PKScript("pk"),
+            P2PKHScript("addr"),
+            MultiSigScript(1, ("pk",)),
+            HashLockScript.for_preimage("x"),
+        ]
+        assert len({s.serialize() for s in scripts}) == 4

@@ -1,0 +1,98 @@
+"""Mempool eviction cascades and multi-coin selection."""
+
+import pytest
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.transactions import COIN, TxOutput
+from repro.bitcoin.wallet import Wallet
+
+ALICE = Wallet(KeyPair.generate("alice"), name="alice")
+BOB = Wallet(KeyPair.generate("bob"), name="bob")
+CAROL = Wallet(KeyPair.generate("carol"), name="carol")
+MINER = Miner(KeyPair.generate("miner").public_key)
+
+
+@pytest.fixture
+def chain():
+    chain = Blockchain()
+    chain.append_genesis(
+        [
+            TxOutput(10 * COIN, ALICE.script),
+            TxOutput(4 * COIN, ALICE.script),
+            TxOutput(2 * COIN, ALICE.script),
+        ]
+    )
+    return chain
+
+
+class TestEvictionCascade:
+    def test_parent_eviction_kills_children(self, chain):
+        """Confirming a conflict of the parent must evict the parent AND
+        its chained descendants (evict_invalid's fixpoint loop)."""
+        pool = Mempool(allow_conflicts=True)
+        parent = ALICE.create_payment(chain.utxos, BOB.public_key, 8 * COIN, 100)
+        pool.add(parent, chain)
+        view = pool.extended_utxos(chain)
+        child = BOB.create_payment(
+            view, CAROL.public_key, 5 * COIN, 100,
+            exclude=pool.spent_outpoints(),
+        )
+        pool.add(child, chain)
+        view = pool.extended_utxos(chain)
+        grandchild = CAROL.create_payment(
+            view, ALICE.public_key, 2 * COIN, 100,
+            exclude=pool.spent_outpoints(),
+        )
+        pool.add(grandchild, chain)
+        assert len(pool) == 3
+
+        # A conflicting spend of the parent's input confirms instead.
+        rival = ALICE.bump_fee(chain.utxos, parent, 50_000)
+        block = MINER.build_block(chain, [rival])
+        chain.append_block(block)
+        pool.remove_confirmed({tx.txid for tx in block.transactions})
+        evicted = pool.evict_invalid(chain)
+        assert set(evicted) == {parent.txid, child.txid, grandchild.txid}
+        assert len(pool) == 0
+
+    def test_unrelated_residents_survive(self, chain):
+        pool = Mempool(allow_conflicts=True)
+        doomed = ALICE.create_payment(chain.utxos, BOB.public_key, 8 * COIN, 100)
+        survivor = ALICE.create_payment(
+            chain.utxos, CAROL.public_key, COIN, 100,
+            exclude=set(doomed.outpoints()),
+        )
+        pool.add(doomed, chain)
+        pool.add(survivor, chain)
+        rival = ALICE.bump_fee(chain.utxos, doomed, 50_000)
+        block = MINER.build_block(chain, [rival])
+        chain.append_block(block)
+        pool.remove_confirmed({tx.txid for tx in block.transactions})
+        evicted = pool.evict_invalid(chain)
+        assert evicted == [doomed.txid]
+        assert survivor.txid in pool
+
+
+class TestCoinSelection:
+    def test_multi_coin_payment(self, chain):
+        # 13 coins needs at least two of Alice's three coins.
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, 13 * COIN, 100)
+        assert len(tx.inputs) == 2
+        assert chain.validate_transaction(tx) == 100
+
+    def test_all_coins_payment(self, chain):
+        tx = ALICE.create_payment(
+            chain.utxos, BOB.public_key, 16 * COIN - 100, 100
+        )
+        assert len(tx.inputs) == 3
+        assert len(tx.outputs) == 1  # nothing left for change
+
+    def test_largest_first_selection(self, chain):
+        # A small payment should use one (the largest) coin, not many.
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        assert len(tx.inputs) == 1
+        consumed = chain.utxos.require(tx.inputs[0].outpoint)
+        assert consumed.value == 10 * COIN

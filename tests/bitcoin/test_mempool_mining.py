@@ -1,0 +1,176 @@
+"""Mempool policies (conflicts, RBF) and the greedy miner."""
+
+import pytest
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.transactions import COIN, TxOutput
+from repro.bitcoin.wallet import Wallet
+from repro.errors import ChainValidationError
+
+ALICE = Wallet(KeyPair.generate("alice"), name="alice")
+BOB = Wallet(KeyPair.generate("bob"), name="bob")
+CAROL = Wallet(KeyPair.generate("carol"), name="carol")
+
+
+@pytest.fixture
+def chain() -> Blockchain:
+    chain = Blockchain(difficulty=0)
+    chain.append_genesis(
+        [
+            TxOutput(20 * COIN, ALICE.script),
+            TxOutput(20 * COIN, BOB.script),
+            TxOutput(10 * COIN, ALICE.script),
+        ]
+    )
+    return chain
+
+
+class TestAdmission:
+    def test_accepts_valid(self, chain):
+        pool = Mempool()
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        fee = pool.add(tx, chain)
+        assert fee == 100
+        assert tx.txid in pool
+        assert pool.feerate(tx.txid) == pytest.approx(100 / tx.size)
+
+    def test_rejects_conflicts_by_default(self, chain):
+        pool = Mempool()
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        pool.add(original, chain)
+        conflict = ALICE.bump_fee(chain.utxos, original, 500)
+        with pytest.raises(ChainValidationError):
+            pool.add(conflict, chain)
+
+    def test_rbf_replaces_when_better(self, chain):
+        pool = Mempool(allow_replacement=True)
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        pool.add(original, chain)
+        bumped = ALICE.bump_fee(chain.utxos, original, 5000)
+        pool.add(bumped, chain)
+        assert bumped.txid in pool
+        assert original.txid not in pool
+
+    def test_rbf_rejects_weak_replacement(self, chain):
+        pool = Mempool(allow_replacement=True)
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 5000)
+        bumped = ALICE.bump_fee(chain.utxos, original, 1000)
+        pool.add(bumped, chain)
+        # The original now pays a *lower* feerate than the resident: no
+        # replacement.
+        with pytest.raises(ChainValidationError):
+            pool.add(original, chain)
+        assert bumped.txid in pool
+
+    def test_allow_conflicts_mode(self, chain):
+        pool = Mempool(allow_conflicts=True)
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        conflict = ALICE.bump_fee(chain.utxos, original, 500)
+        pool.add(original, chain)
+        pool.add(conflict, chain)
+        assert len(pool) == 2
+        assert pool.conflicts_of(conflict) == {original.txid}
+
+    def test_chained_unconfirmed_spend(self, chain):
+        pool = Mempool()
+        tx1 = ALICE.create_payment(chain.utxos, BOB.public_key, 5 * COIN, 100)
+        pool.add(tx1, chain)
+        view = pool.extended_utxos(chain)
+        tx2 = BOB.create_payment(
+            view, CAROL.public_key, COIN, 100, exclude=pool.spent_outpoints()
+        )
+        pool.add(tx2, chain)
+        assert len(pool) == 2
+
+    def test_duplicate_add_is_idempotent(self, chain):
+        pool = Mempool()
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        assert pool.add(tx, chain) == pool.add(tx, chain)
+        assert len(pool) == 1
+
+    def test_onchain_tx_rejected(self, chain):
+        pool = Mempool()
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        Miner(CAROL.public_key).mine(_pool_with(pool, tx, chain), chain)
+        fresh = Mempool()
+        with pytest.raises(ChainValidationError):
+            fresh.add(tx, chain)
+
+
+def _pool_with(pool, tx, chain):
+    pool.add(tx, chain)
+    return pool
+
+
+class TestMiner:
+    def test_feerate_priority(self, chain):
+        pool = Mempool()
+        cheap = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 10)
+        pool.add(cheap, chain)
+        rich = BOB.create_payment(chain.utxos, CAROL.public_key, COIN, 9000)
+        pool.add(rich, chain)
+        miner = Miner(CAROL.public_key, max_block_size=cheap.size)
+        selected = miner.select_transactions(pool, chain)
+        assert [tx.txid for tx in selected] == [rich.txid]
+
+    def test_conflict_resolution_takes_one(self, chain):
+        pool = Mempool(allow_conflicts=True)
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        conflict = ALICE.bump_fee(chain.utxos, original, 700)
+        pool.add(original, chain)
+        pool.add(conflict, chain)
+        miner = Miner(CAROL.public_key)
+        selected = miner.select_transactions(pool, chain)
+        ids = {tx.txid for tx in selected}
+        assert conflict.txid in ids  # higher feerate wins
+        assert original.txid not in ids
+
+    def test_dependency_ordering(self, chain):
+        pool = Mempool()
+        parent = ALICE.create_payment(chain.utxos, BOB.public_key, 5 * COIN, 10)
+        pool.add(parent, chain)
+        view = pool.extended_utxos(chain)
+        # 22 COIN forces Bob to also spend the unconfirmed 5 COIN coin
+        # from the parent (his confirmed balance is only 20).
+        child = BOB.create_payment(
+            view, CAROL.public_key, 22 * COIN, 9000,
+            exclude=pool.spent_outpoints(),
+        )
+        assert parent.txid in {op.txid for op in child.outpoints()}
+        pool.add(child, chain)
+        miner = Miner(CAROL.public_key)
+        selected = miner.select_transactions(pool, chain)
+        positions = {tx.txid: i for i, tx in enumerate(selected)}
+        assert positions[parent.txid] < positions[child.txid]
+
+    def test_mine_appends_and_prunes(self, chain):
+        pool = Mempool()
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        pool.add(tx, chain)
+        block = Miner(CAROL.public_key).mine(pool, chain)
+        assert chain.height == 1
+        assert tx.txid in {t.txid for t in block.transactions}
+        assert len(pool) == 0
+        assert chain.contains_transaction(tx.txid)
+
+    def test_mine_evicts_dead_conflicts(self, chain):
+        pool = Mempool(allow_conflicts=True)
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        conflict = ALICE.bump_fee(chain.utxos, original, 700)
+        pool.add(original, chain)
+        pool.add(conflict, chain)
+        Miner(CAROL.public_key).mine(pool, chain)
+        # The winner confirmed; the loser is unmineable and evicted.
+        assert len(pool) == 0
+
+    def test_coinbase_collects_fees(self, chain):
+        pool = Mempool()
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 12345)
+        pool.add(tx, chain)
+        block = Miner(CAROL.public_key).mine(pool, chain)
+        from repro.bitcoin.chain import block_subsidy
+
+        assert block.coinbase.total_output_value == block_subsidy(1) + 12345

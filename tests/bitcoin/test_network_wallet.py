@@ -1,0 +1,155 @@
+"""Node network (gossip, divergent mempools) and wallets (reissues)."""
+
+import pytest
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.network import Network, Node
+from repro.bitcoin.transactions import COIN, TxOutput
+from repro.bitcoin.wallet import Wallet
+from repro.errors import ChainValidationError, ReproError
+
+ALICE = Wallet(KeyPair.generate("alice"), name="alice")
+BOB = Wallet(KeyPair.generate("bob"), name="bob")
+MINER_KEY = KeyPair.generate("miner")
+
+
+def _network(num_nodes=3) -> Network:
+    network = Network()
+    for index in range(num_nodes):
+        node = Node(
+            f"n{index}",
+            miner=Miner(MINER_KEY.public_key) if index == 0 else None,
+        )
+        network.add_node(node)
+    genesis_outputs = [
+        TxOutput(20 * COIN, ALICE.script),
+        TxOutput(20 * COIN, BOB.script),
+    ]
+    first = next(iter(network.nodes.values()))
+    genesis = first.chain.append_genesis(genesis_outputs)
+    for node_id, node in network.nodes.items():
+        if node is not first:
+            node.chain.append_block(genesis)
+    return network
+
+
+class TestNetwork:
+    def test_broadcast_reaches_all(self):
+        network = _network()
+        node = network.nodes["n0"]
+        tx = ALICE.create_payment(node.chain.utxos, BOB.public_key, COIN, 100)
+        outcome = network.broadcast_transaction(tx)
+        assert all(outcome.values())
+        assert all(tx.txid in n.mempool for n in network.nodes.values())
+
+    def test_divergent_mempools_on_conflict(self):
+        """The model's core premise: different nodes can hold different
+        members of a conflicting pair — the pending union is uncertain."""
+        network = _network()
+        node = network.nodes["n0"]
+        original = ALICE.create_payment(node.chain.utxos, BOB.public_key, COIN, 100)
+        conflict = ALICE.bump_fee(node.chain.utxos, original, 700)
+        network.broadcast_transaction(original)
+        outcome = network.broadcast_transaction(conflict)
+        assert not any(outcome.values())  # everyone already has the original
+        # Fresh node that never saw the original accepts the conflict.
+        late = Node("late")
+        network.add_node(late)
+        assert late.offer_transaction(conflict)
+        union = network.pending_union()
+        assert {original.txid, conflict.txid} <= set(union)
+
+    def test_mining_propagates_block(self):
+        network = _network()
+        node = network.nodes["n0"]
+        tx = ALICE.create_payment(node.chain.utxos, BOB.public_key, COIN, 100)
+        network.broadcast_transaction(tx)
+        block = network.mine_block("n0")
+        for n in network.nodes.values():
+            assert n.chain.height == 1
+            assert tx.txid not in n.mempool
+        assert tx.txid in {t.txid for t in block.transactions}
+
+    def test_mining_without_miner(self):
+        network = _network()
+        with pytest.raises(ReproError):
+            network.mine_block("n1")
+
+    def test_duplicate_node_id(self):
+        network = _network()
+        with pytest.raises(ReproError):
+            network.add_node(Node("n0"))
+
+    def test_new_node_syncs_chain(self):
+        network = _network()
+        network.mine_block("n0")
+        newcomer = Node("newbie")
+        network.add_node(newcomer)
+        assert newcomer.chain.height == 1
+
+
+class TestWallet:
+    @pytest.fixture
+    def chain(self) -> Blockchain:
+        chain = Blockchain()
+        chain.append_genesis(
+            [TxOutput(10 * COIN, ALICE.script), TxOutput(4 * COIN, ALICE.script)]
+        )
+        return chain
+
+    def test_balance_and_spendable(self, chain):
+        assert ALICE.balance(chain.utxos) == 14 * COIN
+        assert len(ALICE.spendable(chain.utxos)) == 2
+        assert BOB.balance(chain.utxos) == 0
+
+    def test_payment_with_change(self, chain):
+        tx = ALICE.create_payment(chain.utxos, BOB.public_key, 3 * COIN, 100)
+        assert chain.validate_transaction(tx) == 100
+        owners = [o.script.owner for o in tx.outputs]
+        assert BOB.public_key in owners
+        assert ALICE.public_key in owners  # change comes back
+
+    def test_exact_spend_no_change(self, chain):
+        tx = ALICE.create_payment(
+            chain.utxos, BOB.public_key, 10 * COIN - 100, 100
+        )
+        assert len(tx.outputs) == 1
+
+    def test_insufficient_funds(self, chain):
+        with pytest.raises(ChainValidationError):
+            ALICE.create_payment(chain.utxos, BOB.public_key, 100 * COIN, 100)
+
+    def test_invalid_amounts(self, chain):
+        with pytest.raises(ReproError):
+            ALICE.create_payment(chain.utxos, BOB.public_key, 0, 100)
+        with pytest.raises(ReproError):
+            ALICE.create_payment(chain.utxos, BOB.public_key, 1, -5)
+
+    def test_bump_fee_conflicts_and_pays_more(self, chain):
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        bumped = ALICE.bump_fee(chain.utxos, original, 900)
+        assert bumped.conflicts_with(original)
+        assert chain.validate_transaction(bumped) == 1000
+        # Recipient output untouched.
+        assert bumped.outputs[0] == original.outputs[0]
+
+    def test_bump_fee_needs_change(self, chain):
+        no_change = ALICE.create_payment(
+            chain.utxos, BOB.public_key, 10 * COIN - 100, 100
+        )
+        with pytest.raises(ChainValidationError):
+            ALICE.bump_fee(chain.utxos, no_change, 500)
+
+    def test_bump_fee_positive(self, chain):
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        with pytest.raises(ReproError):
+            ALICE.bump_fee(chain.utxos, original, 0)
+
+    def test_reissue_unsafe_avoids_original_inputs(self, chain):
+        original = ALICE.create_payment(chain.utxos, BOB.public_key, COIN, 100)
+        reissue = ALICE.reissue_unsafe(
+            chain.utxos, original, BOB.public_key, COIN, 100
+        )
+        assert not reissue.conflicts_with(original)

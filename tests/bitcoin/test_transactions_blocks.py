@@ -1,0 +1,145 @@
+"""Transactions (ids, digests, conflicts) and blocks (merkle, PoW)."""
+
+import pytest
+
+from repro.bitcoin.blocks import (
+    GENESIS_PREV_HASH,
+    Block,
+    meets_difficulty,
+    merkle_root,
+)
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.script import P2PKScript, Witness
+from repro.bitcoin.transactions import (
+    BitcoinTransaction,
+    OutPoint,
+    TxInput,
+    TxOutput,
+)
+from repro.errors import ChainValidationError
+
+KP = KeyPair.generate("kp")
+
+
+def _simple_tx(value=100, tag=""):
+    return BitcoinTransaction(
+        [TxInput(OutPoint("f" * 64, 0))],
+        [TxOutput(value, P2PKScript(KP.public_key))],
+        tag=tag,
+    )
+
+
+class TestTransactions:
+    def test_txid_deterministic(self):
+        assert _simple_tx().txid == _simple_tx().txid
+        assert _simple_tx(100).txid != _simple_tx(101).txid
+
+    def test_tag_changes_txid(self):
+        assert _simple_tx(tag="a").txid != _simple_tx(tag="b").txid
+
+    def test_coinbase(self):
+        coinbase = BitcoinTransaction([], [TxOutput(50, P2PKScript("pk"))])
+        assert coinbase.is_coinbase
+        assert not _simple_tx().is_coinbase
+
+    def test_needs_outputs(self):
+        with pytest.raises(ChainValidationError):
+            BitcoinTransaction([TxInput(OutPoint("a" * 64, 0))], [])
+
+    def test_duplicate_outpoint_rejected(self):
+        outpoint = OutPoint("a" * 64, 0)
+        with pytest.raises(ChainValidationError):
+            BitcoinTransaction(
+                [TxInput(outpoint), TxInput(outpoint)],
+                [TxOutput(1, P2PKScript("pk"))],
+            )
+
+    def test_output_value_validation(self):
+        with pytest.raises(ChainValidationError):
+            TxOutput(-1, P2PKScript("pk"))
+        with pytest.raises(ChainValidationError):
+            TxOutput(1.5, P2PKScript("pk"))
+        with pytest.raises(ChainValidationError):
+            TxOutput(True, P2PKScript("pk"))
+
+    def test_conflicts_with(self):
+        a = _simple_tx(100)
+        b = _simple_tx(200)
+        assert a.conflicts_with(b)  # same outpoint
+        c = BitcoinTransaction(
+            [TxInput(OutPoint("e" * 64, 0))], [TxOutput(1, P2PKScript("pk"))]
+        )
+        assert not a.conflicts_with(c)
+
+    def test_malleability_witness_changes_txid_not_digest(self):
+        """Pre-SegWit malleability: re-witnessing preserves the signing
+        digest (signatures stay valid) but changes the txid — the MtGox
+        attack vector from the paper's introduction."""
+        tx = _simple_tx()
+        mauled = tx.with_witnesses(
+            [Witness((KP.public_key,), (KP.sign(tx.signing_digest()),))]
+        )
+        assert mauled.signing_digest() == tx.signing_digest()
+        assert mauled.txid != tx.txid
+        assert mauled.conflicts_with(tx)
+
+    def test_with_witnesses_arity(self):
+        with pytest.raises(ChainValidationError):
+            _simple_tx().with_witnesses([])
+
+    def test_size_and_total(self):
+        tx = BitcoinTransaction(
+            [TxInput(OutPoint("a" * 64, 0)), TxInput(OutPoint("b" * 64, 1))],
+            [TxOutput(5, P2PKScript("pk")), TxOutput(7, P2PKScript("pk2"))],
+        )
+        assert tx.size == 4
+        assert tx.total_output_value == 12
+
+    def test_equality_by_txid(self):
+        assert _simple_tx() == _simple_tx()
+        assert len({_simple_tx(), _simple_tx(1)}) == 2
+
+
+class TestMerkle:
+    def test_single(self):
+        assert merkle_root(["aa"]) == "aa"
+
+    def test_pair_order_sensitive(self):
+        assert merkle_root(["a", "b"]) != merkle_root(["b", "a"])
+
+    def test_odd_count_duplicates_last(self):
+        assert merkle_root(["a", "b", "c"]) == merkle_root(["a", "b", "c", "c"])
+
+    def test_empty(self):
+        assert merkle_root([])  # defined, stable
+        assert merkle_root([]) == merkle_root([])
+
+
+class TestBlocks:
+    def _block(self, nonce=0):
+        coinbase = BitcoinTransaction([], [TxOutput(50, P2PKScript("pk"))])
+        return Block(0, GENESIS_PREV_HASH, (coinbase,), nonce=nonce)
+
+    def test_needs_transactions(self):
+        with pytest.raises(ChainValidationError):
+            Block(0, GENESIS_PREV_HASH, ())
+
+    def test_header_hash_covers_nonce(self):
+        assert self._block(0).header_hash() != self._block(1).header_hash()
+
+    def test_deterministic_timestamp(self):
+        assert self._block().timestamp == 0
+        coinbase = BitcoinTransaction([], [TxOutput(50, P2PKScript("pk"))])
+        later = Block(7, "0" * 64, (coinbase,))
+        assert later.timestamp == 7 * 600
+
+    def test_solve_meets_difficulty(self):
+        solved = self._block().solve(1)
+        assert meets_difficulty(solved.header_hash(), 1)
+
+    def test_difficulty_zero_is_trivial(self):
+        assert meets_difficulty(self._block().header_hash(), 0)
+
+    def test_solve_gives_up(self):
+        with pytest.raises(ChainValidationError):
+            self._block().solve(10, max_attempts=3)

@@ -1,0 +1,159 @@
+"""Shared fixtures: the paper's running example and small helpers.
+
+The ``figure2`` fixture reproduces the blockchain database of Figure 2 /
+Example 2 tuple-for-tuple: the simplified Bitcoin schema of Example 1,
+the committed state ``R``, and the five pending transactions T1–T5 whose
+possible worlds Example 3 enumerates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.relational.constraints import ConstraintSet, InclusionDependency, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.schema import Schema
+from repro.relational.transaction import Transaction
+
+
+def bitcoin_example_schema() -> Schema:
+    return make_schema(
+        {
+            "TxOut": ["txId", "ser", "pk", "amount"],
+            "TxIn": ["prevTxId", "prevSer", "pk", "amount", "newTxId", "sig"],
+        }
+    )
+
+
+def bitcoin_example_constraints(schema: Schema) -> ConstraintSet:
+    return ConstraintSet(
+        schema,
+        [
+            Key("TxOut", ["txId", "ser"], schema),
+            Key("TxIn", ["prevTxId", "prevSer"], schema),
+            InclusionDependency(
+                "TxIn",
+                ["prevTxId", "prevSer", "pk", "amount"],
+                "TxOut",
+                ["txId", "ser", "pk", "amount"],
+            ),
+            InclusionDependency("TxIn", ["newTxId"], "TxOut", ["txId"]),
+        ],
+    )
+
+
+def figure2_transactions() -> list[Transaction]:
+    return [
+        Transaction(
+            {
+                "TxIn": [(2, 2, "U2Pk", 4.0, 4, "U2Sig")],
+                "TxOut": [(4, 1, "U5Pk", 1.0), (4, 2, "U2Pk", 3.0)],
+            },
+            tx_id="T1",
+        ),
+        Transaction(
+            {
+                "TxIn": [(4, 2, "U2Pk", 3.0, 5, "U2Sig")],
+                "TxOut": [(5, 1, "U4Pk", 3.0)],
+            },
+            tx_id="T2",
+        ),
+        Transaction(
+            {
+                "TxIn": [(3, 3, "U1Pk", 0.5, 6, "U1Sig")],
+                "TxOut": [(6, 1, "U4Pk", 0.5)],
+            },
+            tx_id="T3",
+        ),
+        Transaction(
+            {
+                "TxIn": [
+                    (6, 1, "U4Pk", 0.5, 7, "U4Sig"),
+                    (5, 1, "U4Pk", 3.0, 7, "U4Sig"),
+                ],
+                "TxOut": [(7, 1, "U7Pk", 2.5), (7, 2, "U8Pk", 1.0)],
+            },
+            tx_id="T4",
+        ),
+        Transaction(
+            {
+                "TxIn": [(2, 2, "U2Pk", 4.0, 8, "U2Sig")],
+                "TxOut": [(8, 1, "U7Pk", 4.0)],
+            },
+            tx_id="T5",
+        ),
+    ]
+
+
+def figure2_database() -> BlockchainDatabase:
+    schema = bitcoin_example_schema()
+    constraints = bitcoin_example_constraints(schema)
+    current = Database.from_dict(
+        schema,
+        {
+            "TxOut": [
+                (1, 1, "U1Pk", 1.0),
+                (2, 1, "U1Pk", 1.0),
+                (2, 2, "U2Pk", 4.0),
+                (3, 1, "U3Pk", 1.0),
+                (3, 2, "U4Pk", 0.5),
+                (3, 3, "U1Pk", 0.5),
+            ],
+            "TxIn": [
+                (1, 1, "U1Pk", 1.0, 3, "U1Sig"),
+                (2, 1, "U1Pk", 1.0, 3, "U1Sig"),
+            ],
+        },
+    )
+    return BlockchainDatabase(current, constraints, figure2_transactions())
+
+
+#: The nine possible worlds Example 3 lists, as included-transaction sets.
+EXAMPLE3_WORLDS = [
+    frozenset(),
+    frozenset({"T1"}),
+    frozenset({"T3"}),
+    frozenset({"T1", "T3"}),
+    frozenset({"T1", "T2"}),
+    frozenset({"T1", "T2", "T3"}),
+    frozenset({"T1", "T2", "T3", "T4"}),
+    frozenset({"T5"}),
+    frozenset({"T3", "T5"}),
+]
+
+
+@pytest.fixture
+def figure2() -> BlockchainDatabase:
+    return figure2_database()
+
+
+@pytest.fixture
+def simple_fd_db() -> BlockchainDatabase:
+    """A minimal {key}-only database: two pending txs clash on B's key."""
+    schema = make_schema({"A": ["x"], "B": ["x", "y"]})
+    constraints = ConstraintSet(schema, [Key("B", ["x"], schema)])
+    current = Database.from_dict(schema, {"A": [(1,), (2,)], "B": [(9, 9)]})
+    pending = [
+        Transaction({"B": [(1, 10)]}, tx_id="U1"),
+        Transaction({"B": [(1, 20)]}, tx_id="U2"),
+        Transaction({"B": [(2, 30)]}, tx_id="U3"),
+    ]
+    return BlockchainDatabase(current, constraints, pending)
+
+
+@pytest.fixture
+def simple_ind_db() -> BlockchainDatabase:
+    """A minimal {ind}-only database: C depends on P via an inclusion."""
+    schema = make_schema({"P": ["k"], "C": ["k", "v"]})
+    constraints = ConstraintSet(
+        schema, [InclusionDependency("C", ["k"], "P", ["k"])]
+    )
+    current = Database.from_dict(schema, {"P": [(1,)], "C": []})
+    pending = [
+        Transaction({"C": [(1, "a")]}, tx_id="V1"),  # parent already in R
+        Transaction({"P": [(2,)]}, tx_id="V2"),
+        Transaction({"C": [(2, "b")]}, tx_id="V3"),  # depends on V2
+        Transaction({"C": [(3, "c")]}, tx_id="V4"),  # never satisfiable
+    ]
+    return BlockchainDatabase(current, constraints, pending)

@@ -1,0 +1,118 @@
+"""The issuance advisor: Example 4's workflow as an API."""
+
+import pytest
+
+from repro.core.advisor import IssuanceAdvisor
+from repro.core.checker import DCSatChecker
+from repro.core.contradiction import contradicting_transaction
+from repro.errors import ReproError
+from repro.relational.transaction import Transaction
+from tests.conftest import figure2_database
+
+DOUBLE_PAY = (
+    "q() <- TxIn(p1, s1, 'U2Pk', a1, n1, 'U2Sig'), TxOut(n1, o1, 'U7Pk', b1), "
+    "TxIn(p2, s2, 'U2Pk', a2, n2, 'U2Sig'), TxOut(n2, o2, 'U7Pk', b2), "
+    "n1 != n2"
+)
+
+
+@pytest.fixture
+def advisor():
+    db = figure2_database()
+    # Give Alice an extra independent coin (see test_checker for why).
+    db.current.insert("TxOut", (2, 3, "U2Pk", 2.0))
+    advisor = IssuanceAdvisor(DCSatChecker(db))
+    advisor.register("no-double-pay", DOUBLE_PAY)
+    return advisor
+
+
+def _unsafe_reissue() -> Transaction:
+    return Transaction(
+        {
+            "TxIn": [(2, 3, "U2Pk", 2.0, 9, "U2Sig")],
+            "TxOut": [(9, 1, "U7Pk", 2.0)],
+        },
+        tx_id="Reissue",
+    )
+
+
+def _safe_reissue() -> Transaction:
+    return Transaction(
+        {
+            "TxIn": [(2, 2, "U2Pk", 4.0, 9, "U2Sig")],
+            "TxOut": [(9, 1, "U7Pk", 4.0)],
+        },
+        tx_id="SafeReissue",
+    )
+
+
+class TestAdvice:
+    def test_safe_issuance(self, advisor):
+        advice = advisor.advise(_safe_reissue())
+        assert advice.safe
+        assert "SAFE TO ISSUE" in advice.render()
+
+    def test_unsafe_issuance_explained(self, advisor):
+        advice = advisor.advise(_unsafe_reissue())
+        assert not advice.safe
+        assert len(advice.violations) == 1
+        violation = advice.violations[0]
+        assert violation.name == "no-double-pay"
+        # The co-conspirator is T5 (the original payment).
+        assert "T5" in violation.culprits
+        assert "T5" in advice.suggestion
+        assert "contradiction" in advice.suggestion
+
+    def test_database_untouched_either_way(self, advisor):
+        before = set(advisor.checker.db.pending_ids)
+        advisor.advise(_unsafe_reissue())
+        advisor.advise(_safe_reissue())
+        assert set(advisor.checker.db.pending_ids) == before
+
+    def test_suggestion_leads_to_safety(self, advisor):
+        """Follow the advisor's advice: contradict the culprit, re-ask."""
+        advice = advisor.advise(_unsafe_reissue())
+        # The culprit set names both co-stars; the *other* one (still
+        # pending) is the transaction to contradict.
+        culprit = next(
+            iter(advice.violations[0].culprits - {"Reissue"})
+        )
+        db = advisor.checker.db
+        replacement = contradicting_transaction(
+            db, db.transaction(culprit), tx_id="Replacement"
+        )
+        followup = advisor.advise(replacement, explain=False)
+        assert followup.safe
+
+    def test_no_explanations_mode(self, advisor):
+        advice = advisor.advise(_unsafe_reissue(), explain=False)
+        assert not advice.safe
+        assert advice.violations[0].explanation is None
+        assert advice.violations[0].culprits == frozenset()
+
+    def test_multiple_constraints(self, advisor):
+        advisor.register("no-u9", "q() <- TxOut(t, s, 'U9Pk', a)")
+        bad = Transaction(
+            {
+                "TxIn": [(2, 3, "U2Pk", 2.0, 9, "U2Sig")],
+                "TxOut": [(9, 1, "U9Pk", 2.0)],
+            },
+            tx_id="BadPayee",
+        )
+        advice = advisor.advise(bad)
+        names = {v.name for v in advice.violations}
+        assert names == {"no-u9"}
+
+    def test_duplicate_registration(self, advisor):
+        with pytest.raises(ReproError):
+            advisor.register("no-double-pay", DOUBLE_PAY)
+
+    def test_requires_constraints(self):
+        empty = IssuanceAdvisor(DCSatChecker(figure2_database()))
+        with pytest.raises(ReproError):
+            empty.advise(_safe_reissue())
+
+    def test_render_unsafe(self, advisor):
+        text = advisor.advise(_unsafe_reissue()).render()
+        assert "DO NOT ISSUE" in text
+        assert "no-double-pay" in text

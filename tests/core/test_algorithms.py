@@ -1,0 +1,164 @@
+"""NaiveDCSat, OptDCSat, AssignDCSat, brute force: agreement and behaviour.
+
+The solvers are exercised through :class:`DCSatChecker` so the same
+world-evaluation plumbing the real system uses is under test.
+"""
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.errors import AlgorithmError
+from repro.query.parser import parse_query
+
+QS_U8 = "q() <- TxOut(t, s, 'U8Pk', a)"
+QS_NONE = "q() <- TxOut(t, s, 'NobodyPk', a)"
+# U7Pk receives from both T4 (2.5) and T5 (4.0) — in different worlds.
+QS_U7 = "q() <- TxOut(t, s, 'U7Pk', a)"
+
+
+@pytest.fixture
+def checker(figure2):
+    return DCSatChecker(figure2, assume_nonnegative_sums=True)
+
+
+class TestAgreementOnFigure2:
+    @pytest.mark.parametrize("algorithm", ["naive", "opt", "assign", "brute"])
+    def test_unsatisfied_qs(self, checker, algorithm):
+        result = checker.check(QS_U8, algorithm=algorithm)
+        assert not result.satisfied
+        assert result.witness is not None
+
+    @pytest.mark.parametrize("algorithm", ["naive", "opt", "assign", "brute"])
+    def test_satisfied_qs(self, checker, algorithm):
+        result = checker.check(QS_NONE, algorithm=algorithm, short_circuit=False)
+        assert result.satisfied
+        assert result.witness is None
+
+    def test_example6_naive_visits_both_cliques_worst_case(self, checker):
+        # The denial constraint from Example 6 is violated only in the
+        # maximal world of the {T1,T2,T3,T4} clique.
+        result = checker.check(QS_U8, algorithm="naive", short_circuit=False)
+        assert not result.satisfied
+        assert result.stats.cliques_enumerated <= 2
+        assert "T4" in result.witness
+
+    def test_witness_is_a_possible_world(self, checker, figure2):
+        from repro.core.possible_worlds import is_possible_world, world_database
+
+        result = checker.check(QS_U8, algorithm="naive")
+        assert is_possible_world(
+            figure2, world_database(figure2, result.witness)
+        )
+
+
+class TestMonotonicityGuards:
+    def test_naive_rejects_non_monotone(self, checker):
+        # Negated atom, and q(R) is false (U8Pk is not in the state), so
+        # the guard — not the state check — must fire.
+        q = parse_query(
+            "q() <- TxOut(t, s, 'U8Pk', a), not TxIn(t, s, 'U8Pk', a, t, 'x')"
+        )
+        with pytest.raises(AlgorithmError):
+            checker.check(q, algorithm="naive")
+
+    def test_opt_rejects_non_monotone(self, checker):
+        q = parse_query("[q(count()) <- TxOut(t, s, pk, a)] = 100")
+        with pytest.raises(AlgorithmError):
+            checker.check(q, algorithm="opt")
+
+    def test_opt_rejects_disconnected(self, checker):
+        q = parse_query(
+            "q() <- TxOut(t, s, 'U8Pk', a), TxOut(t2, s2, 'NobodyPk', a2), a < a2"
+        )
+        with pytest.raises(AlgorithmError):
+            checker.check(q, algorithm="opt", short_circuit=False)
+
+    def test_assign_rejects_aggregates(self, checker):
+        q = parse_query("[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 1")
+        with pytest.raises(AlgorithmError):
+            checker.check(q, algorithm="assign")
+
+
+class TestAggregatesViaNaive:
+    def test_sum_unreachable_due_to_conflict(self, checker):
+        # U7Pk could get 2.5 (T4) + 4.0 (T5) = 6.5 only if T4 and T5
+        # coexisted — they cannot (T4 needs T2 needs T1; T5 kills T1).
+        q = parse_query("[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 6")
+        assert checker.check(q, algorithm="naive").satisfied
+
+    def test_sum_reachable(self, checker):
+        q = parse_query("[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 4")
+        result = checker.check(q, algorithm="naive")
+        assert not result.satisfied
+        assert "T5" in result.witness
+
+    def test_count_distinct(self, checker):
+        # U4Pk receives in R (3,2), from T2 (5,1) and T3 (6,1):
+        # all three coexist in the {T1,T2,T3,T4} clique.
+        q = parse_query("[q(cntd(t, s)) <- TxOut(t, s, 'U4Pk', a)] >= 3")
+        assert not checker.check(q, algorithm="naive").satisfied
+        q4 = parse_query("[q(cntd(t, s)) <- TxOut(t, s, 'U4Pk', a)] >= 4")
+        assert checker.check(q4, algorithm="naive").satisfied
+
+    def test_max(self, checker):
+        q = parse_query("[q(max(a)) <- TxOut(t, s, 'U7Pk', a)] > 3")
+        assert not checker.check(q, algorithm="naive").satisfied
+        q2 = parse_query("[q(max(a)) <- TxOut(t, s, 'U7Pk', a)] > 4")
+        assert checker.check(q2, algorithm="naive").satisfied
+
+
+class TestShortCircuit:
+    def test_satisfied_uses_short_circuit(self, checker):
+        result = checker.check(QS_NONE)
+        assert result.satisfied
+        assert result.stats.short_circuit_used
+        assert result.stats.algorithm == "short-circuit"
+        assert result.stats.worlds_checked == 0
+
+    def test_unsatisfied_does_not_conclude_from_overlay(self, checker):
+        # q true over R ∪ T does NOT mean a world violates it: U7Pk's
+        # sum reaches 6.5 only in the (inconsistent) full overlay.
+        q = parse_query("[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 6")
+        result = checker.check(q, algorithm="naive", short_circuit=True)
+        assert result.satisfied
+        assert result.stats.short_circuit_used
+        assert result.stats.short_circuit_result is False
+        assert result.stats.worlds_checked > 0
+
+    def test_state_check_catches_current_violation(self, checker):
+        q = parse_query("q() <- TxOut(t, s, 'U3Pk', a)")  # in R already
+        result = checker.check(q)
+        assert not result.satisfied
+        assert result.witness == frozenset()
+        assert result.stats.algorithm == "state-check"
+
+
+class TestBrute:
+    def test_brute_respects_pending_limit(self, checker):
+        with pytest.raises(AlgorithmError):
+            checker.check(QS_U8, algorithm="brute", pending_limit=2)
+
+    def test_brute_counts_worlds(self, checker):
+        result = checker.check(
+            QS_NONE, algorithm="brute", short_circuit=False
+        )
+        assert result.satisfied
+        assert result.stats.worlds_checked == 9  # Example 3's nine worlds
+
+
+class TestAutoSelection:
+    def test_auto_picks_opt_for_connected(self, checker):
+        result = checker.check(QS_U8, algorithm="auto", short_circuit=False)
+        assert result.stats.algorithm == "opt"
+
+    def test_auto_picks_naive_for_disconnected_monotone(self, checker):
+        q = parse_query("[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 4")
+        result = checker.check(q, algorithm="auto", short_circuit=False)
+        assert result.stats.algorithm == "naive"
+
+    def test_auto_falls_back_to_brute_for_non_monotone_mixed(self, checker):
+        q = parse_query(
+            "q() <- TxOut(t, s, 'U8Pk', a), not TxIn(t, s, 'U8Pk', a, t, 'x')"
+        )
+        result = checker.check(q, algorithm="auto")
+        assert result.stats.algorithm == "brute"

@@ -1,0 +1,145 @@
+"""AssignDCSat edge cases: providers, guards, ind-support search."""
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.errors import AlgorithmError
+from repro.relational.constraints import ConstraintSet, InclusionDependency, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+
+def _mixed_db(pending) -> BlockchainDatabase:
+    schema = make_schema({"P": ["k"], "C": ["k", "v"]})
+    constraints = ConstraintSet(
+        schema,
+        [
+            Key("C", ["k"], schema),
+            InclusionDependency("C", ["k"], "P", ["k"]),
+        ],
+    )
+    return BlockchainDatabase(
+        Database.from_dict(schema, {"P": [(0,)], "C": []}),
+        constraints,
+        pending,
+    )
+
+
+class TestProviders:
+    def test_multiple_providers_one_conflicted(self):
+        """The same fact offered by two txs; one provider is conflicted
+        out — the solver must find the other."""
+        pending = [
+            # Both insert C(0, 'x'); blocker conflicts with prov1 only.
+            Transaction({"C": [(0, "x")], "P": [(1,)]}, tx_id="prov1"),
+            Transaction({"C": [(0, "x")]}, tx_id="prov2"),
+            Transaction({"C": [(1, "y")], "P": [(1,)]}, tx_id="blocker"),
+        ]
+        # Make prov1 conflict with blocker via the C-key on k=... they
+        # don't conflict as written; craft: prov1 also claims C(1, 'z').
+        pending[0] = Transaction(
+            {"C": [(0, "x"), (1, "z")], "P": [(1,)]}, tx_id="prov1"
+        )
+        db = _mixed_db(pending)
+        checker = DCSatChecker(db)
+        # Want C(0,'x') together with C(1,'y'): prov1 clashes with
+        # blocker on C-key k=1, so the support must use prov2.
+        result = checker.check(
+            "q() <- C(0, 'x'), C(1, 'y')", algorithm="assign",
+        )
+        assert not result.satisfied
+        assert "prov2" in result.witness
+        assert "blocker" in result.witness
+
+    def test_provider_combination_guard(self):
+        from repro.core import assignment
+
+        many = [
+            Transaction({"C": [(0, "x")], "P": [(k,)]}, tx_id=f"p{k}")
+            for k in range(1, 9)
+        ]
+        db = _mixed_db(many)
+        checker = DCSatChecker(db)
+        old_limit = assignment.MAX_PROVIDER_COMBINATIONS
+        assignment.MAX_PROVIDER_COMBINATIONS = 4
+        try:
+            with pytest.raises(AlgorithmError):
+                checker.check(
+                    "q() <- C(0, 'x')", algorithm="assign",
+                    short_circuit=False,
+                )
+        finally:
+            assignment.MAX_PROVIDER_COMBINATIONS = old_limit
+
+    def test_fact_only_in_base_needs_no_support(self):
+        db = _mixed_db([Transaction({"P": [(5,)]}, tx_id="other")])
+        db.current.insert("C", (0, "base"))
+        checker = DCSatChecker(db)
+        result = checker.check("q() <- C(0, 'base')", algorithm="assign")
+        assert not result.satisfied
+        assert result.witness == frozenset()
+
+
+class TestIndSupport:
+    def test_support_pulls_parent_from_component(self):
+        pending = [
+            Transaction({"P": [(7,)]}, tx_id="parent"),
+            Transaction({"C": [(7, "v")]}, tx_id="child"),
+        ]
+        db = _mixed_db(pending)
+        checker = DCSatChecker(db)
+        result = checker.check("q() <- C(7, v)", algorithm="assign")
+        assert not result.satisfied
+        assert {"parent", "child"} <= result.witness
+
+    def test_unsupportable_fact_is_safe(self):
+        pending = [Transaction({"C": [(9, "v")]}, tx_id="orphan")]
+        db = _mixed_db(pending)
+        checker = DCSatChecker(db)
+        result = checker.check(
+            "q() <- C(9, v)", algorithm="assign", short_circuit=False
+        )
+        assert result.satisfied
+
+    def test_conflicting_parents_explored(self):
+        """Two alternative parents that conflict with each other: either
+        one can support the child, and the solver must find a clique
+        containing one of them."""
+        pending = [
+            # Each parent is self-supported (brings P(8) for its own
+            # C(8, ·) fact); the two clash on the C-key at k=8.
+            Transaction({"P": [(3,), (8,)], "C": [(8, "a")]}, tx_id="parentA"),
+            Transaction({"P": [(3,), (8,)], "C": [(8, "b")]}, tx_id="parentB"),
+            Transaction({"C": [(3, "v")]}, tx_id="child"),
+        ]
+        db = _mixed_db(pending)
+        checker = DCSatChecker(db)
+        result = checker.check("q() <- C(3, v)", algorithm="assign")
+        assert not result.satisfied
+        assert "child" in result.witness
+        assert {"parentA", "parentB"} & result.witness
+        assert not {"parentA", "parentB"} <= result.witness
+
+
+class TestAgreementOnTheseShapes:
+    def test_assign_matches_brute_here(self):
+        shapes = [
+            [Transaction({"P": [(7,)]}, tx_id="parent"),
+             Transaction({"C": [(7, "v")]}, tx_id="child")],
+            [Transaction({"P": [(3,), (8,)], "C": [(8, "a")]}, tx_id="pa"),
+             Transaction({"P": [(3,), (8,)], "C": [(8, "b")]}, tx_id="pb"),
+             Transaction({"C": [(3, "v")]}, tx_id="ch")],
+        ]
+        queries = ["q() <- C(k, v), P(k)", "q() <- C(3, v)", "q() <- C(8, 'a')"]
+        for pending in shapes:
+            db = _mixed_db(pending)
+            checker = DCSatChecker(db)
+            for text in queries:
+                assign = checker.check(
+                    text, algorithm="assign", short_circuit=False
+                )
+                brute = checker.check(
+                    text, algorithm="brute", short_circuit=False
+                )
+                assert assign.satisfied == brute.satisfied, text

@@ -1,0 +1,67 @@
+"""Batched denial-constraint checking."""
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.errors import AlgorithmError
+
+QUERIES = [
+    "q() <- TxOut(t, s, 'U8Pk', a)",       # violated (needs T1..T4)
+    "q() <- TxOut(t, s, 'NobodyPk', a)",   # satisfied (short-circuit)
+    "q() <- TxOut(t, s, 'U3Pk', a)",       # violated by R itself
+    "[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 6",  # satisfied, needs worlds
+    "[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 4",  # violated (T5)
+]
+
+
+@pytest.fixture
+def checker(figure2):
+    return DCSatChecker(figure2, assume_nonnegative_sums=True)
+
+
+def test_batch_matches_sequential(checker):
+    batch = checker.check_batch(QUERIES)
+    sequential = [checker.check(query, algorithm="naive") for query in QUERIES]
+    assert [r.satisfied for r in batch] == [r.satisfied for r in sequential]
+
+
+def test_batch_verdict_details(checker):
+    results = checker.check_batch(QUERIES)
+    assert not results[0].satisfied and "T4" in results[0].witness
+    assert results[1].satisfied and results[1].stats.short_circuit_result
+    assert not results[2].satisfied and results[2].witness == frozenset()
+    assert results[3].satisfied and results[3].stats.worlds_checked > 0
+    assert not results[4].satisfied and "T5" in results[4].witness
+
+
+def test_batch_shares_the_sweep(checker):
+    """Two open constraints decided in one enumeration: neither pays for
+    more cliques than the single-query run would."""
+    open_queries = [QUERIES[0], QUERIES[3]]
+    results = checker.check_batch(open_queries)
+    assert all(r.stats.cliques_enumerated <= 2 for r in results)
+
+
+def test_batch_rejects_non_monotone(checker):
+    with pytest.raises(AlgorithmError):
+        checker.check_batch(["[q(count()) <- TxOut(t, s, pk, a)] = 3"])
+
+
+def test_batch_without_short_circuit(checker):
+    results = checker.check_batch(QUERIES, short_circuit=False)
+    assert [r.satisfied for r in results] == [False, True, False, True, False]
+
+
+def test_empty_batch(checker):
+    assert checker.check_batch([]) == []
+
+
+def test_batch_on_empty_pending(figure2):
+    for tx_id in list(figure2.pending_ids):
+        figure2.remove_pending(tx_id)
+    checker = DCSatChecker(figure2)
+    results = checker.check_batch(
+        ["q() <- TxOut(t, s, 'U3Pk', a)", "q() <- TxOut(t, s, 'U8Pk', a)"]
+    )
+    assert not results[0].satisfied  # in R
+    assert results[1].satisfied

@@ -1,0 +1,87 @@
+"""The blockchain database triple (R, I, T)."""
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.errors import IntegrityViolationError, ReproError
+from repro.relational.constraints import ConstraintSet, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+
+@pytest.fixture
+def schema():
+    return make_schema({"R": ["a", "b"]})
+
+
+@pytest.fixture
+def constraints(schema):
+    return ConstraintSet(schema, [Key("R", ["a"], schema)])
+
+
+def test_construction_validates_current_state(schema, constraints):
+    bad = Database.from_dict(schema, {"R": [(1, "x"), (1, "y")]})
+    with pytest.raises(IntegrityViolationError) as info:
+        BlockchainDatabase(bad, constraints)
+    assert info.value.violations
+
+
+def test_validation_can_be_skipped(schema, constraints):
+    bad = Database.from_dict(schema, {"R": [(1, "x"), (1, "y")]})
+    db = BlockchainDatabase(bad, constraints, validate=False)
+    assert db.current is bad
+
+
+def test_pending_management(schema, constraints, figure2):
+    current = Database.from_dict(schema, {"R": [(1, "x")]})
+    db = BlockchainDatabase(current, constraints)
+    tx = Transaction({"R": [(2, "y")]}, tx_id="T1")
+    db.add_pending(tx)
+    assert db.pending_ids == ("T1",)
+    assert db.transaction("T1") is tx
+    removed = db.remove_pending("T1")
+    assert removed is tx
+    assert db.pending_ids == ()
+
+
+def test_duplicate_pending_id_rejected(schema, constraints):
+    current = Database.from_dict(schema, {"R": []})
+    db = BlockchainDatabase(current, constraints)
+    db.add_pending(Transaction({"R": [(1, "x")]}, tx_id="T1"))
+    with pytest.raises(ReproError):
+        db.add_pending(Transaction({"R": [(2, "y")]}, tx_id="T1"))
+
+
+def test_pending_unknown_relation_rejected(schema, constraints):
+    current = Database.from_dict(schema, {"R": []})
+    db = BlockchainDatabase(current, constraints)
+    with pytest.raises(ReproError):
+        db.add_pending(Transaction({"Nope": [(1,)]}, tx_id="T1"))
+
+
+def test_pending_bad_arity_rejected(schema, constraints):
+    current = Database.from_dict(schema, {"R": []})
+    db = BlockchainDatabase(current, constraints)
+    from repro.errors import SchemaError
+
+    with pytest.raises(SchemaError):
+        db.add_pending(Transaction({"R": [(1,)]}, tx_id="T1"))
+
+
+def test_missing_pending_lookup(schema, constraints):
+    db = BlockchainDatabase(Database(schema), constraints)
+    with pytest.raises(ReproError):
+        db.transaction("nope")
+
+
+def test_pending_need_not_be_mutually_consistent(schema, constraints):
+    # The whole point of the model: T may contain contradicting txs.
+    db = BlockchainDatabase(Database(schema), constraints)
+    db.add_pending(Transaction({"R": [(1, "x")]}, tx_id="T1"))
+    db.add_pending(Transaction({"R": [(1, "y")]}, tx_id="T2"))
+    assert len(db.pending) == 2
+
+
+def test_figure2_fixture_is_valid(figure2):
+    assert len(figure2.pending) == 5
+    assert figure2.current.total_tuples() == 8

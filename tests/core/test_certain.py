@@ -1,0 +1,110 @@
+"""Certain and possible answers (Section 5's observation, executable)."""
+
+import pytest
+
+from repro.core.certain import (
+    certain_answers,
+    certain_answers_monotone,
+    possible_answers,
+)
+from repro.errors import AlgorithmError
+from repro.query.parser import parse_query
+
+
+class TestCertainAnswers:
+    def test_monotone_shortcut_equals_general_definition(self, figure2):
+        queries = [
+            "q() <- TxOut(t, s, pk, a)",
+            "q() <- TxOut(t, s, pk, a), TxIn(t, s, pk, a, n, g)",
+            "q() <- TxOut(t, s, 'U4Pk', a)",
+        ]
+        for text in queries:
+            query = parse_query(text)
+            assert certain_answers(figure2, query) == certain_answers_monotone(
+                figure2, query
+            ), text
+
+    def test_pending_only_facts_are_not_certain(self, figure2):
+        query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+        assert certain_answers(figure2, query) == set()
+
+    def test_committed_facts_are_certain(self, figure2):
+        query = parse_query("q() <- TxOut(3, s, pk, a)")
+        answers = certain_answers(figure2, query)
+        # Tx 3 has three committed outputs.
+        assert len(answers) == 3
+
+    def test_shortcut_rejects_non_monotone(self, figure2):
+        query = parse_query(
+            "q() <- TxOut(t, s, pk, a), not TxIn(t, s, pk, a, t, 'x')"
+        )
+        with pytest.raises(AlgorithmError):
+            certain_answers_monotone(figure2, query)
+
+    def test_general_definition_handles_negation(self, figure2):
+        # "Outputs not spent by transaction 7 (T4)": T4 only spends
+        # pending outputs, so every committed output remains a certain
+        # answer even under the negation.
+        query = parse_query(
+            "q() <- TxOut(t, s, pk, a), not TxIn(t, s, pk, a, 7, 'U4Sig')"
+        )
+        answers = certain_answers(figure2, query)
+        assert len(answers) == 6
+
+    def test_negation_can_remove_certainty(self, figure2):
+        # TxOut(2,2) is committed, but in worlds containing T1 the
+        # negated fact (its spend, newTxId 4) appears — not certain.
+        query = parse_query(
+            "q() <- TxOut(2, 2, pk, a), not TxIn(2, 2, pk, a, 4, 'U2Sig')"
+        )
+        assert certain_answers(figure2, query) == set()
+        # Sanity: it IS an answer over R alone.
+        from repro.query.evaluator import evaluate
+
+        assert evaluate(query, figure2.current)
+
+
+class TestPossibleAnswers:
+    def test_superset_of_certain(self, figure2):
+        query = parse_query("q() <- TxOut(t, s, pk, a)")
+        certain = certain_answers(figure2, query)
+        possible = possible_answers(figure2, query)
+        assert certain <= possible
+
+    def test_includes_pending_reachable_facts(self, figure2):
+        query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+        assert possible_answers(figure2, query)
+
+    def test_excludes_unreachable_facts(self, figure2):
+        query = parse_query("q() <- TxOut(t, s, 'MartianPk', a)")
+        assert possible_answers(figure2, query) == set()
+
+    def test_conflicting_transfers_both_possible(self, figure2):
+        # U7Pk can receive 2.5 (via T4) or 4.0 (via T5) — in different
+        # worlds; both are possible answers.
+        query = parse_query("q() <- TxOut(t, s, 'U7Pk', a)")
+        amounts = {answer[0] for answer in possible_answers(figure2, query)}
+        assert amounts == {2.5, 4.0}
+
+    def test_requires_monotone(self, figure2):
+        query = parse_query(
+            "q() <- TxOut(t, s, pk, a), not TxIn(t, s, pk, a, t, 'x')"
+        )
+        with pytest.raises(AlgorithmError):
+            possible_answers(figure2, query)
+
+    def test_matches_brute_force_union(self, figure2):
+        from repro.core.possible_worlds import (
+            enumerate_possible_worlds,
+            world_database,
+        )
+        from repro.query.evaluator import iter_assignments
+
+        query = parse_query("q() <- TxOut(t, s, pk, a), TxIn(t, s, pk, a, n, g)")
+        names = sorted(v.name for v in query.variables)
+        expected = set()
+        for world in enumerate_possible_worlds(figure2):
+            materialized = world_database(figure2, world)
+            for assignment in iter_assignments(query, materialized):
+                expected.add(tuple(assignment[n] for n in names))
+        assert possible_answers(figure2, query) == expected

@@ -1,0 +1,183 @@
+"""DCSatChecker: steady-state maintenance, dry runs, backends, stats."""
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.errors import AlgorithmError
+from repro.relational.transaction import Transaction
+from tests.conftest import figure2_database
+
+QS_U8 = "q() <- TxOut(t, s, 'U8Pk', a)"
+
+
+class TestSteadyState:
+    def test_commit_changes_answers(self, figure2):
+        checker = DCSatChecker(figure2)
+        assert not checker.check(QS_U8).satisfied
+        # Commit T5: it kills T1, hence T2 and T4 — U8Pk unreachable.
+        checker.commit("T5")
+        result = checker.check(QS_U8)
+        assert result.satisfied
+
+    def test_commit_chain_keeps_consistency(self, figure2):
+        checker = DCSatChecker(figure2)
+        for tx_id in ("T1", "T2", "T3", "T4"):
+            checker.commit(tx_id)
+        # U8Pk is now committed: the constraint is violated by R itself.
+        result = checker.check(QS_U8)
+        assert not result.satisfied
+        assert result.witness == frozenset()
+        assert result.stats.algorithm == "state-check"
+
+    def test_forget_removes_possibility(self, figure2):
+        checker = DCSatChecker(figure2)
+        checker.forget("T4")
+        assert checker.check(QS_U8).satisfied
+
+    def test_issue_adds_possibility(self, figure2):
+        checker = DCSatChecker(figure2)
+        assert checker.check("q() <- TxOut(t, s, 'NewPk', a)").satisfied
+        checker.issue(
+            Transaction({"TxOut": [(9, 1, "NewPk", 1.0)]}, tx_id="T9")
+        )
+        assert not checker.check("q() <- TxOut(t, s, 'NewPk', a)").satisfied
+
+    def test_fd_graph_updated_on_commit(self, figure2):
+        checker = DCSatChecker(figure2)
+        checker.commit("T1")
+        # T5 spends the same output as the now-committed T1: dead.
+        assert "T5" in checker.fd_graph.never_appendable
+
+    def test_commit_returns_transaction(self, figure2):
+        tx = DCSatChecker(figure2).commit("T3")
+        assert tx.tx_id == "T3"
+
+    def test_absorb_external_facts(self, figure2):
+        """Facts committed without ever being pending (e.g. a coinbase)."""
+        checker = DCSatChecker(figure2)
+        external = Transaction(
+            {"TxOut": [(99, 1, "CoinbasePk", 50.0)]}, tx_id="cb"
+        )
+        checker.absorb(external)
+        result = checker.check("q() <- TxOut(99, 1, 'CoinbasePk', a)")
+        assert not result.satisfied
+        assert result.witness == frozenset()  # it is in R itself
+
+    def test_absorb_kills_clashing_pending(self, figure2):
+        # Absorbing a spend of TxOut(2,2) makes T1 and T5 unappendable.
+        checker = DCSatChecker(figure2)
+        external = Transaction(
+            {
+                "TxOut": [(99, 1, "XPk", 4.0)],
+                "TxIn": [(2, 2, "U2Pk", 4.0, 99, "U2Sig")],
+            },
+            tx_id="external-spend",
+        )
+        checker.absorb(external)
+        assert {"T1", "T5"} <= checker.fd_graph.never_appendable
+        assert checker.check("q() <- TxOut(t, s, 'U8Pk', a)").satisfied
+
+
+class TestDryRun:
+    def test_dry_run_restores_state(self, figure2):
+        checker = DCSatChecker(figure2)
+        before = set(figure2.pending_ids)
+        tx = Transaction({"TxOut": [(9, 1, "XPk", 1.0)]}, tx_id="T9")
+        result = checker.dry_run(tx, "q() <- TxOut(t, s, 'XPk', a)")
+        assert not result.satisfied
+        assert set(figure2.pending_ids) == before
+        # And the hypothetical fact is gone again.
+        assert checker.check("q() <- TxOut(t, s, 'XPk', a)").satisfied
+
+    def test_dry_run_restores_on_error(self, figure2):
+        checker = DCSatChecker(figure2)
+        before = set(figure2.pending_ids)
+        tx = Transaction({"TxOut": [(9, 1, "XPk", 1.0)]}, tx_id="T9")
+        with pytest.raises(AlgorithmError):
+            checker.dry_run(tx, QS_U8, algorithm="nonsense")
+        assert set(figure2.pending_ids) == before
+
+    def test_example4_alice_scenario(self):
+        """Example 4: reissuing unsafely vs. safely, decided by dry run.
+
+        Interesting aside: within Figure 2 itself an unsafe reissue is
+        impossible — Alice's only other coin is T1's change, and T1
+        conflicts with T5 — so we give Alice one extra committed coin.
+        """
+        db = figure2_database()
+        db.current.insert("TxOut", (2, 3, "U2Pk", 2.0))
+        checker = DCSatChecker(db)
+        # Alice = U2Pk already has T5 pending (4.0 to U7Pk).  Reissuing
+        # from an *independent* output allows double payment:
+        unsafe = Transaction(
+            {
+                "TxIn": [(2, 3, "U2Pk", 2.0, 9, "U2Sig")],
+                "TxOut": [(9, 1, "U7Pk", 2.0)],
+            },
+            tx_id="Reissue",
+        )
+        double_pay = (
+            "q() <- TxIn(p1, s1, 'U2Pk', a1, n1, 'U2Sig'), TxOut(n1, o1, 'U7Pk', b1), "
+            "TxIn(p2, s2, 'U2Pk', a2, n2, 'U2Sig'), TxOut(n2, o2, 'U7Pk', b2), "
+            "n1 != n2"
+        )
+        assert not checker.dry_run(unsafe, double_pay).satisfied
+        # Reissuing by double-spending T5's input is safe:
+        safe = Transaction(
+            {
+                "TxIn": [(2, 2, "U2Pk", 4.0, 9, "U2Sig")],
+                "TxOut": [(9, 1, "U7Pk", 4.0)],
+            },
+            tx_id="SafeReissue",
+        )
+        assert checker.dry_run(safe, double_pay).satisfied
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_backends_agree(self, backend):
+        checker = DCSatChecker(figure2_database(), backend=backend)
+        assert not checker.check(QS_U8).satisfied
+        assert checker.check("q() <- TxOut(t, s, 'NoPk', a)").satisfied
+        checker.close()
+
+    def test_sqlite_steady_state(self):
+        checker = DCSatChecker(figure2_database(), backend="sqlite")
+        checker.commit("T5")
+        assert checker.check(QS_U8).satisfied
+        checker.issue(
+            Transaction({"TxOut": [(9, 1, "ZPk", 1.0)]}, tx_id="T9")
+        )
+        assert not checker.check("q() <- TxOut(t, s, 'ZPk', a)").satisfied
+        checker.forget("T9")
+        assert checker.check("q() <- TxOut(t, s, 'ZPk', a)").satisfied
+        checker.close()
+
+    def test_unknown_backend(self):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            DCSatChecker(figure2_database(), backend="oracle")
+
+    def test_context_manager(self):
+        with DCSatChecker(figure2_database()) as checker:
+            assert not checker.check(QS_U8).satisfied
+
+
+class TestStats:
+    def test_elapsed_recorded(self, figure2):
+        result = DCSatChecker(figure2).check(QS_U8)
+        assert result.stats.elapsed_seconds > 0
+
+    def test_unknown_algorithm(self, figure2):
+        with pytest.raises(AlgorithmError):
+            DCSatChecker(figure2).check(QS_U8, algorithm="quantum")
+
+    def test_string_queries_parsed(self, figure2):
+        result = DCSatChecker(figure2).check(QS_U8)
+        assert not result.satisfied
+
+    def test_active_set_cleared_after_check(self, figure2):
+        checker = DCSatChecker(figure2)
+        checker.check(QS_U8)
+        assert checker.workspace.active == frozenset()

@@ -1,0 +1,116 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro import serialize
+from repro.cli import main
+from tests.conftest import figure2_database
+
+
+@pytest.fixture
+def figure2_file(tmp_path):
+    path = tmp_path / "figure2.json"
+    serialize.dump(figure2_database(), str(path))
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_writes_database(self, tmp_path, capsys):
+        out = str(tmp_path / "chain.json")
+        code = main(
+            ["generate", "--preset", "D100-S", "--out", out, "--seed", "5",
+             "--contradictions", "3"]
+        )
+        assert code == 0
+        payload = json.loads(open(out).read())
+        assert payload["version"] == 1
+        assert "TxOut" in payload["schema"]
+        assert capsys.readouterr().out.startswith("wrote")
+
+    def test_unknown_preset(self, tmp_path, capsys):
+        code = main(["generate", "--preset", "D9", "--out", str(tmp_path / "x")])
+        assert code == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_output(self, figure2_file, capsys):
+        assert main(["stats", figure2_file]) == 0
+        out = capsys.readouterr().out
+        assert "TxOut: 6 committed tuples" in out
+        assert "2 FDs, 2 INDs" in out
+        assert "pending transactions: 5" in out
+        assert "1 conflict pairs" in out
+
+
+class TestCheck:
+    def test_satisfied_exits_zero(self, figure2_file, capsys):
+        code = main(
+            ["check", figure2_file, "--query", "q() <- TxOut(t, s, 'NoPk', a)"]
+        )
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_violated_exits_one(self, figure2_file, capsys):
+        code = main(
+            ["check", figure2_file, "--query", "q() <- TxOut(t, s, 'U8Pk', a)"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "T4" in out
+
+    def test_algorithm_and_backend_flags(self, figure2_file):
+        code = main(
+            [
+                "check", figure2_file,
+                "--query", "q() <- TxOut(t, s, 'U8Pk', a)",
+                "--algorithm", "naive", "--backend", "sqlite",
+                "--no-short-circuit",
+            ]
+        )
+        assert code == 1
+
+    def test_aggregate_with_vouching(self, figure2_file):
+        code = main(
+            [
+                "check", figure2_file,
+                "--query", "[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 6",
+                "--assume-nonnegative-sums",
+            ]
+        )
+        assert code == 0  # satisfied: T4 and T5 cannot coexist
+
+    def test_bad_query_reports_error(self, figure2_file, capsys):
+        code = main(["check", figure2_file, "--query", "not a query"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_flag(self, figure2_file, capsys):
+        code = main(
+            [
+                "check", figure2_file,
+                "--query", "q() <- TxOut(t, s, 'U8Pk', a)",
+                "--explain",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "witness world" in out
+        assert "assignment" in out
+        assert "[T4]" in out
+
+
+class TestWorlds:
+    def test_enumerates_figure2(self, figure2_file, capsys):
+        assert main(["worlds", figure2_file]) == 0
+        out = capsys.readouterr().out
+        assert "9 possible worlds" in out
+        assert "T1 + T2 + T3 + T4" in out
+
+    def test_limit(self, figure2_file, capsys):
+        code = main(["worlds", figure2_file, "--limit", "2"])
+        assert code == 3
+        assert "stopped" in capsys.readouterr().err

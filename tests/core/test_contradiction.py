@@ -1,0 +1,93 @@
+"""Deriving contradicting transactions (future-work feature)."""
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.core.contradiction import (
+    are_contradicting,
+    conflict_candidates,
+    contradicting_transaction,
+)
+from repro.errors import ReproError
+from repro.relational.constraints import ConstraintSet, FunctionalDependency
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+
+def test_contradicts_figure2_t1(figure2):
+    target = figure2.transaction("T1")
+    conflict = contradicting_transaction(figure2, target, tx_id="T1x")
+    assert are_contradicting(figure2, target, conflict)
+
+
+def test_contradiction_excludes_coexistence(figure2):
+    from repro.core.possible_worlds import enumerate_possible_worlds
+
+    target = figure2.transaction("T5")
+    conflict = contradicting_transaction(figure2, target, tx_id="T5x")
+    figure2.add_pending(conflict)
+    for world in enumerate_possible_worlds(figure2):
+        assert not {"T5", "T5x"} <= world
+
+
+def test_candidates_enumerated(figure2):
+    target = figure2.transaction("T1")
+    candidates = conflict_candidates(figure2, target)
+    assert candidates
+    relations = {rel for rel, _, _ in candidates}
+    assert relations <= {"TxIn", "TxOut"}
+
+
+def test_payload_carried(figure2):
+    target = figure2.transaction("T1")
+    payload = [("TxOut", (77, 1, "PayloadPk", 1.0))]
+    conflict = contradicting_transaction(
+        figure2, target, payload=payload, tx_id="T1y"
+    )
+    assert ("TxOut", (77, 1, "PayloadPk", 1.0)) in conflict.facts
+
+
+def test_no_fd_governed_fact_fails():
+    schema = make_schema({"Log": ["entry"]})
+    constraints = ConstraintSet(schema)  # no constraints at all
+    db = BlockchainDatabase(Database(schema), constraints)
+    target = Transaction({"Log": [("hello",)]}, tx_id="T1")
+    with pytest.raises(ReproError):
+        contradicting_transaction(db, target)
+
+
+def test_full_lhs_fd_cannot_be_contradicted():
+    # An FD whose rhs ⊆ lhs gives no mutable position.
+    schema = make_schema({"R": ["a", "b"]})
+    constraints = ConstraintSet(
+        schema, [FunctionalDependency("R", ["a", "b"], ["a"])]
+    )
+    db = BlockchainDatabase(Database(schema), constraints)
+    target = Transaction({"R": [(1, 2)]}, tx_id="T1")
+    with pytest.raises(ReproError):
+        contradicting_transaction(db, target)
+
+
+def test_custom_mutation(figure2):
+    target = figure2.transaction("T1")
+    conflict = contradicting_transaction(
+        figure2, target, tx_id="T1z", mutate=lambda value: "REPLACED"
+        if isinstance(value, str) else value + 1000,
+    )
+    assert are_contradicting(figure2, target, conflict)
+
+
+def test_safe_reissue_workflow(figure2):
+    """The motivating-example workflow: contradict the stuck payment,
+    then verify with a dry run that no world pays twice."""
+    checker = DCSatChecker(figure2)
+    target = figure2.transaction("T5")  # User2's 4-coin transfer to U7Pk
+    # Reissue by contradiction: same TxIn key, different newTxId.
+    conflict = contradicting_transaction(figure2, target, tx_id="T5replacement")
+    double_spend_constraint = (
+        "q() <- TxIn(pt1, ps1, 'U2Pk', 4.0, n1, s1), "
+        "TxIn(pt2, ps2, 'U2Pk', 4.0, n2, s2), n1 != n2"
+    )
+    result = checker.dry_run(conflict, double_spend_constraint)
+    assert result.satisfied  # the replacement cannot coexist with T5

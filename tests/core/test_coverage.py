@@ -1,0 +1,43 @@
+"""The Covers(R, T', q) constant-coverage test."""
+
+from repro.core.coverage import covers, covers_query
+from repro.core.workspace import Workspace
+from repro.query.analysis import constant_patterns
+from repro.query.parser import parse_query
+
+
+def test_paper_example_t4_covers_u8(figure2):
+    # "(R, {T4}) covers all constants in qs() <- TxOut(t, s, 'U8Pk', a)."
+    ws = Workspace(figure2)
+    q = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+    assert covers_query(ws, {"T4"}, q)
+    assert not covers_query(ws, {"T1", "T2"}, q)
+
+
+def test_constants_covered_by_current_state(figure2):
+    ws = Workspace(figure2)
+    q = parse_query("q() <- TxOut(t, s, 'U3Pk', a)")  # in R
+    assert covers_query(ws, set(), q)
+    assert covers_query(ws, {"T1"}, q)
+
+
+def test_uncoverable_constants(figure2):
+    ws = Workspace(figure2)
+    q = parse_query("q() <- TxOut(t, s, 'MartianPk', a)")
+    assert not covers_query(ws, set(figure2.pending_ids), q)
+
+
+def test_multiple_patterns_all_required(figure2):
+    ws = Workspace(figure2)
+    q = parse_query("q() <- TxOut(t, s, 'U8Pk', a), TxOut(t2, s2, 'U5Pk', a2)")
+    # U8Pk needs T4, U5Pk needs T1.
+    assert covers_query(ws, {"T1", "T4"}, q)
+    assert not covers_query(ws, {"T4"}, q)
+    assert not covers_query(ws, {"T1"}, q)
+
+
+def test_constant_free_query_always_covered(figure2):
+    ws = Workspace(figure2)
+    q = parse_query("q() <- TxOut(t, s, pk, a)")
+    assert constant_patterns(q) == ()
+    assert covers(ws, set(), ())

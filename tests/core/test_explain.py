@@ -1,0 +1,85 @@
+"""Verdict explanations: assignments, facts, provenance."""
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.core.explain import explain_violation
+from repro.errors import ReproError
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def checker(figure2):
+    return DCSatChecker(figure2, assume_nonnegative_sums=True)
+
+
+class TestConjunctive:
+    def test_explains_simple_violation(self, figure2, checker):
+        query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+        result = checker.check(query, algorithm="opt")
+        explanation = explain_violation(figure2, query, result)
+        assert explanation.assignment["t"] == 7
+        assert explanation.assignment["a"] == 1.0
+        assert len(explanation.facts) == 1
+        fact = explanation.facts[0]
+        assert fact.relation == "TxOut"
+        assert fact.source == "T4"
+        assert explanation.culprit_transactions == {"T4"}
+
+    def test_committed_provenance(self, figure2, checker):
+        query = parse_query("q() <- TxOut(t, s, 'U3Pk', a)")
+        result = checker.check(query)
+        explanation = explain_violation(figure2, query, result)
+        assert explanation.witness == frozenset()
+        assert explanation.facts[0].source == "committed"
+
+    def test_join_provenance_spans_transactions(self, figure2, checker):
+        query = parse_query(
+            "q() <- TxOut(t, s, 'U8Pk', a), TxOut(t2, s2, 'U5Pk', a2)"
+        )
+        result = checker.check(query, algorithm="naive")
+        explanation = explain_violation(figure2, query, result)
+        assert explanation.culprit_transactions == {"T1", "T4"}
+
+    def test_render_is_readable(self, figure2, checker):
+        query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+        result = checker.check(query)
+        text = explain_violation(figure2, query, result).render()
+        assert "witness world" in text
+        assert "T4" in text
+        assert "TxOut" in text
+
+
+class TestAggregate:
+    def test_aggregate_value_reported(self, figure2, checker):
+        query = parse_query("[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 4")
+        result = checker.check(query, algorithm="naive")
+        explanation = explain_violation(figure2, query, result)
+        assert explanation.aggregate_value == 4.0
+        assert "T5" in explanation.culprit_transactions
+        assert "sum" in explanation.note
+
+
+class TestErrors:
+    def test_satisfied_result_rejected(self, figure2, checker):
+        query = parse_query("q() <- TxOut(t, s, 'NobodyPk', a)")
+        result = checker.check(query)
+        with pytest.raises(ReproError):
+            explain_violation(figure2, query, result)
+
+    def test_missing_witness_rejected(self, figure2):
+        from repro.core.results import DCSatResult
+
+        query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+        with pytest.raises(ReproError):
+            explain_violation(
+                figure2, query, DCSatResult(satisfied=False, witness=None)
+            )
+
+    def test_inconsistent_witness_detected(self, figure2):
+        from repro.core.results import DCSatResult
+
+        query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+        bogus = DCSatResult(satisfied=False, witness=frozenset({"T3"}))
+        with pytest.raises(ReproError):
+            explain_violation(figure2, query, bogus)

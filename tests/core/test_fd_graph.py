@@ -1,0 +1,128 @@
+"""The fd-transaction graph G^fd_T (Figure 3, left)."""
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.fd_graph import FdTransactionGraph
+from repro.core.workspace import Workspace
+from repro.relational.constraints import ConstraintSet, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+
+@pytest.fixture
+def figure2_graph(figure2):
+    return FdTransactionGraph(Workspace(figure2))
+
+
+class TestFigure3:
+    def test_t1_t5_conflict(self, figure2_graph):
+        # Figure 3: T1 and T5 spend the same TxIn key (double spend).
+        assert not figure2_graph.has_edge("T1", "T5")
+        assert figure2_graph.conflicts["T1"] == {"T5"}
+        assert figure2_graph.conflicts["T5"] == {"T1"}
+
+    def test_all_other_pairs_are_edges(self, figure2_graph):
+        ids = ["T1", "T2", "T3", "T4", "T5"]
+        for i, u in enumerate(ids):
+            for v in ids[i + 1 :]:
+                expected = {u, v} != {"T1", "T5"}
+                assert figure2_graph.has_edge(u, v) is expected
+
+    def test_maximal_cliques_match_example6(self, figure2_graph):
+        cliques = set(figure2_graph.maximal_cliques())
+        assert cliques == {
+            frozenset({"T2", "T3", "T4", "T5"}),
+            frozenset({"T1", "T2", "T3", "T4"}),
+        }
+
+    def test_verify_against_pairwise_definition(self, figure2_graph):
+        figure2_graph.verify_against()
+
+
+class TestPruning:
+    def _db(self, pending):
+        schema = make_schema({"R": ["a", "b"]})
+        constraints = ConstraintSet(schema, [Key("R", ["a"], schema)])
+        current = Database.from_dict(schema, {"R": [(1, "committed")]})
+        return BlockchainDatabase(current, constraints, pending)
+
+    def test_base_clash_pruned(self):
+        db = self._db([Transaction({"R": [(1, "different")]}, tx_id="T1")])
+        graph = FdTransactionGraph(Workspace(db))
+        assert graph.nodes == set()
+        assert graph.never_appendable == {"T1"}
+
+    def test_internally_inconsistent_pruned(self):
+        db = self._db([Transaction({"R": [(5, "x"), (5, "y")]}, tx_id="T1")])
+        graph = FdTransactionGraph(Workspace(db))
+        assert graph.never_appendable == {"T1"}
+
+    def test_same_tuple_as_base_not_pruned(self):
+        db = self._db([Transaction({"R": [(1, "committed")]}, tx_id="T1")])
+        graph = FdTransactionGraph(Workspace(db))
+        assert graph.nodes == {"T1"}
+
+
+class TestMaintenance:
+    def _graph(self):
+        schema = make_schema({"R": ["a", "b"]})
+        constraints = ConstraintSet(schema, [Key("R", ["a"], schema)])
+        db = BlockchainDatabase(
+            Database.from_dict(schema, {"R": []}),
+            constraints,
+            [
+                Transaction({"R": [(1, "x")]}, tx_id="T1"),
+                Transaction({"R": [(1, "y")]}, tx_id="T2"),
+            ],
+        )
+        ws = Workspace(db)
+        return ws, FdTransactionGraph(ws)
+
+    def test_add_transaction(self):
+        ws, graph = self._graph()
+        ws.issue(Transaction({"R": [(1, "x")]}, tx_id="T3"))
+        graph.add_transaction("T3")
+        # T3 agrees with T1 (same tuple) but clashes with T2.
+        assert graph.has_edge("T1", "T3")
+        assert not graph.has_edge("T2", "T3")
+
+    def test_remove_transaction(self):
+        ws, graph = self._graph()
+        graph.remove_transaction("T2")
+        assert graph.nodes == {"T1"}
+        assert graph.conflicts["T1"] == set()
+
+    def test_commit_invalidates_conflicting(self):
+        ws, graph = self._graph()
+        ws.commit("T1")  # (1, 'x') now committed
+        graph.remove_transaction("T1")
+        graph.refresh_after_commit()
+        assert "T2" in graph.never_appendable
+        assert graph.nodes == set()
+
+    def test_conflicted_and_free(self):
+        _, graph = self._graph()
+        assert graph.conflicted_nodes() == {"T1", "T2"}
+        assert graph.free_nodes() == set()
+        assert graph.conflict_count() == 1
+
+
+class TestRestrictedCliques:
+    def test_restrict(self, figure2_graph):
+        cliques = set(figure2_graph.maximal_cliques(restrict={"T1", "T5", "T3"}))
+        assert cliques == {frozenset({"T1", "T3"}), frozenset({"T5", "T3"})}
+
+    def test_restrict_to_free_only(self, figure2_graph):
+        cliques = list(figure2_graph.maximal_cliques(restrict={"T2", "T3"}))
+        assert cliques == [frozenset({"T2", "T3"})]
+
+    def test_restrict_empty(self, figure2_graph):
+        cliques = list(figure2_graph.maximal_cliques(restrict=set()))
+        assert cliques == [frozenset()]
+
+    def test_is_clique(self, figure2_graph):
+        assert figure2_graph.is_clique({"T1", "T2", "T3"})
+        assert not figure2_graph.is_clique({"T1", "T5"})
+        assert not figure2_graph.is_clique({"T1", "unknown"})
+        assert figure2_graph.is_clique(set())

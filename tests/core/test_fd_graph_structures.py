@@ -1,0 +1,108 @@
+"""Fd-graph clique structure on characteristic conflict shapes."""
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.fd_graph import FdTransactionGraph
+from repro.core.workspace import Workspace
+from repro.relational.constraints import ConstraintSet, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+
+def _db(pending_rows: dict[str, list[tuple]]) -> BlockchainDatabase:
+    """Pending txs over R(key, val) with a key constraint."""
+    schema = make_schema({"R": ["k", "v"]})
+    constraints = ConstraintSet(schema, [Key("R", ["k"], schema)])
+    pending = [
+        Transaction({"R": rows}, tx_id=tx_id)
+        for tx_id, rows in pending_rows.items()
+    ]
+    return BlockchainDatabase(Database(schema), constraints, pending)
+
+
+def _graph(db) -> FdTransactionGraph:
+    return FdTransactionGraph(Workspace(db))
+
+
+class TestConflictShapes:
+    def test_disjoint_pairs_exponential_cliques(self):
+        """k independent conflict pairs -> 2^k maximal cliques, each
+        picking one side per pair (the Figure 6e/6f mechanism)."""
+        rows = {}
+        for pair in range(4):
+            rows[f"a{pair}"] = [(pair, "left")]
+            rows[f"b{pair}"] = [(pair, "right")]
+        graph = _graph(_db(rows))
+        cliques = list(graph.maximal_cliques())
+        assert len(cliques) == 16
+        for clique in cliques:
+            for pair in range(4):
+                assert (f"a{pair}" in clique) != (f"b{pair}" in clique)
+
+    def test_conflict_chain(self):
+        """A path in the conflict graph: a-b, b-c conflicts.  Maximal
+        cliques of the fd-graph = independent sets of the chain."""
+        rows = {
+            "a": [(1, "x")],
+            "b": [(1, "y"), (2, "x")],
+            "c": [(2, "y")],
+        }
+        graph = _graph(_db(rows))
+        cliques = set(graph.maximal_cliques())
+        assert cliques == {frozenset({"a", "c"}), frozenset({"b"})}
+
+    def test_conflict_star(self):
+        """One tx conflicting with everyone: either it alone or all the
+        rest."""
+        rows = {"hub": [(i, "hub") for i in range(4)]}
+        for i in range(4):
+            rows[f"leaf{i}"] = [(i, f"leaf{i}")]
+        graph = _graph(_db(rows))
+        cliques = set(graph.maximal_cliques())
+        leaves = frozenset(f"leaf{i}" for i in range(4))
+        assert cliques == {frozenset({"hub"}), leaves}
+
+    def test_free_riders_join_every_clique(self):
+        rows = {
+            "a": [(1, "x")],
+            "b": [(1, "y")],
+            "free": [(9, "z")],
+        }
+        graph = _graph(_db(rows))
+        cliques = set(graph.maximal_cliques())
+        assert all("free" in clique for clique in cliques)
+        assert len(cliques) == 2
+
+    def test_agreeing_duplicates_do_not_conflict(self):
+        rows = {
+            "a": [(1, "same")],
+            "b": [(1, "same")],  # identical tuple: no FD violation
+        }
+        graph = _graph(_db(rows))
+        assert graph.has_edge("a", "b")
+        assert list(graph.maximal_cliques()) == [frozenset({"a", "b"})]
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx_on_random_conflicts(self):
+        import itertools
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(5)
+        for trial in range(10):
+            rows = {}
+            for index in range(8):
+                key = rng.randint(0, 3)
+                rows[f"t{index}"] = [(key, rng.randint(0, 2))]
+            graph = _graph(_db(rows))
+            reference = nx.Graph()
+            reference.add_nodes_from(graph.nodes)
+            for u, v in itertools.combinations(sorted(graph.nodes), 2):
+                if graph.has_edge(u, v):
+                    reference.add_edge(u, v)
+            ours = set(graph.maximal_cliques())
+            expected = {frozenset(c) for c in nx.find_cliques(reference)}
+            assert ours == expected, trial

@@ -1,0 +1,83 @@
+"""The ind-q-transaction graph G^{q,ind}_T (Figure 3, right)."""
+
+import pytest
+
+from repro.core.ind_graph import IndQTransactionGraph
+from repro.core.workspace import Workspace
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def figure2_ind(figure2):
+    return IndQTransactionGraph(Workspace(figure2))
+
+
+class TestThetaIComponents:
+    def test_figure3_right_components(self, figure2_ind):
+        # Figure 3 (right): the inclusion dependencies link T1–T2,
+        # T2–T4, T3–T4 and T1–T5 (both spend TxOut(2,2)); T5's output
+        # chain is separate, but the shared consumed output joins it.
+        components = {frozenset(c) for c in figure2_ind.components()}
+        # T1 and T5 both insert TxIn rows whose (prevTxId, prevSer,...)
+        # projections match TxOut(2, 2, ...), but Θ_I links child rows to
+        # *parent* rows — TxOut(2,2) lives in R, so the T1–T5 link does
+        # not arise from Θ_I alone.  T1–T2 (T2 spends T1's output),
+        # T2/T3–T4 (T4 spends both) make {T1, T2, T3, T4} one component.
+        assert frozenset({"T1", "T2", "T3", "T4"}) in components
+        assert frozenset({"T5"}) in components
+
+    def test_all_transactions_covered(self, figure2_ind, figure2):
+        components = figure2_ind.components()
+        covered = {tx for c in components for tx in c}
+        assert covered == set(figure2.pending_ids)
+
+
+class TestQueryAugmentation:
+    def test_query_constants_do_not_merge_unrelated(self, figure2_ind):
+        # qs has a single atom: no Θ_q pairs, components unchanged.
+        q = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+        base = {frozenset(c) for c in figure2_ind.components()}
+        augmented = {frozenset(c) for c in figure2_ind.components(q)}
+        assert base == augmented
+
+    def test_query_join_merges(self, figure2_ind):
+        # Both T4 and T5 create TxOut rows for U7Pk; a query joining two
+        # TxOut atoms on pk merges their components.
+        q = parse_query("q() <- TxOut(t1, s1, pk, a1), TxOut(t2, s2, pk, a2)")
+        components = {frozenset(c) for c in figure2_ind.components(q)}
+        merged = next(c for c in components if "T5" in c)
+        assert "T4" in merged
+
+    def test_invalidate_rebuilds(self, figure2, figure2_ind):
+        before = len(figure2_ind.components())
+        figure2_ind.invalidate()
+        after = len(figure2_ind.components())
+        assert before == after
+
+
+class TestUnionFind:
+    def test_clone_isolation(self):
+        from repro.core.ind_graph import _UnionFind
+
+        uf = _UnionFind()
+        uf.union("a", "b")
+        clone = uf.clone()
+        clone.union("a", "c")
+        assert uf.find("c") == "c"
+        assert clone.find("a") == clone.find("c")
+
+    def test_union_all(self):
+        from repro.core.ind_graph import _UnionFind
+
+        uf = _UnionFind()
+        uf.union_all(["a", "b", "c"])
+        assert uf.find("a") == uf.find("c")
+
+    def test_components(self):
+        from repro.core.ind_graph import _UnionFind
+
+        uf = _UnionFind()
+        uf.add("x")
+        uf.union("a", "b")
+        components = {frozenset(c) for c in uf.components()}
+        assert components == {frozenset({"a", "b"}), frozenset({"x"})}

@@ -1,0 +1,112 @@
+"""Ind-q-graph structure under the real workload query families.
+
+The component decomposition is OptDCSat's whole advantage; these tests
+pin how the paper's query shapes interact with it on Bitcoin-style data.
+"""
+
+import pytest
+
+from repro.bitcoin.generator import DatasetSpec, generate_dataset
+from repro.core.checker import DCSatChecker
+from repro.workloads.constants import ConstantPicker, fresh_address
+from repro.workloads.queries import path_constraint, simple_constraint, star_constraint
+
+SPEC = DatasetSpec(
+    name="indg",
+    committed_blocks=18,
+    pending_blocks=8,
+    txs_per_block=6,
+    users=12,
+    contradictions=4,
+    seed=31,
+)
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return DCSatChecker(generate_dataset(SPEC).to_blockchain_database())
+
+
+@pytest.fixture(scope="module")
+def picker():
+    return ConstantPicker(generate_dataset(SPEC))
+
+
+class TestComponentStructure:
+    def test_theta_i_components_partition_pending(self, checker):
+        components = checker.ind_graph.components()
+        covered = [tx for component in components for tx in component]
+        assert sorted(covered) == sorted(checker.db.pending_ids)
+        assert len(set(covered)) == len(covered)
+
+    def test_dependent_transactions_share_component(self, checker):
+        """A pending tx spending another pending tx's output must share
+        its component (the Θ_I edge from the inclusion dependency)."""
+        components = checker.ind_graph.components()
+        by_tx = {tx: c for c in components for tx in c}
+        workspace = checker.workspace
+        for tx_id in checker.db.pending_ids:
+            tx = checker.db.transaction(tx_id)
+            for prev_tx_id, *_ in tx.tuples("TxIn"):
+                if prev_tx_id in by_tx:  # parent is pending too
+                    assert by_tx[prev_tx_id] is by_tx[tx_id], (
+                        tx_id, prev_tx_id,
+                    )
+
+    def test_simple_query_preserves_components(self, checker):
+        base = {frozenset(c) for c in checker.ind_graph.components()}
+        query = simple_constraint(fresh_address("ind-1"))
+        augmented = {
+            frozenset(c) for c in checker.ind_graph.components(query)
+        }
+        assert augmented == base  # single atom: no Θ_q pairs
+
+    def test_path_query_merges_fewer_than_star(self, checker, picker):
+        """The star's shared constant joins every arm's component; the
+        path's chained variables merge only along the chain."""
+        source, sink = picker.path_endpoints(2)
+        path = path_constraint(2, source, sink)
+        star = star_constraint(2, picker.star_source(2))
+        base_count = len(checker.ind_graph.components())
+        path_count = len(checker.ind_graph.components(path))
+        star_count = len(checker.ind_graph.components(star))
+        assert path_count <= base_count
+        assert star_count <= base_count
+
+    def test_opt_explores_fewer_txs_than_naive(self, checker, picker):
+        query = simple_constraint(picker.pending_recipient())
+        naive = checker.check(query, algorithm="naive")
+        opt = checker.check(query, algorithm="opt")
+        assert not naive.satisfied and not opt.satisfied
+        assert len(opt.witness) <= len(naive.witness)
+
+
+class TestChainingKnob:
+    def test_chaining_rate_controls_components(self):
+        """More spending of unconfirmed outputs ⇒ fewer, larger
+        ind-components — the generator knob documented in SUBSTRATE.md."""
+        sparse_spec = SPEC.scaled(name="indg-sparse", chain_on_pending_rate=0.0)
+        dense_spec = SPEC.scaled(name="indg-dense", chain_on_pending_rate=0.9)
+        sparse = DCSatChecker(
+            generate_dataset(sparse_spec).to_blockchain_database()
+        )
+        dense = DCSatChecker(
+            generate_dataset(dense_spec).to_blockchain_database()
+        )
+
+        def normalized_component_count(checker):
+            components = checker.ind_graph.components()
+            return len(components) / max(1, len(checker.db.pending_ids))
+
+        assert normalized_component_count(sparse) > normalized_component_count(
+            dense
+        )
+
+    def test_zero_chaining_gives_singletons(self):
+        spec = SPEC.scaled(name="indg-zero", chain_on_pending_rate=0.0,
+                           contradictions=0)
+        checker = DCSatChecker(generate_dataset(spec).to_blockchain_database())
+        components = checker.ind_graph.components()
+        # Without pending-on-pending spends or conflicts, no Θ_I edge can
+        # exist between pending txs: all components are singletons.
+        assert all(len(c) == 1 for c in components)

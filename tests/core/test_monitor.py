@@ -1,0 +1,170 @@
+"""The standing constraint monitor: caching and targeted invalidation."""
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+from repro.errors import ReproError
+from repro.relational.transaction import Transaction
+
+QS_U8 = "q() <- TxOut(t, s, 'U8Pk', a)"
+QS_NONE = "q() <- TxOut(t, s, 'NobodyPk', a)"
+
+
+@pytest.fixture
+def monitor(figure2):
+    return ConstraintMonitor(DCSatChecker(figure2))
+
+
+class TestRegistration:
+    def test_register_and_names(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.register("nobody", QS_NONE, algorithm="naive")
+        assert monitor.names == ("u8", "nobody")
+        assert monitor.entry("u8").relations == frozenset({"TxOut"})
+
+    def test_duplicate_rejected(self, monitor):
+        monitor.register("u8", QS_U8)
+        with pytest.raises(ReproError):
+            monitor.register("u8", QS_NONE)
+
+    def test_unregister(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.unregister("u8")
+        assert monitor.names == ()
+        with pytest.raises(ReproError):
+            monitor.unregister("u8")
+
+    def test_unknown_entry(self, monitor):
+        with pytest.raises(ReproError):
+            monitor.status("ghost")
+
+
+class TestCaching:
+    def test_status_cached(self, monitor):
+        monitor.register("u8", QS_U8)
+        first = monitor.status("u8")
+        second = monitor.status("u8")
+        assert first is second
+        entry = monitor.entry("u8")
+        assert entry.checks_run == 1
+        assert entry.cache_hits == 1
+
+    def test_status_all_and_violated(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.register("nobody", QS_NONE)
+        verdicts = monitor.status_all()
+        assert not verdicts["u8"].satisfied
+        assert verdicts["nobody"].satisfied
+        assert set(monitor.violated()) == {"u8"}
+
+
+class TestBatchedStatus:
+    def test_status_all_uses_one_batch(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.register("nobody", QS_NONE)
+        monitor.register("u3", "q() <- TxOut(t, s, 'U3Pk', a)")
+        verdicts = monitor.status_all()
+        assert not verdicts["u8"].satisfied
+        assert verdicts["nobody"].satisfied
+        assert not verdicts["u3"].satisfied
+        assert all(
+            monitor.entry(name).checks_run == 1 for name in monitor.names
+        )
+        # Batched entries carry the batch algorithm label.
+        assert monitor.entry("u8").result.stats.algorithm == "batch-naive"
+
+    def test_non_monotone_entries_fall_back(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.register(
+            "neg",
+            "q() <- TxOut(t, s, 'U8Pk', a), not TxIn(t, s, 'U8Pk', a, t, 'x')",
+        )
+        verdicts = monitor.status_all()
+        assert "neg" in verdicts
+        assert monitor.entry("neg").result.stats.algorithm == "brute"
+
+    def test_batch_disabled(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.register("nobody", QS_NONE)
+        verdicts = monitor.status_all(batch=False)
+        assert monitor.entry("u8").result.stats.algorithm != "batch-naive"
+        assert not verdicts["u8"].satisfied
+
+
+class TestSubsumption:
+    def test_subsumed_constraint_answered_for_free(self, monitor):
+        # The broad constraint (any MartianPk output) is satisfied; the
+        # narrow one (a specific MartianPk row) is subsumed by it.
+        monitor.register("broad", "q() <- TxOut(t, s, 'MartianPk', a)")
+        monitor.register("narrow", "q() <- TxOut(t, 1, 'MartianPk', 7.0)")
+        assert monitor.status("broad").satisfied
+        narrow = monitor.status("narrow")
+        assert narrow.satisfied
+        assert narrow.stats.algorithm == "subsumed-by:broad"
+        assert monitor.entry("narrow").checks_run == 0  # no solver run
+
+    def test_violated_constraints_never_subsume(self, monitor):
+        monitor.register("broad", "q() <- TxOut(t, s, 'U7Pk', a)")
+        monitor.register("narrow", "q() <- TxOut(t, s, 'U7Pk', 4.0)")
+        assert not monitor.status("broad").satisfied
+        # Violated verdicts promise nothing; the narrow one is checked.
+        narrow = monitor.status("narrow")
+        assert not narrow.satisfied
+        assert monitor.entry("narrow").checks_run == 1
+
+    def test_subsumption_can_be_disabled(self, monitor):
+        monitor.register("broad", "q() <- TxOut(t, s, 'MartianPk', a)")
+        monitor.register("narrow", "q() <- TxOut(t, 1, 'MartianPk', 7.0)")
+        monitor.status("broad")
+        narrow = monitor.status("narrow", use_subsumption=False)
+        assert narrow.satisfied
+        assert monitor.entry("narrow").checks_run == 1
+
+    def test_non_positive_queries_excluded(self, monitor):
+        monitor.register("broad", "q() <- TxOut(t, s, 'MartianPk', a)")
+        monitor.status("broad")
+        monitor.register(
+            "negated",
+            "q() <- TxOut(t, 1, 'MartianPk', 7.0), "
+            "not TxIn(t, 1, 'MartianPk', 7.0, t, 'x')",
+        )
+        result = monitor.status("negated")
+        assert result.satisfied
+        assert monitor.entry("negated").checks_run == 1  # really checked
+
+
+class TestInvalidation:
+    def test_issue_invalidates_touching_constraints(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.status("u8")
+        tx = Transaction({"TxOut": [(9, 1, "ZPk", 1.0)]}, tx_id="T9")
+        invalidated = monitor.issue(tx)
+        assert invalidated == ["u8"]
+        assert monitor.entry("u8").result is None
+
+    def test_commit_changes_cached_verdict(self, monitor):
+        monitor.register("u8", QS_U8)
+        assert not monitor.status("u8").satisfied
+        monitor.commit("T5")  # kills T1 -> T2 -> T4, so U8Pk unreachable
+        fresh = monitor.status("u8")
+        assert fresh.satisfied
+        assert monitor.entry("u8").checks_run == 2
+
+    def test_forget_invalidates(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.status("u8")
+        monitor.forget("T4")
+        assert monitor.status("u8").satisfied
+
+    def test_untouched_constraints_stay_cached(self, figure2):
+        # Register a constraint over a relation the update never touches.
+        figure2.current.schema  # (schema already contains both relations)
+        checker = DCSatChecker(figure2)
+        monitor = ConstraintMonitor(checker)
+        monitor.register("txin_only", "q() <- TxIn(p, s, 'GhostPk', a, n, g)")
+        monitor.status("txin_only")
+        tx = Transaction({"TxOut": [(9, 1, "ZPk", 1.0)]}, tx_id="T9")
+        invalidated = monitor.issue(tx)
+        assert invalidated == []
+        assert monitor.entry("txin_only").result is not None

@@ -1,0 +1,114 @@
+"""Possible worlds: enumeration, recognition (Prop. 1), getMaximal."""
+
+import pytest
+
+from repro.core.possible_worlds import (
+    enumerate_possible_worlds,
+    get_maximal,
+    is_possible_world,
+    world_database,
+)
+from repro.core.workspace import Workspace
+from repro.errors import ReproError
+from tests.conftest import EXAMPLE3_WORLDS
+
+
+class TestEnumeration:
+    def test_example3_worlds_exact(self, figure2):
+        worlds = set(enumerate_possible_worlds(figure2))
+        assert worlds == set(EXAMPLE3_WORLDS)
+
+    def test_empty_world_first(self, figure2):
+        first = next(iter(enumerate_possible_worlds(figure2)))
+        assert first == frozenset()
+
+    def test_limit_enforced(self, figure2):
+        with pytest.raises(ReproError):
+            list(enumerate_possible_worlds(figure2, limit=3))
+
+    def test_ind_only_db(self, simple_ind_db):
+        worlds = set(enumerate_possible_worlds(simple_ind_db))
+        # V4 (C(3,.)) can never be added; V3 needs V2.
+        assert frozenset({"V1", "V2", "V3"}) in worlds
+        assert frozenset({"V3"}) not in worlds
+        assert all("V4" not in w for w in worlds)
+
+    def test_fd_only_db(self, simple_fd_db):
+        worlds = set(enumerate_possible_worlds(simple_fd_db))
+        # U1 and U2 clash on B's key.
+        assert frozenset({"U1", "U3"}) in worlds
+        assert frozenset({"U2", "U3"}) in worlds
+        assert not any({"U1", "U2"} <= w for w in worlds)
+
+
+class TestRecognition:
+    def test_every_enumerated_world_is_recognized(self, figure2):
+        for world in enumerate_possible_worlds(figure2):
+            candidate = world_database(figure2, world)
+            assert is_possible_world(figure2, candidate), world
+
+    def test_non_worlds_rejected(self, figure2):
+        # {T2} alone is not a world (T2 depends on T1).
+        candidate = world_database(figure2, {"T2"})
+        assert not is_possible_world(figure2, candidate)
+        # {T1, T5} violates the TxIn key.
+        candidate = world_database(figure2, {"T1", "T5"})
+        assert not is_possible_world(figure2, candidate)
+
+    def test_unknown_facts_rejected(self, figure2):
+        candidate = figure2.current.copy()
+        candidate.insert("TxOut", (99, 1, "Nobody", 1.0))
+        assert not is_possible_world(figure2, candidate)
+
+    def test_shrunk_state_rejected(self, figure2):
+        from repro.relational.database import Database
+
+        candidate = Database(figure2.current.schema)  # empty
+        assert not is_possible_world(figure2, candidate)
+
+    def test_current_state_is_a_world(self, figure2):
+        assert is_possible_world(figure2, figure2.current.copy())
+
+
+class TestGetMaximal:
+    def test_figure2_clique_t2345(self, figure2):
+        # Example 6: the clique {T2, T3, T4, T5} yields R ∪ {T3, T5}.
+        ws = Workspace(figure2)
+        world = get_maximal(ws, ["T2", "T3", "T4", "T5"])
+        assert world == frozenset({"T3", "T5"})
+
+    def test_figure2_clique_t1234(self, figure2):
+        # Example 6: the clique {T1, T2, T3, T4} yields everything.
+        ws = Workspace(figure2)
+        world = get_maximal(ws, ["T1", "T2", "T3", "T4"])
+        assert world == frozenset({"T1", "T2", "T3", "T4"})
+
+    def test_leaves_workspace_at_world(self, figure2):
+        ws = Workspace(figure2)
+        world = get_maximal(ws, ["T1", "T2"])
+        assert ws.active == world
+
+    def test_result_is_order_independent(self, figure2):
+        ws = Workspace(figure2)
+        forward = get_maximal(ws, ["T1", "T2", "T3", "T4"])
+        backward = get_maximal(ws, ["T4", "T3", "T2", "T1"])
+        assert forward == backward
+
+    def test_start_seed_respected(self, figure2):
+        ws = Workspace(figure2)
+        world = get_maximal(ws, ["T2"], start=["T1"])
+        assert world == frozenset({"T1", "T2"})
+
+    def test_never_addable_excluded(self, simple_ind_db):
+        ws = Workspace(simple_ind_db)
+        world = get_maximal(ws, simple_ind_db.pending_ids)
+        assert world == frozenset({"V1", "V2", "V3"})
+
+
+class TestWorldDatabase:
+    def test_materialization(self, figure2):
+        world = world_database(figure2, {"T1"})
+        assert world.contains_fact("TxOut", (4, 1, "U5Pk", 1.0))
+        assert not world.contains_fact("TxOut", (5, 1, "U4Pk", 3.0))
+        # The base is untouched.
+        assert not figure2.current.contains_fact("TxOut", (4, 1, "U5Pk", 1.0))

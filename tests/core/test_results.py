@@ -1,0 +1,42 @@
+"""Result and statistics types."""
+
+from repro.core.results import DCSatResult, DCSatStats
+
+
+def test_result_truthiness():
+    assert DCSatResult(satisfied=True)
+    assert not DCSatResult(satisfied=False, witness=frozenset({"T1"}))
+
+
+def test_result_repr():
+    satisfied = repr(DCSatResult(satisfied=True))
+    assert "satisfied" in satisfied
+    violated = repr(
+        DCSatResult(satisfied=False, witness=frozenset({"T1"}))
+    )
+    assert "violated" in violated and "T1" in violated
+
+
+def test_stats_merge_accumulates():
+    first = DCSatStats(
+        components_total=2, components_pruned=1, cliques_enumerated=3,
+        worlds_checked=3, evaluations=4, assignments_examined=5,
+    )
+    second = DCSatStats(
+        components_total=1, components_pruned=0, cliques_enumerated=2,
+        worlds_checked=2, evaluations=2, assignments_examined=1,
+    )
+    first.merge(second)
+    assert first.components_total == 3
+    assert first.components_pruned == 1
+    assert first.cliques_enumerated == 5
+    assert first.worlds_checked == 5
+    assert first.evaluations == 6
+    assert first.assignments_examined == 6
+
+
+def test_stats_defaults():
+    stats = DCSatStats()
+    assert stats.algorithm == ""
+    assert stats.short_circuit_result is None
+    assert stats.elapsed_seconds == 0.0

@@ -1,0 +1,102 @@
+"""JSON serialization round trips."""
+
+import pytest
+
+from repro import serialize
+from repro.core.checker import DCSatChecker
+from repro.errors import ReproError
+from repro.relational.transaction import Transaction
+from tests.conftest import EXAMPLE3_WORLDS, figure2_database
+
+
+def test_round_trip_preserves_everything(figure2):
+    restored = serialize.loads(serialize.dumps(figure2))
+    assert restored.current == figure2.current
+    assert [tx.tx_id for tx in restored.pending] == [
+        tx.tx_id for tx in figure2.pending
+    ]
+    for tx_id in figure2.pending_ids:
+        assert restored.transaction(tx_id).facts == figure2.transaction(tx_id).facts
+    assert len(restored.constraints.fds) == len(figure2.constraints.fds)
+    assert len(restored.constraints.inds) == len(figure2.constraints.inds)
+
+
+def test_round_trip_preserves_semantics(figure2):
+    from repro.core.possible_worlds import enumerate_possible_worlds
+
+    restored = serialize.loads(serialize.dumps(figure2))
+    assert set(enumerate_possible_worlds(restored)) == set(EXAMPLE3_WORLDS)
+    checker = DCSatChecker(restored)
+    assert not checker.check("q() <- TxOut(t, s, 'U8Pk', a)").satisfied
+
+
+def test_dump_load_file(figure2, tmp_path):
+    path = tmp_path / "db.json"
+    serialize.dump(figure2, str(path))
+    restored = serialize.load(str(path))
+    assert restored.current == figure2.current
+
+
+def test_deterministic_output(figure2):
+    assert serialize.dumps(figure2) == serialize.dumps(figure2_database())
+
+
+def test_version_checked(figure2):
+    payload = serialize.database_to_dict(figure2)
+    payload["version"] = 99
+    with pytest.raises(ReproError):
+        serialize.database_from_dict(payload)
+
+
+def test_malformed_payload(figure2):
+    payload = serialize.database_to_dict(figure2)
+    del payload["constraints"]
+    with pytest.raises(ReproError):
+        serialize.database_from_dict(payload)
+
+
+def test_non_scalar_values_rejected():
+    from repro.core.blockchain_db import BlockchainDatabase
+    from repro.relational.constraints import ConstraintSet
+    from repro.relational.database import Database, make_schema
+
+    schema = make_schema({"R": ["a"]})
+    db = BlockchainDatabase(
+        Database.from_dict(schema, {"R": [(b"bytes-value",)]}),
+        ConstraintSet(schema),
+    )
+    with pytest.raises(ReproError):
+        serialize.dumps(db)
+
+
+def test_validate_flag_passthrough():
+    from repro.core.blockchain_db import BlockchainDatabase
+    from repro.relational.constraints import ConstraintSet, Key
+    from repro.relational.database import Database, make_schema
+    from repro.errors import IntegrityViolationError
+
+    schema = make_schema({"R": ["a", "b"]})
+    constraints = ConstraintSet(schema, [Key("R", ["a"], schema)])
+    broken = BlockchainDatabase(
+        Database.from_dict(schema, {"R": [(1, "x"), (1, "y")]}),
+        constraints,
+        validate=False,
+    )
+    payload = serialize.database_to_dict(broken)
+    with pytest.raises(IntegrityViolationError):
+        serialize.database_from_dict(payload)
+    restored = serialize.database_from_dict(payload, validate=False)
+    assert len(restored.current["R"]) == 2
+
+
+def test_bitcoin_dataset_round_trip():
+    from repro.bitcoin.generator import DatasetSpec, generate_dataset
+
+    dataset = generate_dataset(
+        DatasetSpec(name="t", committed_blocks=5, pending_blocks=2,
+                    txs_per_block=3, users=6, contradictions=2, seed=3)
+    )
+    db = dataset.to_blockchain_database()
+    restored = serialize.loads(serialize.dumps(db))
+    assert restored.current == db.current
+    assert len(restored.pending) == len(db.pending)

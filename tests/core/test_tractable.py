@@ -1,0 +1,239 @@
+"""The PTIME fragment solvers (Theorems 1–2)."""
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.errors import AlgorithmError
+from repro.query.parser import parse_query
+from repro.relational.constraints import ConstraintSet, InclusionDependency, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+
+class TestFdOnlyConjunctive:
+    def test_positive_query(self, simple_fd_db):
+        checker = DCSatChecker(simple_fd_db)
+        result = checker.check(
+            "q() <- B(x, y), B(x2, y2), x != x2",
+            algorithm="tractable", short_circuit=False,
+        )
+        assert not result.satisfied
+
+    def test_conflict_makes_constraint_hold(self, simple_fd_db):
+        # U1 (B(1,10)) and U2 (B(1,20)) clash: no world holds both values.
+        checker = DCSatChecker(simple_fd_db)
+        result = checker.check(
+            "q() <- B(1, 10), B(1, 20)", algorithm="tractable",
+            short_circuit=False,
+        )
+        assert result.satisfied
+
+    def test_negation_minimal_world(self, simple_fd_db):
+        # Some world contains B(1, 10) without B(2, 30): the minimal one.
+        checker = DCSatChecker(simple_fd_db)
+        result = checker.check(
+            "q() <- B(1, 10), not B(2, 30)", algorithm="tractable",
+        )
+        assert not result.satisfied
+
+    def test_negation_on_committed_fact_blocks(self, simple_fd_db):
+        # B(9, 9) is committed: it is in every world, so requiring its
+        # absence can never be met.
+        checker = DCSatChecker(simple_fd_db)
+        result = checker.check(
+            "q() <- B(1, 10), not B(9, 9)", algorithm="tractable",
+        )
+        assert result.satisfied
+
+    def test_negation_on_same_transaction_fact(self):
+        # The support transaction itself drags the negated fact in.
+        schema = make_schema({"B": ["x", "y"]})
+        constraints = ConstraintSet(schema, [Key("B", ["x"], schema)])
+        db = BlockchainDatabase(
+            Database.from_dict(schema, {"B": []}),
+            constraints,
+            [Transaction({"B": [(1, 10), (2, 20)]}, tx_id="U1")],
+        )
+        checker = DCSatChecker(db)
+        result = checker.check(
+            "q() <- B(1, 10), not B(2, 20)", algorithm="tractable",
+        )
+        assert result.satisfied
+
+    def test_agrees_with_brute_on_fixture(self, simple_fd_db):
+        checker = DCSatChecker(simple_fd_db)
+        queries = [
+            "q() <- B(x, y), A(x)",
+            "q() <- B(1, 10), B(2, 30)",
+            "q() <- B(x, 10), not B(x, 20)",
+            "q() <- B(x, y), not A(x)",
+        ]
+        for text in queries:
+            tractable = checker.check(
+                text, algorithm="tractable", short_circuit=False
+            )
+            brute = checker.check(text, algorithm="brute", short_circuit=False)
+            assert tractable.satisfied == brute.satisfied, text
+
+    def test_rejects_ind_databases(self, figure2):
+        checker = DCSatChecker(figure2)
+        with pytest.raises(AlgorithmError):
+            checker.check(
+                "q() <- TxOut(t, s, 'U8Pk', a)", algorithm="tractable",
+                short_circuit=False,
+            )
+
+
+class TestIndOnlyConjunctive:
+    def test_positive_query(self, simple_ind_db):
+        checker = DCSatChecker(simple_ind_db)
+        result = checker.check(
+            "q() <- C(2, v)", algorithm="tractable", short_circuit=False
+        )
+        assert not result.satisfied  # V2 supplies P(2), V3 adds C(2, b)
+
+    def test_unsupported_child_never_appears(self, simple_ind_db):
+        checker = DCSatChecker(simple_ind_db)
+        result = checker.check(
+            "q() <- C(3, v)", algorithm="tractable", short_circuit=False
+        )
+        assert result.satisfied  # V4's parent P(3) exists nowhere
+
+    def test_negation_removes_provider(self, simple_ind_db):
+        # Want C(2, b) present but P(2)... P(2) only comes from V2, which
+        # C(2, b) depends on: impossible.
+        checker = DCSatChecker(simple_ind_db)
+        result = checker.check(
+            "q() <- C(2, v), not P(2)", algorithm="tractable"
+        )
+        assert result.satisfied
+
+    def test_negation_satisfiable(self, simple_ind_db):
+        # C(1, a) without P(2): drop V2 (and with it V3).
+        checker = DCSatChecker(simple_ind_db)
+        result = checker.check(
+            "q() <- C(1, v), not P(2)", algorithm="tractable"
+        )
+        assert not result.satisfied
+
+    def test_agrees_with_brute(self, simple_ind_db):
+        checker = DCSatChecker(simple_ind_db)
+        queries = [
+            "q() <- C(x, v), P(x)",
+            "q() <- C(2, v), not C(1, 'a')",
+            "q() <- P(2), not C(2, 'b')",
+        ]
+        for text in queries:
+            tractable = checker.check(
+                text, algorithm="tractable", short_circuit=False
+            )
+            brute = checker.check(text, algorithm="brute", short_circuit=False)
+            assert tractable.satisfied == brute.satisfied, text
+
+
+class TestFdAggregates:
+    @pytest.fixture
+    def db(self):
+        schema = make_schema({"Pay": ["pid", "who", "amount"]})
+        constraints = ConstraintSet(schema, [Key("Pay", ["pid"], schema)])
+        current = Database.from_dict(schema, {"Pay": [(0, "alice", 5)]})
+        pending = [
+            Transaction({"Pay": [(1, "alice", 10)]}, tx_id="W1"),
+            Transaction({"Pay": [(1, "alice", 20)]}, tx_id="W2"),  # conflicts W1
+            Transaction({"Pay": [(2, "alice", 1)]}, tx_id="W3"),
+        ]
+        return BlockchainDatabase(current, constraints, pending)
+
+    def test_max_gt(self, db):
+        checker = DCSatChecker(db)
+        result = checker.check(
+            "[q(max(a)) <- Pay(p, 'alice', a)] > 15", algorithm="tractable",
+            short_circuit=False,
+        )
+        assert not result.satisfied  # W2 alone reaches 20
+        result = checker.check(
+            "[q(max(a)) <- Pay(p, 'alice', a)] > 20", algorithm="tractable",
+            short_circuit=False,
+        )
+        assert result.satisfied
+
+    def test_count_lt(self, db):
+        checker = DCSatChecker(db)
+        # The world {committed only} has exactly 1 row: count < 2 holds.
+        result = checker.check(
+            "[q(count()) <- Pay(p, 'alice', a)] < 2", algorithm="tractable",
+        )
+        assert not result.satisfied
+
+    def test_sum_lt(self, db):
+        checker = DCSatChecker(db)
+        result = checker.check(
+            "[q(sum(a)) <- Pay(p, 'alice', a)] < 6", algorithm="tractable",
+        )
+        assert not result.satisfied  # minimal world: just the committed 5
+        result = checker.check(
+            "[q(sum(a)) <- Pay(p, 'alice', a)] < 5", algorithm="tractable",
+        )
+        assert result.satisfied  # the committed row is in every world
+
+    def test_hard_cases_rejected(self, db):
+        checker = DCSatChecker(db)
+        with pytest.raises(AlgorithmError):
+            checker.check(
+                "[q(sum(a)) <- Pay(p, 'alice', a)] > 100",
+                algorithm="tractable", short_circuit=False,
+            )
+
+    def test_agrees_with_brute(self, db):
+        checker = DCSatChecker(db)
+        queries = [
+            "[q(max(a)) <- Pay(p, 'alice', a)] > 9",
+            "[q(max(a)) <- Pay(p, 'alice', a)] > 25",
+            "[q(count()) <- Pay(p, w, a)] < 3",
+            "[q(cntd(w)) <- Pay(p, w, a)] < 2",
+        ]
+        for text in queries:
+            tractable = checker.check(
+                text, algorithm="tractable", short_circuit=False
+            )
+            brute = checker.check(text, algorithm="brute", short_circuit=False)
+            assert tractable.satisfied == brute.satisfied, text
+
+
+class TestIndAggregates:
+    def test_count_gt_at_maximal_world(self, simple_ind_db):
+        checker = DCSatChecker(simple_ind_db)
+        result = checker.check(
+            "[q(count()) <- C(x, v)] > 1", algorithm="tractable",
+            short_circuit=False,
+        )
+        assert not result.satisfied  # maximal world holds C(1,a), C(2,b)
+        result = checker.check(
+            "[q(count()) <- C(x, v)] > 2", algorithm="tractable",
+            short_circuit=False,
+        )
+        assert result.satisfied
+
+    def test_sum_requires_vouching(self, simple_ind_db):
+        schema = simple_ind_db.current.schema
+        checker = DCSatChecker(simple_ind_db)
+        with pytest.raises(AlgorithmError):
+            checker.check(
+                "[q(sum(x)) <- C(x, v)] > 1", algorithm="tractable",
+                short_circuit=False,
+            )
+        vouched = DCSatChecker(simple_ind_db, assume_nonnegative_sums=True)
+        result = vouched.check(
+            "[q(sum(x)) <- C(x, v)] > 1", algorithm="tractable",
+            short_circuit=False,
+        )
+        assert not result.satisfied  # 1 + 2 = 3 > 1
+
+    def test_lt_rejected(self, simple_ind_db):
+        checker = DCSatChecker(simple_ind_db)
+        with pytest.raises(AlgorithmError):
+            checker.check(
+                "[q(count()) <- C(x, v)] = 2", algorithm="tractable",
+                short_circuit=False,
+            )

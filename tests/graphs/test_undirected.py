@@ -1,0 +1,58 @@
+"""The adjacency-set graph type."""
+
+from repro.graphs import UndirectedGraph
+
+
+def test_nodes_and_edges():
+    g = UndirectedGraph(nodes=["a"], edges=[("a", "b"), ("b", "c")])
+    assert g.nodes == {"a", "b", "c"}
+    assert g.has_edge("a", "b")
+    assert g.has_edge("b", "a")
+    assert not g.has_edge("a", "c")
+    assert g.edge_count() == 2
+    assert len(g) == 3
+
+
+def test_self_loops_ignored():
+    g = UndirectedGraph(edges=[("a", "a")])
+    assert "a" in g
+    assert g.edge_count() == 0
+    assert not g.has_edge("a", "a")
+
+
+def test_neighbors_and_degree():
+    g = UndirectedGraph(edges=[("a", "b"), ("a", "c")])
+    assert g.neighbors("a") == {"b", "c"}
+    assert g.degree("a") == 2
+    assert g.degree("b") == 1
+    assert g.neighbors("zz") == frozenset()
+
+
+def test_remove_node():
+    g = UndirectedGraph(edges=[("a", "b"), ("b", "c")])
+    g.remove_node("b")
+    assert "b" not in g
+    assert g.neighbors("a") == frozenset()
+    assert g.edge_count() == 0
+    g.remove_node("nonexistent")  # no-op
+
+
+def test_subgraph():
+    g = UndirectedGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+    sub = g.subgraph(["a", "b", "c", "zz"])
+    assert sub.nodes == {"a", "b", "c"}
+    assert sub.has_edge("a", "b")
+    assert sub.has_edge("b", "c")
+    assert not sub.has_edge("c", "d")
+
+
+def test_edges_iteration_no_duplicates():
+    g = UndirectedGraph(edges=[("a", "b"), ("b", "c")])
+    edges = {frozenset(e) for e in g.edges()}
+    assert edges == {frozenset({"a", "b"}), frozenset({"b", "c"})}
+
+
+def test_adjacency_snapshot():
+    g = UndirectedGraph(edges=[("a", "b")])
+    adj = g.adjacency()
+    assert adj == {"a": frozenset({"b"}), "b": frozenset({"a"})}

@@ -1,0 +1,169 @@
+"""Full-pipeline integration over a generated dataset.
+
+One synthetic D100-scale dataset flows through every major component:
+all solvers agree on all four query families, witnesses are genuine
+possible worlds, both backends concur, the monitor tracks the battery,
+explanations trace to real pending transactions, and the double-spend
+watcher sees exactly the injected contradictions.
+"""
+
+import pytest
+
+from repro.bitcoin.alerts import DoubleSpendWatcher
+from repro.bitcoin.generator import DatasetSpec, generate_dataset
+from repro.bitcoin.mempool import Mempool
+from repro.core.checker import DCSatChecker
+from repro.core.explain import explain_violation
+from repro.core.monitor import ConstraintMonitor
+from repro.workloads.constants import ConstantPicker, fresh_address
+from repro.workloads.queries import (
+    aggregate_constraint,
+    path_constraint,
+    simple_constraint,
+    star_constraint,
+)
+
+SPEC = DatasetSpec(
+    name="pipeline",
+    committed_blocks=25,
+    pending_blocks=8,
+    txs_per_block=6,
+    users=14,
+    contradictions=6,
+    seed=77,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(SPEC)
+
+
+@pytest.fixture(scope="module")
+def db(dataset):
+    return dataset.to_blockchain_database()
+
+
+@pytest.fixture(scope="module")
+def checker(db):
+    return DCSatChecker(db, assume_nonnegative_sums=True)
+
+
+@pytest.fixture(scope="module")
+def picker(dataset):
+    return ConstantPicker(dataset)
+
+
+def _battery(picker):
+    source, sink = picker.path_endpoints(2)
+    agg_addr, agg_thr = picker.aggregate_target()
+    return {
+        "qs-unsat": simple_constraint(picker.pending_recipient()),
+        "qs-sat": simple_constraint(fresh_address("pipe-1")),
+        "qp2-unsat": path_constraint(2, source, sink),
+        "qr2-unsat": star_constraint(2, picker.star_source(2)),
+        "qa-unsat": aggregate_constraint(agg_addr, agg_thr),
+        "qa-sat": aggregate_constraint(fresh_address("pipe-2"), 1),
+    }
+
+
+class TestSolverAgreement:
+    def test_all_solvers_all_families(self, checker, picker):
+        for name, query in _battery(picker).items():
+            expected = checker.check(query, algorithm="naive").satisfied
+            algorithms = ["naive"]
+            from repro.query.analysis import is_connected
+            from repro.query.ast import ConjunctiveQuery
+
+            if is_connected(query):
+                algorithms.append("opt")
+            if isinstance(query, ConjunctiveQuery):
+                algorithms.append("assign")
+            for algorithm in algorithms:
+                result = checker.check(query, algorithm=algorithm)
+                assert result.satisfied == expected, (name, algorithm)
+
+    def test_expected_verdicts(self, checker, picker):
+        for name, query in _battery(picker).items():
+            result = checker.check(query, algorithm="naive")
+            assert result.satisfied == name.endswith("-sat"), name
+
+    def test_witnesses_are_possible_worlds(self, db, checker, picker):
+        from repro.core.possible_worlds import is_possible_world, world_database
+        from repro.query.evaluator import evaluate
+
+        for name, query in _battery(picker).items():
+            result = checker.check(query, algorithm="opt" if name.startswith("qs") else "naive")
+            if result.satisfied:
+                continue
+            world = world_database(db, result.witness)
+            assert is_possible_world(db, world), name
+            assert evaluate(query, world), name
+
+
+class TestBackends:
+    def test_sqlite_agrees(self, db, picker):
+        sqlite_checker = DCSatChecker(
+            db, backend="sqlite", assume_nonnegative_sums=True
+        )
+        memory_checker = DCSatChecker(db, assume_nonnegative_sums=True)
+        for name, query in _battery(picker).items():
+            assert (
+                sqlite_checker.check(query, algorithm="naive").satisfied
+                == memory_checker.check(query, algorithm="naive").satisfied
+            ), name
+        sqlite_checker.close()
+
+
+class TestMonitorAndExplain:
+    def test_monitor_battery(self, db, picker):
+        monitor = ConstraintMonitor(
+            DCSatChecker(db, assume_nonnegative_sums=True)
+        )
+        for name, query in _battery(picker).items():
+            monitor.register(name, query)
+        verdicts = monitor.status_all()
+        violated = {name for name, r in verdicts.items() if not r.satisfied}
+        assert violated == {"qs-unsat", "qp2-unsat", "qr2-unsat", "qa-unsat"}
+
+    def test_explanations_trace_to_pending(self, db, checker, picker):
+        query = _battery(picker)["qs-unsat"]
+        result = checker.check(query, algorithm="opt")
+        explanation = explain_violation(db, query, result)
+        assert explanation.culprit_transactions
+        for txid in explanation.culprit_transactions:
+            assert txid in db.pending_ids
+
+
+class TestWatcher:
+    def test_watcher_sees_injected_contradictions(self, dataset):
+        pool = Mempool(allow_conflicts=True)
+        for tx in dataset.pending:
+            pool.add(tx, dataset.chain)
+        watcher = DoubleSpendWatcher(dataset.chain, pool)
+        pairs = {frozenset(pair) for pair in watcher.conflict_pairs()}
+        injected = {frozenset(pair) for pair in dataset.contradiction_pairs}
+        assert injected <= pairs
+        alerts = watcher.scan()
+        assert len(alerts) >= len(injected)
+
+
+class TestSteadyStateReplay:
+    def test_commit_a_block_worth_of_pending(self, dataset):
+        """Commit a consistent slice of the pending set and re-check."""
+        db = dataset.to_blockchain_database()
+        checker = DCSatChecker(db, assume_nonnegative_sums=True)
+        from repro.core.possible_worlds import get_maximal
+
+        world = get_maximal(checker.workspace, list(db.pending_ids)[:30])
+        checker.workspace.clear_active()
+        for tx_id in sorted(world):
+            checker.commit(tx_id)
+        # The state remains consistent and checkable.
+        from repro.relational.checking import check_database
+
+        assert check_database(db.current, db.constraints)
+        result = checker.check(
+            simple_constraint(fresh_address("pipe-3")), algorithm="naive"
+        )
+        assert result.satisfied

@@ -1,0 +1,167 @@
+"""Full pipeline: substrate → network → relational image → DCSat.
+
+Recreates the paper's motivating scenario (Section 1) with the actual
+Bitcoin machinery: an exchange issues a withdrawal, the transaction gets
+stuck, the exchange reasons about reissuing — first with the attacker's
+malleability twist, then safely via fee bumping.
+"""
+
+import pytest
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.relmap import to_blockchain_database
+from repro.bitcoin.script import Witness
+from repro.bitcoin.transactions import COIN, TxOutput
+from repro.bitcoin.wallet import Wallet
+from repro.core.checker import DCSatChecker
+
+EXCHANGE = Wallet(KeyPair.generate("exchange"), name="exchange")
+CUSTOMER = Wallet(KeyPair.generate("customer"), name="customer")
+MINER = Miner(KeyPair.generate("miner").public_key)
+
+
+@pytest.fixture
+def chain() -> Blockchain:
+    chain = Blockchain()
+    chain.append_genesis(
+        [
+            TxOutput(30 * COIN, EXCHANGE.script),
+            TxOutput(15 * COIN, EXCHANGE.script),
+        ]
+    )
+    return chain
+
+
+def _double_pay_constraint() -> str:
+    return (
+        f"q() <- TxIn(pt1, ps1, '{EXCHANGE.public_key}', a1, n1, sg1), "
+        f"TxOut(n1, os1, '{CUSTOMER.public_key}', b1), "
+        f"TxIn(pt2, ps2, '{EXCHANGE.public_key}', a2, n2, sg2), "
+        f"TxOut(n2, os2, '{CUSTOMER.public_key}', b2), n1 != n2"
+    )
+
+
+class TestExchangeScenario:
+    def test_single_withdrawal_is_safe(self, chain):
+        withdrawal = EXCHANGE.create_payment(
+            chain.utxos, CUSTOMER.public_key, 5 * COIN, 100
+        )
+        db = to_blockchain_database(chain, [withdrawal])
+        checker = DCSatChecker(db)
+        assert checker.check(_double_pay_constraint()).satisfied
+
+    def test_unsafe_reissue_flagged_by_dry_run(self, chain):
+        withdrawal = EXCHANGE.create_payment(
+            chain.utxos, CUSTOMER.public_key, 5 * COIN, 100
+        )
+        # The naive reissue uses the exchange's *other* coin: no conflict.
+        reissue = EXCHANGE.reissue_unsafe(
+            chain.utxos, withdrawal, CUSTOMER.public_key, 5 * COIN, 200
+        )
+        db = to_blockchain_database(chain, [withdrawal])
+        checker = DCSatChecker(db)
+        from repro.bitcoin.relmap import combined_resolver, transaction_to_relational
+
+        resolve = combined_resolver(chain, [withdrawal, reissue])
+        hypothetical = transaction_to_relational(reissue, resolve)
+        result = checker.dry_run(hypothetical, _double_pay_constraint())
+        assert not result.satisfied  # both could confirm: pays twice
+
+    def test_fee_bump_reissue_is_safe(self, chain):
+        withdrawal = EXCHANGE.create_payment(
+            chain.utxos, CUSTOMER.public_key, 5 * COIN, 100
+        )
+        bumped = EXCHANGE.bump_fee(chain.utxos, withdrawal, 900)
+        db = to_blockchain_database(chain, [withdrawal])
+        checker = DCSatChecker(db)
+        from repro.bitcoin.relmap import combined_resolver, transaction_to_relational
+
+        resolve = combined_resolver(chain, [withdrawal, bumped])
+        hypothetical = transaction_to_relational(bumped, resolve)
+        result = checker.dry_run(hypothetical, _double_pay_constraint())
+        assert result.satisfied  # conflicting inputs: never both
+
+    def test_malleability_attack_reproduced(self, chain):
+        """The MtGox pattern: the attacker re-witnesses the withdrawal
+        (same signing digest, new txid); the mauled copy confirms; the
+        exchange, seeing its original unconfirmed, would reissue — but
+        the mauled and original conflict, so the *reissue from fresh
+        coins* is the dangerous step, and DCSat over the relational image
+        catches it."""
+        withdrawal = EXCHANGE.create_payment(
+            chain.utxos, CUSTOMER.public_key, 5 * COIN, 100
+        )
+        digest = withdrawal.signing_digest()
+        # Attacker wraps the same signature in a padded witness.
+        mauled = withdrawal.with_witnesses(
+            [
+                Witness(
+                    (EXCHANGE.public_key, CUSTOMER.public_key),
+                    (
+                        EXCHANGE.keypair.sign(digest),
+                        CUSTOMER.keypair.sign(digest),
+                    ),
+                )
+                for _ in withdrawal.inputs
+            ]
+        )
+        assert mauled.txid != withdrawal.txid
+        # The mauled copy is valid and confirms.
+        pool = Mempool()
+        pool.add(mauled, chain)
+        MINER.mine(pool, chain)
+        assert chain.contains_transaction(mauled.txid)
+        assert not chain.contains_transaction(withdrawal.txid)
+
+        # The original can never confirm now (its input is spent)...
+        db = to_blockchain_database(chain, [])
+        checker = DCSatChecker(db)
+        # ...but a reissue from fresh coins would pay the customer twice:
+        # the mauled payment is already in R.
+        reissue = EXCHANGE.create_payment(
+            chain.utxos, CUSTOMER.public_key, 5 * COIN, 200
+        )
+        from repro.bitcoin.relmap import combined_resolver, transaction_to_relational
+
+        resolve = combined_resolver(chain, [reissue])
+        hypothetical = transaction_to_relational(reissue, resolve)
+        result = checker.dry_run(hypothetical, _double_pay_constraint())
+        assert not result.satisfied
+
+
+class TestPipelineConsistency:
+    def test_mined_subset_of_pending_is_a_possible_world(self, chain):
+        """Whatever the miner actually confirms must be one of the
+        possible worlds the model predicted."""
+        from repro.core.possible_worlds import is_possible_world
+        from repro.bitcoin.relmap import (
+            bitcoin_schema,
+            chain_resolver,
+            relational_rows,
+        )
+        from repro.relational.database import Database
+
+        pool = Mempool(allow_conflicts=True)
+        w1 = EXCHANGE.create_payment(chain.utxos, CUSTOMER.public_key, 3 * COIN, 500)
+        w2 = EXCHANGE.bump_fee(chain.utxos, w1, 700)  # conflict
+        pool.add(w1, chain)
+        pool.add(w2, chain)
+        pending = pool.transactions()
+        db = to_blockchain_database(chain, pending)
+
+        block = MINER.mine(pool, chain)
+        # The relational image of the new chain, minus the new block's
+        # coinbase — the coinbase is minted by the miner, not drawn from
+        # the pending set the model reasons about.
+        candidate = Database(bitcoin_schema())
+        resolve = chain_resolver(chain)
+        for tx in chain.transactions():
+            if tx.txid == block.coinbase.txid:
+                continue
+            out_rows, in_rows = relational_rows(tx, resolve)
+            candidate["TxOut"].insert_many(out_rows)
+            candidate["TxIn"].insert_many(in_rows)
+        assert is_possible_world(db, candidate)

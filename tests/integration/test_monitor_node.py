@@ -1,0 +1,128 @@
+"""A monitoring node over a live network — the mempool_monitor example
+as an asserted test: incremental checker maintenance stays consistent
+with from-scratch reconstruction across rounds of churn and mining."""
+
+import random
+
+import pytest
+
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.network import Network, Node
+from repro.bitcoin.relmap import (
+    combined_resolver,
+    to_blockchain_database,
+    transaction_to_relational,
+)
+from repro.bitcoin.transactions import COIN, TxOutput
+from repro.bitcoin.wallet import Wallet
+from repro.core.checker import DCSatChecker
+from repro.errors import ChainValidationError
+from repro.likelihood import UniformInclusion
+from repro.workloads.queries import aggregate_constraint, simple_constraint
+
+
+@pytest.fixture
+def world():
+    rng = random.Random(99)
+    wallets = [Wallet(KeyPair.generate(f"mn{i}")) for i in range(5)]
+    network = Network()
+    network.add_node(
+        Node("hub", miner=Miner(KeyPair.generate("m").public_key))
+    )
+    hub = network.nodes["hub"]
+    hub.chain.append_genesis([TxOutput(8 * COIN, w.script) for w in wallets])
+    return rng, wallets, network, hub
+
+
+def _random_tx(rng, wallets, hub):
+    view = hub.mempool.extended_utxos(hub.chain)
+    exclude = hub.mempool.spent_outpoints()
+    payer = rng.choice(wallets)
+    payee = rng.choice([w for w in wallets if w is not payer])
+    balance = sum(o.value for _, o in payer.spendable(view, exclude))
+    if balance < 10_000:
+        return None
+    try:
+        return payer.create_payment(
+            view, payee.public_key, rng.randint(1000, balance // 3),
+            rng.randint(10, 500), exclude=exclude,
+        )
+    except ChainValidationError:
+        return None
+
+
+def test_incremental_checker_matches_rebuild(world):
+    rng, wallets, network, hub = world
+    checker = DCSatChecker(to_blockchain_database(hub.chain, []))
+    watched = wallets[2]
+    constraint = simple_constraint(KeyPair.generate("ghost").public_key)
+
+    for round_index in range(4):
+        # Churn: broadcast a handful of transactions.
+        for _ in range(5):
+            tx = _random_tx(rng, wallets, hub)
+            if tx is None:
+                continue
+            if network.broadcast_transaction(tx)["hub"]:
+                resolve = combined_resolver(hub.chain, list(hub.mempool))
+                checker.issue(transaction_to_relational(tx, resolve))
+
+        # The incremental checker equals a from-scratch rebuild.
+        rebuilt = DCSatChecker(
+            to_blockchain_database(hub.chain, hub.mempool.transactions())
+        )
+        assert set(checker.db.pending_ids) == set(rebuilt.db.pending_ids)
+        assert checker.db.current == rebuilt.db.current
+        assert checker.fd_graph.conflict_count() == rebuilt.fd_graph.conflict_count()
+        assert (
+            checker.check(constraint).satisfied
+            == rebuilt.check(constraint).satisfied
+        )
+
+        # Mine; sync commits/evictions into the checker — including the
+        # coinbase, which was never pending and must be *absorbed*.
+        block = network.mine_block("hub")
+        confirmed = {tx.txid for tx in block.transactions}
+        for tx_id in list(checker.db.pending_ids):
+            if tx_id in confirmed:
+                checker.commit(tx_id)
+            elif tx_id not in hub.mempool:
+                checker.forget(tx_id)
+        from repro.bitcoin.relmap import chain_resolver
+
+        checker.absorb(
+            transaction_to_relational(
+                block.coinbase, chain_resolver(hub.chain)
+            )
+        )
+
+    final = DCSatChecker(
+        to_blockchain_database(hub.chain, hub.mempool.transactions())
+    )
+    assert checker.db.current == final.db.current
+
+
+def test_violation_probability_via_checker(world):
+    rng, wallets, network, hub = world
+    watched = wallets[0]
+    # Three *independent* pending payments to the watched wallet — one
+    # per payer, each spending its own confirmed coin (payments from the
+    # same payer would chain through change outputs and stop being
+    # independent, skewing the closed-form probability below).
+    for payer in wallets[1:4]:
+        tx = payer.create_payment(
+            hub.chain.utxos, watched.public_key, COIN, 100
+        )
+        hub.mempool.add(tx, hub.chain)
+    db = to_blockchain_database(hub.chain, hub.mempool.transactions())
+    checker = DCSatChecker(db, assume_nonnegative_sums=True)
+    # The watched wallet crosses 9 coins only if at least one pending
+    # payment confirms (it holds 8 on-chain).
+    constraint = aggregate_constraint(watched.public_key, 9 * COIN)
+    assert not checker.check(constraint, algorithm="naive").satisfied
+    estimate = checker.violation_probability(
+        constraint, UniformInclusion(0.5)
+    )
+    # 1 - (1/2)^3: at least one of three independent payments lands.
+    assert estimate.probability == pytest.approx(1 - 0.5**3)

@@ -1,0 +1,84 @@
+"""The README quickstart, verified verbatim-ish.
+
+Documentation rots; this test keeps the README's quickstart honest by
+executing the same steps it shows.
+"""
+
+from repro import (
+    BlockchainDatabase,
+    ConstraintSet,
+    Database,
+    DCSatChecker,
+    InclusionDependency,
+    Key,
+    Transaction,
+    make_schema,
+)
+
+
+def test_readme_quickstart():
+    schema = make_schema(
+        {
+            "TxOut": ["txId", "ser", "pk", "amount"],
+            "TxIn": ["prevTxId", "prevSer", "pk", "amount", "newTxId", "sig"],
+        }
+    )
+    constraints = ConstraintSet(
+        schema,
+        [
+            Key("TxOut", ["txId", "ser"], schema),
+            Key("TxIn", ["prevTxId", "prevSer"], schema),
+            InclusionDependency(
+                "TxIn",
+                ["prevTxId", "prevSer", "pk", "amount"],
+                "TxOut",
+                ["txId", "ser", "pk", "amount"],
+            ),
+        ],
+    )
+    state = Database.from_dict(
+        schema, {"TxOut": [("t0", 1, "AlicePk", 5.0)], "TxIn": []}
+    )
+
+    pay_bob = Transaction(
+        {
+            "TxIn": [("t0", 1, "AlicePk", 5.0, "t1", "AliceSig")],
+            "TxOut": [("t1", 1, "BobPk", 5.0)],
+        },
+        tx_id="PayBob",
+    )
+
+    db = BlockchainDatabase(state, constraints, [pay_bob])
+    checker = DCSatChecker(db)
+
+    result = checker.check(
+        """
+        q() <- TxIn(p1, s1, 'AlicePk', a1, n1, g1), TxOut(n1, o1, 'BobPk', b1),
+               TxIn(p2, s2, 'AlicePk', a2, n2, g2), TxOut(n2, o2, 'BobPk', b2),
+               n1 != n2
+        """
+    )
+    assert result.satisfied  # safe: only one payment exists
+
+    # The dangerous reissue the README warns about: a second, fresh
+    # payment makes the constraint violable — caught by a dry run.
+    state.insert("TxOut", ("t0", 2, "AlicePk", 5.0))
+    checker2 = DCSatChecker(
+        BlockchainDatabase(state, constraints, [pay_bob])
+    )
+    reissue = Transaction(
+        {
+            "TxIn": [("t0", 2, "AlicePk", 5.0, "t2", "AliceSig")],
+            "TxOut": [("t2", 1, "BobPk", 5.0)],
+        },
+        tx_id="PayBobAgain",
+    )
+    dry = checker2.dry_run(
+        reissue,
+        """
+        q() <- TxIn(p1, s1, 'AlicePk', a1, n1, g1), TxOut(n1, o1, 'BobPk', b1),
+               TxIn(p2, s2, 'AlicePk', a2, n2, g2), TxOut(n2, o2, 'BobPk', b2),
+               n1 != n2
+        """,
+    )
+    assert not dry.satisfied

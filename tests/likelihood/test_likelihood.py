@@ -1,0 +1,156 @@
+"""Weighted possible worlds: models and violation-probability estimation."""
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.errors import ReproError
+from repro.likelihood import (
+    UniformInclusion,
+    estimate_violation_probability,
+    exact_violation_probability,
+    feerate_inclusion_model,
+)
+from repro.likelihood.model import MappingInclusion, model_from_callable
+from repro.query.parser import parse_query
+from repro.relational.constraints import ConstraintSet, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+
+def _single_tx_db() -> BlockchainDatabase:
+    schema = make_schema({"R": ["a", "b"]})
+    constraints = ConstraintSet(schema, [Key("R", ["a"], schema)])
+    return BlockchainDatabase(
+        Database.from_dict(schema, {"R": []}),
+        constraints,
+        [Transaction({"R": [(1, "x")]}, tx_id="T1")],
+    )
+
+
+def _conflict_db() -> BlockchainDatabase:
+    schema = make_schema({"R": ["a", "b"]})
+    constraints = ConstraintSet(schema, [Key("R", ["a"], schema)])
+    return BlockchainDatabase(
+        Database.from_dict(schema, {"R": []}),
+        constraints,
+        [
+            Transaction({"R": [(1, "x")]}, tx_id="T1"),
+            Transaction({"R": [(1, "y")]}, tx_id="T2"),
+        ],
+    )
+
+
+class TestModels:
+    def test_uniform_bounds(self):
+        assert UniformInclusion(0.3).probability("any") == 0.3
+        with pytest.raises(ReproError):
+            UniformInclusion(1.5)
+
+    def test_mapping_model(self):
+        model = MappingInclusion({"a": 0.9}, default=0.1)
+        assert model.probability("a") == 0.9
+        assert model.probability("zz") == 0.1
+        with pytest.raises(ReproError):
+            MappingInclusion({"a": 2.0})
+
+    def test_feerate_model_monotone_in_feerate(self):
+        model = feerate_inclusion_model({"slow": 1.0, "mid": 5.0, "fast": 50.0})
+        assert (
+            model.probability("slow")
+            < model.probability("mid")
+            <= model.probability("fast")
+        )
+
+    def test_feerate_model_needs_data(self):
+        with pytest.raises(ReproError):
+            feerate_inclusion_model({})
+
+    def test_callable_adapter(self):
+        model = model_from_callable(lambda tx_id: 0.25)
+        assert model.probability("x") == 0.25
+
+
+class TestExact:
+    def test_single_transaction_probability_is_p(self):
+        db = _single_tx_db()
+        q = parse_query("q() <- R(1, 'x')")
+        estimate = exact_violation_probability(db, q, UniformInclusion(0.3))
+        assert estimate.probability == pytest.approx(0.3)
+
+    def test_conflicting_pair_order_resolution(self):
+        # q matches T1's fact only.  T1 enters unless T2 beat it: with
+        # both offered (p^2) T1 wins half the orders.
+        db = _conflict_db()
+        q = parse_query("q() <- R(1, 'x')")
+        p = 0.5
+        estimate = exact_violation_probability(db, q, UniformInclusion(p))
+        expected = p * (1 - p) + p * p * 0.5
+        assert estimate.probability == pytest.approx(expected)
+
+    def test_certain_violation(self):
+        db = _single_tx_db()
+        db.current.insert("R", (9, "committed"))
+        q = parse_query("q() <- R(9, 'committed')")
+        estimate = exact_violation_probability(db, q, UniformInclusion(0.0))
+        assert estimate.probability == pytest.approx(1.0)
+
+    def test_limit_guard(self):
+        db = _single_tx_db()
+        q = parse_query("q() <- R(1, 'x')")
+        with pytest.raises(ReproError):
+            exact_violation_probability(
+                db, q, UniformInclusion(0.5), pending_limit=0
+            )
+
+
+class TestMonteCarlo:
+    def test_matches_exact(self):
+        db = _conflict_db()
+        q = parse_query("q() <- R(1, 'x')")
+        exact = exact_violation_probability(db, q, UniformInclusion(0.5))
+        mc = estimate_violation_probability(
+            db, q, UniformInclusion(0.5), samples=4000, seed=7
+        )
+        assert abs(mc.probability - exact.probability) < 4 * mc.stderr + 0.01
+
+    def test_seeded_reproducibility(self):
+        db = _conflict_db()
+        q = parse_query("q() <- R(1, 'x')")
+        a = estimate_violation_probability(db, q, UniformInclusion(0.5), seed=1)
+        b = estimate_violation_probability(db, q, UniformInclusion(0.5), seed=1)
+        assert a.probability == b.probability
+
+    def test_sample_validation(self):
+        db = _single_tx_db()
+        q = parse_query("q() <- R(1, 'x')")
+        with pytest.raises(ReproError):
+            estimate_violation_probability(db, q, UniformInclusion(0.5), samples=0)
+
+    def test_confidence_interval(self):
+        db = _single_tx_db()
+        q = parse_query("q() <- R(1, 'x')")
+        estimate = estimate_violation_probability(
+            db, q, UniformInclusion(0.5), samples=500, seed=2
+        )
+        low, high = estimate.confidence_interval()
+        assert 0.0 <= low <= estimate.probability <= high <= 1.0
+
+
+class TestRelationshipToDCSat:
+    def test_dcsat_satisfied_implies_zero_probability(self):
+        db = _conflict_db()
+        q = parse_query("q() <- R(1, 'x'), R(1, 'y')")  # needs both: never
+        estimate = exact_violation_probability(db, q, UniformInclusion(0.9))
+        assert estimate.probability == 0.0
+        from repro.core.checker import DCSatChecker
+
+        assert DCSatChecker(db).check(q).satisfied
+
+    def test_dcsat_violated_implies_positive_probability(self):
+        db = _single_tx_db()
+        q = parse_query("q() <- R(1, 'x')")
+        from repro.core.checker import DCSatChecker
+
+        assert not DCSatChecker(db).check(q).satisfied
+        estimate = exact_violation_probability(db, q, UniformInclusion(0.5))
+        assert estimate.probability > 0.0

@@ -1,0 +1,92 @@
+"""Property tests: substrate invariants under random payment workloads."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bitcoin.chain import Blockchain, block_subsidy
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.mining import Miner
+from repro.bitcoin.relmap import bitcoin_constraints, chain_to_database
+from repro.bitcoin.transactions import COIN, OutPoint, TxOutput
+from repro.bitcoin.wallet import Wallet
+from repro.errors import ChainValidationError
+from repro.relational.checking import check_database
+
+
+def _run_workload(seed: int, blocks: int, payments_per_block: int) -> Blockchain:
+    rng = random.Random(seed)
+    wallets = [Wallet(KeyPair.generate(f"{seed}:{i}")) for i in range(4)]
+    chain = Blockchain()
+    chain.append_genesis(
+        [TxOutput(10 * COIN, w.script) for w in wallets]
+    )
+    for height in range(blocks):
+        pool = Mempool()
+        for _ in range(payments_per_block):
+            payer = rng.choice(wallets)
+            payee = rng.choice([w for w in wallets if w is not payer])
+            view = pool.extended_utxos(chain)
+            exclude = pool.spent_outpoints()
+            balance = sum(
+                o.value for _, o in payer.spendable(view, exclude)
+            )
+            if balance < 1000:
+                continue
+            amount = rng.randint(1, balance // 2)
+            try:
+                tx = payer.create_payment(
+                    view, payee.public_key, amount, rng.randint(1, 500),
+                    exclude=exclude,
+                )
+                pool.add(tx, chain)
+            except ChainValidationError:
+                continue
+        Miner(wallets[height % 4].public_key).mine(pool, chain)
+    return chain
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_value_conservation(seed):
+    """Total unspent value equals total minted value.  Fees circulate
+    back through coinbases (coinbase = subsidy + fees), so the UTXO total
+    must be exactly genesis value + the sum of block subsidies — assuming
+    every miner claims the full reward, which ours does."""
+    chain = _run_workload(seed, blocks=4, payments_per_block=3)
+    minted = 40 * COIN  # genesis outputs
+    minted += sum(block_subsidy(h) for h in range(1, len(chain.blocks)))
+    assert chain.utxos.total_value() == minted
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_no_outpoint_spent_twice(seed):
+    chain = _run_workload(seed, blocks=4, payments_per_block=3)
+    spent: set[OutPoint] = set()
+    for tx in chain.transactions():
+        for outpoint in tx.outpoints():
+            assert outpoint not in spent
+            spent.add(outpoint)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_relational_image_always_consistent(seed):
+    chain = _run_workload(seed, blocks=3, payments_per_block=3)
+    current = chain_to_database(chain)
+    assert check_database(current, bitcoin_constraints(current.schema))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_utxo_set_matches_replay(seed):
+    """The incrementally maintained UTXO set equals a from-scratch replay."""
+    from repro.bitcoin.chain import UTXOSet
+
+    chain = _run_workload(seed, blocks=3, payments_per_block=3)
+    replay = UTXOSet()
+    for tx in chain.transactions():
+        replay.apply(tx)
+    assert set(replay) == set(chain.utxos)

@@ -1,0 +1,136 @@
+"""Property tests: solver agreement on random blockchain databases.
+
+Random small instances over a mixed {key, ind} schema; NaiveDCSat, the
+assignment solver and brute force must agree on every monotone denial
+constraint (OptDCSat is checked on single-atom queries, where its
+component decomposition is provably sound).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.query.parser import parse_query
+from repro.relational.constraints import ConstraintSet, InclusionDependency, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+VALUES = st.integers(min_value=0, max_value=3)
+
+
+def _schema():
+    return make_schema({"A": ["x"], "B": ["x", "y"]})
+
+
+def _constraints(schema):
+    return ConstraintSet(
+        schema,
+        [
+            Key("B", ["x"], schema),
+            InclusionDependency("B", ["x"], "A", ["x"]),
+        ],
+    )
+
+
+@st.composite
+def blockchain_dbs(draw):
+    schema = _schema()
+    constraints = _constraints(schema)
+    # Current state: a functional set of B facts over declared A values.
+    a_values = draw(st.sets(VALUES, max_size=3))
+    b_state = {}
+    for x in a_values:
+        if draw(st.booleans()):
+            b_state[x] = draw(VALUES)
+    current = Database.from_dict(
+        schema,
+        {"A": [(x,) for x in a_values], "B": list(b_state.items())},
+    )
+    # Pending transactions: arbitrary small fact sets (may conflict, may
+    # dangle — that is the model's whole point).
+    tx_count = draw(st.integers(min_value=0, max_value=4))
+    pending = []
+    for index in range(tx_count):
+        facts = []
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            if draw(st.booleans()):
+                facts.append(("A", (draw(VALUES),)))
+            else:
+                facts.append(("B", (draw(VALUES), draw(VALUES))))
+        pending.append(Transaction(facts, tx_id=f"P{index}"))
+    return BlockchainDatabase(current, constraints, pending)
+
+
+QUERIES = [
+    "q() <- B(x, y)",
+    "q() <- B(0, y)",
+    "q() <- B(x, 1)",
+    "q() <- A(x), B(x, y)",
+    "q() <- B(x, y), B(x2, y2), x != x2",
+    "q() <- B(x, y), x < y",
+    "q() <- A(0), B(x, y), y >= 2",
+]
+
+AGG_QUERIES = [
+    "[q(count()) <- B(x, y)] > 1",
+    "[q(cntd(x)) <- B(x, y)] >= 2",
+    "[q(max(y)) <- B(x, y)] > 2",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=blockchain_dbs(), query_index=st.integers(0, len(QUERIES) - 1))
+def test_naive_assign_brute_agree(db, query_index):
+    query = parse_query(QUERIES[query_index])
+    checker = DCSatChecker(db)
+    brute = checker.check(query, algorithm="brute", short_circuit=False)
+    naive = checker.check(query, algorithm="naive", short_circuit=False)
+    assign = checker.check(query, algorithm="assign", short_circuit=False)
+    assert naive.satisfied == brute.satisfied
+    assert assign.satisfied == brute.satisfied
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=blockchain_dbs(), query_index=st.integers(0, len(AGG_QUERIES) - 1))
+def test_aggregates_naive_matches_brute(db, query_index):
+    query = parse_query(AGG_QUERIES[query_index])
+    checker = DCSatChecker(db)
+    brute = checker.check(query, algorithm="brute", short_circuit=False)
+    naive = checker.check(query, algorithm="naive", short_circuit=False)
+    assert naive.satisfied == brute.satisfied
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=blockchain_dbs(), constant=VALUES)
+def test_opt_sound_on_single_atom_queries(db, constant):
+    # Single-atom queries cannot bridge through R: OptDCSat is exact.
+    query = parse_query(f"q() <- B({constant}, y)")
+    checker = DCSatChecker(db)
+    brute = checker.check(query, algorithm="brute", short_circuit=False)
+    opt = checker.check(query, algorithm="opt", short_circuit=False)
+    assert opt.satisfied == brute.satisfied
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=blockchain_dbs(), query_index=st.integers(0, len(QUERIES) - 1))
+def test_short_circuit_never_changes_answers(db, query_index):
+    query = parse_query(QUERIES[query_index])
+    checker = DCSatChecker(db)
+    with_sc = checker.check(query, algorithm="naive", short_circuit=True)
+    without = checker.check(query, algorithm="naive", short_circuit=False)
+    assert with_sc.satisfied == without.satisfied
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=blockchain_dbs(), query_index=st.integers(0, len(QUERIES) - 1))
+def test_witness_is_a_violating_possible_world(db, query_index):
+    from repro.core.possible_worlds import is_possible_world, world_database
+    from repro.query.evaluator import evaluate
+
+    query = parse_query(QUERIES[query_index])
+    checker = DCSatChecker(db)
+    result = checker.check(query, algorithm="naive", short_circuit=False)
+    if not result.satisfied:
+        world = world_database(db, result.witness)
+        assert is_possible_world(db, world)
+        assert evaluate(query, world)

@@ -1,0 +1,59 @@
+"""Property tests: clique enumeration and components vs networkx."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    UndirectedGraph,
+    bron_kerbosch,
+    connected_components,
+)
+
+
+@st.composite
+def graphs(draw):
+    node_count = draw(st.integers(min_value=0, max_value=9))
+    nodes = list(range(node_count))
+    graph = UndirectedGraph(nodes=nodes)
+    if node_count >= 2:
+        possible = [
+            (i, j) for i in nodes for j in nodes if i < j
+        ]
+        for edge in draw(st.lists(st.sampled_from(possible), max_size=20)):
+            graph.add_edge(*edge)
+    return graph
+
+
+def _as_nx(graph: UndirectedGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes)
+    g.add_edges_from(graph.edges())
+    return g
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs(), pivot=st.booleans())
+def test_bron_kerbosch_matches_networkx(graph, pivot):
+    ours = set(bron_kerbosch(graph, pivot=pivot))
+    reference = {frozenset(c) for c in nx.find_cliques(_as_nx(graph))}
+    assert ours == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs())
+def test_cliques_are_maximal_and_distinct(graph):
+    cliques = list(bron_kerbosch(graph))
+    assert len(cliques) == len(set(cliques))
+    adjacency = graph.adjacency()
+    for clique in cliques:
+        for node in graph.nodes:
+            if node not in clique:
+                assert not clique <= adjacency[node] | {node}
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs())
+def test_components_match_networkx(graph):
+    ours = {frozenset(c) for c in connected_components(graph)}
+    reference = {frozenset(c) for c in nx.connected_components(_as_nx(graph))}
+    assert ours == reference

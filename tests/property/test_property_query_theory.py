@@ -1,0 +1,85 @@
+"""Property tests: containment soundness and rewriter equivalence.
+
+Both modules make semantic claims ("q1 ⊑ q2", "normalize preserves
+meaning") that can be checked against the evaluator on random databases
+— the strongest form of validation available offline.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.containment import is_contained_in
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.query.rewriter import Verdict, normalize
+from repro.relational.database import Database, make_schema
+
+VALUES = st.integers(min_value=0, max_value=2)
+
+
+@st.composite
+def random_databases(draw):
+    schema = make_schema({"R": ["a", "b"], "S": ["x"]})
+    r_rows = draw(
+        st.sets(st.tuples(VALUES, VALUES), max_size=6)
+    )
+    s_rows = draw(st.sets(st.tuples(VALUES), max_size=3))
+    return Database.from_dict(
+        schema, {"R": list(r_rows), "S": list(s_rows)}
+    )
+
+
+# A pool of positive queries over the R/S schema, orderable by strength.
+QUERY_POOL = [
+    "q() <- R(x, y)",
+    "q() <- R(x, x)",
+    "q() <- R(0, y)",
+    "q() <- R(x, 1)",
+    "q() <- R(0, 1)",
+    "q() <- R(x, y), S(x)",
+    "q() <- R(x, y), S(y)",
+    "q() <- R(x, y), R(y, z)",
+    "q() <- R(x, y), R(y, x)",
+    "q() <- S(x), R(x, x)",
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    db=random_databases(),
+    first=st.integers(0, len(QUERY_POOL) - 1),
+    second=st.integers(0, len(QUERY_POOL) - 1),
+)
+def test_containment_is_sound(db, first, second):
+    """If the homomorphism test says q1 ⊑ q2, then on every database
+    q1's truth implies q2's truth."""
+    q1 = parse_query(QUERY_POOL[first])
+    q2 = parse_query(QUERY_POOL[second])
+    if is_contained_in(q1, q2):
+        if evaluate(q1, db):
+            assert evaluate(q2, db), (QUERY_POOL[first], QUERY_POOL[second])
+
+
+REWRITE_POOL = [
+    "q() <- R(x, y), x = 0",
+    "q() <- R(x, y), y = 1, 1 < 2",
+    "q() <- R(x, y), R(x, y), x = x",
+    "q() <- R(x, y), S(z), z = 0, x != y",
+    "q() <- R(x, y), x <= x, 0 = 0",
+    "q() <- R(x, y), x != x",
+    "q() <- R(x, y), x = 0, x = 1",
+    "[q(count()) <- R(x, y), x = 0] > 0",
+    "[q(sum(y)) <- R(x, y), 1 <= 1] > 1",
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(db=random_databases(), index=st.integers(0, len(REWRITE_POOL) - 1))
+def test_normalize_preserves_evaluation(db, index):
+    original = parse_query(REWRITE_POOL[index])
+    rewritten, verdict = normalize(original)
+    if verdict is Verdict.UNSATISFIABLE:
+        assert not evaluate(original, db), REWRITE_POOL[index]
+    else:
+        assert evaluate(rewritten, db) == evaluate(original, db), (
+            REWRITE_POOL[index]
+        )

@@ -1,0 +1,76 @@
+"""Property tests: parser and serializer round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import serialize
+from repro.query.parser import parse_query
+from tests.property.test_property_dcsat import blockchain_dbs
+
+_RELATIONS = ["R", "S3", "Tbl"]
+_VAR_NAMES = ["x", "y", "zz", "v_1"]
+
+
+@st.composite
+def random_queries(draw):
+    """Random safe conjunctive queries (textual form)."""
+    atoms = []
+    used_vars: list[str] = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        relation = draw(st.sampled_from(_RELATIONS))
+        terms = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            if draw(st.booleans()):
+                name = draw(st.sampled_from(_VAR_NAMES))
+                used_vars.append(name)
+                terms.append(name)
+            elif draw(st.booleans()):
+                terms.append(str(draw(st.integers(-5, 5))))
+            else:
+                value = draw(st.sampled_from(["abc", "Pk one", "it's"]))
+                escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+                terms.append(f"'{escaped}'")
+        atoms.append(f"{relation}({', '.join(terms)})")
+    comparisons = []
+    if len(set(used_vars)) >= 2 and draw(st.booleans()):
+        pair = draw(st.permutations(sorted(set(used_vars))))[:2]
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        comparisons.append(f"{pair[0]} {op} {pair[1]}")
+    return "q() <- " + ", ".join(atoms + comparisons)
+
+
+@settings(max_examples=150, deadline=None)
+@given(text=random_queries())
+def test_parse_str_reparse_fixpoint(text):
+    query = parse_query(text)
+    rendered = str(query)
+    again = parse_query(rendered)
+    assert str(again) == rendered
+    assert len(again.atoms) == len(query.atoms)
+    assert len(again.comparisons) == len(query.comparisons)
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=blockchain_dbs())
+def test_serialize_round_trip_random_dbs(db):
+    restored = serialize.loads(serialize.dumps(db))
+    assert restored.current == db.current
+    assert {tx.tx_id for tx in restored.pending} == {
+        tx.tx_id for tx in db.pending
+    }
+    for tx in db.pending:
+        assert restored.transaction(tx.tx_id).facts == tx.facts
+    # Semantics preserved: identical possible worlds.
+    from repro.core.possible_worlds import enumerate_possible_worlds
+
+    assert set(enumerate_possible_worlds(restored)) == set(
+        enumerate_possible_worlds(db)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=blockchain_dbs())
+def test_serialized_form_is_canonical(db):
+    """Same database -> byte-identical JSON (sorted keys and rows)."""
+    assert serialize.dumps(db) == serialize.dumps(
+        serialize.loads(serialize.dumps(db))
+    )

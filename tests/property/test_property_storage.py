@@ -1,0 +1,44 @@
+"""Property tests: the sqlite backend agrees with the memory backend
+on random worlds of random databases, for a pool of query shapes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.workspace import Workspace
+from repro.query.parser import parse_query
+from repro.storage import MemoryBackend, SqliteBackend
+from tests.property.test_property_dcsat import blockchain_dbs
+
+QUERIES = [
+    "q() <- B(x, y)",
+    "q() <- A(x), B(x, y)",
+    "q() <- B(x, y), B(x2, y2), x != x2",
+    "q() <- B(x, y), not A(y)",
+    "[q(count()) <- B(x, y)] > 1",
+    "[q(sum(y)) <- B(x, y)] >= 3",
+    "[q(cntd(x)) <- B(x, y)] = 2",
+    "[q(min(y)) <- B(x, y)] < 2",
+]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    db=blockchain_dbs(),
+    query_index=st.integers(0, len(QUERIES) - 1),
+    data=st.data(),
+)
+def test_backends_agree_on_random_worlds(db, query_index, data):
+    query = parse_query(QUERIES[query_index])
+    workspace = Workspace(db)
+    ids = list(db.pending_ids)
+    active = frozenset(data.draw(st.sets(st.sampled_from(ids)))) if ids else frozenset()
+
+    memory = MemoryBackend()
+    memory.attach(workspace)
+    sqlite_backend = SqliteBackend()
+    sqlite_backend.attach(workspace)
+    try:
+        assert sqlite_backend.evaluate(query, active) == memory.evaluate(
+            query, active
+        )
+    finally:
+        sqlite_backend.close()

@@ -1,0 +1,148 @@
+"""Property tests: the PTIME fragment solvers agree with brute force."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.query.parser import parse_query
+from repro.relational.constraints import ConstraintSet, InclusionDependency, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+VALUES = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def fd_only_dbs(draw):
+    """Random {key}-only databases over B(x, y) and A(x)."""
+    schema = make_schema({"A": ["x"], "B": ["x", "y"]})
+    constraints = ConstraintSet(schema, [Key("B", ["x"], schema)])
+    b_state = {}
+    for x in draw(st.sets(VALUES, max_size=2)):
+        b_state[x] = draw(VALUES)
+    current = Database.from_dict(
+        schema,
+        {
+            "A": [(x,) for x in draw(st.sets(VALUES, max_size=3))],
+            "B": list(b_state.items()),
+        },
+    )
+    pending = []
+    for index in range(draw(st.integers(min_value=0, max_value=4))):
+        facts = []
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            if draw(st.booleans()):
+                facts.append(("A", (draw(VALUES),)))
+            else:
+                facts.append(("B", (draw(VALUES), draw(VALUES))))
+        pending.append(Transaction(facts, tx_id=f"F{index}"))
+    return BlockchainDatabase(current, constraints, pending)
+
+
+@st.composite
+def ind_only_dbs(draw):
+    """Random {ind}-only databases: C(k, v) children of P(k)."""
+    schema = make_schema({"P": ["k"], "C": ["k", "v"]})
+    constraints = ConstraintSet(
+        schema, [InclusionDependency("C", ["k"], "P", ["k"])]
+    )
+    parents = draw(st.sets(VALUES, max_size=2))
+    children = [
+        (k, draw(VALUES))
+        for k in parents
+        if draw(st.booleans())
+    ]
+    current = Database.from_dict(
+        schema, {"P": [(k,) for k in parents], "C": children}
+    )
+    pending = []
+    for index in range(draw(st.integers(min_value=0, max_value=4))):
+        facts = []
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            if draw(st.booleans()):
+                facts.append(("P", (draw(VALUES),)))
+            else:
+                facts.append(("C", (draw(VALUES), draw(VALUES))))
+        pending.append(Transaction(facts, tx_id=f"I{index}"))
+    return BlockchainDatabase(current, constraints, pending)
+
+
+FD_QUERIES = [
+    "q() <- B(x, y)",
+    "q() <- B(0, y), A(x)",
+    "q() <- B(x, y), not A(x)",
+    "q() <- B(x, 1), not B(x, 2)",
+    "q() <- B(x, y), B(x2, y2), x != x2",
+]
+
+FD_AGG_QUERIES = [
+    "[q(max(y)) <- B(x, y)] > 1",
+    "[q(count()) <- B(x, y)] < 2",
+    "[q(cntd(x)) <- B(x, y)] < 3",
+    "[q(sum(y)) <- B(x, y)] < 4",
+    "[q(min(y)) <- B(x, y)] < 2",
+]
+
+IND_QUERIES = [
+    "q() <- C(x, v)",
+    "q() <- C(x, v), P(x)",
+    "q() <- C(0, v), not P(1)",
+    "q() <- P(x), not C(x, 0)",
+    "q() <- C(x, v), C(x2, v2), x != x2",
+]
+
+IND_AGG_QUERIES = [
+    "[q(count()) <- C(x, v)] > 1",
+    "[q(cntd(x)) <- C(x, v)] > 1",
+    "[q(max(v)) <- C(x, v)] > 2",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=fd_only_dbs(), index=st.integers(0, len(FD_QUERIES) - 1))
+def test_fd_tractable_matches_brute(db, index):
+    query = parse_query(FD_QUERIES[index])
+    checker = DCSatChecker(db)
+    tractable = checker.check(query, algorithm="tractable", short_circuit=False)
+    brute = checker.check(query, algorithm="brute", short_circuit=False)
+    assert tractable.satisfied == brute.satisfied
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=fd_only_dbs(), index=st.integers(0, len(FD_AGG_QUERIES) - 1))
+def test_fd_aggregate_tractable_matches_brute(db, index):
+    query = parse_query(FD_AGG_QUERIES[index])
+    checker = DCSatChecker(db)
+    tractable = checker.check(query, algorithm="tractable", short_circuit=False)
+    brute = checker.check(query, algorithm="brute", short_circuit=False)
+    assert tractable.satisfied == brute.satisfied
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=ind_only_dbs(), index=st.integers(0, len(IND_QUERIES) - 1))
+def test_ind_tractable_matches_brute(db, index):
+    query = parse_query(IND_QUERIES[index])
+    checker = DCSatChecker(db)
+    tractable = checker.check(query, algorithm="tractable", short_circuit=False)
+    brute = checker.check(query, algorithm="brute", short_circuit=False)
+    assert tractable.satisfied == brute.satisfied
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=ind_only_dbs(), index=st.integers(0, len(IND_AGG_QUERIES) - 1))
+def test_ind_aggregate_tractable_matches_brute(db, index):
+    query = parse_query(IND_AGG_QUERIES[index])
+    checker = DCSatChecker(db, assume_nonnegative_sums=True)
+    tractable = checker.check(query, algorithm="tractable", short_circuit=False)
+    brute = checker.check(query, algorithm="brute", short_circuit=False)
+    assert tractable.satisfied == brute.satisfied
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=fd_only_dbs(), index=st.integers(0, len(FD_QUERIES) - 1))
+def test_auto_routes_to_tractable_on_fd_fragment(db, index):
+    query = parse_query(FD_QUERIES[index])
+    checker = DCSatChecker(db)
+    result = checker.check(query, algorithm="auto", short_circuit=False)
+    brute = checker.check(query, algorithm="brute", short_circuit=False)
+    assert result.satisfied == brute.satisfied

@@ -1,0 +1,97 @@
+"""Property tests: possible-world structure and recognition."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.possible_worlds import (
+    enumerate_possible_worlds,
+    get_maximal,
+    is_possible_world,
+    world_database,
+)
+from repro.core.workspace import Workspace
+from repro.relational.checking import check_database
+from tests.property.test_property_dcsat import blockchain_dbs
+
+
+@settings(max_examples=50, deadline=None)
+@given(db=blockchain_dbs())
+def test_every_world_satisfies_constraints(db):
+    for world in enumerate_possible_worlds(db):
+        materialized = world_database(db, world)
+        assert check_database(materialized, db.constraints)
+
+
+@settings(max_examples=50, deadline=None)
+@given(db=blockchain_dbs())
+def test_worlds_are_downward_reachable(db):
+    """Every non-empty world has a predecessor: remove some transaction
+    and still have a world (the can-append chain witnesses it)."""
+    worlds = set(enumerate_possible_worlds(db))
+    for world in worlds:
+        if world:
+            assert any(world - {tx} in worlds for tx in world)
+
+
+@settings(max_examples=50, deadline=None)
+@given(db=blockchain_dbs())
+def test_recognition_matches_enumeration(db):
+    worlds = set(enumerate_possible_worlds(db))
+    for world in worlds:
+        assert is_possible_world(db, world_database(db, world))
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=blockchain_dbs(), data=st.data())
+def test_non_worlds_are_rejected(db, data):
+    worlds = set(enumerate_possible_worlds(db))
+    ids = list(db.pending_ids)
+    if not ids:
+        return
+    subset = frozenset(data.draw(st.sets(st.sampled_from(ids))))
+    candidate = world_database(db, subset)
+    recognized = is_possible_world(db, candidate)
+    # Equality of *fact sets*, not of included-id sets: two different
+    # subsets may materialize the same database.
+    materializations = {
+        frozenset(world_database(db, w).facts()) for w in worlds
+    }
+    expected = frozenset(candidate.facts()) in materializations
+    assert recognized == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(db=blockchain_dbs(), data=st.data())
+def test_get_maximal_is_maximal_and_order_independent_on_cliques(db, data):
+    from repro.core.fd_graph import FdTransactionGraph
+    from repro.relational.checking import can_extend
+
+    ids = list(db.pending_ids)
+    order = data.draw(st.permutations(ids))
+    ws = Workspace(db)
+    world = get_maximal(ws, order)
+    # Maximality holds for ANY candidate order: at the fixpoint nothing
+    # else from the chosen order can be appended.
+    ws.set_active(world)
+    for tx_id in order:
+        if tx_id not in world:
+            assert not can_extend(
+                ws, db.constraints, ws.transaction_facts(tx_id)
+            )
+    # Order-independence is only promised on fd-consistent candidate
+    # sets (cliques) — which is how the DCSat algorithms call it.  (An
+    # earlier version of this test claimed it for arbitrary sets;
+    # hypothesis found the two-conflicting-transactions counterexample.)
+    graph = FdTransactionGraph(ws)
+    if graph.is_clique([tx for tx in order if tx in graph.nodes]):
+        clique = [tx for tx in order if tx in graph.nodes]
+        forward = get_maximal(ws, clique)
+        backward = get_maximal(ws, list(reversed(clique)))
+        assert forward == backward
+
+
+@settings(max_examples=50, deadline=None)
+@given(db=blockchain_dbs())
+def test_get_maximal_is_a_world(db):
+    ws = Workspace(db)
+    world = get_maximal(ws, db.pending_ids)
+    assert is_possible_world(db, world_database(db, world))

@@ -1,0 +1,151 @@
+"""Query analysis: connectivity, monotonicity, Θ_q/Θ_I, constant patterns."""
+
+import pytest
+
+from repro.query.analysis import (
+    EqualityConstraint,
+    constant_patterns,
+    equality_constraints_from_inds,
+    equality_constraints_from_query,
+    is_connected,
+    is_monotone,
+)
+from repro.query.parser import parse_query
+from repro.relational.constraints import ConstraintSet, InclusionDependency
+from repro.relational.database import make_schema
+
+
+class TestConnectivity:
+    def test_paper_connected_example(self):
+        # q() <- R(x, y), S(w, v), T(x, v) is connected (Section 6.2).
+        q = parse_query("q() <- R(x, y), S(w, v), T(x, v)")
+        assert is_connected(q)
+
+    def test_paper_disconnected_example(self):
+        # q() <- R(x, y), S(w, v), y < v is NOT connected: comparisons
+        # do not link terms (only '=' merges them).
+        q = parse_query("q() <- R(x, y), S(w, v), y < v")
+        assert not is_connected(q)
+
+    def test_equality_comparison_connects(self):
+        q = parse_query("q() <- R(x, y), S(w, v), y = v")
+        assert is_connected(q)
+
+    def test_single_atom_connected(self):
+        assert is_connected(parse_query("q() <- R(x, y)"))
+
+    def test_shared_constant_connects(self):
+        # Terms include constants (Gaifman graph over terms).
+        q = parse_query("q() <- R(x, 'c'), S('c', y)")
+        assert is_connected(q)
+
+    def test_aggregates_never_connected(self):
+        q = parse_query("[q(sum(a)) <- R(x, a)] > 5")
+        assert not is_connected(q)
+
+
+class TestMonotonicity:
+    def test_positive_cq_monotone(self):
+        assert is_monotone(parse_query("q() <- R(x, y), x < y"))
+
+    def test_negation_not_monotone(self):
+        assert not is_monotone(parse_query("q() <- R(x, y), not S(x)"))
+
+    @pytest.mark.parametrize(
+        "query_text,expected",
+        [
+            ("[q(count()) <- R(x, a)] > 5", True),
+            ("[q(count()) <- R(x, a)] >= 5", True),
+            ("[q(count()) <- R(x, a)] < 5", False),
+            ("[q(count()) <- R(x, a)] = 5", False),
+            ("[q(cntd(x)) <- R(x, a)] > 5", True),
+            ("[q(max(a)) <- R(x, a)] > 5", True),
+            ("[q(max(a)) <- R(x, a)] < 5", False),
+            ("[q(min(a)) <- R(x, a)] < 5", True),
+            ("[q(min(a)) <- R(x, a)] > 5", False),
+            ("[q(sum(a)) <- R(x, a)] > 5", False),  # negatives possible
+        ],
+    )
+    def test_aggregate_cases(self, query_text, expected):
+        assert is_monotone(parse_query(query_text)) is expected
+
+    def test_sum_with_nonnegative_vouching(self):
+        q = parse_query("[q(sum(a)) <- R(x, a)] > 5")
+        assert is_monotone(q, assume_nonnegative=True)
+        q_lt = parse_query("[q(sum(a)) <- R(x, a)] < 5")
+        assert not is_monotone(q_lt, assume_nonnegative=True)
+
+    def test_aggregate_with_negated_body_not_monotone(self):
+        q = parse_query("[q(count()) <- R(x, a), not S(x)] > 5")
+        assert not is_monotone(q)
+
+
+class TestThetaQ:
+    def test_paper_example7(self):
+        # q() <- R(w, x, u), S(x, w, z), T(y, x)
+        q = parse_query("q() <- R(w, x, u), S(x, w, z), T(y, x)")
+        constraints = equality_constraints_from_query(q)
+        expected = {
+            EqualityConstraint("R", (0, 1), "S", (1, 0)),
+            EqualityConstraint("R", (1,), "T", (1,)),
+            EqualityConstraint("S", (0,), "T", (1,)),
+        }
+        assert constraints == expected
+
+    def test_no_shared_terms_no_constraint(self):
+        q = parse_query("q() <- R(x), S(y)")
+        assert equality_constraints_from_query(q) == frozenset()
+
+    def test_equality_comparison_merges(self):
+        q = parse_query("q() <- R(x), S(y), x = y")
+        constraints = equality_constraints_from_query(q)
+        assert EqualityConstraint("R", (0,), "S", (0,)) in constraints
+
+    def test_shared_constants_pair(self):
+        q = parse_query("q() <- R(x, 'c'), S('c', y)")
+        constraints = equality_constraints_from_query(q)
+        assert EqualityConstraint("R", (1,), "S", (0,)) in constraints
+
+    def test_negated_atoms_ignored(self):
+        q = parse_query("q() <- R(x), not S(x)")
+        assert equality_constraints_from_query(q) == frozenset()
+
+    def test_aggregate_body_used(self):
+        q = parse_query("[q(sum(a)) <- R(x, a), S(x)] > 1")
+        constraints = equality_constraints_from_query(q)
+        assert EqualityConstraint("R", (0,), "S", (0,)) in constraints
+
+
+class TestThetaI:
+    def test_from_inclusion_dependencies(self):
+        schema = make_schema({"A": ["x", "y"], "B": ["u", "v"]})
+        cs = ConstraintSet(
+            schema, [InclusionDependency("A", ["x", "y"], "B", ["v", "u"])]
+        )
+        constraints = equality_constraints_from_inds(cs)
+        assert constraints == frozenset(
+            {EqualityConstraint("A", (0, 1), "B", (1, 0))}
+        )
+
+    def test_empty_when_no_inds(self):
+        schema = make_schema({"A": ["x"]})
+        assert equality_constraints_from_inds(ConstraintSet(schema)) == frozenset()
+
+
+class TestConstantPatterns:
+    def test_patterns_extracted(self):
+        q = parse_query("q() <- TxOut(t, s, 'U8Pk', a), TxIn(p, 1, pk, a, n, sg)")
+        patterns = constant_patterns(q)
+        assert len(patterns) == 2
+        by_rel = {p.relation: p for p in patterns}
+        assert by_rel["TxOut"].positions == (2,)
+        assert by_rel["TxOut"].values == ("U8Pk",)
+        assert by_rel["TxIn"].positions == (1,)
+        assert by_rel["TxIn"].values == (1,)
+
+    def test_no_constants_no_patterns(self):
+        assert constant_patterns(parse_query("q() <- R(x, y)")) == ()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EqualityConstraint("R", (0, 1), "S", (0,))

@@ -1,0 +1,148 @@
+"""Query AST: construction, safety, classification."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AggregateQuery,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+def c(value):
+    return Constant(value)
+
+
+class TestTerms:
+    def test_variable_name_validation(self):
+        with pytest.raises(QueryError):
+            Variable("not valid")
+
+    def test_term_equality(self):
+        assert Variable("x") == Variable("x")
+        assert Constant(1) == Constant(1)
+        assert Variable("x") != Constant("x")
+
+
+class TestAtom:
+    def test_variables_and_constants(self):
+        atom = Atom("R", (v("x"), c(5), v("y")))
+        assert atom.variables == (v("x"), v("y"))
+        assert atom.constants == (c(5),)
+        assert atom.constant_positions() == ((1, 5),)
+
+    def test_negation_flag(self):
+        atom = Atom("R", (v("x"),), negated=True)
+        assert "not" in str(atom)
+
+    def test_invalid_term_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("raw string",))
+
+
+class TestComparison:
+    def test_operators(self):
+        assert Comparison(c(1), "<", c(2)).holds(1, 2)
+        assert Comparison(c(2), ">=", c(2)).holds(2, 2)
+        assert Comparison(c(1), "!=", c(2)).holds(1, 2)
+        assert not Comparison(c(1), "=", c(2)).holds(1, 2)
+
+    def test_incomparable_types_are_false_not_error(self):
+        comparison = Comparison(v("x"), "<", v("y"))
+        assert comparison.holds("a", 1) is False
+
+    def test_equality_works_across_types(self):
+        assert not Comparison(v("x"), "=", v("y")).holds("1", 1)
+        assert Comparison(v("x"), "!=", v("y")).holds("1", 1)
+
+    def test_bad_operator(self):
+        with pytest.raises(QueryError):
+            Comparison(c(1), "~", c(2))
+
+
+class TestConjunctiveQuery:
+    def test_positive_classification(self):
+        q = ConjunctiveQuery([Atom("R", (v("x"),))])
+        assert q.is_positive
+        q2 = ConjunctiveQuery(
+            [Atom("R", (v("x"),)), Atom("S", (v("x"),), negated=True)]
+        )
+        assert not q2.is_positive
+        assert len(q2.negated_atoms) == 1
+
+    def test_needs_positive_atom(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("R", (v("x"),), negated=True)])
+
+    def test_safety_negated_atom(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                [Atom("R", (v("x"),)), Atom("S", (v("z"),), negated=True)]
+            )
+
+    def test_safety_comparison(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                [Atom("R", (v("x"),))], [Comparison(v("x"), "<", v("free"))]
+            )
+
+    def test_variables_collected(self):
+        q = ConjunctiveQuery(
+            [Atom("R", (v("x"), v("y")))], [Comparison(v("x"), "!=", v("y"))]
+        )
+        assert q.variables == frozenset({v("x"), v("y")})
+
+    def test_relations(self):
+        q = ConjunctiveQuery([Atom("R", (v("x"),)), Atom("S", (v("x"),))])
+        assert q.relations() == frozenset({"R", "S"})
+
+
+class TestAggregateQuery:
+    def _body(self):
+        return [Atom("R", (v("x"), v("a")))]
+
+    def test_construction(self):
+        q = AggregateQuery("sum", (v("a"),), self._body(), ">", 5)
+        assert q.func == "sum"
+        assert q.op == ">"
+        assert q.threshold == 5
+        assert q.is_positive
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("median", (v("a"),), self._body(), ">", 5)
+
+    def test_sum_arity(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("sum", (v("a"), v("x")), self._body(), ">", 5)
+
+    def test_cntd_needs_args(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("cntd", (), self._body(), ">", 5)
+
+    def test_count_allows_zero_args(self):
+        q = AggregateQuery("count", (), self._body(), ">", 5)
+        assert q.agg_terms == ()
+
+    def test_agg_variable_must_be_in_body(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("sum", (v("zz"),), self._body(), ">", 5)
+
+    def test_body_safety_enforced(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(
+                "count",
+                (),
+                [Atom("R", (v("x"), v("a")))],
+                ">",
+                1,
+                comparisons=[Comparison(v("unbound"), "=", c(1))],
+            )

@@ -1,0 +1,108 @@
+"""CQ containment via homomorphisms, and denial-constraint subsumption."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.query.containment import (
+    denial_subsumes,
+    find_homomorphism,
+    is_contained_in,
+)
+from repro.query.parser import parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestHomomorphism:
+    def test_identity(self):
+        query = q("q() <- R(x, y)")
+        assert find_homomorphism(query, query) is not None
+
+    def test_variable_to_constant(self):
+        general = q("q() <- R(x, y)")
+        specific = q("q() <- R(1, y)")
+        assert find_homomorphism(general, specific) is not None
+        assert find_homomorphism(specific, general) is None
+
+    def test_collapse_variables(self):
+        loose = q("q() <- R(x, y)")
+        tight = q("q() <- R(z, z)")
+        assert find_homomorphism(loose, tight) is not None
+        assert find_homomorphism(tight, loose) is None
+
+    def test_extra_atoms(self):
+        small = q("q() <- R(x, y)")
+        big = q("q() <- R(x, y), S(y, z)")
+        assert find_homomorphism(small, big) is not None
+        assert find_homomorphism(big, small) is None
+
+    def test_path_folding(self):
+        # A 2-path maps onto a self-loop.
+        path = q("q() <- E(x, y), E(y, z)")
+        loop = q("q() <- E(v, v)")
+        assert find_homomorphism(path, loop) is not None
+
+    def test_negation_rejected(self):
+        with pytest.raises(AlgorithmError):
+            find_homomorphism(q("q() <- R(x), not S(x)"), q("q() <- R(x)"))
+
+
+class TestContainment:
+    def test_specific_contained_in_general(self):
+        general = q("q() <- R(x, y)")
+        specific = q("q() <- R(1, y), S(y)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_equivalent_queries(self):
+        a = q("q() <- R(x, y), R(y, z)")
+        b = q("q() <- R(u, v), R(v, w)")
+        assert is_contained_in(a, b) and is_contained_in(b, a)
+
+    def test_comparisons_conservative(self):
+        plain = q("q() <- R(x, y)")
+        ordered = q("q() <- R(x, y), x < y")
+        # The ordered query is contained in the plain one...
+        assert is_contained_in(ordered, plain)
+        # ...but not vice versa (and the conservative check agrees).
+        assert not is_contained_in(plain, ordered)
+
+    def test_matching_comparisons_map(self):
+        a = q("q() <- R(x, y), x != y")
+        b = q("q() <- R(u, v), u != v")
+        assert is_contained_in(a, b)
+
+
+class TestDenialSubsumption:
+    def test_direction(self):
+        # ¬"R has any row for key 1" subsumes ¬"R has row (1, 2)".
+        broad = q("q() <- R(1, y)")
+        narrow = q("q() <- R(1, 2)")
+        assert denial_subsumes(broad, narrow)
+        assert not denial_subsumes(narrow, broad)
+
+    def test_semantics_on_blockchain_database(self, figure2):
+        """If ¬q1 subsumes ¬q2 and the checker says q1 is safe, then q2
+        must be safe — verified against the actual solver."""
+        from repro.core.checker import DCSatChecker
+
+        broad = q("q() <- TxOut(t, s, 'MartianPk', a)")
+        narrow = q("q() <- TxOut(t, 1, 'MartianPk', 7.0)")
+        assert denial_subsumes(broad, narrow)
+        checker = DCSatChecker(figure2)
+        assert checker.check(broad).satisfied
+        assert checker.check(narrow).satisfied
+
+    def test_subsumption_mirrors_solver_verdicts(self, figure2):
+        from repro.core.checker import DCSatChecker
+
+        broad = q("q() <- TxOut(t, s, 'U7Pk', a)")
+        narrow = q("q() <- TxOut(t, s, 'U7Pk', 4.0)")
+        assert denial_subsumes(broad, narrow)
+        checker = DCSatChecker(figure2)
+        # Here the broad one is violable, so subsumption promises nothing
+        # about the narrow one — both must be (and are) checked honestly.
+        assert not checker.check(broad).satisfied
+        assert not checker.check(narrow).satisfied

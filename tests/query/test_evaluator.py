@@ -1,0 +1,150 @@
+"""The query evaluator: joins, negation, comparisons, aggregates."""
+
+import pytest
+
+from repro.query.evaluator import evaluate, find_assignment, iter_assignments, iter_matches
+from repro.query.parser import parse_query
+from repro.relational.database import Database, make_schema
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = make_schema(
+        {
+            "Edge": ["src", "dst"],
+            "Node": ["id", "label"],
+            "Score": ["id", "value"],
+        }
+    )
+    return Database.from_dict(
+        schema,
+        {
+            "Edge": [(1, 2), (2, 3), (3, 4), (2, 4)],
+            "Node": [(1, "a"), (2, "b"), (3, "a"), (4, "c")],
+            "Score": [(1, 10), (2, 20), (3, 30), (4, 40)],
+        },
+    )
+
+
+class TestConjunctive:
+    def test_single_atom(self, db):
+        assert evaluate(parse_query("q() <- Edge(1, y)"), db)
+        assert not evaluate(parse_query("q() <- Edge(9, y)"), db)
+
+    def test_join(self, db):
+        assert evaluate(parse_query("q() <- Edge(x, y), Edge(y, z)"), db)
+        assert evaluate(parse_query("q() <- Edge(x, y), Edge(y, z), Edge(z, w)"), db)
+        # No path of length 4 exists.
+        assert not evaluate(
+            parse_query("q() <- Edge(a, b), Edge(b, c), Edge(c, d), Edge(d, e)"), db
+        )
+
+    def test_repeated_variable_in_atom(self, db):
+        assert not evaluate(parse_query("q() <- Edge(x, x)"), db)
+        db.insert("Edge", (7, 7))
+        assert evaluate(parse_query("q() <- Edge(x, x)"), db)
+
+    def test_constants_filter(self, db):
+        assert evaluate(parse_query("q() <- Node(x, 'a')"), db)
+        assert not evaluate(parse_query("q() <- Node(x, 'zz')"), db)
+
+    def test_negated_atom(self, db):
+        # A node with no outgoing edge.
+        q = parse_query("q() <- Node(x, l), not Edge(x, x)")
+        assert evaluate(q, db)
+        # Every node has label != 'zz', so a negated match always holds.
+        q2 = parse_query("q() <- Node(x, l), not Node(x, 'zz')")
+        assert evaluate(q2, db)
+        # A variable appearing only under negation is unsafe and rejected.
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            parse_query("q() <- Node(x, 'c'), not Edge(x, y)")
+
+    def test_comparisons(self, db):
+        assert evaluate(parse_query("q() <- Edge(x, y), x < y"), db)
+        assert not evaluate(parse_query("q() <- Edge(x, y), x > y"), db)
+        assert evaluate(parse_query("q() <- Score(i, v), v >= 40"), db)
+        assert not evaluate(parse_query("q() <- Score(i, v), v > 40"), db)
+
+    def test_inequality_join(self, db):
+        q = parse_query("q() <- Node(x, l), Node(y, l), x != y")
+        assert evaluate(q, db)  # nodes 1 and 3 share label 'a'
+
+    def test_variable_free_query(self, db):
+        assert evaluate(parse_query("q() <- Edge(1, 2)"), db)
+        assert not evaluate(parse_query("q() <- Edge(2, 1)"), db)
+
+
+class TestAssignments:
+    def test_iter_assignments_complete(self, db):
+        q = parse_query("q() <- Edge(2, y)")
+        values = sorted(a["y"] for a in iter_assignments(q, db))
+        assert values == [3, 4]
+
+    def test_assignments_distinct(self, db):
+        q = parse_query("q() <- Edge(x, y), Edge(y, z)")
+        assignments = [tuple(sorted(a.items())) for a in iter_assignments(q, db)]
+        assert len(assignments) == len(set(assignments))
+        # paths: 1-2-3, 1-2-4, 2-3-4
+        assert len(assignments) == 3
+
+    def test_find_assignment(self, db):
+        assignment = find_assignment(parse_query("q() <- Node(x, 'c')"), db)
+        assert assignment == {"x": 4}
+        assert find_assignment(parse_query("q() <- Node(x, 'zz')"), db) is None
+
+    def test_iter_matches_reports_facts(self, db):
+        q = parse_query("q() <- Edge(1, y), Node(y, l)")
+        matches = list(iter_matches(q, db))
+        assert len(matches) == 1
+        _, matched = matches[0]
+        assert ("Edge", (1, 2)) in matched
+        assert ("Node", (2, "b")) in matched
+
+
+class TestAggregates:
+    def test_count(self, db):
+        assert evaluate(parse_query("[q(count()) <- Edge(x, y)] = 4"), db)
+        assert evaluate(parse_query("[q(count()) <- Edge(x, y)] > 3"), db)
+        assert not evaluate(parse_query("[q(count()) <- Edge(x, y)] < 4"), db)
+
+    def test_count_distinct_assignments_not_rows(self, db):
+        # Two edges leave node 2: two assignments for y.
+        assert evaluate(parse_query("[q(count()) <- Edge(2, y)] = 2"), db)
+
+    def test_cntd(self, db):
+        # Distinct labels: a, b, c.
+        assert evaluate(parse_query("[q(cntd(l)) <- Node(x, l)] = 3"), db)
+        assert not evaluate(parse_query("[q(cntd(l)) <- Node(x, l)] > 3"), db)
+
+    def test_sum(self, db):
+        assert evaluate(parse_query("[q(sum(v)) <- Score(i, v)] = 100"), db)
+        assert evaluate(parse_query("[q(sum(v)) <- Score(i, v), v > 25] = 70"), db)
+
+    def test_max_min(self, db):
+        assert evaluate(parse_query("[q(max(v)) <- Score(i, v)] = 40"), db)
+        assert evaluate(parse_query("[q(min(v)) <- Score(i, v)] = 10"), db)
+        assert not evaluate(parse_query("[q(max(v)) <- Score(i, v)] > 40"), db)
+
+    def test_empty_bag_is_false(self, db):
+        # No matches: α(B) θ c is false by definition, even for '<'.
+        assert not evaluate(parse_query("[q(count()) <- Edge(9, y)] < 100"), db)
+        assert not evaluate(parse_query("[q(sum(v)) <- Score(9, v)] < 100"), db)
+
+    def test_aggregate_with_join(self, db):
+        # Sum of scores of nodes reachable from 2 in one hop: 30 + 40.
+        q = parse_query("[q(sum(v)) <- Edge(2, y), Score(y, v)] = 70")
+        assert evaluate(q, db)
+
+    def test_multi_arity_cntd(self, db):
+        q = parse_query("[q(cntd(x, y)) <- Edge(x, y)] = 4")
+        assert evaluate(q, db)
+
+
+class TestEvaluationOrder:
+    def test_bound_first_heuristic_is_semantics_preserving(self, db):
+        # Regardless of atom order the result must be identical.
+        q1 = parse_query("q() <- Edge(x, y), Node(y, 'c')")
+        q2 = parse_query("q() <- Node(y, 'c'), Edge(x, y)")
+        assert evaluate(q1, db) == evaluate(q2, db) is True

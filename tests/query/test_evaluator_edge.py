@@ -1,0 +1,115 @@
+"""Evaluator edge cases: early exits, type mixing, pathological joins."""
+
+import pytest
+
+from repro.query.evaluator import evaluate, iter_assignments
+from repro.query.parser import parse_query
+from repro.relational.database import Database, make_schema
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = make_schema({"R": ["a", "b"], "S": ["x"], "Num": ["n"]})
+    return Database.from_dict(
+        schema,
+        {
+            "R": [(i, i + 1) for i in range(20)],
+            "S": [(5,), (10,)],
+            "Num": [(1,), (2,), (3,)],
+        },
+    )
+
+
+class TestEarlyExit:
+    def test_count_gt_short_circuits(self, db):
+        # Threshold crossed after 6 assignments; correctness regardless.
+        assert evaluate(parse_query("[q(count()) <- R(a, b)] > 5"), db)
+        assert not evaluate(parse_query("[q(count()) <- R(a, b)] > 20"), db)
+
+    def test_count_eq_requires_full_enumeration(self, db):
+        assert evaluate(parse_query("[q(count()) <- R(a, b)] = 20"), db)
+        assert not evaluate(parse_query("[q(count()) <- R(a, b)] = 19"), db)
+
+    def test_count_lt_falsified_by_crossing(self, db):
+        assert not evaluate(parse_query("[q(count()) <- R(a, b)] < 5"), db)
+        assert evaluate(parse_query("[q(count()) <- R(a, b)] < 21"), db)
+
+    def test_cntd_ne(self, db):
+        assert evaluate(parse_query("[q(cntd(a)) <- R(a, b)] != 3"), db)
+        assert not evaluate(parse_query("[q(cntd(a)) <- R(a, b)] != 20"), db)
+
+
+class TestTypeMixing:
+    def test_string_int_comparisons_false_not_error(self, db):
+        schema = make_schema({"Mix": ["v"]})
+        mixed = Database.from_dict(schema, {"Mix": [(1,), ("one",)]})
+        assert not evaluate(parse_query("q() <- Mix(v), v < 'zzz', v > 0"), mixed)
+        assert evaluate(parse_query("q() <- Mix(v), v > 0"), mixed)
+        assert evaluate(parse_query("q() <- Mix(v), v != 'one'"), mixed)
+
+    def test_int_float_equality(self, db):
+        schema = make_schema({"Mix": ["v"]})
+        mixed = Database.from_dict(schema, {"Mix": [(1,)]})
+        assert evaluate(parse_query("q() <- Mix(1.0)"), mixed)
+
+
+class TestJoins:
+    def test_triangle(self, db):
+        schema = make_schema({"E": ["u", "v"]})
+        g = Database.from_dict(schema, {"E": [(1, 2), (2, 3), (3, 1), (3, 4)]})
+        triangle = parse_query("q() <- E(x, y), E(y, z), E(z, x)")
+        assert evaluate(triangle, g)
+        g2 = Database.from_dict(schema, {"E": [(1, 2), (2, 3), (3, 4)]})
+        assert not evaluate(triangle, g2)
+
+    def test_cartesian_product_with_filter(self, db):
+        q = parse_query("q() <- Num(x), Num(y), Num(z), x < y, y < z")
+        assignments = list(iter_assignments(q, db))
+        assert len(assignments) == 1
+        assert assignments[0] == {"x": 1, "y": 2, "z": 3}
+
+    def test_self_join_distinct(self, db):
+        q = parse_query("q() <- S(x), S(y), x != y")
+        assert len(list(iter_assignments(q, db))) == 2  # (5,10) and (10,5)
+
+    def test_deep_chain(self, db):
+        q = parse_query(
+            "q() <- R(a, b), R(b, c), R(c, d), R(d, e), R(e, f), R(f, g)"
+        )
+        assert evaluate(q, db)  # 0->1->...->6 exists
+
+    def test_bound_probe_beats_scan_semantically(self, db):
+        # Same answers whichever atom the planner expands first.
+        q1 = parse_query("q() <- R(a, b), S(a)")
+        q2 = parse_query("q() <- S(a), R(a, b)")
+        r1 = sorted(tuple(sorted(x.items())) for x in iter_assignments(q1, db))
+        r2 = sorted(tuple(sorted(x.items())) for x in iter_assignments(q2, db))
+        assert r1 == r2
+        assert len(r1) == 2
+
+
+class TestNegationDetails:
+    def test_negated_atom_with_all_constants(self, db):
+        assert evaluate(parse_query("q() <- S(x), not S(99)"), db)
+        assert not evaluate(parse_query("q() <- S(x), not S(5)"), db)
+
+    def test_negation_checked_per_assignment(self, db):
+        # x in S but x+? pattern: Num values not in S.
+        q = parse_query("q() <- Num(n), not S(n)")
+        values = sorted(a["n"] for a in iter_assignments(q, db))
+        assert values == [1, 2, 3]
+        q2 = parse_query("q() <- S(s), not Num(s)")
+        values = sorted(a["s"] for a in iter_assignments(q2, db))
+        assert values == [5, 10]
+
+
+class TestAggregateBags:
+    def test_sum_counts_assignments_not_distinct_values(self, db):
+        schema = make_schema({"Pay": ["who", "amt"]})
+        pays = Database.from_dict(
+            schema, {"Pay": [("a", 5), ("b", 5), ("c", 7)]}
+        )
+        # Bag semantics: both 5s count.
+        assert evaluate(parse_query("[q(sum(amt)) <- Pay(w, amt)] = 17"), pays)
+        assert evaluate(parse_query("[q(cntd(amt)) <- Pay(w, amt)] = 2"), pays)
+        assert evaluate(parse_query("[q(count()) <- Pay(w, amt)] = 3"), pays)

@@ -1,0 +1,138 @@
+"""The denial-constraint text syntax."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.query.ast import AggregateQuery, ConjunctiveQuery, Constant, Variable
+from repro.query.parser import parse_query
+
+
+class TestConjunctiveParsing:
+    def test_simple_query(self):
+        q = parse_query("q() <- TxOut(ntx, s, 'U8Pk', a)")
+        assert isinstance(q, ConjunctiveQuery)
+        assert q.name == "q"
+        assert len(q.atoms) == 1
+        atom = q.atoms[0]
+        assert atom.relation == "TxOut"
+        assert atom.terms[2] == Constant("U8Pk")
+        assert atom.terms[0] == Variable("ntx")
+
+    def test_multiple_atoms_and_comparison(self):
+        q = parse_query(
+            "q1() <- TxIn(p1, s1, 'A', 1, n1, 'S'), TxIn(p2, s2, 'A', 1, n2, 'S'), "
+            "n1 != n2"
+        )
+        assert len(q.positive_atoms) == 2
+        assert len(q.comparisons) == 1
+        assert q.comparisons[0].op == "!="
+
+    def test_negated_atom(self):
+        q = parse_query("q2() <- TxOut(n, s, pk, a), not Trusted(pk)")
+        assert len(q.negated_atoms) == 1
+        assert q.negated_atoms[0].relation == "Trusted"
+
+    def test_negation_unicode(self):
+        q = parse_query("q() <- R(x), ¬ S(x)")
+        assert len(q.negated_atoms) == 1
+
+    def test_numbers(self):
+        q = parse_query("q() <- R(x, 3, -2, 1.5)")
+        values = [t.value for t in q.atoms[0].terms[1:]]
+        assert values == [3, -2, 1.5]
+        assert isinstance(values[0], int)
+        assert isinstance(values[2], float)
+
+    def test_double_quoted_strings(self):
+        q = parse_query('q() <- R(x, "hello world")')
+        assert q.atoms[0].terms[1] == Constant("hello world")
+
+    def test_escaped_quote(self):
+        q = parse_query(r"q() <- R(x, 'it\'s')")
+        assert q.atoms[0].terms[1] == Constant("it's")
+
+    def test_alternative_arrows(self):
+        for arrow in ["<-", ":-", "←"]:
+            q = parse_query(f"q() {arrow} R(x)")
+            assert isinstance(q, ConjunctiveQuery)
+
+    def test_comparison_operators(self):
+        q = parse_query("q() <- R(x, y), x < y, x <= 3, y >= 2, x = 1, y > 0")
+        ops = [comparison.op for comparison in q.comparisons]
+        assert ops == ["<", "<=", ">=", "=", ">"]
+
+
+class TestAggregateParsing:
+    def test_sum(self):
+        q = parse_query("[q3(sum(a)) <- TxIn(t, s, 'A', a, nt, 'Sg')] > 5")
+        assert isinstance(q, AggregateQuery)
+        assert q.func == "sum"
+        assert q.op == ">"
+        assert q.threshold == 5
+        assert q.agg_terms == (Variable("a"),)
+
+    def test_cntd(self):
+        q = parse_query(
+            "[q4(cntd(ntx)) <- TxIn(pt, ps, 'A', a, ntx, 'S'), "
+            "TxOut(ntx, s, 'B', a2)] > 10"
+        )
+        assert q.func == "cntd"
+        assert len(q.atoms) == 2
+
+    def test_count_no_args(self):
+        q = parse_query("[q(count()) <- R(x)] >= 3")
+        assert q.func == "count"
+        assert q.agg_terms == ()
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ParseError):
+            parse_query("[q(avg(a)) <- R(a)] > 1")
+
+    def test_threshold_must_be_constant(self):
+        with pytest.raises(ParseError):
+            parse_query("[q(sum(a)) <- R(a)] > x")
+
+
+class TestErrors:
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("q() <- R(x), y < 3")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("q() <- R(x) extra")
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            parse_query("q() <- R(x,")
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_query("q() R(x)")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError) as info:
+            parse_query("q() <- R(x) @ S(y)")
+        assert info.value.position is not None
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+
+class TestRoundTrip:
+    def test_paper_example4_query(self):
+        q = parse_query(
+            "q1() <- TxIn(pt1, ps1, 'AlicePK', 1, ntx1, 'AliceSig'), "
+            "TxOut(ntx1, ns1, 'BobPK', 1), "
+            "TxIn(pt2, ps2, 'AlicePK', 1, ntx2, 'AliceSig'), "
+            "TxOut(ntx2, ns2, 'BobPK', 1), ntx1 != ntx2"
+        )
+        assert len(q.positive_atoms) == 4
+        assert len(q.comparisons) == 1
+        assert q.is_positive
+
+    def test_str_reparses(self):
+        q = parse_query("q() <- R(x, 'c'), S(x, y), x != y")
+        again = parse_query(str(q))
+        assert str(again) == str(q)

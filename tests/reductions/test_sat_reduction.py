@@ -1,0 +1,93 @@
+"""The SAT → DCSat hardness gadget, checked against a SAT oracle."""
+
+import itertools
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.errors import ReproError
+from repro.reductions import (
+    CnfFormula,
+    brute_force_satisfiable,
+    reduction_from_cnf,
+)
+
+
+def _check(formula: CnfFormula, algorithm: str = "auto") -> bool:
+    db, query = reduction_from_cnf(formula)
+    return DCSatChecker(db).check(query, algorithm=algorithm).satisfied
+
+
+class TestKnownFormulas:
+    def test_satisfiable_single_clause(self):
+        f = CnfFormula((((1, True),),))
+        assert brute_force_satisfiable(f)
+        assert not _check(f)  # satisfiable -> constraint violated
+
+    def test_unsatisfiable_pair(self):
+        f = CnfFormula((((1, True),), ((1, False),)))
+        assert not brute_force_satisfiable(f)
+        assert _check(f)
+
+    def test_three_clause_unsat(self):
+        # (x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (¬x2)
+        f = CnfFormula(
+            (((1, True), (2, True)), ((1, False), (2, True)), ((2, False),))
+        )
+        assert not brute_force_satisfiable(f)
+        assert _check(f)
+
+    def test_three_clause_sat(self):
+        # (x1 ∨ x2) ∧ (¬x1 ∨ x2): x2 = true works.
+        f = CnfFormula((((1, True), (2, True)), ((1, False), (2, True))))
+        assert brute_force_satisfiable(f)
+        assert not _check(f)
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReproError):
+            CnfFormula(((),))
+
+
+class TestExhaustiveSmallFormulas:
+    def test_all_two_variable_two_clause_formulas(self):
+        """Every 2-clause formula over {x1, x2} with 2-literal clauses:
+        the reduction must agree with the SAT oracle on all of them."""
+        literals = [(1, True), (1, False), (2, True), (2, False)]
+        clauses = list(itertools.combinations(literals, 2))
+        for c1, c2 in itertools.combinations(clauses, 2):
+            f = CnfFormula((c1, c2))
+            expected_satisfied = not brute_force_satisfiable(f)
+            assert _check(f) is expected_satisfied, f
+
+    @pytest.mark.parametrize("algorithm", ["naive", "opt", "assign", "brute"])
+    def test_algorithms_agree_on_gadget(self, algorithm):
+        f = CnfFormula(
+            (((1, True), (2, False)), ((2, True), (3, False)), ((3, True),))
+        )
+        db, query = reduction_from_cnf(f)
+        result = DCSatChecker(db).check(query, algorithm=algorithm)
+        assert result.satisfied == (not brute_force_satisfiable(f))
+
+
+class TestGadgetStructure:
+    def test_assignment_key_prevents_both_polarities(self):
+        from repro.core.possible_worlds import enumerate_possible_worlds
+
+        f = CnfFormula((((1, True), (1, False)),))  # tautological clause
+        db, _ = reduction_from_cnf(f)
+        for world in enumerate_possible_worlds(db):
+            assert not {"x1=t", "x1=f"} <= world
+
+    def test_collector_requires_all_clauses(self):
+        from repro.core.possible_worlds import enumerate_possible_worlds
+
+        f = CnfFormula((((1, True),), ((2, True),)))
+        db, _ = reduction_from_cnf(f)
+        for world in enumerate_possible_worlds(db):
+            if "collector" in world:
+                assert {"x1=t", "x2=t"} <= world
+
+    def test_variable_indices_arbitrary(self):
+        f = CnfFormula((((17, True), (42, False)),))
+        assert f.variables == (17, 42)
+        assert not _check(f)

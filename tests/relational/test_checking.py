@@ -1,0 +1,131 @@
+"""Constraint checking: full validation, incremental can_extend,
+pairwise fd-consistency."""
+
+import pytest
+
+from repro.relational.checking import (
+    can_extend,
+    check_database,
+    find_violations,
+    transactions_fd_consistent,
+)
+from repro.relational.constraints import (
+    ConstraintSet,
+    FunctionalDependency,
+    InclusionDependency,
+    Key,
+)
+from repro.relational.database import Database, make_schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema({"R": ["a", "b"], "S": ["x", "y"]})
+
+
+@pytest.fixture
+def constraints(schema):
+    return ConstraintSet(
+        schema,
+        [
+            Key("R", ["a"], schema),
+            InclusionDependency("S", ["x"], "R", ["a"]),
+        ],
+    )
+
+
+class TestFindViolations:
+    def test_clean_database(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(1, "x")], "S": [(1, "y")]})
+        assert check_database(db, constraints)
+        assert find_violations(db, constraints) == []
+
+    def test_fd_violation_reported(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(1, "x"), (1, "z")], "S": []})
+        violations = find_violations(db, constraints)
+        assert len(violations) == 1
+        assert violations[0].relation == "R"
+        assert len(violations[0].witnesses) == 2
+        assert not check_database(db, constraints)
+
+    def test_ind_violation_reported(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(1, "x")], "S": [(2, "y")]})
+        violations = find_violations(db, constraints)
+        assert len(violations) == 1
+        assert violations[0].relation == "S"
+        assert violations[0].witnesses == ((2, "y"),)
+
+    def test_multiple_violations(self, schema, constraints):
+        db = Database.from_dict(
+            schema, {"R": [(1, "x"), (1, "y")], "S": [(5, "z")]}
+        )
+        assert len(find_violations(db, constraints)) == 2
+
+    def test_restricted_relations(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(1, "x")], "S": [(9, "y")]})
+        assert find_violations(db, constraints, relations=["R"]) == []
+        assert len(find_violations(db, constraints, relations=["S"])) == 1
+
+    def test_fd_same_rhs_is_fine(self, schema):
+        cs = ConstraintSet(schema, [FunctionalDependency("R", ["a"], ["b"])])
+        db = Database.from_dict(schema, {"R": [(1, "x")], "S": []})
+        db.insert("R", (1, "x"))  # duplicate collapses, no violation
+        assert check_database(db, cs)
+
+
+class TestCanExtend:
+    def test_consistent_extension(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(1, "x")], "S": []})
+        assert can_extend(db, constraints, {"R": [(2, "y")], "S": [(1, "s")]})
+
+    def test_fd_clash_with_existing(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(1, "x")], "S": []})
+        assert not can_extend(db, constraints, {"R": [(1, "DIFFERENT")]})
+
+    def test_fd_clash_within_new_facts(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [], "S": []})
+        assert not can_extend(db, constraints, {"R": [(1, "x"), (1, "y")]})
+
+    def test_identical_tuple_is_consistent(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(1, "x")], "S": []})
+        assert can_extend(db, constraints, {"R": [(1, "x")]})
+
+    def test_ind_parent_missing(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(1, "x")], "S": []})
+        assert not can_extend(db, constraints, {"S": [(99, "s")]})
+
+    def test_ind_parent_in_same_batch(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [], "S": []})
+        assert can_extend(db, constraints, {"R": [(7, "v")], "S": [(7, "s")]})
+
+    def test_ind_parent_in_existing(self, schema, constraints):
+        db = Database.from_dict(schema, {"R": [(3, "z")], "S": []})
+        assert can_extend(db, constraints, {"S": [(3, "s")]})
+
+
+class TestTransactionsFdConsistent:
+    def test_conflicting_pair(self, schema, constraints):
+        assert not transactions_fd_consistent(
+            {"R": [(1, "x")]}, {"R": [(1, "y")]}, constraints
+        )
+
+    def test_consistent_pair(self, schema, constraints):
+        assert transactions_fd_consistent(
+            {"R": [(1, "x")]}, {"R": [(2, "y")]}, constraints
+        )
+
+    def test_identical_tuples_consistent(self, schema, constraints):
+        assert transactions_fd_consistent(
+            {"R": [(1, "x")]}, {"R": [(1, "x")]}, constraints
+        )
+
+    def test_inds_ignored(self, schema, constraints):
+        # Dangling S tuples are an ind matter, not an fd conflict.
+        assert transactions_fd_consistent(
+            {"S": [(123, "a")]}, {"S": [(456, "b")]}, constraints
+        )
+
+    def test_internal_inconsistency_detected(self, schema, constraints):
+        assert not transactions_fd_consistent(
+            {"R": [(1, "x"), (1, "y")]}, {}, constraints
+        )

@@ -1,0 +1,113 @@
+"""Constraint definitions: FDs, keys, inclusion dependencies, resolution."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.relational.constraints import (
+    ConstraintSet,
+    FunctionalDependency,
+    InclusionDependency,
+    Key,
+)
+from repro.relational.database import make_schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema({"R": ["a", "b", "c"], "S": ["x", "y"]})
+
+
+class TestFunctionalDependency:
+    def test_basic(self):
+        fd = FunctionalDependency("R", ["a"], ["b", "c"])
+        assert fd.lhs == ("a",)
+        assert fd.rhs == ("b", "c")
+        assert not fd.is_trivial
+
+    def test_trivial(self):
+        fd = FunctionalDependency("R", ["a", "b"], ["a"])
+        assert fd.is_trivial
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependency("R", [], ["b"])
+        with pytest.raises(ConstraintError):
+            FunctionalDependency("R", ["a"], [])
+
+    def test_str(self):
+        assert "R" in str(FunctionalDependency("R", ["a"], ["b"]))
+
+
+class TestKey:
+    def test_key_is_full_fd(self, schema):
+        key = Key("R", ["a"], schema)
+        assert key.lhs == ("a",)
+        assert key.rhs == ("a", "b", "c")
+
+    def test_key_validates_attributes(self, schema):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            Key("R", ["nope"], schema)
+
+
+class TestInclusionDependency:
+    def test_basic(self):
+        ind = InclusionDependency("S", ["x"], "R", ["a"])
+        assert ind.child == "S"
+        assert ind.parent == "R"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConstraintError):
+            InclusionDependency("S", ["x", "y"], "R", ["a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstraintError):
+            InclusionDependency("S", [], "R", [])
+
+
+class TestConstraintSet:
+    def test_grouping(self, schema):
+        cs = ConstraintSet(
+            schema,
+            [
+                Key("R", ["a"], schema),
+                FunctionalDependency("R", ["b"], ["c"]),
+                InclusionDependency("S", ["x"], "R", ["a"]),
+            ],
+        )
+        assert len(cs) == 3
+        assert len(cs.fds_for("R")) == 2
+        assert cs.fds_for("S") == []
+        assert len(cs.inds_for_child("S")) == 1
+        assert len(cs.inds_for_parent("R")) == 1
+        assert cs.inds_for_child("R") == []
+        assert cs.has_fds and cs.has_inds
+        assert not cs.only_keys_and_fds()
+        assert not cs.only_inds()
+
+    def test_fragments(self, schema):
+        fd_only = ConstraintSet(schema, [Key("R", ["a"], schema)])
+        assert fd_only.only_keys_and_fds()
+        ind_only = ConstraintSet(
+            schema, [InclusionDependency("S", ["x"], "R", ["a"])]
+        )
+        assert ind_only.only_inds()
+
+    def test_resolution_positions(self, schema):
+        cs = ConstraintSet(schema, [FunctionalDependency("R", ["b"], ["c"])])
+        resolved = cs.fds_for("R")[0]
+        assert resolved.lhs_positions == (1,)
+        assert resolved.rhs_positions == (2,)
+
+    def test_unsupported_constraint_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            ConstraintSet(schema, ["not a constraint"])
+
+    def test_iteration(self, schema):
+        constraints = [
+            Key("R", ["a"], schema),
+            InclusionDependency("S", ["x"], "R", ["a"]),
+        ]
+        cs = ConstraintSet(schema, constraints)
+        assert list(cs) == constraints

@@ -1,0 +1,71 @@
+"""Database: collections of relations, facts, copies."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.database import Database, make_schema
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = make_schema({"R": ["a", "b"], "S": ["x"]})
+    return Database.from_dict(schema, {"R": [(1, 2), (3, 4)], "S": [(9,)]})
+
+
+def test_from_dict_and_lookup(db):
+    assert len(db["R"]) == 2
+    assert len(db["S"]) == 1
+    assert db.total_tuples() == 3
+
+
+def test_unknown_relation(db):
+    with pytest.raises(SchemaError):
+        db["T"]
+
+
+def test_contains(db):
+    assert "R" in db
+    assert "T" not in db
+
+
+def test_insert_and_facts(db):
+    assert db.insert("S", (10,))
+    assert not db.insert("S", (10,))
+    facts = set(db.facts())
+    assert ("S", (10,)) in facts
+    assert ("R", (1, 2)) in facts
+    assert len(facts) == 4
+
+
+def test_insert_facts(db):
+    n = db.insert_facts([("R", (5, 6)), ("R", (1, 2))])
+    assert n == 1
+
+
+def test_contains_fact(db):
+    assert db.contains_fact("R", (1, 2))
+    assert not db.contains_fact("R", (9, 9))
+    assert not db.contains_fact("T", (1,))
+
+
+def test_copy_independent(db):
+    clone = db.copy()
+    clone.insert("R", (7, 8))
+    assert not db.contains_fact("R", (7, 8))
+    assert clone.contains_fact("R", (1, 2))
+
+
+def test_equality(db):
+    clone = db.copy()
+    assert db == clone
+    clone.insert("S", (11,))
+    assert db != clone
+
+
+def test_relation_names(db):
+    assert db.relation_names == ("R", "S")
+
+
+def test_make_schema_shapes():
+    schema = make_schema({"Only": ["one"]})
+    assert schema["Only"].arity == 1

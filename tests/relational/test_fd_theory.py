@@ -1,0 +1,161 @@
+"""FD theory: closures, implication, minimal covers, keys."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConstraintError
+from repro.relational.constraints import FunctionalDependency
+from repro.relational.fd_theory import (
+    attribute_closure,
+    candidate_keys,
+    equivalent,
+    implies,
+    is_superkey,
+    minimal_cover,
+)
+
+
+def fd(lhs, rhs, relation="R"):
+    return FunctionalDependency(relation, tuple(lhs), tuple(rhs))
+
+
+#: The textbook example: R(a,b,c,d) with a->b, b->c.
+CHAIN = [fd("a", "b"), fd("b", "c")]
+
+
+class TestClosure:
+    def test_chain(self):
+        assert attribute_closure(["a"], CHAIN) == {"a", "b", "c"}
+        assert attribute_closure(["b"], CHAIN) == {"b", "c"}
+        assert attribute_closure(["c"], CHAIN) == {"c"}
+
+    def test_composite_lhs(self):
+        fds = [fd(["a", "b"], "c"), fd("c", "d")]
+        assert attribute_closure(["a"], fds) == {"a"}
+        assert attribute_closure(["a", "b"], fds) == {"a", "b", "c", "d"}
+
+    def test_empty_fds(self):
+        assert attribute_closure(["x"], []) == {"x"}
+
+    def test_cross_relation_rejected(self):
+        with pytest.raises(ConstraintError):
+            attribute_closure(["a"], [fd("a", "b"), fd("a", "b", relation="S")])
+
+
+class TestImplication:
+    def test_transitivity(self):
+        assert implies(CHAIN, fd("a", "c"))
+
+    def test_augmentation(self):
+        assert implies(CHAIN, fd(["a", "d"], ["b", "d"]))
+
+    def test_non_implied(self):
+        assert not implies(CHAIN, fd("c", "a"))
+        assert not implies(CHAIN, fd("b", "a"))
+
+    def test_reflexivity(self):
+        assert implies([], fd(["a", "b"], "a"))
+
+
+class TestMinimalCover:
+    def test_removes_redundant(self):
+        fds = CHAIN + [fd("a", "c")]  # a->c follows from the chain
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+        assert len(cover) == 2
+
+    def test_trims_extraneous_lhs(self):
+        # In {a->b, ab->c}, the b in ab->c is extraneous.
+        fds = [fd("a", "b"), fd(["a", "b"], "c")]
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+        assert fd("a", "c") in cover
+
+    def test_splits_rhs(self):
+        fds = [fd("a", ["b", "c"])]
+        cover = minimal_cover(fds)
+        assert set(cover) == {fd("a", "b"), fd("a", "c")}
+
+    def test_drops_trivial(self):
+        assert minimal_cover([fd(["a", "b"], "a")]) == []
+
+    def test_empty(self):
+        assert minimal_cover([]) == []
+
+    def test_deterministic(self):
+        fds = [fd("b", "c"), fd("a", "b"), fd("a", "c")]
+        assert minimal_cover(fds) == minimal_cover(list(reversed(fds)))
+
+
+class TestKeys:
+    def test_chain_key(self):
+        attrs = ["a", "b", "c"]
+        assert candidate_keys(attrs, CHAIN) == [frozenset({"a"})]
+        assert is_superkey(["a"], attrs, CHAIN)
+        assert not is_superkey(["b"], attrs, CHAIN)
+
+    def test_composite_keys(self):
+        attrs = ["a", "b", "c"]
+        fds = [fd(["a", "b"], "c")]
+        keys = candidate_keys(attrs, fds)
+        assert keys == [frozenset({"a", "b"})]
+
+    def test_multiple_keys(self):
+        attrs = ["a", "b"]
+        fds = [fd("a", "b"), fd("b", "a")]
+        assert candidate_keys(attrs, fds) == [
+            frozenset({"a"}),
+            frozenset({"b"}),
+        ]
+
+    def test_no_fds_full_key(self):
+        assert candidate_keys(["a", "b"], []) == [frozenset({"a", "b"})]
+
+
+ATTRS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def random_fds(draw):
+    count = draw(st.integers(min_value=0, max_value=5))
+    fds = []
+    for _ in range(count):
+        lhs = draw(st.sets(st.sampled_from(ATTRS), min_size=1, max_size=2))
+        rhs = draw(st.sets(st.sampled_from(ATTRS), min_size=1, max_size=2))
+        fds.append(fd(sorted(lhs), sorted(rhs)))
+    return fds
+
+
+@settings(max_examples=80, deadline=None)
+@given(fds=random_fds(), seed=st.sets(st.sampled_from(ATTRS), min_size=1))
+def test_closure_is_monotone_and_idempotent(fds, seed):
+    closure = attribute_closure(seed, fds)
+    assert seed <= closure
+    assert attribute_closure(closure, fds) == closure
+
+
+@settings(max_examples=80, deadline=None)
+@given(fds=random_fds())
+def test_minimal_cover_is_equivalent(fds):
+    cover = minimal_cover(fds)
+    assert equivalent(cover, fds)
+    # Minimality: no dependency in the cover is implied by the rest.
+    for dependency in cover:
+        rest = [other for other in cover if other != dependency]
+        assert not implies(rest, dependency) or not rest
+
+
+@settings(max_examples=60, deadline=None)
+@given(fds=random_fds())
+def test_candidate_keys_are_minimal_superkeys(fds):
+    keys = candidate_keys(ATTRS, fds)
+    assert keys  # the full attribute set is always a superkey
+    for key in keys:
+        assert is_superkey(key, ATTRS, fds)
+        for attr in key:
+            assert not is_superkey(key - {attr}, ATTRS, fds)
+    # Pairwise non-containment.
+    for first, second in itertools.combinations(keys, 2):
+        assert not first <= second and not second <= first

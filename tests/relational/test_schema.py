@@ -1,0 +1,110 @@
+"""Schema layer: attributes, relation schemas, database schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, RelationSchema, Schema
+
+
+class TestAttribute:
+    def test_untyped_accepts_anything(self):
+        attr = Attribute("x")
+        assert attr.accepts(1)
+        assert attr.accepts("s")
+        assert attr.accepts(2.5)
+        assert attr.accepts(b"b")
+
+    def test_int_attribute_rejects_bool_and_str(self):
+        attr = Attribute("n", int)
+        assert attr.accepts(3)
+        assert not attr.accepts(True)
+        assert not attr.accepts("3")
+
+    def test_float_attribute_accepts_int(self):
+        attr = Attribute("amount", float)
+        assert attr.accepts(1.5)
+        assert attr.accepts(2)
+        assert not attr.accepts(True)
+
+    def test_str_attribute(self):
+        attr = Attribute("pk", str)
+        assert attr.accepts("abc")
+        assert not attr.accepts(1)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("not an identifier")
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", list)
+
+
+class TestRelationSchema:
+    def test_positions(self):
+        rel = RelationSchema("R", ["a", "b", "c"])
+        assert rel.arity == 3
+        assert rel.position("b") == 1
+        assert rel.positions(["c", "a"]) == (2, 0)
+        assert rel.attribute_names == ("a", "b", "c")
+
+    def test_unknown_attribute(self):
+        rel = RelationSchema("R", ["a"])
+        with pytest.raises(SchemaError):
+            rel.position("zz")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_invalid_relation_name(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("bad name", ["a"])
+
+    def test_validate_tuple_arity(self):
+        rel = RelationSchema("R", ["a", "b"])
+        assert rel.validate_tuple((1, 2)) == (1, 2)
+        with pytest.raises(SchemaError):
+            rel.validate_tuple((1,))
+        with pytest.raises(SchemaError):
+            rel.validate_tuple((1, 2, 3))
+
+    def test_validate_tuple_types(self):
+        rel = RelationSchema("R", [Attribute("a", int), Attribute("b", str)])
+        assert rel.validate_tuple((1, "x")) == (1, "x")
+        with pytest.raises(SchemaError):
+            rel.validate_tuple(("x", "x"))
+
+    def test_equality_and_hash(self):
+        r1 = RelationSchema("R", ["a", "b"])
+        r2 = RelationSchema("R", ["a", "b"])
+        r3 = RelationSchema("R", ["a", "c"])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        assert r1 != r3
+
+
+class TestSchema:
+    def test_lookup_and_iteration(self):
+        schema = Schema([RelationSchema("R", ["a"]), RelationSchema("S", ["b"])])
+        assert "R" in schema
+        assert "T" not in schema
+        assert schema["S"].arity == 1
+        assert len(schema) == 2
+        assert schema.relation_names == ("R", "S")
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema([RelationSchema("R", ["a"])])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("R", ["b"]))
+
+    def test_missing_relation(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema["nope"]

@@ -1,0 +1,58 @@
+"""Insert transactions: immutability, fact access, identity."""
+
+from repro.relational.transaction import Transaction
+
+
+def test_from_mapping():
+    tx = Transaction({"R": [(1, 2)], "S": [(3,)]}, tx_id="T1")
+    assert tx.tx_id == "T1"
+    assert tx.tuples("R") == frozenset({(1, 2)})
+    assert tx.tuples("S") == frozenset({(3,)})
+    assert tx.tuples("missing") == frozenset()
+    assert len(tx) == 2
+
+
+def test_from_fact_pairs():
+    tx = Transaction([("R", (1, 2)), ("R", (3, 4))])
+    assert tx.tuples("R") == frozenset({(1, 2), (3, 4)})
+    assert set(tx.relation_names) == {"R"}
+
+
+def test_auto_ids_are_unique():
+    a = Transaction({"R": [(1,)]})
+    b = Transaction({"R": [(1,)]})
+    assert a.tx_id != b.tx_id
+
+
+def test_duplicate_facts_collapse():
+    tx = Transaction([("R", (1, 2)), ("R", (1, 2))])
+    assert len(tx) == 1
+
+
+def test_iteration_and_contains():
+    tx = Transaction({"R": [(1, 2)]}, tx_id="T")
+    assert ("R", (1, 2)) in tx
+    assert ("R", (9, 9)) not in tx
+    assert list(tx) == [("R", (1, 2))]
+
+
+def test_equality_requires_id_and_facts():
+    a = Transaction({"R": [(1,)]}, tx_id="T")
+    b = Transaction({"R": [(1,)]}, tx_id="T")
+    c = Transaction({"R": [(1,)]}, tx_id="U")
+    d = Transaction({"R": [(2,)]}, tx_id="T")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert a != d
+
+
+def test_hashable_as_graph_node():
+    a = Transaction({"R": [(1,)]}, tx_id="T")
+    b = Transaction({"R": [(1,)]}, tx_id="U")
+    assert len({a, b}) == 2
+
+
+def test_values_coerced_to_tuples():
+    tx = Transaction({"R": [[1, 2]]}, tx_id="T")
+    assert tx.tuples("R") == frozenset({(1, 2)})

@@ -1,0 +1,108 @@
+"""Memory and sqlite backends: agreement and lifecycle."""
+
+import pytest
+
+from repro.core.workspace import Workspace
+from repro.errors import StorageError
+from repro.query.parser import parse_query
+from repro.relational.transaction import Transaction
+from repro.storage import MemoryBackend, SqliteBackend, make_backend
+
+
+@pytest.fixture
+def workspace(figure2):
+    return Workspace(figure2)
+
+
+QUERIES = [
+    "q() <- TxOut(t, s, 'U8Pk', a)",
+    "q() <- TxOut(t, s, 'U3Pk', a)",
+    "q() <- TxOut(t, s, pk, a), TxIn(t, s, pk, a, n, sg)",
+    "q() <- TxIn(p1, s1, 'U2Pk', a, n1, sg1), TxIn(p2, s2, 'U2Pk', a, n2, sg2), n1 != n2",
+    "[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 6",
+    "[q(count()) <- TxOut(t, s, pk, a)] > 8",
+    "[q(cntd(pk)) <- TxOut(t, s, pk, a)] >= 7",
+    "[q(max(a)) <- TxOut(t, s, 'U7Pk', a)] > 3",
+]
+
+WORLDS = [
+    frozenset(),
+    frozenset({"T1"}),
+    frozenset({"T3", "T5"}),
+    frozenset({"T1", "T2", "T3", "T4"}),
+    frozenset({"T1", "T2", "T3", "T4", "T5"}),  # overlay, not a world
+]
+
+
+def test_backends_agree_on_all_queries_and_worlds(workspace):
+    memory = MemoryBackend()
+    memory.attach(workspace)
+    sqlite_backend = SqliteBackend()
+    sqlite_backend.attach(workspace)
+    for text in QUERIES:
+        query = parse_query(text)
+        for world in WORLDS:
+            expected = memory.evaluate(query, world)
+            actual = sqlite_backend.evaluate(query, world)
+            assert actual == expected, (text, sorted(world))
+    sqlite_backend.close()
+
+
+def test_sqlite_flag_updates_are_incremental(workspace):
+    backend = SqliteBackend()
+    backend.attach(workspace)
+    query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+    assert not backend.evaluate(query, frozenset())
+    assert backend.evaluate(query, frozenset({"T1", "T2", "T3", "T4"}))
+    assert not backend.evaluate(query, frozenset({"T5"}))
+    backend.close()
+
+
+def test_sqlite_issue_commit_forget(workspace):
+    backend = SqliteBackend()
+    backend.attach(workspace)
+    tx = Transaction({"TxOut": [(9, 1, "NewPk", 1.0)]}, tx_id="T9")
+    workspace.issue(tx)
+    backend.on_issue(tx)
+    query = parse_query("q() <- TxOut(t, s, 'NewPk', a)")
+    assert not backend.evaluate(query, frozenset())
+    assert backend.evaluate(query, frozenset({"T9"}))
+    committed = workspace.commit("T9")
+    backend.on_commit(committed)
+    assert backend.evaluate(query, frozenset())
+    backend.close()
+
+
+def test_sqlite_forget(workspace):
+    backend = SqliteBackend()
+    backend.attach(workspace)
+    tx = Transaction({"TxOut": [(9, 1, "GonePk", 1.0)]}, tx_id="T9")
+    workspace.issue(tx)
+    backend.on_issue(tx)
+    forgotten = workspace.forget("T9")
+    backend.on_forget(forgotten)
+    query = parse_query("q() <- TxOut(t, s, 'GonePk', a)")
+    assert not backend.evaluate(query, frozenset())
+    backend.close()
+
+
+def test_unattached_backend_raises():
+    with pytest.raises(StorageError):
+        MemoryBackend().evaluate(parse_query("q() <- R(x)"), frozenset())
+    with pytest.raises(StorageError):
+        SqliteBackend().evaluate(parse_query("q() <- R(x)"), frozenset())
+
+
+def test_make_backend():
+    assert isinstance(make_backend("memory"), MemoryBackend)
+    assert isinstance(make_backend("sqlite"), SqliteBackend)
+    with pytest.raises(StorageError):
+        make_backend("postgres")
+
+
+def test_memory_backend_close_detaches(workspace):
+    backend = MemoryBackend()
+    backend.attach(workspace)
+    backend.close()
+    with pytest.raises(StorageError):
+        backend.evaluate(parse_query("q() <- TxOut(t, s, pk, a)"), frozenset())

@@ -1,0 +1,67 @@
+"""The programmatic experiment runner (quick mode)."""
+
+import pytest
+
+from repro.workloads.experiments import ExperimentSuite, main
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(quick=True, repeats=1)
+
+
+class TestSeries:
+    def test_table1_rows(self, suite):
+        experiment = suite.table1()
+        assert len(experiment.rows) == 3
+        assert all("blk" in row.label for row in experiment.rows)
+
+    def test_figure6a_all_satisfied(self, suite):
+        experiment = suite.figure6a()
+        assert len(experiment.rows) == 7  # 3 families ×2 algs + qa naive
+        assert all(row.satisfied for row in experiment.rows)
+
+    def test_figure6b_all_violated(self, suite):
+        experiment = suite.figure6b()
+        assert all(not row.satisfied for row in experiment.rows)
+        assert {row.algorithm for row in experiment.rows} == {"naive", "opt"}
+
+    def test_figure6d_shape(self, suite):
+        experiment = suite.figure6d()
+        naive = [r.seconds for r in experiment.rows if r.algorithm == "naive"]
+        opt = [r.seconds for r in experiment.rows if r.algorithm == "opt"]
+        assert len(naive) == len(opt) == 3
+        assert all(not row.satisfied for row in experiment.rows)
+
+    def test_figure6h_covers_presets(self, suite):
+        experiment = suite.figure6h()
+        labels = {row.label for row in experiment.rows}
+        assert labels == {"D100-S", "D200-S", "D300-S"}
+
+    def test_satisfied_runs_are_faster(self, suite):
+        fast = max(row.seconds for row in suite.figure6a().rows)
+        slow = min(
+            row.seconds
+            for row in suite.figure6b().rows
+            if row.algorithm == "naive"
+        )
+        assert fast < slow  # the headline shape of the whole evaluation
+
+    def test_csv_format(self, suite):
+        experiment = suite.figure6a()
+        csv = experiment.csv()
+        lines = csv.splitlines()
+        assert lines[0] == "label,algorithm,seconds,satisfied,worlds"
+        assert len(lines) == len(experiment.rows) + 1
+
+
+class TestMain:
+    def test_main_quick_with_csv(self, tmp_path, capsys):
+        code = main(["--quick", "--repeats", "1", "--csv-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6h" in out
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert "table_1.csv" in written
+        assert "figure_6f.csv" in written
+        assert len(written) == 9

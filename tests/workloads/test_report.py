@@ -1,0 +1,69 @@
+"""The markdown report generator and its shape checks."""
+
+import pytest
+
+from repro.workloads.experiments import Experiment, ExperimentSuite, Row
+from repro.workloads.report import check_shape, main, render_markdown
+
+
+def _experiment(name, rows):
+    return Experiment(name=name, description="test", rows=rows)
+
+
+class TestShapeChecks:
+    def test_6b_opt_wins(self):
+        rows = [
+            Row("qs", "naive", 0.010, False),
+            Row("qs", "opt", 0.001, False),
+            Row("qp3", "naive", 0.020, False),
+            Row("qp3", "opt", 0.010, False),
+        ]
+        verdict = check_shape(_experiment("Figure 6b", rows))
+        assert verdict.holds is True
+
+    def test_6b_allows_one_reversal(self):
+        rows = [
+            Row("qs", "naive", 0.010, False),
+            Row("qs", "opt", 0.001, False),
+            Row("qr3", "naive", 0.010, False),
+            Row("qr3", "opt", 0.030, False),  # the paper's q_r3 reversal
+        ]
+        assert check_shape(_experiment("Figure 6b", rows)).holds is True
+
+    def test_6a_short_circuit_shape(self):
+        rows = [Row("qs", "naive", 0.0001, True, worlds=0)]
+        assert check_shape(_experiment("Figure 6a", rows)).holds is True
+        rows = [Row("qs", "naive", 0.0001, True, worlds=3)]
+        assert check_shape(_experiment("Figure 6a", rows)).holds is False
+
+    def test_6f_few_contradictions_expensive(self):
+        rows = [
+            Row("10", "naive", 0.030, False),
+            Row("50", "naive", 0.020, False),
+        ]
+        assert check_shape(_experiment("Figure 6f", rows)).holds is True
+
+    def test_unknown_experiment_unchecked(self):
+        assert check_shape(_experiment("Table 1", [])).holds is None
+
+
+class TestRendering:
+    def test_markdown_structure(self):
+        rows = [Row("qs", "opt", 0.002, False)]
+        text = render_markdown([_experiment("Figure 6b", rows)])
+        assert "## Figure 6b" in text
+        assert "| qs | opt | 2.000 ms | violated |" in text
+        assert "Paper's shape" in text
+
+    def test_live_quick_report(self, tmp_path):
+        """End to end: run the quick suite and write the report."""
+        out = tmp_path / "MEASURED.md"
+        code = main(["--quick", "--repeats", "1", "-o", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "# Measured experiment report" in text
+        # Every artefact section is present.
+        for name in ["Table 1"] + [f"Figure 6{c}" for c in "abcdefgh"]:
+            assert f"## {name}" in text
+        # The headline shape must hold even on smoke-sized data.
+        assert "**HOLDS** (all satisfied checks skipped world enumeration)" in text

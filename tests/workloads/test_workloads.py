@@ -1,0 +1,141 @@
+"""Query builders and constant picking for the experiment workloads."""
+
+import pytest
+
+from repro.bitcoin.generator import DatasetSpec, generate_dataset
+from repro.core.checker import DCSatChecker
+from repro.errors import ReproError
+from repro.query.analysis import is_connected, is_monotone
+from repro.workloads import (
+    ConstantPicker,
+    aggregate_constraint,
+    fresh_address,
+    path_constraint,
+    simple_constraint,
+    star_constraint,
+)
+
+SPEC = DatasetSpec(
+    name="workload-test",
+    committed_blocks=20,
+    pending_blocks=8,
+    txs_per_block=6,
+    users=12,
+    contradictions=5,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(SPEC)
+
+
+@pytest.fixture(scope="module")
+def checker(dataset):
+    return DCSatChecker(
+        dataset.to_blockchain_database(), assume_nonnegative_sums=True
+    )
+
+
+@pytest.fixture(scope="module")
+def picker(dataset):
+    return ConstantPicker(dataset)
+
+
+class TestQueryShapes:
+    def test_simple(self):
+        q = simple_constraint("X")
+        assert is_connected(q)
+        assert is_monotone(q)
+        assert len(q.atoms) == 1
+
+    def test_path_structure(self):
+        q = path_constraint(3, "X", "Y")
+        assert is_connected(q)
+        assert is_monotone(q)
+        assert len(q.positive_atoms) == 6  # TxOut+TxIn per hop
+        assert q.name == "q_p3"
+
+    def test_path_length_one(self):
+        q = path_constraint(1, "X")
+        assert len(q.positive_atoms) == 2
+
+    def test_path_invalid_length(self):
+        with pytest.raises(ReproError):
+            path_constraint(0, "X")
+
+    def test_star_structure(self):
+        q = star_constraint(3, "X")
+        assert is_connected(q)  # arms share the constant X
+        assert len(q.positive_atoms) == 6
+        assert len(q.comparisons) == 3  # pairwise !=
+
+    def test_star_invalid(self):
+        with pytest.raises(ReproError):
+            star_constraint(0, "X")
+
+    def test_aggregate(self):
+        q = aggregate_constraint("X", 100)
+        assert q.func == "sum"
+        assert q.op == ">="
+        assert is_monotone(q, assume_nonnegative=True)
+
+    def test_fresh_address_stable_and_distinct(self):
+        assert fresh_address(1) == fresh_address(1)
+        assert fresh_address(1) != fresh_address(2)
+
+
+class TestSatisfiedConstants:
+    def test_all_families_satisfied_with_fresh_addresses(self, checker):
+        queries = [
+            simple_constraint(fresh_address(1)),
+            path_constraint(3, fresh_address(2), fresh_address(3)),
+            star_constraint(3, fresh_address(4)),
+            aggregate_constraint(fresh_address(5), 10),
+        ]
+        for q in queries:
+            result = checker.check(q, algorithm="naive")
+            assert result.satisfied, q.name
+
+
+class TestUnsatisfiedConstants:
+    def test_simple(self, checker, picker):
+        q = simple_constraint(picker.pending_recipient())
+        result = checker.check(q, algorithm="naive")
+        assert not result.satisfied
+        assert result.witness  # requires pending transactions
+
+    def test_path(self, checker, picker):
+        source, sink = picker.path_endpoints(2)
+        q = path_constraint(2, source, sink)
+        result = checker.check(q, algorithm="naive")
+        assert not result.satisfied
+
+    def test_star(self, checker, picker):
+        source = picker.star_source(2)
+        q = star_constraint(2, source)
+        result = checker.check(q, algorithm="naive")
+        assert not result.satisfied
+
+    def test_aggregate(self, checker, picker):
+        address, threshold = picker.aggregate_target()
+        q = aggregate_constraint(address, threshold)
+        result = checker.check(q, algorithm="naive")
+        assert not result.satisfied
+        assert result.witness  # the current state alone is below threshold
+
+    def test_naive_and_opt_agree(self, checker, picker):
+        source, sink = picker.path_endpoints(2)
+        q = path_constraint(2, source, sink)
+        naive = checker.check(q, algorithm="naive")
+        opt = checker.check(q, algorithm="opt")
+        assert naive.satisfied == opt.satisfied is False
+
+    def test_impossible_path_raises(self, picker):
+        with pytest.raises(ReproError):
+            picker.path_endpoints(500)
+
+    def test_impossible_star_raises(self, picker):
+        with pytest.raises(ReproError):
+            picker.star_source(10_000)
