@@ -125,6 +125,48 @@ def _cmd_worlds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.monitor import ConstraintMonitor
+    from repro.service.pool import PooledDCSatChecker
+    from repro.service.server import ConstraintService
+
+    db = serialize.load(args.database)
+    checker = PooledDCSatChecker(
+        db,
+        backend=args.backend,
+        assume_nonnegative_sums=args.assume_nonnegative_sums,
+        max_workers=args.pool_size,
+    )
+    monitor = ConstraintMonitor(checker)
+    service = ConstraintService(
+        monitor,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(
+            f"repro-service listening on {host}:{port} "
+            f"(pool={checker.pool.max_workers} workers, "
+            f"queue={args.queue_limit}, deadline={args.deadline}s)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            service.run(
+                args.host, args.port, ready=ready, install_signal_handlers=True
+            )
+        )
+    finally:
+        checker.close()
+    print("repro-service stopped (drained)", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +209,35 @@ def build_parser() -> argparse.ArgumentParser:
     worlds.add_argument("database")
     worlds.add_argument("--limit", type=int, default=256)
     worlds.set_defaults(func=_cmd_worlds)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the constraint-checking service over a serialized database",
+    )
+    serve.add_argument("database")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411)
+    serve.add_argument(
+        "--pool-size", type=int, default=None,
+        help="solver worker processes (default: CPU count, capped at 8; "
+        "1 disables the pool)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded solve queue; beyond this, requests are rejected "
+        "with retry-after (backpressure)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=30.0,
+        help="default per-request deadline in seconds",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="how long graceful shutdown waits for in-flight checks",
+    )
+    serve.add_argument("--backend", choices=["memory", "sqlite"], default="memory")
+    serve.add_argument("--assume-nonnegative-sums", action="store_true")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

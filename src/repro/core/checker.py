@@ -65,6 +65,10 @@ class DCSatChecker:
         self.fd_graph = FdTransactionGraph(self.workspace)
         self.ind_graph = IndQTransactionGraph(self.workspace)
         self.assume_nonnegative_sums = assume_nonnegative_sums
+        #: Monotone state-change counter.  Bumped by every issue / commit
+        #: / forget / absorb, so callers holding derived state (e.g. the
+        #: solver pool's worker snapshots) can detect staleness cheaply.
+        self.epoch = 0
         self.backend: Backend = (
             make_backend(backend) if isinstance(backend, str) else backend
         )
@@ -79,6 +83,7 @@ class DCSatChecker:
         self.fd_graph.add_transaction(tx.tx_id)
         self.ind_graph.invalidate()
         self.backend.on_issue(tx)
+        self.epoch += 1
 
     def commit(self, tx_id: str) -> Transaction:
         """A pending transaction was accepted into the blockchain."""
@@ -87,6 +92,7 @@ class DCSatChecker:
         self.fd_graph.refresh_after_commit()
         self.ind_graph.invalidate()
         self.backend.on_commit(tx)
+        self.epoch += 1
         return tx
 
     def forget(self, tx_id: str) -> Transaction:
@@ -95,6 +101,7 @@ class DCSatChecker:
         self.fd_graph.remove_transaction(tx_id)
         self.ind_graph.invalidate()
         self.backend.on_forget(tx)
+        self.epoch += 1
         return tx
 
     def absorb(self, tx: Transaction) -> None:
@@ -110,6 +117,7 @@ class DCSatChecker:
         self.fd_graph.refresh_after_commit()
         self.ind_graph.invalidate()
         self.backend.on_commit(tx)
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # Checking
@@ -117,6 +125,12 @@ class DCSatChecker:
     def _evaluate_world(
         self, query: ConjunctiveQuery | AggregateQuery, active: frozenset[str]
     ) -> bool:
+        return self.backend.evaluate(query, active)
+
+    def evaluate_world(
+        self, query: ConjunctiveQuery | AggregateQuery, active: frozenset[str]
+    ) -> bool:
+        """Evaluate *query* over the world ``R ∪ {facts of active}``."""
         return self.backend.evaluate(query, active)
 
     def _parse(self, query) -> ConjunctiveQuery | AggregateQuery:
@@ -178,25 +192,9 @@ class DCSatChecker:
     ) -> DCSatResult:
         monotone = is_monotone(query, self.assume_nonnegative_sums)
 
-        # The current state is itself a possible world: if it already
-        # satisfies the underlying query, no algorithm is needed.
-        stats.evaluations += 1
-        if self._evaluate_world(query, frozenset()):
-            stats.algorithm = stats.algorithm or "state-check"
-            return DCSatResult(satisfied=False, witness=frozenset(), stats=stats)
-
-        # The paper's monotone short-circuit: q false over R ∪ T implies
-        # q false over every possible world (each is a subset).
-        if monotone and short_circuit:
-            stats.evaluations += 1
-            all_active = frozenset(self.db.pending_ids)
-            if not self._evaluate_world(query, all_active):
-                stats.short_circuit_used = True
-                stats.short_circuit_result = True
-                stats.algorithm = stats.algorithm or "short-circuit"
-                return DCSatResult(satisfied=True, stats=stats)
-            stats.short_circuit_used = True
-            stats.short_circuit_result = False
+        decided = self.fast_paths(query, monotone, short_circuit, stats)
+        if decided is not None:
+            return decided
 
         if algorithm == "auto":
             algorithm = self._pick_algorithm(query, monotone)
@@ -226,6 +224,39 @@ class DCSatChecker:
             self.workspace, query, self._evaluate_world,
             pending_limit=pending_limit, stats=stats,
         )
+
+    def fast_paths(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        monotone: bool,
+        short_circuit: bool,
+        stats: DCSatStats,
+    ) -> DCSatResult | None:
+        """The two solver-free decision paths, or ``None`` if undecided.
+
+        Shared by :meth:`_check` and the parallel solver pool so the
+        parallel path answers the easy cases without touching workers.
+        """
+        # The current state is itself a possible world: if it already
+        # satisfies the underlying query, no algorithm is needed.
+        stats.evaluations += 1
+        if self._evaluate_world(query, frozenset()):
+            stats.algorithm = stats.algorithm or "state-check"
+            return DCSatResult(satisfied=False, witness=frozenset(), stats=stats)
+
+        # The paper's monotone short-circuit: q false over R ∪ T implies
+        # q false over every possible world (each is a subset).
+        if monotone and short_circuit:
+            stats.evaluations += 1
+            all_active = frozenset(self.db.pending_ids)
+            if not self._evaluate_world(query, all_active):
+                stats.short_circuit_used = True
+                stats.short_circuit_result = True
+                stats.algorithm = stats.algorithm or "short-circuit"
+                return DCSatResult(satisfied=True, stats=stats)
+            stats.short_circuit_used = True
+            stats.short_circuit_result = False
+        return None
 
     def _require_monotone(self, query, monotone: bool, name: str) -> None:
         if not monotone:

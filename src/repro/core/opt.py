@@ -32,6 +32,72 @@ from repro.query.analysis import constant_patterns, is_connected
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 
 
+def component_survivors(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    ind_graph: IndQTransactionGraph,
+    query: ConjunctiveQuery | AggregateQuery,
+    use_coverage: bool = True,
+    stats: DCSatStats | None = None,
+) -> list[set[str]]:
+    """The components of ``G^{q,ind}_T`` that survive the cheap pruning.
+
+    Components also include never-appendable transactions (they carry
+    no worlds); restrict every component to fd-graph nodes.  Coverage
+    filtering happens for every component up front (the cheap test),
+    then only the surviving components pay for clique enumeration.
+
+    Each survivor is an independent unit of work (Proposition 2: no
+    satisfying assignment spans two components), which is exactly what
+    :mod:`repro.service.pool` fans out across worker processes.
+    """
+    patterns = constant_patterns(query)
+    survivors: list[set[str]] = []
+    for component in ind_graph.components(query):
+        if stats is not None:
+            stats.components_total += 1
+        candidates = component & fd_graph.nodes
+        if not candidates:
+            if stats is not None:
+                stats.components_pruned += 1
+            continue
+        if use_coverage and not covers(workspace, candidates, patterns):
+            if stats is not None:
+                stats.components_pruned += 1
+            continue
+        survivors.append(candidates)
+    return survivors
+
+
+def solve_component(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    query: ConjunctiveQuery | AggregateQuery,
+    candidates: set[str],
+    evaluate_world: WorldEvaluator,
+    pivot: bool = True,
+    stats: DCSatStats | None = None,
+) -> frozenset[str] | None:
+    """Run the maximal-clique machinery within one surviving component.
+
+    Returns the first violating world (as a frozenset of pending
+    transaction ids), or ``None`` when no possible world restricted to
+    *candidates* satisfies the query.  This is the picklable task unit
+    of the parallel solver pool: it only needs the workspace, the
+    fd-graph and a candidate set — no ind-graph, no checker.
+    """
+    for clique in fd_graph.maximal_cliques(restrict=candidates, pivot=pivot):
+        if stats is not None:
+            stats.cliques_enumerated += 1
+        world = get_maximal(workspace, clique)
+        if stats is not None:
+            stats.worlds_checked += 1
+            stats.evaluations += 1
+        if evaluate_world(query, world):
+            return world
+    return None
+
+
 def opt_dcsat(
     workspace: Workspace,
     fd_graph: FdTransactionGraph,
@@ -56,29 +122,15 @@ def opt_dcsat(
         )
     stats = stats if stats is not None else DCSatStats()
     stats.algorithm = stats.algorithm or "opt"
-    patterns = constant_patterns(query)
-
-    # Components also include never-appendable transactions (they carry
-    # no worlds); restrict every component to fd-graph nodes.  Coverage
-    # filtering happens for every component up front (the cheap test),
-    # then only the surviving components pay for clique enumeration.
-    survivors: list[set[str]] = []
-    for component in ind_graph.components(query):
-        stats.components_total += 1
-        candidates = component & fd_graph.nodes
-        if not candidates:
-            stats.components_pruned += 1
-            continue
-        if use_coverage and not covers(workspace, candidates, patterns):
-            stats.components_pruned += 1
-            continue
-        survivors.append(candidates)
+    survivors = component_survivors(
+        workspace, fd_graph, ind_graph, query,
+        use_coverage=use_coverage, stats=stats,
+    )
     for candidates in survivors:
-        for clique in fd_graph.maximal_cliques(restrict=candidates, pivot=pivot):
-            stats.cliques_enumerated += 1
-            world = get_maximal(workspace, clique)
-            stats.worlds_checked += 1
-            stats.evaluations += 1
-            if evaluate_world(query, world):
-                return DCSatResult(satisfied=False, witness=world, stats=stats)
+        witness = solve_component(
+            workspace, fd_graph, query, candidates, evaluate_world,
+            pivot=pivot, stats=stats,
+        )
+        if witness is not None:
+            return DCSatResult(satisfied=False, witness=witness, stats=stats)
     return DCSatResult(satisfied=True, stats=stats)

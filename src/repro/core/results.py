@@ -18,6 +18,7 @@ class DCSatStats:
     worlds_checked: int = 0
     evaluations: int = 0
     assignments_examined: int = 0
+    parallel_tasks: int = 0
     elapsed_seconds: float = 0.0
 
     def merge(self, other: "DCSatStats") -> None:
@@ -27,6 +28,10 @@ class DCSatStats:
         self.worlds_checked += other.worlds_checked
         self.evaluations += other.evaluations
         self.assignments_examined += other.assignments_examined
+        self.parallel_tasks += other.parallel_tasks
+        # Accumulated, so stats merged from pool workers report the true
+        # aggregate solve time rather than the last worker's share.
+        self.elapsed_seconds += other.elapsed_seconds
 
 
 @dataclass

@@ -58,6 +58,27 @@ class StorageError(ReproError):
     """A storage backend could not complete the requested operation."""
 
 
+class ServiceError(ReproError):
+    """A request to the constraint-checking service failed.
+
+    Attributes:
+        code: machine-readable failure class (``"busy"``, ``"deadline"``,
+            ``"shutting-down"``, ``"bad-request"``, ``"error"``).
+        retry_after: suggested back-off in seconds for retryable
+            failures (backpressure rejections), when the server sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "error",
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
 class AlgorithmError(ReproError):
     """A DCSat algorithm was asked to run outside its supported scope
     (e.g. OptDCSat on a disconnected query, a tractable-case solver on a

@@ -1,0 +1,165 @@
+"""A blocking JSON-lines client for the constraint-checking service.
+
+Small and dependency-free on purpose: one socket, one request at a
+time, responses matched by id.  Backpressure rejections surface as
+:class:`~repro.errors.ServiceError` with ``code == "busy"`` and a
+``retry_after`` hint; :meth:`ServiceClient.call_with_retry` implements
+the obvious honor-the-hint loop.
+
+::
+
+    with ServiceClient("127.0.0.1", 7411) as client:
+        client.register("no-double-spend", "q() <- TxIn(...), TxIn(...)")
+        client.issue(tx)                       # -> invalidated names
+        verdict = client.status("no-double-spend")
+        print(verdict["satisfied"], verdict["witness"])
+        print(client.metrics_text())
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import time
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.relational.transaction import Transaction
+from repro.service import protocol
+
+
+class ServiceClient:
+    """A synchronous connection to a :class:`ConstraintService`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7411,
+        timeout: float | None = 60.0,
+        connect_timeout: float = 10.0,
+    ):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Transport
+
+    def call(
+        self, op: str, deadline: float | None = None, **args: Any
+    ) -> dict:
+        """Send one request; return its ``result`` or raise ServiceError."""
+        request_id = next(self._ids)
+        request: dict = {"id": request_id, "op": op, "args": args}
+        if deadline is not None:
+            request["deadline"] = deadline
+        self._sock.sendall(protocol.encode_line(request))
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ServiceError("server closed the connection")
+            response = json.loads(line)
+            if response.get("id") != request_id:
+                continue  # stale response from an abandoned request
+            if response.get("ok"):
+                return response["result"]
+            raise ServiceError(
+                response.get("error", "request failed"),
+                code=response.get("code", "error"),
+                retry_after=response.get("retry_after"),
+            )
+
+    def call_with_retry(
+        self,
+        op: str,
+        deadline: float | None = None,
+        max_attempts: int = 8,
+        **args: Any,
+    ) -> dict:
+        """Like :meth:`call`, but honors ``busy`` retry-after hints."""
+        last: ServiceError | None = None
+        for _ in range(max_attempts):
+            try:
+                return self.call(op, deadline=deadline, **args)
+            except ServiceError as error:
+                if error.code != "busy":
+                    raise
+                last = error
+                time.sleep(error.retry_after or 0.05)
+        assert last is not None
+        raise last
+
+    # ------------------------------------------------------------------
+    # Operations
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def register(
+        self, name: str, query: str, deadline: float | None = None, **check_kwargs
+    ) -> dict:
+        args: dict = {"name": name, "query": query}
+        if check_kwargs:
+            args["check_kwargs"] = check_kwargs
+        return self.call("register", deadline=deadline, **args)
+
+    def unregister(self, name: str) -> dict:
+        return self.call("unregister", name=name)
+
+    def issue(
+        self, tx: Transaction | dict, deadline: float | None = None
+    ) -> list[str]:
+        wire = protocol.transaction_to_wire(tx) if isinstance(tx, Transaction) else tx
+        return self.call("issue", deadline=deadline, tx=wire)["invalidated"]
+
+    def commit(self, tx_id: str, deadline: float | None = None) -> list[str]:
+        return self.call("commit", deadline=deadline, tx_id=tx_id)["invalidated"]
+
+    def forget(self, tx_id: str, deadline: float | None = None) -> list[str]:
+        return self.call("forget", deadline=deadline, tx_id=tx_id)["invalidated"]
+
+    def status(
+        self,
+        name: str,
+        use_subsumption: bool = True,
+        deadline: float | None = None,
+    ) -> dict:
+        return self.call(
+            "status", deadline=deadline, name=name, use_subsumption=use_subsumption
+        )
+
+    def status_all(
+        self, batch: bool = True, deadline: float | None = None
+    ) -> dict:
+        return self.call("status_all", deadline=deadline, batch=batch)
+
+    def violated(self, deadline: float | None = None) -> dict:
+        return self.call("violated", deadline=deadline)
+
+    def constraints(self) -> dict:
+        return self.call("constraints")
+
+    def metrics_text(self) -> str:
+        return self.call("metrics")["text"]
+
+    def shutdown_server(self) -> dict:
+        return self.call("shutdown")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

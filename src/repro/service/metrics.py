@@ -1,0 +1,207 @@
+"""In-process metrics for the constraint-checking service.
+
+A small, dependency-free registry in the spirit of the Prometheus
+client: counters, gauges and latency histograms, each optionally
+labelled, rendered to the Prometheus text exposition format by
+:meth:`MetricsRegistry.render_text`.  The server feeds it request
+counts, queue-wait and solve-time latencies, and cache / subsumption
+hit counters scraped from the monitor's
+:class:`~repro.core.monitor.MonitorEntry` records.
+
+Thread-safety: every mutation takes the registry lock, because samples
+arrive both from the asyncio event loop and from the solver thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+#: Default latency buckets (seconds): tuned for solver calls that range
+#: from sub-millisecond cache hits to multi-second clique sweeps.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_labels(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing sample."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A sample that can go up and down."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket latency histogram (Prometheus semantics)."""
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(buckets))
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        self._counts = [0] * (len(self.bounds) + 1)  # +inf bucket last
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> list[tuple[str, int]]:
+        """``(upper bound, cumulative count)`` pairs, ending with +Inf."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        with self._lock:
+            for bound, count in zip(self.bounds, self._counts):
+                running += count
+                out.append((_format_value(bound), running))
+            running += self._counts[-1]
+        out.append(("+Inf", running))
+        return out
+
+
+class MetricsRegistry:
+    """Named metric series, each identified by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> (type, help, {label string -> metric})
+        self._families: dict[str, tuple[str, str, dict[str, object]]] = {}
+
+    def _series(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: Mapping[str, str] | None,
+        factory,
+    ):
+        label_key = _format_labels(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, help_text, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family[0]}"
+                )
+            series = family[2].get(label_key)
+            if series is None:
+                series = factory()
+                family[2][label_key] = series
+            return series
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._series("counter", name, help_text, labels, Counter)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        return self._series("gauge", name, help_text, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._series(
+            "histogram", name, help_text, labels, lambda: Histogram(buckets)
+        )
+
+    def render_text(self) -> str:
+        """The Prometheus text exposition format (plain-text dump)."""
+        lines: list[str] = []
+        with self._lock:
+            families = {
+                name: (kind, help_text, dict(series))
+                for name, (kind, help_text, series) in self._families.items()
+            }
+        for name in sorted(families):
+            kind, help_text, series = families[name]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for label_key in sorted(series):
+                metric = series[label_key]
+                if isinstance(metric, Histogram):
+                    base = label_key[1:-1] if label_key else ""
+                    for bound, cumulative in metric.cumulative_buckets():
+                        inner = (base + "," if base else "") + f'le="{bound}"'
+                        lines.append(
+                            f"{name}_bucket{{{inner}}} {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{label_key} {_format_value(metric.sum)}"
+                    )
+                    lines.append(f"{name}_count{label_key} {metric.count}")
+                else:
+                    lines.append(
+                        f"{name}{label_key} {_format_value(metric.value)}"
+                    )
+        return "\n".join(lines) + "\n"

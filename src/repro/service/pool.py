@@ -1,0 +1,543 @@
+"""A parallel per-component solver pool for OptDCSat and batch checks.
+
+OptDCSat's work splits into independent connected components of the
+ind-q-transaction graph (Proposition 2), and a batch of monotone
+constraints splits into independent query groups — both embarrassingly
+parallel.  :class:`SolverPool` fans those units out across a
+``concurrent.futures`` process pool:
+
+* **Worker snapshots.**  Each worker process is initialized once with a
+  serialized snapshot of the blockchain database and rebuilds its own
+  :class:`~repro.core.workspace.Workspace` + fd-transaction graph.
+  Steady-state changes (issue / commit / forget / absorb) are recorded
+  in an op log; every task carries the log tail, and workers replay the
+  ops they have not seen before solving.  When the log outgrows
+  ``resync_ops``, the pool discards the executor and re-snapshots.
+
+* **Determinism.**  Components are dispatched in the same order the
+  sequential solver would visit them, and the verdict is taken from the
+  *lowest-index* violating component, so ``satisfied`` / ``witness``
+  are identical to the sequential path (workers inherit the parent's
+  hash seed under the default ``fork`` start method, keeping clique
+  enumeration order aligned).
+
+* **Early cancel.**  As soon as a violation is found at component
+  index *i*, every not-yet-started task with index > *i* is cancelled —
+  lower-index tasks keep running, because one of them may still yield
+  the deterministic (lowest-index) witness.
+
+:class:`PooledDCSatChecker` is a drop-in :class:`DCSatChecker` that
+routes eligible checks through the pool, so a
+:class:`~repro.core.monitor.ConstraintMonitor` (and the TCP server
+above it) parallelizes without code changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from repro import serialize
+from repro.core.batch import batch_dcsat
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.core.fd_graph import FdTransactionGraph
+from repro.core.opt import component_survivors, solve_component
+from repro.core.results import DCSatResult, DCSatStats
+from repro.core.workspace import Workspace
+from repro.errors import AlgorithmError, ServiceError
+from repro.query.analysis import is_connected, is_monotone
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.relational.transaction import Transaction
+from repro.storage import make_backend
+
+Query = ConjunctiveQuery | AggregateQuery
+
+
+def default_pool_size() -> int:
+    """CPU count, capped at 8 — beyond that, snapshot fan-out dominates."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  One module-level context per worker, built by the
+# initializer and advanced incrementally by the op log.
+
+_WORKER_CTX: dict | None = None
+
+
+def _transaction_to_wire(tx: Transaction) -> dict:
+    return {
+        "id": tx.tx_id,
+        "facts": {
+            rel: sorted([list(values) for values in tx.tuples(rel)])
+            for rel in sorted(tx.relation_names)
+        },
+    }
+
+
+def _transaction_from_wire(payload: dict) -> Transaction:
+    return Transaction(
+        {
+            rel: [tuple(values) for values in rows]
+            for rel, rows in payload["facts"].items()
+        },
+        tx_id=payload["id"],
+    )
+
+
+def _init_worker(db_payload: dict, backend_name: str, base_epoch: int) -> None:
+    global _WORKER_CTX
+    db = serialize.database_from_dict(db_payload, validate=False)
+    workspace = Workspace(db)
+    fd_graph = FdTransactionGraph(workspace)
+    backend = make_backend(backend_name)
+    backend.attach(workspace)
+    _WORKER_CTX = {
+        "workspace": workspace,
+        "fd_graph": fd_graph,
+        "backend": backend,
+        "epoch": base_epoch,
+        "base_epoch": base_epoch,
+    }
+
+
+def _sync_worker(target_epoch: int, base_epoch: int, ops: tuple) -> dict:
+    """Replay the op-log tail this worker has not seen yet."""
+    ctx = _WORKER_CTX
+    if ctx is None:
+        raise ServiceError("solver worker used before initialization")
+    if ctx["base_epoch"] != base_epoch or ctx["epoch"] > target_epoch:
+        raise ServiceError(
+            "solver worker snapshot diverged from the coordinator "
+            f"(worker at {ctx['epoch']}/{ctx['base_epoch']}, "
+            f"coordinator wants {target_epoch}/{base_epoch})"
+        )
+    workspace: Workspace = ctx["workspace"]
+    fd_graph: FdTransactionGraph = ctx["fd_graph"]
+    backend = ctx["backend"]
+    for op, payload in ops[ctx["epoch"] - base_epoch : target_epoch - base_epoch]:
+        if op == "issue":
+            tx = _transaction_from_wire(payload)
+            workspace.issue(tx)
+            fd_graph.add_transaction(tx.tx_id)
+            backend.on_issue(tx)
+        elif op == "commit":
+            tx = workspace.commit(payload)
+            fd_graph.remove_transaction(payload)
+            fd_graph.refresh_after_commit()
+            backend.on_commit(tx)
+        elif op == "forget":
+            tx = workspace.forget(payload)
+            fd_graph.remove_transaction(payload)
+            backend.on_forget(tx)
+        elif op == "absorb":
+            tx = _transaction_from_wire(payload)
+            for rel, values in tx:
+                workspace.base.insert(rel, values)
+            fd_graph.refresh_after_commit()
+            backend.on_commit(tx)
+        else:  # pragma: no cover - defensive
+            raise ServiceError(f"unknown op-log entry {op!r}")
+        ctx["epoch"] += 1
+    return ctx
+
+
+def _solve_component_task(
+    sync: tuple[int, int, tuple],
+    query: Query,
+    candidates: tuple[str, ...],
+    pivot: bool,
+) -> tuple[frozenset[str] | None, DCSatStats]:
+    """One per-component clique/world check, run inside a worker."""
+    ctx = _sync_worker(*sync)
+    workspace: Workspace = ctx["workspace"]
+    stats = DCSatStats(algorithm="opt-pool", parallel_tasks=1)
+    started = time.perf_counter()
+    try:
+        witness = solve_component(
+            workspace,
+            ctx["fd_graph"],
+            query,
+            set(candidates),
+            ctx["backend"].evaluate,
+            pivot=pivot,
+            stats=stats,
+        )
+    finally:
+        stats.elapsed_seconds = time.perf_counter() - started
+        workspace.clear_active()
+    return witness, stats
+
+
+def _solve_batch_task(
+    sync: tuple[int, int, tuple],
+    queries: list[Query],
+    pivot: bool,
+) -> list[DCSatResult]:
+    """One batch query group (shared clique sweep), run inside a worker."""
+    ctx = _sync_worker(*sync)
+    workspace: Workspace = ctx["workspace"]
+    results = batch_dcsat(
+        workspace,
+        ctx["fd_graph"],
+        queries,
+        ctx["backend"].evaluate,
+        assume_nonnegative_sums=True,  # callers validated monotonicity
+        short_circuit=False,  # the coordinator already ran the fast paths
+        pivot=pivot,
+    )
+    for result in results:
+        result.stats.algorithm = "batch-pool"
+        result.stats.parallel_tasks = 1
+    return results
+
+
+# ----------------------------------------------------------------------
+# Coordinator side.
+
+
+class SolverPool:
+    """Fans per-component and per-group solver tasks across processes.
+
+    The pool observes the checker's ``epoch`` counter; record state
+    changes with :meth:`record_op` (done automatically by
+    :class:`PooledDCSatChecker`) so worker snapshots can be advanced
+    instead of rebuilt.
+    """
+
+    def __init__(
+        self,
+        checker: DCSatChecker,
+        max_workers: int | None = None,
+        backend: str = "memory",
+        start_method: str | None = None,
+        resync_ops: int = 256,
+        min_components: int = 2,
+    ):
+        self.checker = checker
+        self.max_workers = max_workers or default_pool_size()
+        self._backend_name = backend
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._start_method = start_method
+        self.resync_ops = resync_ops
+        self.min_components = min_components
+        self._executor: ProcessPoolExecutor | None = None
+        self._base_epoch = 0
+        self._oplog: list[tuple[str, object]] = []
+
+    # -- snapshot / op-log management ----------------------------------
+
+    def record_op(self, op: str, payload: object) -> None:
+        """Note a state change so workers can replay it lazily."""
+        if self._executor is None:
+            return  # next executor starts from a fresh snapshot anyway
+        self._oplog.append((op, payload))
+        if len(self._oplog) > self.resync_ops:
+            self.shutdown()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            payload = serialize.database_to_dict(self.checker.db)
+            ctx = multiprocessing.get_context(self._start_method)
+            self._base_epoch = self.checker.epoch
+            self._oplog = []
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(payload, self._backend_name, self._base_epoch),
+            )
+        return self._executor
+
+    def _prepare(self) -> tuple[ProcessPoolExecutor, tuple[int, int, tuple]]:
+        """A live executor plus the sync args for the current epoch."""
+        executor = self._ensure_executor()
+        if self._base_epoch + len(self._oplog) != self.checker.epoch:
+            # A state change bypassed record_op (e.g. direct checker use):
+            # the op log cannot reproduce it, so fall back to re-snapshot.
+            self.shutdown()
+            executor = self._ensure_executor()
+        return executor, (self.checker.epoch, self._base_epoch, tuple(self._oplog))
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._oplog = []
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- parallel OptDCSat ---------------------------------------------
+
+    def check(
+        self,
+        query: Query | str,
+        short_circuit: bool = True,
+        use_coverage: bool = True,
+        pivot: bool = True,
+        normalize: bool = True,
+    ) -> DCSatResult:
+        """Parallel OptDCSat: identical verdicts to the sequential path.
+
+        Requires a monotone, connected query (the OptDCSat scope).
+        """
+        checker = self.checker
+        query = checker._parse(query)
+        stats = DCSatStats(algorithm="opt-pool")
+        if normalize:
+            from repro.query.rewriter import Verdict
+            from repro.query.rewriter import normalize as normalize_query
+
+            query, verdict = normalize_query(query)
+            if verdict is Verdict.UNSATISFIABLE:
+                stats.algorithm = "rewrite"
+                return DCSatResult(satisfied=True, stats=stats)
+        monotone = is_monotone(query, checker.assume_nonnegative_sums)
+        if not monotone:
+            raise AlgorithmError(
+                "the solver pool runs OptDCSat, which is only sound for "
+                f"monotone denial constraints; {query!s} is not"
+            )
+        if not is_connected(query):
+            raise AlgorithmError(
+                "OptDCSat requires a connected conjunctive query; "
+                f"{query!s} is not connected"
+            )
+        started = time.perf_counter()
+        try:
+            decided = checker.fast_paths(query, monotone, short_circuit, stats)
+            if decided is not None:
+                return decided
+            survivors = component_survivors(
+                checker.workspace,
+                checker.fd_graph,
+                checker.ind_graph,
+                query,
+                use_coverage=use_coverage,
+                stats=stats,
+            )
+            if len(survivors) < max(2, self.min_components) or self.max_workers <= 1:
+                return self._solve_sequential(query, survivors, pivot, stats)
+            return self._solve_parallel(query, survivors, pivot, stats)
+        finally:
+            checker.workspace.clear_active()
+            if stats.elapsed_seconds == 0.0:
+                stats.elapsed_seconds = time.perf_counter() - started
+
+    def _solve_sequential(
+        self,
+        query: Query,
+        survivors: list[set[str]],
+        pivot: bool,
+        stats: DCSatStats,
+    ) -> DCSatResult:
+        for candidates in survivors:
+            witness = solve_component(
+                self.checker.workspace,
+                self.checker.fd_graph,
+                query,
+                candidates,
+                self.checker.evaluate_world,
+                pivot=pivot,
+                stats=stats,
+            )
+            if witness is not None:
+                return DCSatResult(satisfied=False, witness=witness, stats=stats)
+        return DCSatResult(satisfied=True, stats=stats)
+
+    def _solve_parallel(
+        self,
+        query: Query,
+        survivors: list[set[str]],
+        pivot: bool,
+        stats: DCSatStats,
+    ) -> DCSatResult:
+        executor, sync = self._prepare()
+        futures = {}
+        for index, candidates in enumerate(survivors):
+            future = executor.submit(
+                _solve_component_task, sync, query, tuple(sorted(candidates)), pivot
+            )
+            futures[future] = index
+        best_index: int | None = None
+        best_witness: frozenset[str] | None = None
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    if future.cancelled():
+                        continue
+                    witness, task_stats = future.result()
+                    stats.merge(task_stats)
+                    index = futures[future]
+                    if witness is not None and (
+                        best_index is None or index < best_index
+                    ):
+                        best_index, best_witness = index, witness
+                if best_index is not None:
+                    # Early cancel: components after the lowest violating
+                    # index can no longer influence the verdict.
+                    for future in list(pending):
+                        if futures[future] > best_index and future.cancel():
+                            pending.discard(future)
+        finally:
+            for future in pending:
+                future.cancel()
+        if best_index is not None:
+            return DCSatResult(
+                satisfied=False, witness=best_witness, stats=stats
+            )
+        return DCSatResult(satisfied=True, stats=stats)
+
+    # -- parallel batch checking ---------------------------------------
+
+    def check_batch(
+        self,
+        queries: list[Query | str],
+        short_circuit: bool = True,
+        pivot: bool = True,
+    ) -> list[DCSatResult]:
+        """Fan a monotone constraint battery out as worker query groups.
+
+        The coordinator runs the per-query fast paths (state check and
+        monotone short-circuit), round-robins the still-undecided
+        queries into ``max_workers`` groups, and each worker runs the
+        shared clique sweep of :func:`repro.core.batch.batch_dcsat` for
+        its group.  Results align positionally with *queries*.
+        """
+        checker = self.checker
+        parsed = [checker._parse(query) for query in queries]
+        for query in parsed:
+            if not is_monotone(query, checker.assume_nonnegative_sums):
+                raise AlgorithmError(
+                    f"batch checking requires monotone queries; {query!s} is not"
+                )
+        results: list[DCSatResult | None] = [None] * len(parsed)
+        open_indexes: list[int] = []
+        for index, query in enumerate(parsed):
+            stats = DCSatStats(algorithm="batch-pool")
+            decided = checker.fast_paths(query, True, short_circuit, stats)
+            if decided is not None:
+                results[index] = decided
+            else:
+                open_indexes.append(index)
+        checker.workspace.clear_active()
+        if open_indexes:
+            if self.max_workers <= 1 or len(open_indexes) == 1:
+                solved = batch_dcsat(
+                    checker.workspace,
+                    checker.fd_graph,
+                    [parsed[i] for i in open_indexes],
+                    checker.evaluate_world,
+                    assume_nonnegative_sums=True,
+                    short_circuit=False,
+                    pivot=pivot,
+                )
+                for index, result in zip(open_indexes, solved):
+                    results[index] = result
+            else:
+                groups: list[list[int]] = [
+                    open_indexes[offset :: self.max_workers]
+                    for offset in range(self.max_workers)
+                ]
+                groups = [group for group in groups if group]
+                executor, sync = self._prepare()
+                futures = [
+                    executor.submit(
+                        _solve_batch_task, sync, [parsed[i] for i in group], pivot
+                    )
+                    for group in groups
+                ]
+                for group, future in zip(groups, futures):
+                    for index, result in zip(group, future.result()):
+                        results[index] = result
+        assert all(result is not None for result in results)
+        return [result for result in results if result is not None]
+
+
+class PooledDCSatChecker(DCSatChecker):
+    """A :class:`DCSatChecker` whose opt / batch paths run on a pool.
+
+    Checks that fall outside the pool's scope (non-monotone queries,
+    explicitly requested algorithms other than ``"opt"``, tractable /
+    brute fallbacks) take the sequential path of the base class.
+    """
+
+    def __init__(
+        self,
+        db: BlockchainDatabase,
+        backend: str = "memory",
+        assume_nonnegative_sums: bool = False,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        resync_ops: int = 256,
+    ):
+        super().__init__(
+            db, backend=backend, assume_nonnegative_sums=assume_nonnegative_sums
+        )
+        self.pool = SolverPool(
+            self,
+            max_workers=max_workers,
+            backend=backend if isinstance(backend, str) else "memory",
+            start_method=start_method,
+            resync_ops=resync_ops,
+        )
+
+    # -- op-log hooks ---------------------------------------------------
+
+    def issue(self, tx: Transaction) -> None:
+        super().issue(tx)
+        self.pool.record_op("issue", _transaction_to_wire(tx))
+
+    def commit(self, tx_id: str) -> Transaction:
+        tx = super().commit(tx_id)
+        self.pool.record_op("commit", tx_id)
+        return tx
+
+    def forget(self, tx_id: str) -> Transaction:
+        tx = super().forget(tx_id)
+        self.pool.record_op("forget", tx_id)
+        return tx
+
+    def absorb(self, tx: Transaction) -> None:
+        super().absorb(tx)
+        self.pool.record_op("absorb", _transaction_to_wire(tx))
+
+    # -- pooled checking ------------------------------------------------
+
+    def check(self, query, algorithm: str = "auto", **kwargs) -> DCSatResult:
+        if self.pool.max_workers > 1 and algorithm in ("auto", "opt"):
+            parsed = self._parse(query)
+            pool_kwargs_ok = set(kwargs) <= {
+                "short_circuit", "use_coverage", "pivot", "normalize",
+            }
+            if (
+                pool_kwargs_ok
+                and is_monotone(parsed, self.assume_nonnegative_sums)
+                and is_connected(parsed)
+            ):
+                return self.pool.check(parsed, **kwargs)
+        return super().check(query, algorithm=algorithm, **kwargs)
+
+    def check_batch(self, queries, short_circuit=True, pivot=True):
+        if self.pool.max_workers > 1:
+            return self.pool.check_batch(
+                queries, short_circuit=short_circuit, pivot=pivot
+            )
+        return super().check_batch(
+            queries, short_circuit=short_circuit, pivot=pivot
+        )
+
+    def close(self) -> None:
+        self.pool.shutdown()
+        super().close()

@@ -1,0 +1,139 @@
+"""The JSON-lines wire protocol shared by the server and the client.
+
+One request or response per line, UTF-8 JSON, newline-terminated:
+
+Request::
+
+    {"id": 7, "op": "status", "args": {"name": "no-double-spend"},
+     "deadline": 2.5}
+
+Response::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": "queue full", "code": "busy",
+     "retry_after": 0.05}
+
+``id`` is chosen by the client and echoed verbatim; ``deadline`` (in
+seconds, optional) bounds how long the client is willing to wait for
+the response.  Error codes: ``busy`` (backpressure — retry after
+``retry_after`` seconds), ``deadline`` (the per-request deadline
+elapsed before the verdict was ready), ``shutting-down``,
+``bad-request`` and ``error``.
+
+Results that carry a :class:`~repro.core.results.DCSatResult` encode it
+with :func:`result_to_wire`; transactions travel in the same shape the
+on-disk serialization uses (``{"id": ..., "facts": {rel: [[...]]}}``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.results import DCSatResult, DCSatStats
+from repro.errors import ServiceError
+from repro.relational.transaction import Transaction
+
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Operations that mutate or read monitor state and therefore go through
+#: the server's bounded solve queue (subject to backpressure).
+QUEUED_OPS = frozenset(
+    {
+        "register",
+        "unregister",
+        "issue",
+        "commit",
+        "forget",
+        "status",
+        "status_all",
+        "violated",
+    }
+)
+
+#: Operations answered directly on the event loop.
+IMMEDIATE_OPS = frozenset({"ping", "metrics", "constraints", "shutdown"})
+
+
+def encode_line(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"malformed request line: {error}", code="bad-request")
+    if not isinstance(payload, dict):
+        raise ServiceError("request must be a JSON object", code="bad-request")
+    return payload
+
+
+def transaction_to_wire(tx: Transaction) -> dict:
+    return {
+        "id": tx.tx_id,
+        "facts": {
+            rel: sorted([list(values) for values in tx.tuples(rel)])
+            for rel in sorted(tx.relation_names)
+        },
+    }
+
+
+def transaction_from_wire(payload: Any) -> Transaction:
+    if (
+        not isinstance(payload, dict)
+        or "id" not in payload
+        or not isinstance(payload.get("facts"), dict)
+    ):
+        raise ServiceError(
+            'transactions must look like {"id": ..., "facts": {rel: [[...]]}}',
+            code="bad-request",
+        )
+    try:
+        return Transaction(
+            {
+                rel: [tuple(values) for values in rows]
+                for rel, rows in payload["facts"].items()
+            },
+            tx_id=payload["id"],
+        )
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"malformed transaction: {error}", code="bad-request")
+
+
+def stats_to_wire(stats: DCSatStats) -> dict:
+    return {
+        "algorithm": stats.algorithm,
+        "short_circuit_used": stats.short_circuit_used,
+        "components_total": stats.components_total,
+        "components_pruned": stats.components_pruned,
+        "cliques_enumerated": stats.cliques_enumerated,
+        "worlds_checked": stats.worlds_checked,
+        "evaluations": stats.evaluations,
+        "parallel_tasks": stats.parallel_tasks,
+        "elapsed_seconds": stats.elapsed_seconds,
+    }
+
+
+def result_to_wire(result: DCSatResult) -> dict:
+    return {
+        "satisfied": result.satisfied,
+        "witness": sorted(result.witness) if result.witness is not None else None,
+        "stats": stats_to_wire(result.stats),
+    }
+
+
+def error_response(
+    request_id: Any,
+    message: str,
+    code: str = "error",
+    retry_after: float | None = None,
+) -> dict:
+    response: dict = {"id": request_id, "ok": False, "error": message, "code": code}
+    if retry_after is not None:
+        response["retry_after"] = retry_after
+    return response
+
+
+def ok_response(request_id: Any, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}

@@ -1,0 +1,522 @@
+"""An asyncio JSON-lines TCP server around a :class:`ConstraintMonitor`.
+
+Architecture (one process)::
+
+    clients ──► asyncio event loop ──► bounded queue ──► solver thread
+               (reads, deadlines,      (backpressure)    (monitor ops,
+                metrics, rejects)                         one at a time)
+
+The monitor — and the checker, graphs and workspace below it — is
+single-threaded by design, so every state-touching operation is
+serialized through one solver thread; the event loop itself never
+blocks, which keeps deadline enforcement, metrics scrapes and
+backpressure rejections responsive while a heavy check runs.  When the
+monitor sits on a :class:`~repro.service.pool.PooledDCSatChecker`, the
+solver thread becomes a lightweight coordinator and the real clique
+work fans out across the worker processes.
+
+Flow control:
+
+* **Backpressure** — the solve queue is bounded (``queue_limit``).
+  When it is full, the request is rejected immediately with code
+  ``busy`` and a ``retry_after`` hint instead of queueing unboundedly.
+* **Deadlines** — every request carries (or inherits) a deadline; if
+  the verdict is not ready in time the client gets code ``deadline``.
+  The underlying operation still completes in the solver thread —
+  mutations are never half-applied — only the response is abandoned.
+* **Graceful shutdown** — on SIGINT/SIGTERM (or the ``shutdown`` op)
+  the server stops accepting connections, rejects new work with code
+  ``shutting-down``, drains queued and in-flight operations for up to
+  ``drain_timeout`` seconds, then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.core.monitor import ConstraintMonitor
+from repro.errors import ReproError, ServiceError
+from repro.service import protocol
+from repro.service.metrics import MetricsRegistry
+
+DEFAULT_QUEUE_LIMIT = 64
+DEFAULT_DEADLINE = 30.0
+DEFAULT_DRAIN_TIMEOUT = 10.0
+
+
+class ConstraintService:
+    """The serving surface: monitor operations behind a TCP endpoint."""
+
+    def __init__(
+        self,
+        monitor: ConstraintMonitor,
+        metrics: MetricsRegistry | None = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        default_deadline: float = DEFAULT_DEADLINE,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        retry_after: float = 0.05,
+        before_op: Callable[[str, dict], None] | None = None,
+    ):
+        self.monitor = monitor
+        self.metrics = metrics or MetricsRegistry()
+        self.queue_limit = queue_limit
+        self.default_deadline = default_deadline
+        self.drain_timeout = drain_timeout
+        self.retry_after = retry_after
+        #: Test/diagnostics hook, run in the solver thread before every
+        #: queued operation (e.g. an injected delay).
+        self.before_op = before_op
+
+        self._queue: asyncio.Queue | None = None
+        self._solver = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-solver"
+        )
+        self._stopping = False
+        self._stop_requested: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._inflight = 0
+
+        m = self.metrics
+        self._requests = {
+            op: m.counter(
+                "repro_requests_total", "Requests received, by operation.",
+                labels={"op": op},
+            )
+            for op in protocol.QUEUED_OPS | protocol.IMMEDIATE_OPS
+        }
+        self._errors = m.counter(
+            "repro_request_errors_total", "Requests answered with an error."
+        )
+        self._rejected = m.counter(
+            "repro_rejected_busy_total",
+            "Requests rejected by backpressure (queue full).",
+        )
+        self._deadline_timeouts = m.counter(
+            "repro_deadline_timeouts_total",
+            "Requests whose deadline elapsed before the verdict.",
+        )
+        self._subsumption_answers = m.counter(
+            "repro_monitor_subsumption_answers_total",
+            "Status verdicts answered for free via denial subsumption.",
+        )
+        self._queue_depth = m.gauge(
+            "repro_queue_depth", "Operations waiting in the solve queue."
+        )
+        self._inflight_gauge = m.gauge(
+            "repro_inflight", "Operations executing in the solver thread."
+        )
+        self._queue_wait = m.histogram(
+            "repro_queue_wait_seconds",
+            "Time between enqueue and solver-thread pickup.",
+        )
+        self._solve_time = m.histogram(
+            "repro_solve_seconds",
+            "Time spent executing an operation in the solver thread.",
+        )
+
+    # ------------------------------------------------------------------
+    # Monitor operations (executed in the solver thread)
+
+    def _run_op(self, op: str, args: dict) -> dict:
+        if self.before_op is not None:
+            self.before_op(op, args)
+        monitor = self.monitor
+        if op == "register":
+            entry = monitor.register(
+                args["name"], args["query"], **args.get("check_kwargs", {})
+            )
+            return {
+                "registered": entry.name,
+                "relations": sorted(entry.relations),
+            }
+        if op == "unregister":
+            monitor.unregister(args["name"])
+            return {"unregistered": args["name"]}
+        if op == "issue":
+            tx = protocol.transaction_from_wire(args["tx"])
+            return {
+                "tx_id": tx.tx_id,
+                "invalidated": monitor.issue(tx),
+            }
+        if op == "commit":
+            return {
+                "tx_id": args["tx_id"],
+                "invalidated": monitor.commit(args["tx_id"]),
+            }
+        if op == "forget":
+            return {
+                "tx_id": args["tx_id"],
+                "invalidated": monitor.forget(args["tx_id"]),
+            }
+        if op == "status":
+            entry = monitor.entry(args["name"])
+            cached = entry.result is not None
+            result = monitor.status(
+                args["name"], use_subsumption=args.get("use_subsumption", True)
+            )
+            if not cached and result.stats.algorithm.startswith("subsumed-by:"):
+                self._subsumption_answers.inc()
+            payload = protocol.result_to_wire(result)
+            payload["cached"] = cached
+            return payload
+        if op == "status_all":
+            verdicts = monitor.status_all(batch=args.get("batch", True))
+            return {
+                name: protocol.result_to_wire(result)
+                for name, result in verdicts.items()
+            }
+        if op == "violated":
+            return {
+                name: protocol.result_to_wire(result)
+                for name, result in monitor.violated().items()
+            }
+        raise ServiceError(f"unknown operation {op!r}", code="bad-request")
+
+    # ------------------------------------------------------------------
+    # Immediate operations (answered on the event loop)
+
+    def _refresh_monitor_gauges(self) -> None:
+        entries = [self.monitor.entry(name) for name in self.monitor.names]
+        m = self.metrics
+        m.gauge(
+            "repro_registered_constraints", "Registered denial constraints."
+        ).set(len(entries))
+        m.gauge(
+            "repro_cached_verdicts", "Constraints with a cached verdict."
+        ).set(sum(1 for e in entries if e.result is not None))
+        m.gauge(
+            "repro_monitor_checks_run", "Solver checks run across entries."
+        ).set(sum(e.checks_run for e in entries))
+        m.gauge(
+            "repro_monitor_cache_hits", "Verdicts served from cache."
+        ).set(sum(e.cache_hits for e in entries))
+        m.gauge(
+            "repro_pending_transactions", "Pending transactions in the db."
+        ).set(len(self.monitor.checker.db.pending_ids))
+
+    def _immediate(self, op: str, args: dict) -> dict:
+        if op == "ping":
+            return {
+                "pong": True,
+                "epoch": getattr(self.monitor.checker, "epoch", 0),
+                "stopping": self._stopping,
+            }
+        if op == "metrics":
+            self._refresh_monitor_gauges()
+            return {"text": self.metrics.render_text()}
+        if op == "constraints":
+            return {
+                name: {
+                    "query": str(self.monitor.entry(name).query),
+                    "cached": self.monitor.entry(name).result is not None,
+                    "checks_run": self.monitor.entry(name).checks_run,
+                    "cache_hits": self.monitor.entry(name).cache_hits,
+                }
+                for name in self.monitor.names
+            }
+        if op == "shutdown":
+            self.request_stop()
+            return {"stopping": True}
+        raise ServiceError(f"unknown operation {op!r}", code="bad-request")
+
+    # ------------------------------------------------------------------
+    # Queue dispatcher
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            enqueued_at, op, args, future = await self._queue.get()
+            self._queue_depth.set(self._queue.qsize())
+            self._queue_wait.observe(time.perf_counter() - enqueued_at)
+            self._inflight += 1
+            self._inflight_gauge.set(self._inflight)
+            started = time.perf_counter()
+            try:
+                result = await loop.run_in_executor(
+                    self._solver, self._run_op, op, args
+                )
+            except Exception as error:  # delivered to the waiting handler
+                if not future.cancelled():
+                    future.set_exception(error)
+                else:  # pragma: no cover - abandoned request
+                    pass
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+            finally:
+                self._solve_time.observe(time.perf_counter() - started)
+                self._inflight -= 1
+                self._inflight_gauge.set(self._inflight)
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+
+    async def _respond(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(protocol.encode_line(payload))
+        try:
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - peer vanished
+            pass
+
+    async def _handle_request(
+        self, writer: asyncio.StreamWriter, payload: dict
+    ) -> None:
+        request_id = payload.get("id")
+        op = payload.get("op")
+        args = payload.get("args") or {}
+        counter = self._requests.get(op)
+        if counter is not None:
+            counter.inc()
+        try:
+            if not isinstance(op, str) or not isinstance(args, dict):
+                raise ServiceError(
+                    'requests need a string "op" and an object "args"',
+                    code="bad-request",
+                )
+            if op in protocol.IMMEDIATE_OPS:
+                await self._respond(
+                    writer, protocol.ok_response(request_id, self._immediate(op, args))
+                )
+                return
+            if op not in protocol.QUEUED_OPS:
+                raise ServiceError(f"unknown operation {op!r}", code="bad-request")
+            if self._stopping:
+                raise ServiceError(
+                    "server is shutting down", code="shutting-down"
+                )
+            assert self._queue is not None
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            try:
+                self._queue.put_nowait((time.perf_counter(), op, args, future))
+            except asyncio.QueueFull:
+                self._rejected.inc()
+                raise ServiceError(
+                    f"solve queue full ({self.queue_limit} waiting)",
+                    code="busy",
+                    retry_after=self.retry_after,
+                ) from None
+            self._queue_depth.set(self._queue.qsize())
+            deadline = payload.get("deadline", self.default_deadline)
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=deadline
+                )
+            except asyncio.TimeoutError:
+                self._deadline_timeouts.inc()
+                # The operation still runs to completion in the solver
+                # thread (mutations are never half-applied); retrieve its
+                # eventual outcome so nothing warns about being unawaited.
+                future.add_done_callback(
+                    lambda f: f.exception() if not f.cancelled() else None
+                )
+                raise ServiceError(
+                    f"deadline of {deadline}s elapsed before the verdict",
+                    code="deadline",
+                ) from None
+            await self._respond(writer, protocol.ok_response(request_id, result))
+        except ServiceError as error:
+            self._errors.inc()
+            await self._respond(
+                writer,
+                protocol.error_response(
+                    request_id, str(error), code=error.code,
+                    retry_after=error.retry_after,
+                ),
+            )
+        except ReproError as error:
+            self._errors.inc()
+            await self._respond(
+                writer, protocol.error_response(request_id, str(error))
+            )
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    payload = protocol.decode_line(line)
+                except ServiceError as error:
+                    self._errors.inc()
+                    await self._respond(
+                        writer,
+                        protocol.error_response(None, str(error), code=error.code),
+                    )
+                    continue
+                # One task per request: a slow check must not stop this
+                # connection from pipelining pings or further requests.
+                task = asyncio.create_task(self._handle_request(writer, payload))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer vanished
+                pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def request_stop(self) -> None:
+        """Ask the server to shut down gracefully (signal-handler safe)."""
+        if self._stop_requested is not None and not self._stop_requested.is_set():
+            self._stop_requested.set()
+
+    async def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready: Callable[[str, int], None] | None = None,
+        install_signal_handlers: bool = False,
+    ) -> None:
+        """Serve until :meth:`request_stop`, then drain and exit."""
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._stop_requested = asyncio.Event()
+        self._stopping = False
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        bound_host, bound_port = self._server.sockets[0].getsockname()[:2]
+        self.host, self.port = bound_host, bound_port
+        if install_signal_handlers:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, self.request_stop)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        if ready is not None:
+            ready(bound_host, bound_port)
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        """Stop accepting work, drain in-flight checks, release resources."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Drain: let queued + in-flight operations finish (bounded).
+        if self._queue is not None:
+            try:
+                await asyncio.wait_for(
+                    self._queue.join(), timeout=self.drain_timeout
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - stuck solver
+                pass
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        # Let the drained operations' response tasks flush their writes
+        # before the sockets go away.
+        if self._request_tasks:
+            await asyncio.wait(set(self._request_tasks), timeout=self.drain_timeout)
+        for writer in list(self._writers):
+            writer.close()
+        self._solver.shutdown(wait=True)
+        checker = self.monitor.checker
+        pool = getattr(checker, "pool", None)
+        if pool is not None:
+            pool.shutdown()
+
+
+class ServiceHandle:
+    """A service running on a background thread (tests, embedding)."""
+
+    def __init__(self, service: ConstraintService, host: str, port: int):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    def stop(self, join_timeout: float = 30.0) -> None:
+        """Request shutdown and wait for the serving thread; idempotent."""
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_stop)
+            except RuntimeError:  # loop closed between the check and the call
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=join_timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    service: ConstraintService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHandle:
+    """Run *service* on a daemon thread; returns once it is accepting."""
+    ready = threading.Event()
+    bound: dict = {}
+
+    def on_ready(bound_host: str, bound_port: int) -> None:
+        bound["host"], bound["port"] = bound_host, bound_port
+        ready.set()
+
+    handle = ServiceHandle(service, "", 0)
+
+    def target() -> None:
+        loop = asyncio.new_event_loop()
+        handle._loop = loop
+        try:
+            loop.run_until_complete(service.run(host, port, ready=on_ready))
+        finally:
+            try:
+                leftovers = asyncio.all_tasks(loop)
+                for task in leftovers:
+                    task.cancel()
+                if leftovers:
+                    loop.run_until_complete(
+                        asyncio.gather(*leftovers, return_exceptions=True)
+                    )
+            finally:
+                loop.close()
+                ready.set()  # unblock the caller on startup failure
+
+    thread = threading.Thread(target=target, name="repro-service", daemon=True)
+    handle._thread = thread
+    thread.start()
+    if not ready.wait(timeout=30.0) or "port" not in bound:
+        raise ServiceError("service failed to start")
+    handle.host, handle.port = bound["host"], bound["port"]
+    return handle

@@ -21,10 +21,12 @@ def test_stats_merge_accumulates():
     first = DCSatStats(
         components_total=2, components_pruned=1, cliques_enumerated=3,
         worlds_checked=3, evaluations=4, assignments_examined=5,
+        parallel_tasks=1, elapsed_seconds=0.25,
     )
     second = DCSatStats(
         components_total=1, components_pruned=0, cliques_enumerated=2,
         worlds_checked=2, evaluations=2, assignments_examined=1,
+        parallel_tasks=2, elapsed_seconds=0.5,
     )
     first.merge(second)
     assert first.components_total == 3
@@ -33,6 +35,8 @@ def test_stats_merge_accumulates():
     assert first.worlds_checked == 5
     assert first.evaluations == 6
     assert first.assignments_examined == 6
+    assert first.parallel_tasks == 3
+    assert first.elapsed_seconds == 0.75
 
 
 def test_stats_defaults():

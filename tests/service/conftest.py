@@ -1,0 +1,53 @@
+"""Shared service-test fixtures: a small multi-component workload.
+
+The synthetic schema is one relation ``R(cid, k, v)`` with the FD
+``(cid, k) -> v``.  Per component *cid* and key *k* there are two
+pending transactions writing conflicting values ``'a'`` / ``'b'``, so
+each component contributes ``2^keys`` maximal cliques and the query
+``q() <- R(c, k, 'a'), R(c, k, 'b')`` can never be satisfied (the FD
+keeps the two values out of every possible world) — the worst case for
+the solvers and the best case for observing real per-component work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.relational.constraints import ConstraintSet, FunctionalDependency
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+#: Satisfied on the component workload (needs 'a' and 'b' on one key).
+Q_CONFLICT = "q() <- R(c, k, 'a'), R(c, k, 'b')"
+#: Violated (two 'a' facts on different keys coexist fine).
+Q_TWO_A = "q() <- R(c, k1, 'a'), R(c, k2, 'a'), k1 != k2"
+#: Decided by the monotone short-circuit (no 'zz' anywhere).
+Q_ABSENT = "q() <- R(c, k, 'zz')"
+
+
+def component_db(components: int = 4, keys: int = 2) -> BlockchainDatabase:
+    schema = make_schema({"R": ["cid", "k", "v"]})
+    constraints = ConstraintSet(
+        schema, [FunctionalDependency("R", ["cid", "k"], ["v"])]
+    )
+    state = Database.from_dict(schema, {"R": []})
+    pending = []
+    for cid in range(components):
+        for key in range(keys):
+            pending.append(
+                Transaction({"R": [(cid, key, "a")]}, tx_id=f"C{cid}K{key}a")
+            )
+            pending.append(
+                Transaction({"R": [(cid, key, "b")]}, tx_id=f"C{cid}K{key}b")
+            )
+    return BlockchainDatabase(state, constraints, pending)
+
+
+def r_tx(tx_id: str, cid: int, key: int, value: str) -> Transaction:
+    return Transaction({"R": [(cid, key, value)]}, tx_id=tx_id)
+
+
+@pytest.fixture
+def small_db() -> BlockchainDatabase:
+    return component_db(components=4, keys=2)

@@ -1,0 +1,91 @@
+"""The in-process metrics registry and its text exposition."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_up_and_down(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value == 7
+
+    def test_histogram_buckets_cumulative(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+        buckets = dict(histogram.cumulative_buckets())
+        assert buckets["0.1"] == 1
+        assert buckets["1"] == 3
+        assert buckets["10"] == 4
+        assert buckets["+Inf"] == 5
+
+    def test_histogram_boundary_is_inclusive(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(1.0)
+        assert dict(histogram.cumulative_buckets())["1"] == 1
+
+
+class TestRegistry:
+    def test_same_series_is_shared(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_requests_total", labels={"op": "status"})
+        b = registry.counter("repro_requests_total", labels={"op": "status"})
+        other = registry.counter("repro_requests_total", labels={"op": "issue"})
+        assert a is b and a is not other
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x")
+
+    def test_render_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_requests_total", "Requests.", labels={"op": "status"}
+        ).inc(3)
+        registry.gauge("repro_queue_depth", "Depth.").set(2)
+        registry.histogram(
+            "repro_solve_seconds", "Solve.", buckets=(0.5, 1.0)
+        ).observe(0.7)
+        text = registry.render_text()
+        assert '# TYPE repro_requests_total counter' in text
+        assert 'repro_requests_total{op="status"} 3' in text
+        assert "# HELP repro_queue_depth Depth." in text
+        assert "repro_queue_depth 2" in text
+        assert 'repro_solve_seconds_bucket{le="0.5"} 0' in text
+        assert 'repro_solve_seconds_bucket{le="1"} 1' in text
+        assert 'repro_solve_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_solve_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_concurrent_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000

@@ -1,0 +1,183 @@
+"""The parallel per-component solver pool vs. the sequential engine.
+
+Every test cross-checks the pool against the sequential solver on the
+same database — the pool must return identical ``satisfied`` /
+``witness`` verdicts (Proposition 2 makes components independent, and
+the pool takes the lowest-index violating component, matching the
+sequential visit order).
+"""
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+from repro.errors import AlgorithmError
+from repro.service.pool import PooledDCSatChecker, SolverPool
+from tests.service.conftest import Q_ABSENT, Q_CONFLICT, Q_TWO_A, component_db, r_tx
+
+QUERIES = [Q_CONFLICT, Q_TWO_A, Q_ABSENT]
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    checker = PooledDCSatChecker(component_db(), max_workers=2)
+    yield checker
+    checker.close()
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    checker = DCSatChecker(component_db())
+    yield checker
+    checker.close()
+
+
+class TestParallelCheck:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_verdicts_match_sequential(self, pooled, sequential, query):
+        expected = sequential.check(query, algorithm="opt")
+        actual = pooled.check(query)
+        assert actual.satisfied == expected.satisfied
+        assert actual.witness == expected.witness
+
+    def test_parallel_tasks_and_aggregate_elapsed(self, pooled):
+        result = pooled.check(Q_CONFLICT)
+        # 4 cids x 2 keys -> 8 components (the FD scopes conflicts to a
+        # (cid, key) pair); every component becomes one worker task whose
+        # solve time is accumulated, two maximal cliques each.
+        assert result.stats.parallel_tasks == 8
+        assert result.stats.algorithm == "opt-pool"
+        assert result.stats.elapsed_seconds > 0.0
+        assert result.stats.cliques_enumerated == 8 * 2
+
+    def test_explicit_algorithms_fall_back(self, pooled, sequential):
+        naive = pooled.check(Q_CONFLICT, algorithm="naive")
+        assert naive.satisfied
+        assert naive.stats.algorithm == "naive"
+        brute = pooled.check(Q_CONFLICT, algorithm="brute")
+        assert brute.satisfied == sequential.check(Q_CONFLICT, algorithm="brute").satisfied
+
+    def test_non_monotone_query_falls_back(self, pooled):
+        # Negation makes the query non-monotone: the pool must not run
+        # OptDCSat on it; auto falls through to the base class.
+        result = pooled.check("q() <- R(c, k, 'a'), not R(c, k, 'b')")
+        assert result.stats.algorithm not in ("opt-pool", "opt")
+
+    def test_pool_rejects_non_monotone_direct(self, pooled):
+        with pytest.raises(AlgorithmError):
+            pooled.pool.check("q() <- R(c, k, 'a'), not R(c, k, 'b')")
+
+
+class TestEpochSync:
+    def test_issue_commit_forget_resync_workers(self):
+        pooled = PooledDCSatChecker(component_db(), max_workers=2)
+        sequential = DCSatChecker(component_db())
+        try:
+            assert pooled.check(Q_TWO_A).witness == sequential.check(
+                Q_TWO_A, algorithm="opt"
+            ).witness  # warm the worker snapshots
+
+            for checker in (pooled, sequential):
+                checker.issue(r_tx("N1", 0, 9, "a"))
+                checker.issue(r_tx("N2", 9, 0, "a"))
+                checker.commit("N1")
+                checker.forget("N2")
+            assert pooled.epoch == 4
+            for query in QUERIES:
+                expected = sequential.check(query, algorithm="opt")
+                actual = pooled.check(query)
+                assert actual.satisfied == expected.satisfied
+                assert actual.witness == expected.witness
+        finally:
+            pooled.close()
+            sequential.close()
+
+    def test_oplog_overflow_resnapshots(self):
+        pooled = PooledDCSatChecker(component_db(), max_workers=2, resync_ops=2)
+        try:
+            pooled.check(Q_CONFLICT)  # builds the executor
+            for index in range(4):  # overflows resync_ops=2 -> re-snapshot
+                pooled.issue(r_tx(f"X{index}", 50 + index, 0, "a"))
+            assert pooled.pool._executor is None
+            result = pooled.check(Q_CONFLICT)
+            assert result.satisfied
+        finally:
+            pooled.close()
+
+    def test_unrecorded_mutation_triggers_resnapshot(self):
+        pooled = PooledDCSatChecker(component_db(), max_workers=2)
+        try:
+            pooled.check(Q_CONFLICT)
+            # Bypass the op-log hooks entirely: the pool must notice the
+            # epoch mismatch and rebuild instead of serving stale state.
+            DCSatChecker.issue(pooled, r_tx("RAW", 0, 9, "b"))
+            result = pooled.check(Q_CONFLICT)
+            assert result.satisfied
+            assert pooled.pool._base_epoch == pooled.epoch
+        finally:
+            pooled.close()
+
+
+class TestParallelBatch:
+    def test_batch_matches_sequential(self):
+        pooled = PooledDCSatChecker(component_db(components=3), max_workers=2)
+        sequential = DCSatChecker(component_db(components=3))
+        try:
+            expected = sequential.check_batch(QUERIES)
+            actual = pooled.check_batch(QUERIES)
+            assert [r.satisfied for r in actual] == [r.satisfied for r in expected]
+            for got, want in zip(actual, expected):
+                assert got.witness == want.witness
+        finally:
+            pooled.close()
+            sequential.close()
+
+    def test_batch_rejects_non_monotone(self):
+        pooled = PooledDCSatChecker(component_db(components=2), max_workers=2)
+        try:
+            with pytest.raises(AlgorithmError):
+                pooled.check_batch([Q_CONFLICT, "q() <- R(c, k, 'a'), not R(c, k, 'b')"])
+        finally:
+            pooled.close()
+
+    def test_monitor_status_all_over_pool(self):
+        pooled = PooledDCSatChecker(component_db(components=3), max_workers=2)
+        sequential = DCSatChecker(component_db(components=3))
+        try:
+            for checker in (pooled, sequential):
+                monitor = ConstraintMonitor(checker)
+                monitor.register("conflict", Q_CONFLICT)
+                monitor.register("two-a", Q_TWO_A)
+                monitor.register("absent", Q_ABSENT)
+                verdicts = monitor.status_all()
+                assert verdicts["conflict"].satisfied
+                assert not verdicts["two-a"].satisfied
+                assert verdicts["absent"].satisfied
+        finally:
+            pooled.close()
+            sequential.close()
+
+
+class TestSolverPoolDirect:
+    def test_single_component_stays_in_process(self):
+        checker = DCSatChecker(component_db(components=1, keys=1))
+        pool = SolverPool(checker, max_workers=2)
+        try:
+            result = pool.check(Q_CONFLICT)
+            assert result.satisfied
+            # one survivor < min_components: no executor was ever built
+            assert pool._executor is None
+        finally:
+            pool.shutdown()
+            checker.close()
+
+    def test_normalize_handles_unsatisfiable(self):
+        checker = DCSatChecker(component_db(components=2))
+        pool = SolverPool(checker, max_workers=2)
+        try:
+            result = pool.check("q() <- R(c, k, v), v = 'a', v = 'b'")
+            assert result.satisfied
+            assert result.stats.algorithm == "rewrite"
+        finally:
+            pool.shutdown()
+            checker.close()
