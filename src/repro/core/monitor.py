@@ -11,13 +11,49 @@ only the constraints whose relations a state change touches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.checker import DCSatChecker
 from repro.core.results import DCSatResult
 from repro.errors import ReproError
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.query.parser import parse_query
+from repro.relational.constraints import ConstraintSet
 from repro.relational.transaction import Transaction
+
+
+def coupled_relations(
+    relations: Iterable[str],
+    constraints: ConstraintSet,
+    pending_footprints: Iterable[Iterable[str]] = (),
+) -> frozenset[str]:
+    """All relations whose possible-world facts can change when the
+    state of *relations* changes.
+
+    A state change over one relation reaches others two ways:
+
+    * **Inclusion dependencies** — committing parent rows can make a
+      child transaction appendable (and vice versa a committed child's
+      parent requirement pins parents), so the whole ind-connected
+      component of :meth:`ConstraintSet.ind_closure` is coupled.
+    * **Co-written relations** — a single pending transaction spanning
+      several relations is one include-or-not decision: if a commit
+      elsewhere makes it never-appendable over relation ``B``, its facts
+      over relation ``A`` vanish from every possible world too.
+
+    The two edge kinds interleave, so the expansion runs to a fixpoint.
+    """
+    footprints = [frozenset(fp) for fp in pending_footprints]
+    expanded = constraints.ind_closure(relations)
+    while True:
+        grown = set(expanded)
+        for footprint in footprints:
+            if len(footprint) > 1 and footprint & grown:
+                grown |= footprint
+        grown = constraints.ind_closure(grown)
+        if grown == expanded:
+            return expanded
+        expanded = grown
 
 
 @dataclass
@@ -176,9 +212,23 @@ class ConstraintMonitor:
     # State changes (targeted invalidation)
 
     def _invalidate_touching(self, relations: frozenset[str]) -> list[str]:
+        """Drop cached verdicts over relations the change can reach.
+
+        The changed relations are first expanded through ind-connectivity
+        and pending co-writes (:func:`coupled_relations`): a commit into
+        relation ``A`` can flip the verdict of a constraint whose query
+        never mentions ``A``, because it changes which transactions are
+        appendable over an ind-coupled (or co-written) relation ``B``.
+        Intersecting raw footprints served stale verdicts in that case.
+        """
+        touched = coupled_relations(
+            relations,
+            self.checker.db.constraints,
+            (tx.relation_names for tx in self.checker.db.pending),
+        )
         invalidated = []
         for entry in self._entries.values():
-            if entry.result is not None and entry.relations & relations:
+            if entry.result is not None and entry.relations & touched:
                 entry.result = None
                 invalidated.append(entry.name)
         return invalidated
@@ -195,6 +245,17 @@ class ConstraintMonitor:
 
     def forget(self, tx_id: str) -> list[str]:
         tx = self.checker.forget(tx_id)
+        return self._invalidate_touching(frozenset(tx.relation_names))
+
+    def absorb(self, tx: Transaction) -> list[str]:
+        """Insert externally committed facts (mined-block coinbases,
+        transactions first heard about inside a block) and invalidate the
+        cached verdicts the new facts can reach.
+
+        Without this, calling :meth:`DCSatChecker.absorb` underneath a
+        monitor left every cached verdict stale.
+        """
+        self.checker.absorb(tx)
         return self._invalidate_touching(frozenset(tx.relation_names))
 
     def __repr__(self) -> str:

@@ -164,6 +164,33 @@ class ConstraintSet:
     def has_inds(self) -> bool:
         return bool(self.inds)
 
+    def ind_closure(self, relations: Iterable[str]) -> frozenset[str]:
+        """Close *relations* under inclusion-dependency connectivity.
+
+        Treats every inclusion dependency as an undirected edge between
+        its child and parent relation and returns all relations reachable
+        from *relations*.  Facts committed into one relation can change
+        which transactions are appendable over any relation in the same
+        ind-connected component (a child needs its parent rows, a parent
+        feeds its children), so cached reasoning about a relation is only
+        safe while its whole component is untouched.
+        """
+        closed = set(relations)
+        if not self.inds:
+            return frozenset(closed)
+        adjacency: dict[str, set[str]] = {}
+        for ind in self.inds:
+            adjacency.setdefault(ind.child, set()).add(ind.parent)
+            adjacency.setdefault(ind.parent, set()).add(ind.child)
+        frontier = [rel for rel in closed if rel in adjacency]
+        while frontier:
+            rel = frontier.pop()
+            for neighbor in adjacency.get(rel, ()):
+                if neighbor not in closed:
+                    closed.add(neighbor)
+                    frontier.append(neighbor)
+        return frozenset(closed)
+
     def only_keys_and_fds(self) -> bool:
         """True when the set falls in the ``{key, fd}`` fragment."""
         return not self.inds

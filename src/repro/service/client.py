@@ -122,6 +122,13 @@ class ServiceClient:
     def forget(self, tx_id: str, deadline: float | None = None) -> list[str]:
         return self.call("forget", deadline=deadline, tx_id=tx_id)["invalidated"]
 
+    def absorb(
+        self, tx: Transaction | dict, deadline: float | None = None
+    ) -> list[str]:
+        """Insert externally committed facts (the mined-block path)."""
+        wire = protocol.transaction_to_wire(tx) if isinstance(tx, Transaction) else tx
+        return self.call("absorb", deadline=deadline, tx=wire)["invalidated"]
+
     def status(
         self,
         name: str,
@@ -142,6 +149,11 @@ class ServiceClient:
 
     def constraints(self) -> dict:
         return self.call("constraints")
+
+    def shards(self) -> dict:
+        """Shard placement and routing state (``{"sharded": False, ...}``
+        when the server runs a single monitor)."""
+        return self.call("shards")
 
     def metrics_text(self) -> str:
         return self.call("metrics")["text"]

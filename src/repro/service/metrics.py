@@ -25,11 +25,25 @@ DEFAULT_BUCKETS = (
 )
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text exposition format: inside a label
+    value, ``\\`` -> ``\\\\``, ``"`` -> ``\\"`` and a line feed ->
+    ``\\n``.  Constraint names are user-supplied and flow into labels,
+    so unescaped values could corrupt the whole scrape."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: Mapping[str, str] | None) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{key}="{value}"' for key, value in sorted(labels.items())
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
     )
     return "{" + inner + "}"
 

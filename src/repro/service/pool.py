@@ -176,6 +176,7 @@ def _solve_batch_task(
     sync: tuple[int, int, tuple],
     queries: list[Query],
     pivot: bool,
+    assume_nonnegative_sums: bool,
 ) -> list[DCSatResult]:
     """One batch query group (shared clique sweep), run inside a worker."""
     ctx = _sync_worker(*sync)
@@ -185,7 +186,11 @@ def _solve_batch_task(
         ctx["fd_graph"],
         queries,
         ctx["backend"].evaluate,
-        assume_nonnegative_sums=True,  # callers validated monotonicity
+        # The coordinator's flag, not a hard-coded True: the worker must
+        # apply exactly the monotonicity assumptions the coordinator
+        # validated with, or pooled verdicts could diverge from the
+        # sequential path.
+        assume_nonnegative_sums=assume_nonnegative_sums,
         short_circuit=False,  # the coordinator already ran the fast paths
         pivot=pivot,
     )
@@ -439,7 +444,7 @@ class SolverPool:
                     checker.fd_graph,
                     [parsed[i] for i in open_indexes],
                     checker.evaluate_world,
-                    assume_nonnegative_sums=True,
+                    assume_nonnegative_sums=checker.assume_nonnegative_sums,
                     short_circuit=False,
                     pivot=pivot,
                 )
@@ -454,7 +459,8 @@ class SolverPool:
                 executor, sync = self._prepare()
                 futures = [
                     executor.submit(
-                        _solve_batch_task, sync, [parsed[i] for i in group], pivot
+                        _solve_batch_task, sync, [parsed[i] for i in group],
+                        pivot, checker.assume_nonnegative_sums,
                     )
                     for group in groups
                 ]

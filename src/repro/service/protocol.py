@@ -45,6 +45,7 @@ QUEUED_OPS = frozenset(
         "issue",
         "commit",
         "forget",
+        "absorb",
         "status",
         "status_all",
         "violated",
@@ -52,7 +53,7 @@ QUEUED_OPS = frozenset(
 )
 
 #: Operations answered directly on the event loop.
-IMMEDIATE_OPS = frozenset({"ping", "metrics", "constraints", "shutdown"})
+IMMEDIATE_OPS = frozenset({"ping", "metrics", "constraints", "shards", "shutdown"})
 
 
 def encode_line(payload: dict) -> bytes:

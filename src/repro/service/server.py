@@ -42,10 +42,37 @@ from repro.core.monitor import ConstraintMonitor
 from repro.errors import ReproError, ServiceError
 from repro.service import protocol
 from repro.service.metrics import MetricsRegistry
+from repro.service.shard import ShardedMonitor
 
 DEFAULT_QUEUE_LIMIT = 64
 DEFAULT_DEADLINE = 30.0
 DEFAULT_DRAIN_TIMEOUT = 10.0
+
+
+# The service accepts anything monitor-shaped: a single
+# ConstraintMonitor (one checker) or a ShardedMonitor (one per shard).
+# These helpers bridge the two surfaces.
+
+
+def _monitor_checkers(monitor) -> list:
+    checkers = getattr(monitor, "checkers", None)
+    if callable(checkers):
+        return list(checkers())
+    return [monitor.checker]
+
+
+def _monitor_pending_count(monitor) -> int:
+    pending_count = getattr(monitor, "pending_count", None)
+    if callable(pending_count):
+        return pending_count()
+    return len(monitor.checker.db.pending_ids)
+
+
+def _monitor_epoch(monitor) -> int:
+    epoch = getattr(monitor, "epoch", None)
+    if epoch is not None:
+        return epoch
+    return getattr(getattr(monitor, "checker", None), "epoch", 0)
 
 
 class ConstraintService:
@@ -53,7 +80,7 @@ class ConstraintService:
 
     def __init__(
         self,
-        monitor: ConstraintMonitor,
+        monitor: ConstraintMonitor | ShardedMonitor,
         metrics: MetricsRegistry | None = None,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         default_deadline: float = DEFAULT_DEADLINE,
@@ -155,6 +182,12 @@ class ConstraintService:
                 "tx_id": args["tx_id"],
                 "invalidated": monitor.forget(args["tx_id"]),
             }
+        if op == "absorb":
+            tx = protocol.transaction_from_wire(args["tx"])
+            return {
+                "tx_id": tx.tx_id,
+                "invalidated": monitor.absorb(tx),
+            }
         if op == "status":
             entry = monitor.entry(args["name"])
             cached = entry.result is not None
@@ -199,13 +232,16 @@ class ConstraintService:
         ).set(sum(e.cache_hits for e in entries))
         m.gauge(
             "repro_pending_transactions", "Pending transactions in the db."
-        ).set(len(self.monitor.checker.db.pending_ids))
+        ).set(_monitor_pending_count(self.monitor))
+        export_gauges = getattr(self.monitor, "export_gauges", None)
+        if callable(export_gauges):
+            export_gauges(m)
 
     def _immediate(self, op: str, args: dict) -> dict:
         if op == "ping":
             return {
                 "pong": True,
-                "epoch": getattr(self.monitor.checker, "epoch", 0),
+                "epoch": _monitor_epoch(self.monitor),
                 "stopping": self._stopping,
             }
         if op == "metrics":
@@ -221,6 +257,11 @@ class ConstraintService:
                 }
                 for name in self.monitor.names
             }
+        if op == "shards":
+            describe = getattr(self.monitor, "describe", None)
+            if callable(describe):
+                return describe()
+            return {"sharded": False, "shards": 1}
         if op == "shutdown":
             self.request_stop()
             return {"stopping": True}
@@ -449,10 +490,10 @@ class ConstraintService:
         for writer in list(self._writers):
             writer.close()
         self._solver.shutdown(wait=True)
-        checker = self.monitor.checker
-        pool = getattr(checker, "pool", None)
-        if pool is not None:
-            pool.shutdown()
+        for checker in _monitor_checkers(self.monitor):
+            pool = getattr(checker, "pool", None)
+            if pool is not None:
+                pool.shutdown()
 
 
 class ServiceHandle:

@@ -1,0 +1,397 @@
+"""Sharded constraint monitoring: many monitors behind one front.
+
+A node watching hundreds of constraints over a wide schema pays for a
+single global world sweep on every ``status_all`` — and the number of
+maximal worlds *multiplies* across independent parts of the pending
+set.  :class:`ShardedMonitor` partitions registered constraints by
+relation footprint across N :class:`~repro.core.monitor.ConstraintMonitor`
+shards, each with its own :class:`~repro.core.checker.DCSatChecker`
+(optionally a :class:`~repro.service.pool.PooledDCSatChecker`), behind
+a front that preserves the monitor API.
+
+Routing rests on the same coupling analysis the monitor's invalidation
+uses (:func:`~repro.core.monitor.coupled_relations`): a state change
+over relations ``S`` can only affect verdicts over relations in the
+ind-connectivity / co-write closure of ``S``.  Each incoming
+issue / commit / forget / absorb is therefore applied **only** to
+shards whose footprint intersects that closure; for every other shard
+the op is appended to a per-shard *skipped* list.
+
+Skipped ops are replayed — in original order, ahead of any newer op —
+the moment the shard's state starts to matter:
+
+* before a routed op is applied, every skipped op whose coupled
+  closure *now* intersects the shard's footprint is drained first (a
+  later op can couple previously independent relations, e.g. a pending
+  transaction spanning both; ops in a different coupling component
+  commute with the routed op and stay skipped);
+* before a constraint is registered on the shard, against the grown
+  footprint;
+* the whole backlog, when it outgrows ``max_skipped`` (bounds memory).
+
+Drained ops replay against exactly the shard state their original
+global position produced (coupled ops drain together, decoupled ops
+commute), so each shard's database always equals the global database
+*restricted to what its verdicts can observe* — the verdict-identity
+tests in ``tests/service/test_shard.py`` exercise this against a
+single monitor over randomized traces.
+
+The payoff: a shard's world sweep enumerates cliques only over the
+pending transactions it has seen.  With B independent constraint
+batteries of 2^K worlds each, one monitor sweeps 2^(B·K) worlds where B
+shards sweep B·2^K (see ``benchmarks/test_sharded_monitor.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import serialize
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor, MonitorEntry, coupled_relations
+from repro.core.results import DCSatResult
+from repro.errors import ReproError
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.relational.transaction import Transaction
+from repro.service.metrics import MetricsRegistry
+
+#: Bucket bounds for the drained-ops-per-flush histogram.
+FLUSH_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+def _copy_database(db: BlockchainDatabase) -> BlockchainDatabase:
+    """An independent deep copy (shards must not share mutable state)."""
+    return serialize.database_from_dict(
+        serialize.database_to_dict(db), validate=False
+    )
+
+
+class _Shard:
+    """One monitor plus its routing state."""
+
+    def __init__(self, index: int, monitor: ConstraintMonitor):
+        self.index = index
+        self.monitor = monitor
+        #: Union of the raw relation footprints of registered entries.
+        self.footprint: frozenset[str] = frozenset()
+        #: State changes not yet applied, as ``(kind, payload,
+        #: relations)`` with the op's seed relations recorded at skip
+        #: time (a committed transaction's relations are not otherwise
+        #: recoverable later).  They cannot affect this shard's verdicts
+        #: while their coupling to the footprint stays empty.
+        self.skipped: list[tuple[str, object, frozenset[str]]] = []
+        self.flushes = 0
+        self.drained_ops = 0
+
+    def refresh_footprint(self) -> None:
+        names = self.monitor.names
+        footprint: set[str] = set()
+        for name in names:
+            footprint |= self.monitor.entry(name).relations
+        self.footprint = frozenset(footprint)
+
+    def apply(self, kind: str, payload) -> list[str]:
+        if kind == "issue":
+            return self.monitor.issue(payload)
+        if kind == "commit":
+            return self.monitor.commit(payload)
+        if kind == "forget":
+            return self.monitor.forget(payload)
+        if kind == "absorb":
+            return self.monitor.absorb(payload)
+        raise ReproError(f"unknown shard op {kind!r}")  # pragma: no cover
+
+
+class ShardedMonitor:
+    """N constraint monitors behind the single-monitor API.
+
+    ``checker_factory`` builds the per-shard checker from the shard's
+    private database copy; the default is a plain
+    :class:`~repro.core.checker.DCSatChecker`.  Pass a factory returning
+    :class:`~repro.service.pool.PooledDCSatChecker` instances to give
+    every shard its own solver pool.
+
+    With ``metrics``, each flush observes the number of drained ops in
+    a per-shard histogram; :meth:`export_gauges` publishes per-shard
+    gauges on demand (the server calls it on every metrics scrape).
+    """
+
+    def __init__(
+        self,
+        db: BlockchainDatabase,
+        shards: int = 2,
+        checker_factory: Callable[[BlockchainDatabase], DCSatChecker] | None = None,
+        max_skipped: int = 512,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if shards < 1:
+            raise ReproError(f"need at least one shard, got {shards}")
+        if checker_factory is None:
+            checker_factory = DCSatChecker
+        #: The front's own authoritative copy: validates ops and tracks
+        #: the pending set whose co-write footprints drive routing.
+        self._front = _copy_database(db)
+        self._shards = [
+            _Shard(index, ConstraintMonitor(checker_factory(_copy_database(db))))
+            for index in range(shards)
+        ]
+        self._placement: dict[str, _Shard] = {}
+        self.max_skipped = max_skipped
+        self._metrics = metrics
+        #: Monotone state-change counter, mirroring ``DCSatChecker.epoch``.
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register(
+        self,
+        name: str,
+        query: ConjunctiveQuery | AggregateQuery | str,
+        **check_kwargs,
+    ) -> MonitorEntry:
+        if name in self._placement:
+            raise ReproError(f"constraint {name!r} is already registered")
+        if isinstance(query, str):
+            query = parse_query(query)
+        shard = self._place(query.relations())
+        # The footprint is about to grow: drain every skipped op the
+        # new constraint could observe before it can cache a verdict.
+        self._drain(shard, shard.footprint | query.relations())
+        entry = shard.monitor.register(name, query, **check_kwargs)
+        shard.footprint |= entry.relations
+        self._placement[name] = shard
+        return entry
+
+    def _place(self, relations: frozenset[str]) -> _Shard:
+        """Deterministic placement: co-locate with the shard sharing the
+        most ind-coupled relations; otherwise balance by entry count."""
+        expanded = self._front.constraints.ind_closure(relations)
+        best: _Shard | None = None
+        best_score = 0
+        for shard in self._shards:
+            score = len(expanded & shard.footprint)
+            if score > best_score:
+                best, best_score = shard, score
+        if best is None:
+            best = min(
+                self._shards, key=lambda s: (len(s.monitor.names), s.index)
+            )
+        return best
+
+    def unregister(self, name: str) -> None:
+        shard = self._shard_of(name)
+        shard.monitor.unregister(name)
+        del self._placement[name]
+        shard.refresh_footprint()
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._placement)
+
+    def entry(self, name: str) -> MonitorEntry:
+        return self._shard_of(name).monitor.entry(name)
+
+    def _shard_of(self, name: str) -> _Shard:
+        try:
+            return self._placement[name]
+        except KeyError:
+            raise ReproError(f"no constraint named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Checking
+
+    def status(self, name: str, use_subsumption: bool = True) -> DCSatResult:
+        return self._shard_of(name).monitor.status(
+            name, use_subsumption=use_subsumption
+        )
+
+    def status_all(self, batch: bool = True) -> dict[str, DCSatResult]:
+        merged: dict[str, DCSatResult] = {}
+        for shard in self._shards:
+            merged.update(shard.monitor.status_all(batch=batch))
+        return {name: merged[name] for name in self._placement}
+
+    def violated(self) -> dict[str, DCSatResult]:
+        return {
+            name: result
+            for name, result in self.status_all().items()
+            if not result.satisfied
+        }
+
+    # ------------------------------------------------------------------
+    # State changes (routed)
+
+    def issue(self, tx: Transaction) -> list[str]:
+        self._front.add_pending(tx)  # validates id, relations, arity
+        self.epoch += 1
+        return self._route("issue", tx, frozenset(tx.relation_names))
+
+    def commit(self, tx_id: str) -> list[str]:
+        tx = self._front.remove_pending(tx_id)
+        self.epoch += 1
+        return self._route("commit", tx_id, frozenset(tx.relation_names))
+
+    def forget(self, tx_id: str) -> list[str]:
+        tx = self._front.remove_pending(tx_id)
+        self.epoch += 1
+        return self._route("forget", tx_id, frozenset(tx.relation_names))
+
+    def absorb(self, tx: Transaction) -> list[str]:
+        for rel in tx.relation_names:
+            if rel not in self._front.current:
+                raise ReproError(
+                    f"transaction {tx.tx_id!r} targets unknown relation {rel!r}"
+                )
+            schema = self._front.current[rel].schema
+            for values in tx.tuples(rel):
+                schema.validate_tuple(values)
+        self.epoch += 1
+        return self._route("absorb", tx, frozenset(tx.relation_names))
+
+    def _route(
+        self, kind: str, payload, relations: frozenset[str]
+    ) -> list[str]:
+        touched = coupled_relations(
+            relations,
+            self._front.constraints,
+            (tx.relation_names for tx in self._front.pending),
+        )
+        invalidated: list[str] = []
+        for shard in self._shards:
+            if touched & shard.footprint:
+                invalidated.extend(self._drain(shard, shard.footprint))
+                invalidated.extend(shard.apply(kind, payload))
+            else:
+                shard.skipped.append((kind, payload, relations))
+                if self.max_skipped and len(shard.skipped) > self.max_skipped:
+                    invalidated.extend(self._drain(shard, None))
+        # Match the single monitor: names in global registration order.
+        hit = set(invalidated)
+        return [name for name in self._placement if name in hit]
+
+    def _drain(self, shard: _Shard, footprint: frozenset[str] | None) -> list[str]:
+        """Replay the skipped ops coupled to *footprint*, in original
+        global order; ``None`` drains the whole backlog.
+
+        Ops in a different coupling component commute with everything
+        the shard observes, so they stay skipped — that independence is
+        what keeps each shard's world sweep small.  Coupled ops drain
+        together (their seeds close over the same component), so the
+        relative order among drained ops is the global one.
+        """
+        if not shard.skipped:
+            return []
+        footprints = [
+            frozenset(tx.relation_names) for tx in self._front.pending
+        ]
+        retained: list[tuple[str, object, frozenset[str]]] = []
+        invalidated: list[str] = []
+        drained = 0
+        for kind, payload, relations in shard.skipped:
+            coupled = footprint is None or (
+                coupled_relations(relations, self._front.constraints, footprints)
+                & footprint
+            )
+            if coupled:
+                invalidated.extend(shard.apply(kind, payload))
+                drained += 1
+            else:
+                retained.append((kind, payload, relations))
+        shard.skipped = retained
+        if drained:
+            shard.flushes += 1
+            shard.drained_ops += drained
+            if self._metrics is not None:
+                self._metrics.histogram(
+                    "repro_shard_flush_drained_ops",
+                    "Skipped operations replayed per shard drain.",
+                    labels={"shard": str(shard.index)},
+                    buckets=FLUSH_BUCKETS,
+                ).observe(drained)
+        return invalidated
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the server's duck-typed surface)
+
+    def pending_count(self) -> int:
+        return len(self._front.pending_ids)
+
+    def checkers(self) -> list[DCSatChecker]:
+        return [shard.monitor.checker for shard in self._shards]
+
+    def describe(self) -> dict:
+        """Per-shard placement, footprint and routing-state summary."""
+        return {
+            "sharded": True,
+            "shards": len(self._shards),
+            "detail": [
+                {
+                    "shard": shard.index,
+                    "constraints": sorted(shard.monitor.names),
+                    "footprint": sorted(shard.footprint),
+                    "pending": len(shard.monitor.checker.db.pending_ids),
+                    "skipped_ops": len(shard.skipped),
+                    "flushes": shard.flushes,
+                }
+                for shard in self._shards
+            ],
+        }
+
+    def export_gauges(self, metrics: MetricsRegistry) -> None:
+        """Publish per-shard gauges (called on every metrics scrape)."""
+        for shard in self._shards:
+            labels = {"shard": str(shard.index)}
+            names = shard.monitor.names
+            metrics.gauge(
+                "repro_shard_constraints",
+                "Constraints registered on the shard.",
+                labels=labels,
+            ).set(len(names))
+            metrics.gauge(
+                "repro_shard_pending_transactions",
+                "Pending transactions the shard has applied.",
+                labels=labels,
+            ).set(len(shard.monitor.checker.db.pending_ids))
+            metrics.gauge(
+                "repro_shard_skipped_ops",
+                "State changes queued but not yet applied to the shard.",
+                labels=labels,
+            ).set(len(shard.skipped))
+            metrics.gauge(
+                "repro_shard_checks_run",
+                "Solver checks run across the shard's entries.",
+                labels=labels,
+            ).set(
+                sum(shard.monitor.entry(name).checks_run for name in names)
+            )
+            metrics.gauge(
+                "repro_shard_flushes",
+                "Times the shard replayed its skipped-op backlog.",
+                labels=labels,
+            ).set(shard.flushes)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        for checker in self.checkers():
+            checker.close()
+
+    def __enter__(self) -> "ShardedMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        skipped = sum(len(shard.skipped) for shard in self._shards)
+        return (
+            f"ShardedMonitor({len(self._shards)} shards, "
+            f"{len(self._placement)} constraints, {skipped} skipped ops)"
+        )
+
+
+__all__ = ["ShardedMonitor"]

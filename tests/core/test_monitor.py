@@ -2,9 +2,16 @@
 
 import pytest
 
+from repro.core.blockchain_db import BlockchainDatabase
 from repro.core.checker import DCSatChecker
-from repro.core.monitor import ConstraintMonitor
+from repro.core.monitor import ConstraintMonitor, coupled_relations
 from repro.errors import ReproError
+from repro.relational.constraints import (
+    ConstraintSet,
+    InclusionDependency,
+    Key,
+)
+from repro.relational.database import Database, make_schema
 from repro.relational.transaction import Transaction
 
 QS_U8 = "q() <- TxOut(t, s, 'U8Pk', a)"
@@ -134,6 +141,31 @@ class TestSubsumption:
         assert monitor.entry("negated").checks_run == 1  # really checked
 
 
+class TestCoupledRelations:
+    def test_ind_closure_is_connectivity(self):
+        schema = make_schema({"A": ["x"], "B": ["x"], "C": ["x"]})
+        constraints = ConstraintSet(
+            schema, [InclusionDependency("A", ["x"], "B", ["x"])]
+        )
+        assert constraints.ind_closure({"A"}) == {"A", "B"}
+        assert constraints.ind_closure({"B"}) == {"A", "B"}
+        assert constraints.ind_closure({"C"}) == {"C"}
+        assert constraints.ind_closure([]) == frozenset()
+
+    def test_co_write_and_ind_edges_interleave(self):
+        # Seed {A}; a pending tx co-writes {A, B}; an ind couples B to C.
+        # The fixpoint must walk both edge kinds: A -> B (co-write) ->
+        # C (ind).
+        schema = make_schema({"A": ["x"], "B": ["x"], "C": ["x"], "D": ["x"]})
+        constraints = ConstraintSet(
+            schema, [InclusionDependency("B", ["x"], "C", ["x"])]
+        )
+        out = coupled_relations({"A"}, constraints, [{"A", "B"}])
+        assert out == {"A", "B", "C"}
+        # Single-relation footprints never bridge anything.
+        assert coupled_relations({"D"}, constraints, [{"A"}, {"D"}]) == {"D"}
+
+
 class TestInvalidation:
     def test_issue_invalidates_touching_constraints(self, monitor):
         monitor.register("u8", QS_U8)
@@ -157,14 +189,109 @@ class TestInvalidation:
         monitor.forget("T4")
         assert monitor.status("u8").satisfied
 
-    def test_untouched_constraints_stay_cached(self, figure2):
-        # Register a constraint over a relation the update never touches.
-        figure2.current.schema  # (schema already contains both relations)
-        checker = DCSatChecker(figure2)
-        monitor = ConstraintMonitor(checker)
+    def test_absorb_invalidates_touching_constraints(self, monitor):
+        monitor.register("u8", QS_U8)
+        monitor.register("ghost", "q() <- TxIn(p, s, 'GhostPk', a, n, g)")
+        monitor.status_all()
+        coinbase = Transaction({"TxOut": [(99, 1, "MinerPk", 50.0)]}, tx_id="CB")
+        invalidated = monitor.absorb(coinbase)
+        # TxOut and TxIn are ind-coupled in the Example 1 schema, so the
+        # absorbed coinbase reaches both cached verdicts.
+        assert sorted(invalidated) == ["ghost", "u8"]
+        assert monitor.entry("u8").result is None
+        # The facts really landed: a constraint over the new row violates.
+        monitor.register("miner", "q() <- TxOut(99, 1, 'MinerPk', 50.0)")
+        assert not monitor.status("miner").satisfied
+
+    def test_untouched_constraints_stay_cached(self):
+        # A constraint over a relation the update cannot reach — no ind
+        # couples R and S, and no pending transaction co-writes both —
+        # keeps its cached verdict.
+        schema = make_schema({"R": ["x"], "S": ["y"]})
+        db = BlockchainDatabase(
+            Database.from_dict(schema, {"R": [], "S": []}),
+            ConstraintSet(schema),
+        )
+        monitor = ConstraintMonitor(DCSatChecker(db))
+        monitor.register("s_only", "q() <- S('boom')")
+        monitor.status("s_only")
+        invalidated = monitor.issue(
+            Transaction({"R": [(1,)]}, tx_id="T-R")
+        )
+        assert invalidated == []
+        assert monitor.entry("s_only").result is not None
+
+    def test_commit_flips_ind_coupled_verdict(self):
+        """Regression: a commit into ``Parent`` flips the verdict of a
+        constraint over ind-dependent ``Child``.
+
+        The old ``_invalidate_touching`` intersected raw relation
+        footprints ({Parent} ∩ {Child} = ∅) and served the stale
+        "violated" verdict from cache.
+        """
+        schema = make_schema(
+            {"Parent": ["pid", "tag"], "Child": ["cid", "pid", "tag"]}
+        )
+        constraints = ConstraintSet(
+            schema,
+            [
+                Key("Parent", ["pid"], schema),
+                InclusionDependency(
+                    "Child", ["pid", "tag"], "Parent", ["pid", "tag"]
+                ),
+            ],
+        )
+        db = BlockchainDatabase(
+            Database.from_dict(schema, {"Parent": [(2, "z")], "Child": []}),
+            constraints,
+            [
+                Transaction({"Parent": [(1, "x")]}, tx_id="TP"),
+                Transaction({"Parent": [(1, "y")]}, tx_id="TQ"),
+                Transaction({"Child": [(10, 1, "x")]}, tx_id="TC"),
+            ],
+        )
+        monitor = ConstraintMonitor(DCSatChecker(db))
+        monitor.register("no-child", "q() <- Child(c, p, t)")
+        # TC is appendable once TP supplies Parent(1, 'x'): the world
+        # {TP, TC} contains a Child fact, so the constraint is violable.
+        assert not monitor.status("no-child").satisfied
+
+        # Committing TQ writes Parent(1, 'y'); the key on pid makes TP
+        # never-appendable, and with it TC loses its only parent row.
+        invalidated = monitor.commit("TQ")
+        assert invalidated == ["no-child"]
+        fresh = monitor.status("no-child")
+        assert fresh.satisfied
+        assert monitor.entry("no-child").checks_run == 2
+
+    def test_commit_flips_co_written_verdict(self):
+        """A pending transaction spanning two relations couples them even
+        without inclusion dependencies: committing a conflicting ``B``
+        row kills the spanning transaction, and its ``A`` facts vanish
+        from every possible world."""
+        schema = make_schema({"A": ["x"], "B": ["k", "v"]})
+        constraints = ConstraintSet(schema, [Key("B", ["k"], schema)])
+        db = BlockchainDatabase(
+            Database.from_dict(schema, {"A": [], "B": []}),
+            constraints,
+            [
+                Transaction({"A": [(1,)], "B": [(1, "x")]}, tx_id="T-SPAN"),
+                Transaction({"B": [(1, "y")]}, tx_id="T-B"),
+            ],
+        )
+        monitor = ConstraintMonitor(DCSatChecker(db))
+        monitor.register("no-a", "q() <- A(x)")
+        assert not monitor.status("no-a").satisfied
+        invalidated = monitor.commit("T-B")
+        assert invalidated == ["no-a"]
+        assert monitor.status("no-a").satisfied
+
+    def test_ind_coupled_relations_invalidate_together(self, monitor):
+        # TxIn ⊆ TxOut in the Example 1 schema: a TxOut-only change can
+        # alter which TxIn transactions are appendable, so a TxIn-only
+        # constraint must not keep its cached verdict.
         monitor.register("txin_only", "q() <- TxIn(p, s, 'GhostPk', a, n, g)")
         monitor.status("txin_only")
         tx = Transaction({"TxOut": [(9, 1, "ZPk", 1.0)]}, tx_id="T9")
-        invalidated = monitor.issue(tx)
-        assert invalidated == []
-        assert monitor.entry("txin_only").result is not None
+        assert monitor.issue(tx) == ["txin_only"]
+        assert monitor.entry("txin_only").result is None

@@ -75,6 +75,29 @@ class TestRegistry:
         assert "repro_solve_seconds_count 1" in text
         assert text.endswith("\n")
 
+    def test_label_values_escaped(self):
+        # Constraint names are user-supplied and become label values; a
+        # backslash, quote or newline must not corrupt the exposition.
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_checks_total",
+            "Checks.",
+            labels={"constraint": 'back\\slash "quoted"\nsecond line'},
+        ).inc()
+        text = registry.render_text()
+        expected = (
+            'repro_checks_total{constraint='
+            '"back\\\\slash \\"quoted\\"\\nsecond line"} 1'
+        )
+        assert expected in text
+        # The raw newline never leaks into the output mid-sample.
+        assert '"quoted"\nsecond line' not in text
+
+    def test_numeric_label_values_coerced(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_shard_pending", labels={"shard": 3}).set(7)
+        assert 'repro_shard_pending{shard="3"} 7' in registry.render_text()
+
     def test_concurrent_increments(self):
         registry = MetricsRegistry()
         counter = registry.counter("repro_hits_total")

@@ -158,6 +158,65 @@ class TestParallelBatch:
             sequential.close()
 
 
+class TestSumAggregates:
+    """``assume_nonnegative_sums`` must reach the batch worker tasks
+    instead of being hard-coded, so a pool built WITHOUT the flag
+    rejects sum aggregates exactly like the sequential checker."""
+
+    QUERIES = [
+        "[q(sum(amt)) <- Pay(k, amt)] > 10",
+        "[q(sum(amt)) <- Pay(k, amt)] >= 25",
+        "[q(sum(amt)) <- Pay(k, amt)] > 30",  # decided by short-circuit
+    ]
+
+    @staticmethod
+    def pay_db():
+        from repro.core.blockchain_db import BlockchainDatabase
+        from repro.relational.constraints import (
+            ConstraintSet,
+            FunctionalDependency,
+        )
+        from repro.relational.database import Database, make_schema
+        from repro.relational.transaction import Transaction
+
+        schema = make_schema({"Pay": ["k", "amt"]})
+        constraints = ConstraintSet(
+            schema, [FunctionalDependency("Pay", ["k"], ["amt"])]
+        )
+        state = Database.from_dict(schema, {"Pay": [(0, 4)]})
+        pending = [
+            Transaction({"Pay": [(k, amt)]}, tx_id=f"P{k}x{amt}")
+            for k in (1, 2, 3)
+            for amt in (3, 8)
+        ]
+        return BlockchainDatabase(state, constraints, pending)
+
+    def test_flag_reaches_batch_workers(self):
+        pooled = PooledDCSatChecker(
+            self.pay_db(), max_workers=2, assume_nonnegative_sums=True
+        )
+        sequential = DCSatChecker(self.pay_db(), assume_nonnegative_sums=True)
+        try:
+            expected = sequential.check_batch(self.QUERIES)
+            actual = pooled.check_batch(self.QUERIES)
+            assert [r.satisfied for r in actual] == [
+                r.satisfied for r in expected
+            ]
+            for got, want in zip(actual, expected):
+                assert got.witness == want.witness
+        finally:
+            pooled.close()
+            sequential.close()
+
+    def test_sum_rejected_without_the_flag(self):
+        pooled = PooledDCSatChecker(self.pay_db(), max_workers=2)
+        try:
+            with pytest.raises(AlgorithmError):
+                pooled.check_batch(self.QUERIES[:1])
+        finally:
+            pooled.close()
+
+
 class TestSolverPoolDirect:
     def test_single_component_stays_in_process(self):
         checker = DCSatChecker(component_db(components=1, keys=1))

@@ -165,6 +165,57 @@ class TestRoundTrip:
             assert client.status("pipelined")["satisfied"] is True
         client.unregister("pipelined")
 
+    def test_absorb_commits_straight_to_state(self, client):
+        client.register("boom", Q_S_BOOM)
+        assert client.status("boom")["satisfied"] is True
+        invalidated = client.absorb(Transaction({"S": [("boom",)]}, tx_id="ABS"))
+        assert invalidated == ["boom"]
+        verdict = client.status("boom")
+        assert verdict["cached"] is False
+        assert verdict["satisfied"] is False
+        client.unregister("boom")
+
+    def test_shards_describe_single_monitor(self, client):
+        assert client.shards() == {"sharded": False, "shards": 1}
+
+
+class TestShardedService:
+    def test_round_trip_through_sharded_monitor(self):
+        from repro.service.shard import ShardedMonitor
+
+        monitor = ShardedMonitor(two_relation_db(), shards=2)
+        service = ConstraintService(monitor, metrics=MetricsRegistry())
+        handle = serve_in_thread(service)
+        try:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.register("on-r", Q_R_CONFLICT)
+                client.register("on-s", Q_S_BOOM)
+                described = client.shards()
+                assert described["sharded"] is True
+                assert described["shards"] == 2
+                assert {
+                    len(d["constraints"]) for d in described["detail"]
+                } == {1}
+
+                assert client.status("on-r")["satisfied"] is True
+                assert client.status("on-s")["satisfied"] is True
+                invalidated = client.issue(
+                    Transaction({"S": [("boom",)]}, tx_id="T-S")
+                )
+                assert invalidated == ["on-s"]
+                assert client.status("on-s")["satisfied"] is False
+                assert client.commit("T-S") == ["on-s"]
+                assert client.absorb(
+                    Transaction({"R": [(3, 3, "a")]}, tx_id="ABS")
+                ) == ["on-r"]
+                assert client.ping()["pong"] is True
+                text = client.metrics_text()
+                assert 'repro_shard_constraints{shard="0"} 1' in text
+                assert 'repro_shard_constraints{shard="1"} 1' in text
+        finally:
+            handle.stop()
+            monitor.close()
+
 
 class TestDeadlines:
     def test_deadline_expires_but_operation_completes(self):

@@ -1,0 +1,316 @@
+"""ShardedMonitor: placement, routing, and verdict identity vs a single
+ConstraintMonitor over randomized operation traces."""
+
+import random
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+from repro.errors import ReproError
+from repro.relational.constraints import ConstraintSet, InclusionDependency, Key
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+from repro.service.metrics import MetricsRegistry
+from repro.service.shard import ShardedMonitor
+
+
+def two_relation_db():
+    """A(k, v) and B(k, v), each with a key on k, no coupling between."""
+    schema = make_schema({"A": ["k", "v"], "B": ["k", "v"]})
+    constraints = ConstraintSet(
+        schema, [Key("A", ["k"], schema), Key("B", ["k"], schema)]
+    )
+    return BlockchainDatabase(
+        Database.from_dict(schema, {"A": [], "B": []}), constraints
+    )
+
+
+def parent_child_db():
+    """Parent/Child coupled by an inclusion dependency, plus a loner D."""
+    schema = make_schema(
+        {
+            "Parent": ["pid", "tag"],
+            "Child": ["cid", "pid", "tag"],
+            "D": ["k", "v"],
+        }
+    )
+    constraints = ConstraintSet(
+        schema,
+        [
+            Key("Parent", ["pid"], schema),
+            Key("D", ["k"], schema),
+            InclusionDependency("Child", ["pid", "tag"], "Parent", ["pid", "tag"]),
+        ],
+    )
+    return BlockchainDatabase(
+        Database.from_dict(
+            schema, {"Parent": [(0, "z")], "Child": [], "D": []}
+        ),
+        constraints,
+    )
+
+
+class TestPlacement:
+    def test_decoupled_constraints_spread(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=2)
+        sharded.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+        sharded.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+        placements = {name: sharded._placement[name].index for name in sharded.names}
+        assert placements["a1"] != placements["b1"]
+
+    def test_coupled_constraints_co_locate(self):
+        sharded = ShardedMonitor(parent_child_db(), shards=2)
+        sharded.register("p", "q() <- Parent(p, 'x')")
+        sharded.register("c", "q() <- Child(c, p, t)")  # ind-coupled to Parent
+        sharded.register("d", "q() <- D(k, v)")
+        placements = {name: sharded._placement[name].index for name in sharded.names}
+        assert placements["p"] == placements["c"]
+        assert placements["d"] != placements["p"]
+
+    def test_duplicate_name_rejected_across_shards(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=2)
+        sharded.register("x", "q() <- A(k, v)")
+        with pytest.raises(ReproError):
+            sharded.register("x", "q() <- B(k, v)")
+
+    def test_unregister_shrinks_footprint(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=1)
+        sharded.register("a1", "q() <- A(k, v)")
+        sharded.register("b1", "q() <- B(k, v)")
+        shard = sharded._placement["a1"]
+        assert shard.footprint == {"A", "B"}
+        sharded.unregister("b1")
+        assert shard.footprint == {"A"}
+        assert sharded.names == ("a1",)
+        with pytest.raises(ReproError):
+            sharded.unregister("b1")
+
+    def test_unknown_constraint(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=2)
+        with pytest.raises(ReproError):
+            sharded.status("ghost")
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ReproError):
+            ShardedMonitor(two_relation_db(), shards=0)
+
+
+class TestRouting:
+    def test_decoupled_ops_stay_skipped(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=2)
+        sharded.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+        sharded.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+        sharded.issue(Transaction({"A": [(1, "x")]}, tx_id="TA"))
+        sharded.issue(Transaction({"B": [(1, "x")]}, tx_id="TB"))
+        detail = {d["shard"]: d for d in sharded.describe()["detail"]}
+        a_shard = sharded._placement["a1"].index
+        b_shard = sharded._placement["b1"].index
+        # Each shard applied only its own battery's transaction.
+        assert detail[a_shard]["pending"] == 1
+        assert detail[b_shard]["pending"] == 1
+        assert detail[a_shard]["skipped_ops"] == 1
+        assert detail[b_shard]["skipped_ops"] == 1
+        assert detail[a_shard]["flushes"] == 0
+
+    def test_spanning_transaction_drains_backlog(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=2)
+        sharded.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+        sharded.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+        sharded.issue(Transaction({"A": [(1, "x")]}, tx_id="TA"))
+        sharded.issue(Transaction({"B": [(1, "x")]}, tx_id="TB"))
+        sharded.issue(Transaction({"A": [(2, "s")], "B": [(2, "s")]}, tx_id="SPAN"))
+        detail = {d["shard"]: d for d in sharded.describe()["detail"]}
+        for d in detail.values():
+            assert d["skipped_ops"] == 0
+            assert d["pending"] == 3
+
+    def test_registration_drains_what_the_new_entry_observes(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=1)
+        sharded.register("a1", "q() <- A(k, v)")
+        sharded.issue(Transaction({"B": [(1, "x")]}, tx_id="TB"))
+        shard = sharded._placement["a1"]
+        assert len(shard.skipped) == 1
+        sharded.register("b1", "q() <- B(k, 'x')")
+        assert shard.skipped == []
+        # The drained issue is visible to the new constraint: a possible
+        # world containing B(1, 'x') violates the denial constraint.
+        assert not sharded.status("b1").satisfied
+
+    def test_max_skipped_bounds_the_backlog(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=1, max_skipped=3)
+        sharded.register("a1", "q() <- A(k, v)")
+        for i in range(5):
+            sharded.issue(Transaction({"B": [(i, "x")]}, tx_id=f"TB{i}"))
+        shard = sharded._placement["a1"]
+        assert len(shard.skipped) <= 3
+        assert shard.drained_ops >= 4
+
+    def test_front_validates_before_routing(self):
+        sharded = ShardedMonitor(two_relation_db(), shards=2)
+        sharded.register("a1", "q() <- A(k, v)")
+        sharded.issue(Transaction({"A": [(1, "x")]}, tx_id="T1"))
+        with pytest.raises(ReproError):
+            sharded.issue(Transaction({"A": [(2, "y")]}, tx_id="T1"))  # dup id
+        with pytest.raises(ReproError):
+            sharded.commit("nope")
+        with pytest.raises(ReproError):
+            sharded.absorb(Transaction({"Zzz": [(1,)]}, tx_id="X"))
+        # The failed ops left nothing behind.
+        assert sharded.pending_count() == 1
+
+    def test_flush_histogram_observed(self):
+        metrics = MetricsRegistry()
+        sharded = ShardedMonitor(two_relation_db(), shards=2, metrics=metrics)
+        sharded.register("a1", "q() <- A(k, v)")
+        sharded.register("b1", "q() <- B(k, v)")
+        sharded.issue(Transaction({"A": [(1, "x")]}, tx_id="TA"))
+        sharded.issue(Transaction({"A": [(2, "s")], "B": [(2, "s")]}, tx_id="SPAN"))
+        sharded.export_gauges(metrics)
+        text = metrics.render_text()
+        assert "repro_shard_flush_drained_ops_bucket" in text
+        assert 'repro_shard_constraints{shard="0"} 1' in text
+        assert 'repro_shard_constraints{shard="1"} 1' in text
+
+
+class TraceRunner:
+    """Drive a ShardedMonitor and a single ConstraintMonitor in lockstep,
+    asserting invalidation lists and verdicts stay identical."""
+
+    def __init__(self, db_factory, shards: int):
+        self.sharded = ShardedMonitor(db_factory(), shards=shards)
+        self.single = ConstraintMonitor(DCSatChecker(db_factory()))
+
+    def register(self, name, query):
+        self.sharded.register(name, query)
+        self.single.register(name, query)
+
+    def op(self, kind, payload):
+        got = getattr(self.sharded, kind)(payload)
+        want = getattr(self.single, kind)(payload)
+        assert got == want, f"{kind}: invalidated {got} != {want}"
+
+    def check_verdicts(self):
+        got = self.sharded.status_all()
+        want = self.single.status_all()
+        assert set(got) == set(want)
+        for name in want:
+            assert got[name].satisfied == want[name].satisfied, name
+            assert (got[name].witness is None) == (want[name].witness is None)
+
+
+class TestVerdictIdentity:
+    def test_deterministic_ind_coupled_commit_flip(self):
+        # The stale-verdict regression scenario, through the shard front:
+        # the commit into Parent must reach the Child constraint's shard.
+        runner = TraceRunner(parent_child_db, shards=2)
+        runner.register("no-child", "q() <- Child(c, p, t)")
+        runner.register("d-conflict", "q() <- D(k, 'x'), D(k, 'y')")
+        runner.op("issue", Transaction({"Parent": [(1, "x")]}, tx_id="TP"))
+        runner.op("issue", Transaction({"Parent": [(1, "y")]}, tx_id="TQ"))
+        runner.op("issue", Transaction({"Child": [(10, 1, "x")]}, tx_id="TC"))
+        runner.op("issue", Transaction({"D": [(1, "x")]}, tx_id="TD"))
+        runner.check_verdicts()
+        assert not runner.sharded.status("no-child").satisfied
+        runner.op("commit", "TQ")
+        runner.check_verdicts()
+        assert runner.sharded.status("no-child").satisfied
+
+    def test_absorb_identity(self):
+        runner = TraceRunner(parent_child_db, shards=2)
+        runner.register("no-child", "q() <- Child(c, p, t)")
+        runner.register("d-any", "q() <- D(k, v)")
+        runner.check_verdicts()
+        runner.op("absorb", Transaction({"Parent": [(5, "m")]}, tx_id="XB1"))
+        runner.op("issue", Transaction({"Child": [(1, 5, "m")]}, tx_id="TC"))
+        runner.check_verdicts()
+        assert not runner.sharded.status("no-child").satisfied
+
+    @pytest.mark.parametrize("seed", [7, 23, 51])
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_randomized_traces_decoupled_schema(self, seed, shards):
+        rng = random.Random(seed)
+        runner = TraceRunner(two_relation_db, shards=shards)
+        runner.register("a-conflict", "q() <- A(k, 'x'), A(k, 'y')")
+        runner.register("b-conflict", "q() <- B(k, 'x'), B(k, 'y')")
+        self._drive(rng, runner, relations=["A", "B"], steps=40)
+
+    @pytest.mark.parametrize("seed", [3, 19])
+    def test_randomized_traces_ind_coupled_schema(self, seed):
+        rng = random.Random(seed)
+        runner = TraceRunner(parent_child_db, shards=2)
+        runner.register("no-child", "q() <- Child(c, p, t)")
+        runner.register("d-conflict", "q() <- D(k, 'x'), D(k, 'y')")
+        self._drive_ind(rng, runner, steps=35)
+
+    def _drive(self, rng, runner, relations, steps):
+        next_id = 0
+        registered = 2
+        for _ in range(steps):
+            pending = list(runner.single.checker.db.pending_ids)
+            roll = rng.random()
+            if roll < 0.40 or not pending:
+                next_id += 1
+                if rng.random() < 0.2:  # spanning co-write
+                    facts = {
+                        rel: [(rng.randrange(4), rng.choice("xy"))]
+                        for rel in relations
+                    }
+                else:
+                    rel = rng.choice(relations)
+                    facts = {rel: [(rng.randrange(4), rng.choice("xy"))]}
+                runner.op("issue", Transaction(facts, tx_id=f"T{next_id}"))
+            elif roll < 0.60:
+                runner.op("commit", rng.choice(pending))
+            elif roll < 0.75:
+                runner.op("forget", rng.choice(pending))
+            elif roll < 0.85:
+                next_id += 1
+                rel = rng.choice(relations)
+                runner.op(
+                    "absorb",
+                    Transaction(
+                        {rel: [(100 + next_id, "z")]}, tx_id=f"X{next_id}"
+                    ),
+                )
+            else:
+                registered += 1
+                rel = rng.choice(relations)
+                runner.register(
+                    f"c{registered}", f"q() <- {rel}({rng.randrange(4)}, v)"
+                )
+            runner.check_verdicts()
+
+    def _drive_ind(self, rng, runner, steps):
+        next_id = 0
+        for _ in range(steps):
+            pending = list(runner.single.checker.db.pending_ids)
+            roll = rng.random()
+            if roll < 0.45 or not pending:
+                next_id += 1
+                kind = rng.random()
+                if kind < 0.4:
+                    facts = {"Parent": [(rng.randrange(4), rng.choice("xy"))]}
+                elif kind < 0.7:
+                    facts = {
+                        "Child": [
+                            (next_id, rng.randrange(4), rng.choice("xy"))
+                        ]
+                    }
+                else:
+                    facts = {"D": [(rng.randrange(3), rng.choice("xy"))]}
+                runner.op("issue", Transaction(facts, tx_id=f"T{next_id}"))
+            elif roll < 0.70:
+                runner.op("commit", rng.choice(pending))
+            elif roll < 0.85:
+                runner.op("forget", rng.choice(pending))
+            else:
+                next_id += 1
+                runner.op(
+                    "absorb",
+                    Transaction(
+                        {"Parent": [(50 + next_id, "z")]}, tx_id=f"X{next_id}"
+                    ),
+                )
+            runner.check_verdicts()
