@@ -22,6 +22,7 @@ import sys
 from repro import serialize
 from repro.core.checker import ALGORITHMS, DCSatChecker
 from repro.errors import ReproError
+from repro.obs.log import LEVELS, configure_logging
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -188,10 +189,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    def ready_with_http(host: str, port: int) -> None:
+        ready(host, port)
+        if service.http_port is not None:
+            print(
+                f"observability endpoint on "
+                f"http://{service.http_host}:{service.http_port} "
+                f"(/metrics /healthz /tracez)",
+                flush=True,
+            )
+
     try:
         asyncio.run(
             service.run(
-                args.host, args.port, ready=ready, install_signal_handlers=True
+                args.host,
+                args.port,
+                ready=ready_with_http,
+                install_signal_handlers=True,
+                http_host=args.http_host,
+                http_port=args.http_port,
             )
         )
     finally:
@@ -210,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Denial-constraint satisfaction over blockchain databases "
             "(Cohen, Rosenthal, Zohar — ICDE 2020 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--log-level", choices=LEVELS, default="warning",
+        help="structured-log threshold for the repro.* loggers",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one JSON object per log line (trace-id correlated)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -277,6 +301,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0,
         help="how long graceful shutdown waits for in-flight checks",
     )
+    serve.add_argument(
+        "--http-port", type=int, default=None,
+        help="also serve GET /metrics, /healthz and /tracez over plain "
+        "HTTP on this port (0 picks a free one; default: disabled)",
+    )
+    serve.add_argument(
+        "--http-host", default="127.0.0.1",
+        help="bind address for the observability endpoint",
+    )
     serve.add_argument("--backend", choices=["memory", "sqlite"], default="memory")
     serve.add_argument("--assume-nonnegative-sums", action="store_true")
     serve.set_defaults(func=_cmd_serve)
@@ -287,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     try:
         return args.func(args)
     except ReproError as error:

@@ -42,6 +42,7 @@ from repro.core.tractable import (
 )
 from repro.core.workspace import Workspace
 from repro.errors import AlgorithmError
+from repro.obs.trace import span as obs_span
 from repro.query.analysis import is_connected, is_monotone
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.query.parser import parse_query
@@ -171,14 +172,16 @@ class DCSatChecker:
                 stats.algorithm = "rewrite"
                 return DCSatResult(satisfied=True, stats=stats)
         started = time.perf_counter()
-        try:
-            return self._check(
-                query, algorithm, short_circuit, use_coverage, pivot,
-                pending_limit, stats,
-            )
-        finally:
-            stats.elapsed_seconds = time.perf_counter() - started
-            self.workspace.clear_active()
+        with obs_span("dcsat.check", requested=algorithm) as sp:
+            try:
+                return self._check(
+                    query, algorithm, short_circuit, use_coverage, pivot,
+                    pending_limit, stats,
+                )
+            finally:
+                stats.elapsed_seconds = time.perf_counter() - started
+                sp.fold_stats(stats)
+                self.workspace.clear_active()
 
     def _check(
         self,
@@ -237,25 +240,31 @@ class DCSatChecker:
         Shared by :meth:`_check` and the parallel solver pool so the
         parallel path answers the easy cases without touching workers.
         """
-        # The current state is itself a possible world: if it already
-        # satisfies the underlying query, no algorithm is needed.
-        stats.evaluations += 1
-        if self._evaluate_world(query, frozenset()):
-            stats.algorithm = stats.algorithm or "state-check"
-            return DCSatResult(satisfied=False, witness=frozenset(), stats=stats)
-
-        # The paper's monotone short-circuit: q false over R ∪ T implies
-        # q false over every possible world (each is a subset).
-        if monotone and short_circuit:
+        with obs_span("fast_paths") as sp:
+            # The current state is itself a possible world: if it already
+            # satisfies the underlying query, no algorithm is needed.
             stats.evaluations += 1
-            all_active = frozenset(self.db.pending_ids)
-            if not self._evaluate_world(query, all_active):
+            if self._evaluate_world(query, frozenset()):
+                stats.algorithm = stats.algorithm or "state-check"
+                sp.set(decided="state-check")
+                return DCSatResult(
+                    satisfied=False, witness=frozenset(), stats=stats
+                )
+
+            # The paper's monotone short-circuit: q false over R ∪ T implies
+            # q false over every possible world (each is a subset).
+            if monotone and short_circuit:
+                stats.evaluations += 1
+                all_active = frozenset(self.db.pending_ids)
+                if not self._evaluate_world(query, all_active):
+                    stats.short_circuit_used = True
+                    stats.short_circuit_result = True
+                    stats.algorithm = stats.algorithm or "short-circuit"
+                    sp.set(decided="short-circuit")
+                    return DCSatResult(satisfied=True, stats=stats)
                 stats.short_circuit_used = True
-                stats.short_circuit_result = True
-                stats.algorithm = stats.algorithm or "short-circuit"
-                return DCSatResult(satisfied=True, stats=stats)
-            stats.short_circuit_used = True
-            stats.short_circuit_result = False
+                stats.short_circuit_result = False
+            sp.set(decided="")
         return None
 
     def _require_monotone(self, query, monotone: bool, name: str) -> None:

@@ -16,6 +16,7 @@ from typing import Iterable
 from repro.core.checker import DCSatChecker
 from repro.core.results import DCSatResult
 from repro.errors import ReproError
+from repro.obs.trace import span as obs_span
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.relational.constraints import ConstraintSet
@@ -154,21 +155,28 @@ class ConstraintMonitor:
         already-verified satisfied constraint is answered for free.
         """
         entry = self.entry(name)
-        if entry.result is None and use_subsumption:
-            covering = self._subsumed_by_satisfied(entry)
-            if covering is not None:
-                from repro.core.results import DCSatStats
+        with obs_span("monitor.status", constraint=name) as sp:
+            if entry.result is None and use_subsumption:
+                covering = self._subsumed_by_satisfied(entry)
+                if covering is not None:
+                    from repro.core.results import DCSatStats
 
-                entry.result = DCSatResult(
-                    satisfied=True,
-                    stats=DCSatStats(algorithm=f"subsumed-by:{covering}"),
+                    entry.result = DCSatResult(
+                        satisfied=True,
+                        stats=DCSatStats(algorithm=f"subsumed-by:{covering}"),
+                    )
+                    sp.set(outcome="subsumed", covered_by=covering)
+                    return entry.result
+            if entry.result is None:
+                sp.set(outcome="check")
+                entry.result = self.checker.check(
+                    entry.query, **entry.check_kwargs
                 )
-                return entry.result
-        if entry.result is None:
-            entry.result = self.checker.check(entry.query, **entry.check_kwargs)
-            entry.checks_run += 1
-        else:
-            entry.cache_hits += 1
+                entry.checks_run += 1
+            else:
+                sp.set(outcome="cache-hit")
+                entry.cache_hits += 1
+            sp.set(satisfied=entry.result.satisfied)
         return entry.result
 
     def status_all(self, batch: bool = True) -> dict[str, DCSatResult]:
@@ -221,16 +229,18 @@ class ConstraintMonitor:
         appendable over an ind-coupled (or co-written) relation ``B``.
         Intersecting raw footprints served stale verdicts in that case.
         """
-        touched = coupled_relations(
-            relations,
-            self.checker.db.constraints,
-            (tx.relation_names for tx in self.checker.db.pending),
-        )
-        invalidated = []
-        for entry in self._entries.values():
-            if entry.result is not None and entry.relations & touched:
-                entry.result = None
-                invalidated.append(entry.name)
+        with obs_span("monitor.invalidate") as sp:
+            touched = coupled_relations(
+                relations,
+                self.checker.db.constraints,
+                (tx.relation_names for tx in self.checker.db.pending),
+            )
+            invalidated = []
+            for entry in self._entries.values():
+                if entry.result is not None and entry.relations & touched:
+                    entry.result = None
+                    invalidated.append(entry.name)
+            sp.set(touched=len(touched), invalidated=len(invalidated))
         return invalidated
 
     def issue(self, tx: Transaction) -> list[str]:

@@ -16,6 +16,7 @@ from repro.core.fd_graph import FdTransactionGraph
 from repro.core.possible_worlds import get_maximal
 from repro.core.results import DCSatResult, DCSatStats
 from repro.core.workspace import Workspace
+from repro.obs.trace import span as obs_span
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 
 #: Evaluates the query over the workspace's currently active world.
@@ -37,11 +38,14 @@ def naive_dcsat(
     """
     stats = stats if stats is not None else DCSatStats()
     stats.algorithm = stats.algorithm or "naive"
-    for clique in fd_graph.maximal_cliques(pivot=pivot):
-        stats.cliques_enumerated += 1
-        world = get_maximal(workspace, clique)
-        stats.worlds_checked += 1
-        stats.evaluations += 1
-        if evaluate_world(query, world):
-            return DCSatResult(satisfied=False, witness=world, stats=stats)
+    with obs_span("clique_sweep", algorithm="naive") as sp:
+        for clique in fd_graph.maximal_cliques(pivot=pivot):
+            stats.cliques_enumerated += 1
+            world = get_maximal(workspace, clique)
+            stats.worlds_checked += 1
+            stats.evaluations += 1
+            if evaluate_world(query, world):
+                sp.set(cliques=stats.cliques_enumerated, violated=True)
+                return DCSatResult(satisfied=False, witness=world, stats=stats)
+        sp.set(cliques=stats.cliques_enumerated, violated=False)
     return DCSatResult(satisfied=True, stats=stats)

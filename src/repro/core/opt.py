@@ -28,6 +28,7 @@ from repro.core.possible_worlds import get_maximal
 from repro.core.results import DCSatResult, DCSatStats
 from repro.core.workspace import Workspace
 from repro.errors import AlgorithmError
+from repro.obs.trace import span as obs_span
 from repro.query.analysis import constant_patterns, is_connected
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 
@@ -53,19 +54,25 @@ def component_survivors(
     """
     patterns = constant_patterns(query)
     survivors: list[set[str]] = []
-    for component in ind_graph.components(query):
-        if stats is not None:
-            stats.components_total += 1
-        candidates = component & fd_graph.nodes
-        if not candidates:
+    with obs_span("component_prune") as sp:
+        total = pruned = 0
+        for component in ind_graph.components(query):
+            total += 1
             if stats is not None:
-                stats.components_pruned += 1
-            continue
-        if use_coverage and not covers(workspace, candidates, patterns):
-            if stats is not None:
-                stats.components_pruned += 1
-            continue
-        survivors.append(candidates)
+                stats.components_total += 1
+            candidates = component & fd_graph.nodes
+            if not candidates:
+                pruned += 1
+                if stats is not None:
+                    stats.components_pruned += 1
+                continue
+            if use_coverage and not covers(workspace, candidates, patterns):
+                pruned += 1
+                if stats is not None:
+                    stats.components_pruned += 1
+                continue
+            survivors.append(candidates)
+        sp.set(components=total, pruned=pruned, survivors=len(survivors))
     return survivors
 
 
@@ -86,15 +93,20 @@ def solve_component(
     of the parallel solver pool: it only needs the workspace, the
     fd-graph and a candidate set — no ind-graph, no checker.
     """
-    for clique in fd_graph.maximal_cliques(restrict=candidates, pivot=pivot):
-        if stats is not None:
-            stats.cliques_enumerated += 1
-        world = get_maximal(workspace, clique)
-        if stats is not None:
-            stats.worlds_checked += 1
-            stats.evaluations += 1
-        if evaluate_world(query, world):
-            return world
+    with obs_span("clique_sweep", candidates=len(candidates)) as sp:
+        cliques = 0
+        for clique in fd_graph.maximal_cliques(restrict=candidates, pivot=pivot):
+            cliques += 1
+            if stats is not None:
+                stats.cliques_enumerated += 1
+            world = get_maximal(workspace, clique)
+            if stats is not None:
+                stats.worlds_checked += 1
+                stats.evaluations += 1
+            if evaluate_world(query, world):
+                sp.set(cliques=cliques, violated=True)
+                return world
+        sp.set(cliques=cliques, violated=False)
     return None
 
 
@@ -126,11 +138,12 @@ def opt_dcsat(
         workspace, fd_graph, ind_graph, query,
         use_coverage=use_coverage, stats=stats,
     )
-    for candidates in survivors:
-        witness = solve_component(
-            workspace, fd_graph, query, candidates, evaluate_world,
-            pivot=pivot, stats=stats,
-        )
+    for index, candidates in enumerate(survivors):
+        with obs_span("solve_component", component=index):
+            witness = solve_component(
+                workspace, fd_graph, query, candidates, evaluate_world,
+                pivot=pivot, stats=stats,
+            )
         if witness is not None:
             return DCSatResult(satisfied=False, witness=witness, stats=stats)
     return DCSatResult(satisfied=True, stats=stats)

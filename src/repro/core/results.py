@@ -22,6 +22,18 @@ class DCSatStats:
     elapsed_seconds: float = 0.0
 
     def merge(self, other: "DCSatStats") -> None:
+        # Keep the first non-empty algorithm: a coordinator merging
+        # worker stats keeps its own identity, but merging into a blank
+        # stats object adopts the worker's.
+        if not self.algorithm:
+            self.algorithm = other.algorithm
+        # Short-circuit evidence must survive the merge: it was used if
+        # either side used it, and the first concrete outcome wins.
+        self.short_circuit_used = (
+            self.short_circuit_used or other.short_circuit_used
+        )
+        if self.short_circuit_result is None:
+            self.short_circuit_result = other.short_circuit_result
         self.components_total += other.components_total
         self.components_pruned += other.components_pruned
         self.cliques_enumerated += other.cliques_enumerated

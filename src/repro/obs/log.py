@@ -1,0 +1,135 @@
+"""Structured, trace-correlated logging for the stack.
+
+Built on :mod:`logging` (dependency-free), namespaced under the
+``repro`` root logger.  Two formatters:
+
+* :class:`JsonFormatter` — one JSON object per line: ``ts``, ``level``,
+  ``logger``, ``message``, plus ``trace_id`` / ``span_id`` when the
+  record was emitted inside an active span (see
+  :mod:`repro.obs.trace`), plus any mapping passed as the ``ctx``
+  extra::
+
+      log.warning("drain timed out", extra={"ctx": {"timeout": 10.0}})
+
+* :class:`TextFormatter` — the same fields human-readably, with a
+  ``[trace=...]`` suffix when correlated.
+
+Library code obtains loggers with :func:`get_logger` and logs freely;
+nothing is printed unless the embedding application (or the
+``repro serve --log-level/--log-json`` CLI) calls
+:func:`configure_logging`, which installs exactly one handler on the
+``repro`` root (idempotent — reconfiguring replaces it).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Mapping, TextIO
+
+from repro.obs import trace as obs_trace
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Marker so reconfiguration replaces our handler and only ours.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def _record_context(record: logging.LogRecord) -> dict[str, Any]:
+    payload: dict[str, Any] = {}
+    span = obs_trace.current()
+    if span is not None and span.trace_id is not None:
+        payload["trace_id"] = span.trace_id
+        payload["span_id"] = span.span_id
+    ctx = getattr(record, "ctx", None)
+    if isinstance(ctx, Mapping):
+        payload.update(ctx)
+    return payload
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; see the module docstring for schema."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_record_context(record))
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable line with the same correlation fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = (
+            f"{stamp}.{int(record.msecs):03d} "
+            f"{record.levelname.lower():<8} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        context = _record_context(record)
+        trace_id = context.pop("trace_id", None)
+        context.pop("span_id", None)
+        if context:
+            line += " " + " ".join(
+                f"{key}={value}" for key, value in sorted(context.items())
+            )
+        if trace_id:
+            line += f" [trace={trace_id}]"
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install (or replace) the single ``repro`` log handler.
+
+    Returns the configured root-of-namespace logger.  Raises
+    ``ValueError`` on an unknown level name.
+    """
+    if level.lower() not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else TextFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    root.handlers = [
+        existing
+        for existing in root.handlers
+        if not getattr(existing, _HANDLER_FLAG, False)
+    ] + [handler]
+    root.propagate = False
+    return root
+
+
+__all__ = [
+    "JsonFormatter",
+    "TextFormatter",
+    "configure_logging",
+    "get_logger",
+    "LEVELS",
+]

@@ -1,0 +1,450 @@
+"""A contextvar-based span tracer for the DCSat stack.
+
+Dependency-free, cheap when idle: instrumentation calls
+:func:`span` freely, and the context manager is a no-op (yielding the
+shared :data:`NULL_SPAN`) unless some caller higher up opened a trace
+with :meth:`Tracer.trace` / :meth:`Tracer.start_trace`.  The server
+opens one trace per queued request, so a standalone library user pays
+one contextvar read per instrumented call and nothing else.
+
+Spans carry monotonic-clock durations, wall-clock start times (for
+display only), and free-form attributes; :meth:`Span.fold_stats` copies
+the non-default counters of a :class:`~repro.core.results.DCSatStats`
+(or any dataclass) into the attributes, so every solver span shows
+where cliques, worlds and evaluations went.
+
+Finished traces land in a bounded in-memory ring
+(:meth:`Tracer.recent`), exportable as JSON (``GET /tracez``) or
+rendered as an ASCII tree with proportional duration bars
+(:func:`render_tree`).
+
+Cross-process spans: a pool fork worker traces its task locally,
+serializes the finished spans with :meth:`Span.to_wire`, and the
+coordinator re-parents them under its own active span with
+:meth:`Tracer.adopt` — span ids are prefixed with the worker's pid, so
+no remapping is needed.
+
+Thread-safety: the current span is a :class:`contextvars.ContextVar`
+(per-thread by default), and the per-trace buffers plus the ring are
+guarded by one lock, because the server records spans for the same
+trace from both the event loop and the solver thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Iterator, Mapping
+
+#: Traces kept in the in-memory ring (newest evicts oldest).
+DEFAULT_RING_SIZE = 64
+#: Per-trace span cap: a runaway sweep must not grow memory unboundedly.
+DEFAULT_MAX_SPANS = 2048
+
+_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """Unique across processes and restarts (pid + ns clock + counter)."""
+    return f"t{os.getpid():x}-{time.time_ns():x}-{next(_ids):x}"
+
+
+def new_span_id() -> str:
+    """Unique across fork workers too: ids carry the creating pid."""
+    return f"s{os.getpid():x}-{next(_ids):x}"
+
+
+@dataclass
+class Span:
+    """One timed operation within a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    started_at: float  # wall clock (UNIX seconds), display only
+    start_mono: float  # monotonic, authoritative for duration
+    duration: float | None = None  # seconds; None while still open
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes; chainable inside a ``with span(...)``."""
+        self.attributes.update(attributes)
+        return self
+
+    def fold_stats(self, stats: Any) -> "Span":
+        """Copy the non-default fields of a stats dataclass into the
+        attributes (``DCSatStats`` in practice; any dataclass works)."""
+        for f in dataclass_fields(stats):
+            value = getattr(stats, f.name)
+            if value != f.default:
+                self.attributes[f.name] = value
+        return self
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "Span":
+        return cls(
+            name=str(payload.get("name", "?")),
+            trace_id="",
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            started_at=float(payload.get("started_at", 0.0)),
+            start_mono=0.0,
+            duration=payload.get("duration"),
+            attributes=dict(payload.get("attributes") or {}),
+        )
+
+
+class _NullSpan:
+    """The do-nothing span yielded when no trace is active."""
+
+    __slots__ = ()
+    trace_id = None
+    span_id = None
+    parent_id = None
+    attributes: dict = {}
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def fold_stats(self, stats: Any) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans into traces; keeps a bounded ring of recent ones."""
+
+    def __init__(
+        self,
+        ring_size: int = DEFAULT_RING_SIZE,
+        max_spans_per_trace: int = DEFAULT_MAX_SPANS,
+    ):
+        self._current: ContextVar[Span | None] = ContextVar(
+            "repro-obs-span", default=None
+        )
+        self._lock = threading.Lock()
+        #: trace_id -> finished spans of a still-open trace.
+        self._open: dict[str, list[Span]] = {}
+        self._ring: deque[dict] = deque(maxlen=ring_size)
+        self._dropped = 0
+        self.max_spans_per_trace = max_spans_per_trace
+
+    # ------------------------------------------------------------------
+    # Context
+
+    def current(self) -> Span | None:
+        """The active span in this thread/context, if any."""
+        return self._current.get()
+
+    def current_trace_id(self) -> str | None:
+        span = self._current.get()
+        return span.trace_id if span is not None else None
+
+    @contextmanager
+    def use(self, span: Span) -> Iterator[Span]:
+        """Activate an existing open span in this thread/context.
+
+        This is how a trace crosses threads: the event loop starts the
+        root, the solver thread runs the operation under ``use(root)``.
+        """
+        token = self._current.set(span)
+        try:
+            yield span
+        finally:
+            self._current.reset(token)
+
+    # ------------------------------------------------------------------
+    # Producing spans
+
+    def start_trace(
+        self, name: str, trace_id: str | None = None, **attributes: Any
+    ) -> Span:
+        """Open a root span (not yet active — pair with :meth:`use`,
+        finish with :meth:`finish`).  A caller-supplied *trace_id* (the
+        wire protocol's correlation id) is truncated defensively."""
+        if trace_id is not None:
+            trace_id = str(trace_id)[:64]
+        root = Span(
+            name=name,
+            trace_id=trace_id or new_trace_id(),
+            span_id=new_span_id(),
+            parent_id=None,
+            started_at=time.time(),
+            start_mono=time.perf_counter(),
+            attributes=dict(attributes),
+        )
+        with self._lock:
+            self._open[root.trace_id] = []
+        return root
+
+    @contextmanager
+    def trace(
+        self, name: str, trace_id: str | None = None, **attributes: Any
+    ) -> Iterator[Span]:
+        """Open, activate and (on exit) finish a root span."""
+        root = self.start_trace(name, trace_id=trace_id, **attributes)
+        token = self._current.set(root)
+        try:
+            yield root
+        finally:
+            self._current.reset(token)
+            self.finish(root)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span | _NullSpan]:
+        """A child of the current span — or :data:`NULL_SPAN` (and no
+        recording at all) when no trace is active."""
+        parent = self._current.get()
+        if parent is None:
+            yield NULL_SPAN
+            return
+        child = Span(
+            name=name,
+            trace_id=parent.trace_id,
+            span_id=new_span_id(),
+            parent_id=parent.span_id,
+            started_at=time.time(),
+            start_mono=time.perf_counter(),
+            attributes=dict(attributes),
+        )
+        token = self._current.set(child)
+        try:
+            yield child
+        finally:
+            self._current.reset(token)
+            if child.duration is None:
+                child.duration = time.perf_counter() - child.start_mono
+            self._record(child)
+
+    def record_span(
+        self,
+        name: str,
+        parent: Span,
+        duration: float,
+        started_at: float | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Add an already-timed span (e.g. a measured queue wait)."""
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id,
+            span_id=new_span_id(),
+            parent_id=parent.span_id,
+            started_at=started_at if started_at is not None else time.time() - duration,
+            start_mono=0.0,
+            duration=duration,
+            attributes=dict(attributes),
+        )
+        self._record(span)
+        return span
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            buffer = self._open.get(span.trace_id)
+            if buffer is None:
+                return  # trace already finished (or never started)
+            if len(buffer) >= self.max_spans_per_trace:
+                self._dropped += 1
+                return
+            buffer.append(span)
+
+    def adopt(
+        self, wire_spans: list[dict], parent: Span | _NullSpan | None = None
+    ) -> None:
+        """Graft spans exported by another process (``Span.to_wire``)
+        into the current trace, re-parenting their roots under *parent*
+        (default: the active span).  Worker span ids embed the worker
+        pid, so they cannot collide with local ones."""
+        if parent is None:
+            parent = self._current.get()
+        if parent is None or isinstance(parent, _NullSpan):
+            return
+        local_ids = {str(w.get("span_id")) for w in wire_spans}
+        spans = []
+        for wire in wire_spans:
+            span = Span.from_wire(wire)
+            span.trace_id = parent.trace_id
+            if span.parent_id not in local_ids:
+                span.parent_id = parent.span_id
+            spans.append(span)
+        with self._lock:
+            buffer = self._open.get(parent.trace_id)
+            if buffer is None:
+                return
+            room = self.max_spans_per_trace - len(buffer)
+            buffer.extend(spans[:room])
+            self._dropped += max(0, len(spans) - room)
+
+    def finish(self, root: Span) -> dict:
+        """Close a root span; its trace moves into the recent ring."""
+        if root.duration is None:
+            root.duration = time.perf_counter() - root.start_mono
+        with self._lock:
+            spans = self._open.pop(root.trace_id, [])
+            spans.append(root)
+            trace = {
+                "trace_id": root.trace_id,
+                "name": root.name,
+                "started_at": root.started_at,
+                "duration": root.duration,
+                "attributes": root.attributes,
+                "spans": [span.to_wire() for span in spans],
+            }
+            self._ring.append(trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    # Export
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """Finished traces, newest first."""
+        with self._lock:
+            traces = list(self._ring)
+        traces.reverse()
+        if limit is not None:
+            traces = traces[: max(0, limit)]
+        return traces
+
+    def find(self, trace_id: str) -> dict | None:
+        with self._lock:
+            for trace in reversed(self._ring):
+                if trace["trace_id"] == trace_id:
+                    return trace
+        return None
+
+    def export_json(self, limit: int | None = None) -> str:
+        return json.dumps(
+            {"traces": self.recent(limit), "dropped_spans": self._dropped},
+            default=str,
+        )
+
+    def reset(self) -> None:
+        """Drop all buffered traces (tests)."""
+        with self._lock:
+            self._open.clear()
+            self._ring.clear()
+            self._dropped = 0
+
+
+# ----------------------------------------------------------------------
+# ASCII rendering
+
+
+def _span_tree(trace: dict) -> list[tuple[int, dict]]:
+    """Depth-first (depth, span) pairs; orphans parent to the root."""
+    spans = trace["spans"]
+    ids = {span["span_id"] for span in spans}
+    children: dict[str | None, list[dict]] = {}
+    for span in spans:
+        parent = span["parent_id"]
+        if parent not in ids:
+            parent = None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: span["started_at"])
+    out: list[tuple[int, dict]] = []
+
+    def visit(parent: str | None, depth: int) -> None:
+        for span in children.get(parent, ()):
+            out.append((depth, span))
+            visit(span["span_id"], depth + 1)
+
+    visit(None, 0)
+    return out
+
+
+def render_tree(trace: dict, width: int = 28) -> str:
+    """An ASCII tree with a proportional duration bar per span.
+
+    ::
+
+        request (op=status)                 12.31ms  |############|
+          queue_wait                         0.42ms  |#           |
+          solve                              11.80ms |  ##########|
+    """
+    rows = _span_tree(trace)
+    total = max(
+        (span["duration"] or 0.0 for _, span in rows), default=0.0
+    ) or 1e-9
+    lines = [f"trace {trace['trace_id']} ({trace['duration'] * 1000:.2f}ms)"]
+    labels = []
+    for depth, span in rows:
+        attrs = span.get("attributes") or {}
+        suffix = ""
+        if attrs:
+            inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            suffix = f" ({inner})"
+        labels.append("  " * depth + span["name"] + suffix)
+    pad = max((len(label) for label in labels), default=0) + 2
+    for (depth, span), label in zip(rows, labels):
+        duration = span["duration"] or 0.0
+        filled = max(1, round(width * duration / total)) if duration else 0
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{label:<{pad}}{duration * 1000:>10.2f}ms  |{bar}|")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Module-level default tracer: what the stack's instrumentation uses.
+
+_DEFAULT = Tracer()
+
+
+def default_tracer() -> Tracer:
+    return _DEFAULT
+
+
+def span(name: str, **attributes: Any):
+    """A child span on the default tracer (no-op without a trace)."""
+    return _DEFAULT.span(name, **attributes)
+
+
+def trace(name: str, trace_id: str | None = None, **attributes: Any):
+    """A root span (new trace) on the default tracer."""
+    return _DEFAULT.trace(name, trace_id=trace_id, **attributes)
+
+
+def current() -> Span | None:
+    return _DEFAULT.current()
+
+
+def current_trace_id() -> str | None:
+    return _DEFAULT.current_trace_id()
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "new_trace_id",
+    "new_span_id",
+    "render_tree",
+    "default_tracer",
+    "span",
+    "trace",
+    "current",
+    "current_trace_id",
+]

@@ -45,18 +45,27 @@ class ServiceClient:
         self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rb")
         self._ids = itertools.count(1)
+        #: Trace id of the most recent queued call, if the server traced
+        #: it — correlate with ``GET /tracez?trace_id=...``.
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------
     # Transport
 
     def call(
-        self, op: str, deadline: float | None = None, **args: Any
+        self,
+        op: str,
+        deadline: float | None = None,
+        trace: str | None = None,
+        **args: Any,
     ) -> dict:
         """Send one request; return its ``result`` or raise ServiceError."""
         request_id = next(self._ids)
         request: dict = {"id": request_id, "op": op, "args": args}
         if deadline is not None:
             request["deadline"] = deadline
+        if trace is not None:
+            request["trace"] = trace
         self._sock.sendall(protocol.encode_line(request))
         while True:
             line = self._file.readline()
@@ -65,6 +74,8 @@ class ServiceClient:
             response = json.loads(line)
             if response.get("id") != request_id:
                 continue  # stale response from an abandoned request
+            if "trace" in response:
+                self.last_trace_id = response["trace"]
             if response.get("ok"):
                 return response["result"]
             raise ServiceError(

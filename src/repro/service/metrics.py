@@ -69,7 +69,11 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        # Under the lock: a bare attribute read could observe a torn /
+        # stale value relative to a concurrent scrape on CPython
+        # implementations without a GIL-serialized float store.
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -92,7 +96,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -116,23 +121,41 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> tuple[float, int]:
+        """A consistent ``(sum, count)`` pair from one lock acquisition.
+
+        Reading the two properties back to back can interleave with an
+        ``observe`` and hand a scrape a torn pair (new sum, old count).
+        """
+        with self._lock:
+            return self._sum, self._count
+
+    def export(self) -> tuple[list[tuple[str, int]], float, int]:
+        """Cumulative buckets plus ``(sum, count)``, all from a single
+        lock acquisition, so one rendered series is self-consistent."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum, total_count = self._sum, self._count
+        out: list[tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            out.append((_format_value(bound), running))
+        running += counts[-1]
+        out.append(("+Inf", running))
+        return out, total_sum, total_count
 
     def cumulative_buckets(self) -> list[tuple[str, int]]:
         """``(upper bound, cumulative count)`` pairs, ending with +Inf."""
-        out: list[tuple[str, int]] = []
-        running = 0
-        with self._lock:
-            for bound, count in zip(self.bounds, self._counts):
-                running += count
-                out.append((_format_value(bound), running))
-            running += self._counts[-1]
-        out.append(("+Inf", running))
-        return out
+        return self.export()[0]
 
 
 class MetricsRegistry:
@@ -205,15 +228,16 @@ class MetricsRegistry:
                 metric = series[label_key]
                 if isinstance(metric, Histogram):
                     base = label_key[1:-1] if label_key else ""
-                    for bound, cumulative in metric.cumulative_buckets():
+                    buckets, total_sum, total_count = metric.export()
+                    for bound, cumulative in buckets:
                         inner = (base + "," if base else "") + f'le="{bound}"'
                         lines.append(
                             f"{name}_bucket{{{inner}}} {cumulative}"
                         )
                     lines.append(
-                        f"{name}_sum{label_key} {_format_value(metric.sum)}"
+                        f"{name}_sum{label_key} {_format_value(total_sum)}"
                     )
-                    lines.append(f"{name}_count{label_key} {metric.count}")
+                    lines.append(f"{name}_count{label_key} {total_count}")
                 else:
                     lines.append(
                         f"{name}{label_key} {_format_value(metric.value)}"

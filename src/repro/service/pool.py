@@ -48,12 +48,17 @@ from repro.core.opt import component_survivors, solve_component
 from repro.core.results import DCSatResult, DCSatStats
 from repro.core.workspace import Workspace
 from repro.errors import AlgorithmError, ServiceError
+from repro.obs.log import get_logger
+from repro.obs.trace import default_tracer
+from repro.obs.trace import span as obs_span
 from repro.query.analysis import is_connected, is_monotone
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.relational.transaction import Transaction
 from repro.storage import make_backend
 
 Query = ConjunctiveQuery | AggregateQuery
+
+log = get_logger("service.pool")
 
 
 def default_pool_size() -> int:
@@ -150,26 +155,39 @@ def _solve_component_task(
     query: Query,
     candidates: tuple[str, ...],
     pivot: bool,
-) -> tuple[frozenset[str] | None, DCSatStats]:
-    """One per-component clique/world check, run inside a worker."""
+    index: int = 0,
+) -> tuple[frozenset[str] | None, DCSatStats, list[dict]]:
+    """One per-component clique/world check, run inside a worker.
+
+    Returns the witness, the work counters, and the spans the solve
+    produced — traced locally in this worker process and serialized so
+    the coordinator can re-parent them under the submitting span.
+    """
     ctx = _sync_worker(*sync)
     workspace: Workspace = ctx["workspace"]
     stats = DCSatStats(algorithm="opt-pool", parallel_tasks=1)
+    tracer = default_tracer()
+    root = tracer.start_trace(
+        "solve_component", component=index, worker_pid=os.getpid()
+    )
     started = time.perf_counter()
     try:
-        witness = solve_component(
-            workspace,
-            ctx["fd_graph"],
-            query,
-            set(candidates),
-            ctx["backend"].evaluate,
-            pivot=pivot,
-            stats=stats,
-        )
+        with tracer.use(root):
+            witness = solve_component(
+                workspace,
+                ctx["fd_graph"],
+                query,
+                set(candidates),
+                ctx["backend"].evaluate,
+                pivot=pivot,
+                stats=stats,
+            )
     finally:
         stats.elapsed_seconds = time.perf_counter() - started
+        root.fold_stats(stats)
+        captured = tracer.finish(root)
         workspace.clear_active()
-    return witness, stats
+    return witness, stats, captured["spans"]
 
 
 def _solve_batch_task(
@@ -177,27 +195,35 @@ def _solve_batch_task(
     queries: list[Query],
     pivot: bool,
     assume_nonnegative_sums: bool,
-) -> list[DCSatResult]:
+) -> tuple[list[DCSatResult], list[dict]]:
     """One batch query group (shared clique sweep), run inside a worker."""
     ctx = _sync_worker(*sync)
     workspace: Workspace = ctx["workspace"]
-    results = batch_dcsat(
-        workspace,
-        ctx["fd_graph"],
-        queries,
-        ctx["backend"].evaluate,
-        # The coordinator's flag, not a hard-coded True: the worker must
-        # apply exactly the monotonicity assumptions the coordinator
-        # validated with, or pooled verdicts could diverge from the
-        # sequential path.
-        assume_nonnegative_sums=assume_nonnegative_sums,
-        short_circuit=False,  # the coordinator already ran the fast paths
-        pivot=pivot,
+    tracer = default_tracer()
+    root = tracer.start_trace(
+        "batch_group", queries=len(queries), worker_pid=os.getpid()
     )
+    try:
+        with tracer.use(root):
+            results = batch_dcsat(
+                workspace,
+                ctx["fd_graph"],
+                queries,
+                ctx["backend"].evaluate,
+                # The coordinator's flag, not a hard-coded True: the worker
+                # must apply exactly the monotonicity assumptions the
+                # coordinator validated with, or pooled verdicts could
+                # diverge from the sequential path.
+                assume_nonnegative_sums=assume_nonnegative_sums,
+                short_circuit=False,  # coordinator already ran the fast paths
+                pivot=pivot,
+            )
+    finally:
+        captured = tracer.finish(root)
     for result in results:
         result.stats.algorithm = "batch-pool"
         result.stats.parallel_tasks = 1
-    return results
+    return results, captured["spans"]
 
 
 # ----------------------------------------------------------------------
@@ -243,6 +269,10 @@ class SolverPool:
             return  # next executor starts from a fresh snapshot anyway
         self._oplog.append((op, payload))
         if len(self._oplog) > self.resync_ops:
+            log.debug(
+                "op log outgrew resync_ops; discarding executor",
+                extra={"ctx": {"ops": len(self._oplog), "limit": self.resync_ops}},
+            )
             self.shutdown()
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -265,6 +295,16 @@ class SolverPool:
         if self._base_epoch + len(self._oplog) != self.checker.epoch:
             # A state change bypassed record_op (e.g. direct checker use):
             # the op log cannot reproduce it, so fall back to re-snapshot.
+            log.warning(
+                "op log diverged from checker epoch; re-snapshotting workers",
+                extra={
+                    "ctx": {
+                        "epoch": self.checker.epoch,
+                        "base_epoch": self._base_epoch,
+                        "logged_ops": len(self._oplog),
+                    }
+                },
+            )
             self.shutdown()
             executor = self._ensure_executor()
         return executor, (self.checker.epoch, self._base_epoch, tuple(self._oplog))
@@ -318,25 +358,30 @@ class SolverPool:
                 f"{query!s} is not connected"
             )
         started = time.perf_counter()
-        try:
-            decided = checker.fast_paths(query, monotone, short_circuit, stats)
-            if decided is not None:
-                return decided
-            survivors = component_survivors(
-                checker.workspace,
-                checker.fd_graph,
-                checker.ind_graph,
-                query,
-                use_coverage=use_coverage,
-                stats=stats,
-            )
-            if len(survivors) < max(2, self.min_components) or self.max_workers <= 1:
-                return self._solve_sequential(query, survivors, pivot, stats)
-            return self._solve_parallel(query, survivors, pivot, stats)
-        finally:
-            checker.workspace.clear_active()
-            if stats.elapsed_seconds == 0.0:
-                stats.elapsed_seconds = time.perf_counter() - started
+        with obs_span("dcsat.check", requested="opt-pool") as sp:
+            try:
+                decided = checker.fast_paths(query, monotone, short_circuit, stats)
+                if decided is not None:
+                    return decided
+                survivors = component_survivors(
+                    checker.workspace,
+                    checker.fd_graph,
+                    checker.ind_graph,
+                    query,
+                    use_coverage=use_coverage,
+                    stats=stats,
+                )
+                if (
+                    len(survivors) < max(2, self.min_components)
+                    or self.max_workers <= 1
+                ):
+                    return self._solve_sequential(query, survivors, pivot, stats)
+                return self._solve_parallel(query, survivors, pivot, stats)
+            finally:
+                checker.workspace.clear_active()
+                if stats.elapsed_seconds == 0.0:
+                    stats.elapsed_seconds = time.perf_counter() - started
+                sp.fold_stats(stats)
 
     def _solve_sequential(
         self,
@@ -345,16 +390,17 @@ class SolverPool:
         pivot: bool,
         stats: DCSatStats,
     ) -> DCSatResult:
-        for candidates in survivors:
-            witness = solve_component(
-                self.checker.workspace,
-                self.checker.fd_graph,
-                query,
-                candidates,
-                self.checker.evaluate_world,
-                pivot=pivot,
-                stats=stats,
-            )
+        for index, candidates in enumerate(survivors):
+            with obs_span("solve_component", component=index):
+                witness = solve_component(
+                    self.checker.workspace,
+                    self.checker.fd_graph,
+                    query,
+                    candidates,
+                    self.checker.evaluate_world,
+                    pivot=pivot,
+                    stats=stats,
+                )
             if witness is not None:
                 return DCSatResult(satisfied=False, witness=witness, stats=stats)
         return DCSatResult(satisfied=True, stats=stats)
@@ -367,37 +413,48 @@ class SolverPool:
         stats: DCSatStats,
     ) -> DCSatResult:
         executor, sync = self._prepare()
-        futures = {}
-        for index, candidates in enumerate(survivors):
-            future = executor.submit(
-                _solve_component_task, sync, query, tuple(sorted(candidates)), pivot
-            )
-            futures[future] = index
-        best_index: int | None = None
-        best_witness: frozenset[str] | None = None
-        pending = set(futures)
-        try:
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    if future.cancelled():
-                        continue
-                    witness, task_stats = future.result()
-                    stats.merge(task_stats)
-                    index = futures[future]
-                    if witness is not None and (
-                        best_index is None or index < best_index
-                    ):
-                        best_index, best_witness = index, witness
-                if best_index is not None:
-                    # Early cancel: components after the lowest violating
-                    # index can no longer influence the verdict.
-                    for future in list(pending):
-                        if futures[future] > best_index and future.cancel():
-                            pending.discard(future)
-        finally:
-            for future in pending:
-                future.cancel()
+        tracer = default_tracer()
+        with obs_span(
+            "parallel_dispatch",
+            components=len(survivors),
+            workers=self.max_workers,
+        ) as dispatch:
+            futures = {}
+            for index, candidates in enumerate(survivors):
+                future = executor.submit(
+                    _solve_component_task, sync, query,
+                    tuple(sorted(candidates)), pivot, index,
+                )
+                futures[future] = index
+            best_index: int | None = None
+            best_witness: frozenset[str] | None = None
+            cancelled = 0
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        if future.cancelled():
+                            continue
+                        witness, task_stats, spans = future.result()
+                        stats.merge(task_stats)
+                        tracer.adopt(spans, dispatch)
+                        index = futures[future]
+                        if witness is not None and (
+                            best_index is None or index < best_index
+                        ):
+                            best_index, best_witness = index, witness
+                    if best_index is not None:
+                        # Early cancel: components after the lowest violating
+                        # index can no longer influence the verdict.
+                        for future in list(pending):
+                            if futures[future] > best_index and future.cancel():
+                                pending.discard(future)
+                                cancelled += 1
+            finally:
+                for future in pending:
+                    future.cancel()
+                dispatch.set(cancelled=cancelled)
         if best_index is not None:
             return DCSatResult(
                 satisfied=False, witness=best_witness, stats=stats
@@ -457,16 +514,23 @@ class SolverPool:
                 ]
                 groups = [group for group in groups if group]
                 executor, sync = self._prepare()
-                futures = [
-                    executor.submit(
-                        _solve_batch_task, sync, [parsed[i] for i in group],
-                        pivot, checker.assume_nonnegative_sums,
-                    )
-                    for group in groups
-                ]
-                for group, future in zip(groups, futures):
-                    for index, result in zip(group, future.result()):
-                        results[index] = result
+                tracer = default_tracer()
+                with obs_span(
+                    "batch_dispatch", groups=len(groups),
+                    queries=len(open_indexes),
+                ) as dispatch:
+                    futures = [
+                        executor.submit(
+                            _solve_batch_task, sync, [parsed[i] for i in group],
+                            pivot, checker.assume_nonnegative_sums,
+                        )
+                        for group in groups
+                    ]
+                    for group, future in zip(groups, futures):
+                        solved, spans = future.result()
+                        tracer.adopt(spans, dispatch)
+                        for index, result in zip(group, solved):
+                            results[index] = result
         assert all(result is not None for result in results)
         return [result for result in results if result is not None]
 

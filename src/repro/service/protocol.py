@@ -20,6 +20,12 @@ the response.  Error codes: ``busy`` (backpressure — retry after
 elapsed before the verdict was ready), ``shutting-down``,
 ``bad-request`` and ``error``.
 
+Queued requests may carry a ``trace`` field (a correlation id chosen by
+the client); the server opens one trace per queued request under that
+id — or mints one — and echoes it back as ``trace`` on the response,
+ok or error, so the client can fetch the full span tree from
+``GET /tracez?trace_id=...``.
+
 Results that carry a :class:`~repro.core.results.DCSatResult` encode it
 with :func:`result_to_wire`; transactions travel in the same shape the
 on-disk serialization uses (``{"id": ..., "facts": {rel: [[...]]}}``).
@@ -106,6 +112,7 @@ def stats_to_wire(stats: DCSatStats) -> dict:
     return {
         "algorithm": stats.algorithm,
         "short_circuit_used": stats.short_circuit_used,
+        "short_circuit_result": stats.short_circuit_result,
         "components_total": stats.components_total,
         "components_pruned": stats.components_pruned,
         "cliques_enumerated": stats.cliques_enumerated,
@@ -129,12 +136,18 @@ def error_response(
     message: str,
     code: str = "error",
     retry_after: float | None = None,
+    trace: str | None = None,
 ) -> dict:
     response: dict = {"id": request_id, "ok": False, "error": message, "code": code}
     if retry_after is not None:
         response["retry_after"] = retry_after
+    if trace is not None:
+        response["trace"] = trace
     return response
 
 
-def ok_response(request_id: Any, result: dict) -> dict:
-    return {"id": request_id, "ok": True, "result": result}
+def ok_response(request_id: Any, result: dict, trace: str | None = None) -> dict:
+    response: dict = {"id": request_id, "ok": True, "result": result}
+    if trace is not None:
+        response["trace"] = trace
+    return response

@@ -40,9 +40,14 @@ from typing import Any, Callable
 
 from repro.core.monitor import ConstraintMonitor
 from repro.errors import ReproError, ServiceError
+from repro.obs.http import ObservabilityEndpoint
+from repro.obs.log import get_logger
+from repro.obs.trace import Span, Tracer, default_tracer
 from repro.service import protocol
 from repro.service.metrics import MetricsRegistry
 from repro.service.shard import ShardedMonitor
+
+log = get_logger("service.server")
 
 DEFAULT_QUEUE_LIMIT = 64
 DEFAULT_DEADLINE = 30.0
@@ -87,9 +92,11 @@ class ConstraintService:
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
         retry_after: float = 0.05,
         before_op: Callable[[str, dict], None] | None = None,
+        tracer: Tracer | None = None,
     ):
         self.monitor = monitor
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or default_tracer()
         self.queue_limit = queue_limit
         self.default_deadline = default_deadline
         self.drain_timeout = drain_timeout
@@ -106,6 +113,9 @@ class ConstraintService:
         self._stop_requested: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._http: ObservabilityEndpoint | None = None
+        self.http_host: str | None = None
+        self.http_port: int | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._request_tasks: set[asyncio.Task] = set()
         self._inflight = 0
@@ -189,11 +199,18 @@ class ConstraintService:
                 "invalidated": monitor.absorb(tx),
             }
         if op == "status":
-            entry = monitor.entry(args["name"])
+            name = args["name"]
+            entry = monitor.entry(name)
             cached = entry.result is not None
+            started = time.perf_counter()
             result = monitor.status(
-                args["name"], use_subsumption=args.get("use_subsumption", True)
+                name, use_subsumption=args.get("use_subsumption", True)
             )
+            self.metrics.histogram(
+                "repro_constraint_check_seconds",
+                "Time to answer a status request, by constraint.",
+                labels={"constraint": name},
+            ).observe(time.perf_counter() - started)
             if not cached and result.stats.algorithm.startswith("subsumed-by:"):
                 self._subsumption_answers.inc()
             payload = protocol.result_to_wire(result)
@@ -211,6 +228,20 @@ class ConstraintService:
                 for name, result in monitor.violated().items()
             }
         raise ServiceError(f"unknown operation {op!r}", code="bad-request")
+
+    def _traced_run_op(self, root: Span | None, op: str, args: dict) -> dict:
+        """Run one queued operation in the solver thread, under its
+        request trace.  The root is finished *here*, before the response
+        future resolves, so the trace is already in ``/tracez`` when the
+        client reads its trace id off the wire."""
+        if root is None:
+            return self._run_op(op, args)
+        try:
+            with self.tracer.use(root):
+                with self.tracer.span("solve", op=op):
+                    return self._run_op(op, args)
+        finally:
+            self.tracer.finish(root)
 
     # ------------------------------------------------------------------
     # Immediate operations (answered on the event loop)
@@ -274,15 +305,18 @@ class ConstraintService:
         assert self._queue is not None
         loop = asyncio.get_running_loop()
         while True:
-            enqueued_at, op, args, future = await self._queue.get()
+            enqueued_at, op, args, future, root = await self._queue.get()
             self._queue_depth.set(self._queue.qsize())
-            self._queue_wait.observe(time.perf_counter() - enqueued_at)
+            wait = time.perf_counter() - enqueued_at
+            self._queue_wait.observe(wait)
+            if root is not None:
+                self.tracer.record_span("queue_wait", root, wait)
             self._inflight += 1
             self._inflight_gauge.set(self._inflight)
             started = time.perf_counter()
             try:
                 result = await loop.run_in_executor(
-                    self._solver, self._run_op, op, args
+                    self._solver, self._traced_run_op, root, op, args
                 )
             except Exception as error:  # delivered to the waiting handler
                 if not future.cancelled():
@@ -306,7 +340,10 @@ class ConstraintService:
         try:
             await writer.drain()
         except ConnectionError:  # pragma: no cover - peer vanished
-            pass
+            log.debug(
+                "peer vanished before the response could be written",
+                extra={"ctx": {"id": payload.get("id")}},
+            )
 
     async def _handle_request(
         self, writer: asyncio.StreamWriter, payload: dict
@@ -317,6 +354,7 @@ class ConstraintService:
         counter = self._requests.get(op)
         if counter is not None:
             counter.inc()
+        trace_id: str | None = None
         try:
             if not isinstance(op, str) or not isinstance(args, dict):
                 raise ServiceError(
@@ -336,10 +374,17 @@ class ConstraintService:
                 )
             assert self._queue is not None
             future: asyncio.Future = asyncio.get_running_loop().create_future()
+            root = self.tracer.start_trace(
+                "request", trace_id=payload.get("trace"), op=op
+            )
+            trace_id = root.trace_id
             try:
-                self._queue.put_nowait((time.perf_counter(), op, args, future))
+                self._queue.put_nowait(
+                    (time.perf_counter(), op, args, future, root)
+                )
             except asyncio.QueueFull:
                 self._rejected.inc()
+                self.tracer.finish(root.set(rejected="busy"))
                 raise ServiceError(
                     f"solve queue full ({self.queue_limit} waiting)",
                     code="busy",
@@ -356,28 +401,44 @@ class ConstraintService:
                 # The operation still runs to completion in the solver
                 # thread (mutations are never half-applied); retrieve its
                 # eventual outcome so nothing warns about being unawaited.
-                future.add_done_callback(
-                    lambda f: f.exception() if not f.cancelled() else None
-                )
+                future.add_done_callback(self._log_abandoned_outcome)
                 raise ServiceError(
                     f"deadline of {deadline}s elapsed before the verdict",
                     code="deadline",
                 ) from None
-            await self._respond(writer, protocol.ok_response(request_id, result))
+            await self._respond(
+                writer, protocol.ok_response(request_id, result, trace=trace_id)
+            )
         except ServiceError as error:
             self._errors.inc()
             await self._respond(
                 writer,
                 protocol.error_response(
                     request_id, str(error), code=error.code,
-                    retry_after=error.retry_after,
+                    retry_after=error.retry_after, trace=trace_id,
                 ),
             )
         except ReproError as error:
             self._errors.inc()
             await self._respond(
-                writer, protocol.error_response(request_id, str(error))
+                writer,
+                protocol.error_response(request_id, str(error), trace=trace_id),
             )
+
+    @staticmethod
+    def _log_abandoned_outcome(future: asyncio.Future) -> None:
+        """A deadline elapsed but the operation kept running; record how
+        it eventually ended instead of dropping the outcome silently."""
+        if future.cancelled():
+            return
+        error = future.exception()
+        if error is not None:
+            log.warning(
+                "operation abandoned at its deadline later failed",
+                extra={"ctx": {"error": str(error)}},
+            )
+        else:
+            log.debug("operation abandoned at its deadline later completed")
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -421,6 +482,43 @@ class ConstraintService:
                 pass
 
     # ------------------------------------------------------------------
+    # Observability endpoint providers
+
+    def _metrics_text(self) -> str:
+        self._refresh_monitor_gauges()
+        return self.metrics.render_text()
+
+    def _health(self) -> tuple[int, dict]:
+        """Liveness payload for ``GET /healthz`` (503 while stopping)."""
+        payload: dict = {
+            "status": "stopping" if self._stopping else "ok",
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "queue_limit": self.queue_limit,
+            "inflight": self._inflight,
+            "epoch": _monitor_epoch(self.monitor),
+            "pending_transactions": _monitor_pending_count(self.monitor),
+            "constraints": len(self.monitor.names),
+        }
+        describe = getattr(self.monitor, "describe", None)
+        if callable(describe):
+            payload["shards"] = describe()
+        pools = []
+        for checker in _monitor_checkers(self.monitor):
+            pool = getattr(checker, "pool", None)
+            if pool is not None:
+                pools.append(
+                    {
+                        "max_workers": pool.max_workers,
+                        # The executor is lazy: None means idle (workers
+                        # spawn on the next parallel check), not dead.
+                        "workers_started": pool._executor is not None,
+                    }
+                )
+        if pools:
+            payload["pools"] = pools
+        return (503 if self._stopping else 200), payload
+
+    # ------------------------------------------------------------------
     # Lifecycle
 
     def request_stop(self) -> None:
@@ -434,8 +532,17 @@ class ConstraintService:
         port: int = 0,
         ready: Callable[[str, int], None] | None = None,
         install_signal_handlers: bool = False,
+        http_host: str = "127.0.0.1",
+        http_port: int | None = None,
     ) -> None:
-        """Serve until :meth:`request_stop`, then drain and exit."""
+        """Serve until :meth:`request_stop`, then drain and exit.
+
+        With *http_port* set (0 picks a free port), an
+        :class:`~repro.obs.http.ObservabilityEndpoint` serves
+        ``/metrics``, ``/healthz`` and ``/tracez`` alongside the JSON
+        protocol; its bound address lands in ``self.http_host`` /
+        ``self.http_port`` before *ready* fires.
+        """
         loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._stop_requested = asyncio.Event()
@@ -447,6 +554,21 @@ class ConstraintService:
         )
         bound_host, bound_port = self._server.sockets[0].getsockname()[:2]
         self.host, self.port = bound_host, bound_port
+        if http_port is not None:
+            self._http = ObservabilityEndpoint(
+                metrics_text=self._metrics_text,
+                health=self._health,
+                tracer=self.tracer,
+            )
+            self.http_host, self.http_port = await self._http.start(
+                host=http_host, port=http_port
+            )
+            log.info(
+                "observability endpoint listening",
+                extra={
+                    "ctx": {"host": self.http_host, "port": self.http_port}
+                },
+            )
         if install_signal_handlers:
             import signal
 
@@ -454,7 +576,10 @@ class ConstraintService:
                 try:
                     loop.add_signal_handler(signum, self.request_stop)
                 except (NotImplementedError, RuntimeError):  # pragma: no cover
-                    pass
+                    log.debug(
+                        "could not install signal handler",
+                        extra={"ctx": {"signal": signum}},
+                    )
         if ready is not None:
             ready(bound_host, bound_port)
         try:
@@ -475,7 +600,16 @@ class ConstraintService:
                     self._queue.join(), timeout=self.drain_timeout
                 )
             except asyncio.TimeoutError:  # pragma: no cover - stuck solver
-                pass
+                log.warning(
+                    "drain timeout elapsed with operations still queued",
+                    extra={
+                        "ctx": {
+                            "timeout": self.drain_timeout,
+                            "queued": self._queue.qsize(),
+                            "inflight": self._inflight,
+                        }
+                    },
+                )
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -489,6 +623,9 @@ class ConstraintService:
             await asyncio.wait(set(self._request_tasks), timeout=self.drain_timeout)
         for writer in list(self._writers):
             writer.close()
+        if self._http is not None:
+            await self._http.stop()
+            self._http = None
         self._solver.shutdown(wait=True)
         for checker in _monitor_checkers(self.monitor):
             pool = getattr(checker, "pool", None)
@@ -503,6 +640,8 @@ class ServiceHandle:
         self.service = service
         self.host = host
         self.port = port
+        self.http_host: str | None = None
+        self.http_port: int | None = None
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
 
@@ -524,9 +663,17 @@ class ServiceHandle:
 
 
 def serve_in_thread(
-    service: ConstraintService, host: str = "127.0.0.1", port: int = 0
+    service: ConstraintService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    http_host: str = "127.0.0.1",
+    http_port: int | None = None,
 ) -> ServiceHandle:
-    """Run *service* on a daemon thread; returns once it is accepting."""
+    """Run *service* on a daemon thread; returns once it is accepting.
+
+    With *http_port* set, the observability endpoint's bound address is
+    available as ``handle.http_host`` / ``handle.http_port``.
+    """
     ready = threading.Event()
     bound: dict = {}
 
@@ -540,7 +687,12 @@ def serve_in_thread(
         loop = asyncio.new_event_loop()
         handle._loop = loop
         try:
-            loop.run_until_complete(service.run(host, port, ready=on_ready))
+            loop.run_until_complete(
+                service.run(
+                    host, port, ready=on_ready,
+                    http_host=http_host, http_port=http_port,
+                )
+            )
         finally:
             try:
                 leftovers = asyncio.all_tasks(loop)
@@ -560,4 +712,5 @@ def serve_in_thread(
     if not ready.wait(timeout=30.0) or "port" not in bound:
         raise ServiceError("service failed to start")
     handle.host, handle.port = bound["host"], bound["port"]
+    handle.http_host, handle.http_port = service.http_host, service.http_port
     return handle

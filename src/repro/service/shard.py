@@ -52,10 +52,14 @@ from repro.core.checker import DCSatChecker
 from repro.core.monitor import ConstraintMonitor, MonitorEntry, coupled_relations
 from repro.core.results import DCSatResult
 from repro.errors import ReproError
+from repro.obs.log import get_logger
+from repro.obs.trace import span as obs_span
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.relational.transaction import Transaction
 from repro.service.metrics import MetricsRegistry
+
+log = get_logger("service.shard")
 
 #: Bucket bounds for the drained-ops-per-flush histogram.
 FLUSH_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
@@ -254,20 +258,32 @@ class ShardedMonitor:
     def _route(
         self, kind: str, payload, relations: frozenset[str]
     ) -> list[str]:
-        touched = coupled_relations(
-            relations,
-            self._front.constraints,
-            (tx.relation_names for tx in self._front.pending),
-        )
-        invalidated: list[str] = []
-        for shard in self._shards:
-            if touched & shard.footprint:
-                invalidated.extend(self._drain(shard, shard.footprint))
-                invalidated.extend(shard.apply(kind, payload))
-            else:
-                shard.skipped.append((kind, payload, relations))
-                if self.max_skipped and len(shard.skipped) > self.max_skipped:
-                    invalidated.extend(self._drain(shard, None))
+        with obs_span("shard.route", kind=kind) as sp:
+            touched = coupled_relations(
+                relations,
+                self._front.constraints,
+                (tx.relation_names for tx in self._front.pending),
+            )
+            invalidated: list[str] = []
+            applied = skipped = 0
+            for shard in self._shards:
+                if touched & shard.footprint:
+                    applied += 1
+                    invalidated.extend(self._drain(shard, shard.footprint))
+                    with obs_span(
+                        "shard.apply", shard=shard.index, kind=kind
+                    ):
+                        invalidated.extend(shard.apply(kind, payload))
+                else:
+                    skipped += 1
+                    with obs_span("shard.skip", shard=shard.index, kind=kind):
+                        shard.skipped.append((kind, payload, relations))
+                    if (
+                        self.max_skipped
+                        and len(shard.skipped) > self.max_skipped
+                    ):
+                        invalidated.extend(self._drain(shard, None))
+            sp.set(applied=applied, skipped=skipped)
         # Match the single monitor: names in global registration order.
         hit = set(invalidated)
         return [name for name in self._placement if name in hit]
@@ -284,33 +300,43 @@ class ShardedMonitor:
         """
         if not shard.skipped:
             return []
-        footprints = [
-            frozenset(tx.relation_names) for tx in self._front.pending
-        ]
-        retained: list[tuple[str, object, frozenset[str]]] = []
-        invalidated: list[str] = []
-        drained = 0
-        for kind, payload, relations in shard.skipped:
-            coupled = footprint is None or (
-                coupled_relations(relations, self._front.constraints, footprints)
-                & footprint
-            )
-            if coupled:
-                invalidated.extend(shard.apply(kind, payload))
-                drained += 1
-            else:
-                retained.append((kind, payload, relations))
-        shard.skipped = retained
-        if drained:
-            shard.flushes += 1
-            shard.drained_ops += drained
-            if self._metrics is not None:
-                self._metrics.histogram(
-                    "repro_shard_flush_drained_ops",
-                    "Skipped operations replayed per shard drain.",
-                    labels={"shard": str(shard.index)},
-                    buckets=FLUSH_BUCKETS,
-                ).observe(drained)
+        with obs_span("shard.drain", shard=shard.index) as sp:
+            footprints = [
+                frozenset(tx.relation_names) for tx in self._front.pending
+            ]
+            retained: list[tuple[str, object, frozenset[str]]] = []
+            invalidated: list[str] = []
+            drained = 0
+            for kind, payload, relations in shard.skipped:
+                coupled = footprint is None or (
+                    coupled_relations(
+                        relations, self._front.constraints, footprints
+                    )
+                    & footprint
+                )
+                if coupled:
+                    invalidated.extend(shard.apply(kind, payload))
+                    drained += 1
+                else:
+                    retained.append((kind, payload, relations))
+            shard.skipped = retained
+            sp.set(drained=drained, retained=len(retained))
+            if drained:
+                shard.flushes += 1
+                shard.drained_ops += drained
+                log.debug(
+                    "shard drained skipped ops",
+                    extra={
+                        "ctx": {"shard": shard.index, "drained": drained}
+                    },
+                )
+                if self._metrics is not None:
+                    self._metrics.histogram(
+                        "repro_shard_flush_drained_ops",
+                        "Skipped operations replayed per shard drain.",
+                        labels={"shard": str(shard.index)},
+                        buckets=FLUSH_BUCKETS,
+                    ).observe(drained)
         return invalidated
 
     # ------------------------------------------------------------------

@@ -39,6 +39,28 @@ def test_stats_merge_accumulates():
     assert first.elapsed_seconds == 0.75
 
 
+def test_stats_merge_keeps_identity_fields():
+    # Merging worker stats into a coordinator's must not erase which
+    # algorithm ran or whether a short-circuit decided the verdict.
+    first = DCSatStats(algorithm="opt", short_circuit_used=False)
+    second = DCSatStats(
+        algorithm="naive", short_circuit_used=True, short_circuit_result=True
+    )
+    first.merge(second)
+    assert first.algorithm == "opt"  # first non-empty wins
+    assert first.short_circuit_used is True  # OR-propagated
+    assert first.short_circuit_result is True  # first non-None wins
+
+    empty = DCSatStats()
+    empty.merge(DCSatStats(algorithm="opt-pool", short_circuit_result=False))
+    assert empty.algorithm == "opt-pool"
+    assert empty.short_circuit_result is False
+
+    keeper = DCSatStats(short_circuit_result=True)
+    keeper.merge(DCSatStats(short_circuit_result=False))
+    assert keeper.short_circuit_result is True
+
+
 def test_stats_defaults():
     stats = DCSatStats()
     assert stats.algorithm == ""

@@ -1,0 +1,158 @@
+"""The observability endpoint over a real socket: routes, status codes,
+content types, query parameters, and provider-failure containment."""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.obs.http import ObservabilityEndpoint
+from repro.obs.trace import Tracer
+
+
+@contextmanager
+def serving(endpoint: ObservabilityEndpoint):
+    """Run the endpoint on its own event-loop thread; yield (host, port)."""
+    started = threading.Event()
+    state: dict = {}
+
+    def target() -> None:
+        async def main() -> None:
+            await endpoint.start()
+            state["loop"] = asyncio.get_running_loop()
+            state["stop"] = asyncio.Event()
+            started.set()
+            await state["stop"].wait()
+            await endpoint.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    assert started.wait(timeout=10.0), "endpoint failed to start"
+    try:
+        yield endpoint.host, endpoint.port
+    finally:
+        state["loop"].call_soon_threadsafe(state["stop"].set)
+        thread.join(timeout=10.0)
+
+
+def get(host: str, port: int, target: str):
+    """One GET over a fresh connection: (status, content_type, body)."""
+    conn = http.client.HTTPConnection(host, port, timeout=10.0)
+    try:
+        conn.request("GET", target)
+        response = conn.getresponse()
+        return (
+            response.status,
+            response.getheader("Content-Type"),
+            response.read().decode("utf-8"),
+        )
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.trace("request", op="status") as root:
+        root.set(marker="first")
+        with tracer.span("solve"):
+            pass
+    return tracer
+
+
+class TestRoutes:
+    def test_metrics(self, tracer):
+        endpoint = ObservabilityEndpoint(
+            metrics_text=lambda: 'repro_up{kind="test"} 1\n', tracer=tracer
+        )
+        with serving(endpoint) as (host, port):
+            status, content_type, body = get(host, port, "/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert 'repro_up{kind="test"} 1' in body
+
+    def test_healthz_ok_and_unavailable(self, tracer):
+        health = {"code": 200}
+        endpoint = ObservabilityEndpoint(
+            health=lambda: (health["code"], {"status": "ok", "queue_depth": 2}),
+            tracer=tracer,
+        )
+        with serving(endpoint) as (host, port):
+            status, content_type, body = get(host, port, "/healthz")
+            assert status == 200
+            assert content_type == "application/json"
+            assert json.loads(body) == {"status": "ok", "queue_depth": 2}
+            health["code"] = 503
+            status, _, _ = get(host, port, "/healthz")
+            assert status == 503
+
+    def test_tracez_lists_recent_traces(self, tracer):
+        endpoint = ObservabilityEndpoint(tracer=tracer)
+        with serving(endpoint) as (host, port):
+            status, content_type, body = get(host, port, "/tracez")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["traces"][0]["name"] == "request"
+        names = {s["name"] for s in payload["traces"][0]["spans"]}
+        assert names == {"request", "solve"}
+
+    def test_tracez_limit_and_trace_id(self, tracer):
+        with tracer.trace("second"):
+            pass
+        endpoint = ObservabilityEndpoint(tracer=tracer)
+        with serving(endpoint) as (host, port):
+            limited = json.loads(get(host, port, "/tracez?limit=1")[2])
+            assert len(limited["traces"]) == 1
+            assert limited["traces"][0]["name"] == "second"  # newest first
+            wanted = tracer.recent()[1]["trace_id"]
+            found = json.loads(
+                get(host, port, f"/tracez?trace_id={wanted}")[2]
+            )
+            assert len(found["traces"]) == 1
+            assert found["traces"][0]["attributes"]["marker"] == "first"
+            missing = json.loads(
+                get(host, port, "/tracez?trace_id=nope")[2]
+            )
+            assert missing["traces"] == []
+
+
+class TestErrors:
+    def test_unknown_route_404(self, tracer):
+        endpoint = ObservabilityEndpoint(tracer=tracer)
+        with serving(endpoint) as (host, port):
+            status, _, body = get(host, port, "/nope")
+        assert status == 404
+        assert "/nope" in body
+
+    def test_missing_provider_404(self, tracer):
+        endpoint = ObservabilityEndpoint(tracer=tracer)  # no metrics provider
+        with serving(endpoint) as (host, port):
+            assert get(host, port, "/metrics")[0] == 404
+
+    def test_non_get_405(self, tracer):
+        endpoint = ObservabilityEndpoint(tracer=tracer)
+        with serving(endpoint) as (host, port):
+            conn = http.client.HTTPConnection(host, port, timeout=10.0)
+            try:
+                conn.request("POST", "/metrics")
+                assert conn.getresponse().status == 405
+            finally:
+                conn.close()
+
+    def test_provider_exception_500_and_survives(self, tracer):
+        def explode() -> str:
+            raise RuntimeError("scrape boom")
+
+        endpoint = ObservabilityEndpoint(metrics_text=explode, tracer=tracer)
+        with serving(endpoint) as (host, port):
+            assert get(host, port, "/metrics")[0] == 500
+            # The endpoint must keep serving after a provider failure.
+            assert get(host, port, "/tracez")[0] == 200

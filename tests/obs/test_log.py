@@ -1,0 +1,119 @@
+"""Structured logging: JSON schema, trace correlation, idempotent
+handler installation, and level validation."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.trace import Tracer, default_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_handlers():
+    """Each test installs its own capture stream; none may leak."""
+    root = logging.getLogger("repro")
+    saved = list(root.handlers)
+    saved_level = root.level
+    yield
+    root.handlers = saved
+    root.setLevel(saved_level)
+
+
+def capture(level="debug", json_mode=True) -> io.StringIO:
+    stream = io.StringIO()
+    configure_logging(level=level, json_mode=json_mode, stream=stream)
+    return stream
+
+
+class TestJsonFormatter:
+    def test_schema_fields(self):
+        stream = capture()
+        get_logger("test").warning("something %s", "happened")
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "warning"
+        assert record["logger"] == "repro.test"
+        assert record["message"] == "something happened"
+        assert isinstance(record["ts"], float)
+        assert record["time"].endswith("Z")
+        assert "trace_id" not in record  # no active span
+
+    def test_ctx_extra_is_merged(self):
+        stream = capture()
+        get_logger("test").info(
+            "queued", extra={"ctx": {"op": "status", "depth": 3}}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["op"] == "status"
+        assert record["depth"] == 3
+
+    def test_trace_correlation(self):
+        stream = capture()
+        with default_tracer().trace("request") as root:
+            get_logger("test").info("inside")
+        record = json.loads(stream.getvalue())
+        assert record["trace_id"] == root.trace_id
+        assert record["span_id"] == root.span_id
+
+    def test_exception_is_captured(self):
+        stream = capture()
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("test").error("failed", exc_info=True)
+        record = json.loads(stream.getvalue())
+        assert "ValueError: boom" in record["exc"]
+
+
+class TestTextFormatter:
+    def test_line_carries_trace_suffix(self):
+        stream = capture(json_mode=False)
+        tracer = Tracer()
+        with tracer.trace("request"):
+            # Text formatter reads the *default* tracer; a private
+            # tracer's span must not bleed into the line.
+            get_logger("test").info("plain")
+        line = stream.getvalue()
+        assert "repro.test: plain" in line
+        assert "[trace=" not in line
+
+    def test_ctx_rendered_as_key_value(self):
+        stream = capture(json_mode=False)
+        get_logger("test").info("drain", extra={"ctx": {"timeout": 10.0}})
+        assert "timeout=10.0" in stream.getvalue()
+
+
+class TestConfigure:
+    def test_reconfigure_replaces_not_stacks(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(level="info", stream=first)
+        configure_logging(level="info", stream=second)
+        ours = [
+            handler
+            for handler in logging.getLogger("repro").handlers
+            if getattr(handler, "_repro_obs_handler", False)
+        ]
+        assert len(ours) == 1
+        get_logger("test").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue() != ""
+
+    def test_level_filters(self):
+        stream = capture(level="warning")
+        get_logger("test").info("quiet")
+        get_logger("test").warning("loud")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+    def test_get_logger_namespacing(self):
+        assert get_logger("service.pool").name == "repro.service.pool"
+        assert get_logger("repro.core").name == "repro.core"

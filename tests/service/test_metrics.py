@@ -112,3 +112,96 @@ class TestRegistry:
         for thread in threads:
             thread.join()
         assert counter.value == 4000
+
+    def test_labelled_histogram_rendering(self):
+        # Per-constraint latency series: the le bucket label must merge
+        # with the series labels inside one brace group, while _sum and
+        # _count keep the plain label set.
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_constraint_check_seconds",
+            "Latency.",
+            labels={"constraint": "no-double-spend"},
+            buckets=(0.5, 1.0),
+        ).observe(0.7)
+        registry.histogram(
+            "repro_constraint_check_seconds",
+            labels={"constraint": "hot-wallet"},
+            buckets=(0.5, 1.0),
+        ).observe(0.1)
+        text = registry.render_text()
+        assert (
+            'repro_constraint_check_seconds_bucket'
+            '{constraint="no-double-spend",le="0.5"} 0' in text
+        )
+        assert (
+            'repro_constraint_check_seconds_bucket'
+            '{constraint="no-double-spend",le="1"} 1' in text
+        )
+        assert (
+            'repro_constraint_check_seconds_bucket'
+            '{constraint="hot-wallet",le="0.5"} 1' in text
+        )
+        assert (
+            'repro_constraint_check_seconds_sum{constraint="hot-wallet"}'
+            in text
+        )
+        assert (
+            'repro_constraint_check_seconds_count'
+            '{constraint="no-double-spend"} 1' in text
+        )
+
+    def test_labelled_histogram_escaping_in_merged_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_constraint_check_seconds",
+            labels={"constraint": 'odd "name"\\here'},
+            buckets=(1.0,),
+        ).observe(0.5)
+        text = registry.render_text()
+        assert (
+            'repro_constraint_check_seconds_bucket'
+            '{constraint="odd \\"name\\"\\\\here",le="1"} 1' in text
+        )
+
+
+class TestSnapshots:
+    def test_getters_are_locked_and_snapshot_consistent(self):
+        histogram = Histogram(buckets=(0.5,))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(1.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(2000):
+                total, count = histogram.snapshot()
+                # Every observation adds exactly 1.0, so a consistent
+                # pair always satisfies sum == count; a torn read (new
+                # sum with old count, or vice versa) breaks it.
+                assert total == pytest.approx(float(count))
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_export_is_self_consistent(self):
+        histogram = Histogram(buckets=(0.5,))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(1.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(2000):
+                buckets, total, count = histogram.export()
+                assert dict(buckets)["+Inf"] == count
+                assert total == pytest.approx(float(count))
+        finally:
+            stop.set()
+            thread.join()

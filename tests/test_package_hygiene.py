@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.reductions",
     "repro.likelihood",
+    "repro.obs",
 ]
 
 
