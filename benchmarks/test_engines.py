@@ -1,0 +1,196 @@
+"""Evaluation engines over the sqlite backend: batched vs. per-world.
+
+The workload is one heavy fd-graph component: ``K`` pending
+transactions all writing the *same* key of ``R(k, v)`` under the FD
+``k -> v``, each with a distinct value.  Every pair conflicts, so the
+component's clique structure is ``K`` singleton maximal cliques — ``K``
+possible worlds of one transaction each.  ``Q_SATISFIED`` needs two
+distinct values to coexist on the key, which no singleton world can
+provide while the full pending superset does, so the monotone
+short-circuit cannot decide it and every engine must sweep all ``K``
+worlds.
+
+That sweep is the engine comparison in its purest form:
+
+* :class:`~repro.core.engine.SyncEngine` pays **K** SQL round trips
+  (plus the ``_active`` flag flips between consecutive worlds);
+* :class:`~repro.core.engine.BatchedEngine` (``batch_size=K``) compiles
+  the world-correlated query once and answers the whole component in
+  **one** round trip via the ``__repro_worlds`` CTE.
+
+Round-trip counts are asserted exactly via the backend's
+``eval_roundtrips`` counter; the wall-clock assertion runs at every
+scale (fewer round trips on the same connection is cheaper regardless
+of host).  All engines must agree on verdict and work counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.core.engine import BatchedEngine, make_engine
+from repro.relational.constraints import ConstraintSet, FunctionalDependency
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+
+
+def _env_int(name: str, default: int) -> int:
+    """A ``REPRO_BENCH_*`` override, for quick CI smoke configurations."""
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+#: Pairwise-conflicting transactions = worlds in the component's sweep.
+CLIQUE_K = _env_int("REPRO_BENCH_CLIQUE_K", 96)
+#: Wall-clock comparison repetitions (medians are reported).
+ROUNDS = _env_int("REPRO_BENCH_ENGINE_ROUNDS", 3)
+
+#: No singleton world holds two values; the pending superset does —
+#: the short-circuit stays undecided and the full K-world sweep runs.
+Q_SATISFIED = "q() <- R(k, 'v0'), R(k, 'v1')"
+#: Violated by every singleton world: the sweep stops at world one.
+Q_VIOLATED = "q() <- R(k, v)"
+
+ENGINES = ("sync", "batched", "async")
+
+
+def k_clique_db(k: int = CLIQUE_K) -> BlockchainDatabase:
+    schema = make_schema({"R": ["k", "v"]})
+    constraints = ConstraintSet(schema, [FunctionalDependency("R", ["k"], ["v"])])
+    state = Database.from_dict(schema, {"R": []})
+    pending = [
+        Transaction({"R": [(0, f"v{index}")]}, tx_id=f"T{index}")
+        for index in range(k)
+    ]
+    return BlockchainDatabase(state, constraints, pending)
+
+
+_cache: dict[str, DCSatChecker] = {}
+
+
+def engine_checker(engine: str) -> DCSatChecker:
+    """A cached sqlite-backed checker per engine; ``batched`` runs with
+    ``batch_size=K`` so the whole component fits one round trip."""
+    if engine not in _cache:
+        checker = DCSatChecker(k_clique_db(), backend="sqlite")
+        if engine == "batched":
+            checker.engine = BatchedEngine(checker.backend, batch_size=CLIQUE_K)
+        else:
+            checker.engine = make_engine(engine, checker.backend)
+        _cache[engine] = checker
+    return _cache[engine]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def close_checkers():
+    yield
+    for checker in _cache.values():
+        checker.close()
+    _cache.clear()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_sweep(benchmark, engine):
+    checker = engine_checker(engine)
+    result = benchmark(checker.check, Q_SATISFIED, algorithm="naive")
+    assert result.satisfied
+    assert result.stats.worlds_checked == CLIQUE_K
+    assert result.stats.engine == engine
+
+
+def test_batched_is_one_round_trip_sync_is_k():
+    sync = engine_checker("sync")
+    batched = engine_checker("batched")
+
+    before = sync.backend.eval_roundtrips
+    sync_result = sync.check(Q_SATISFIED, algorithm="naive", short_circuit=False)
+    sync_trips = sync.backend.eval_roundtrips - before
+
+    before = batched.backend.eval_roundtrips
+    batched_result = batched.check(
+        Q_SATISFIED, algorithm="naive", short_circuit=False
+    )
+    batched_trips = batched.backend.eval_roundtrips - before
+
+    # Without the short-circuit probe, the sweep *is* the query load:
+    # one state-check round trip plus K per-world trips under sync,
+    # one state-check plus ONE multi-world trip under batched.
+    assert sync_trips == 1 + CLIQUE_K
+    assert batched_trips == 1 + 1
+
+    assert batched_result.satisfied == sync_result.satisfied
+    assert batched_result.stats.worlds_checked == sync_result.stats.worlds_checked
+    assert batched_result.stats.evaluations == sync_result.stats.evaluations
+
+
+def timed_median(checker: DCSatChecker, rounds: int = ROUNDS) -> float:
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = checker.check(Q_SATISFIED, algorithm="naive")
+        samples.append(time.perf_counter() - started)
+        assert result.satisfied
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_batched_beats_sync_wall_clock():
+    sync_median = timed_median(engine_checker("sync"))
+    batched_median = timed_median(engine_checker("batched"))
+    assert batched_median < sync_median, (
+        f"batched took {batched_median * 1000:.2f}ms vs "
+        f"{sync_median * 1000:.2f}ms sync over a {CLIQUE_K}-clique component"
+    )
+
+
+def test_all_engines_verdict_and_stats_identical():
+    views = {}
+    for engine in ENGINES:
+        checker = engine_checker(engine)
+        for query in (Q_SATISFIED, Q_VIOLATED):
+            result = checker.check(query, algorithm="naive")
+            views.setdefault(query, {})[engine] = (
+                result.satisfied,
+                result.witness,
+                result.stats.worlds_checked,
+                result.stats.evaluations,
+                result.stats.cliques_enumerated,
+            )
+    for query, by_engine in views.items():
+        assert by_engine["batched"] == by_engine["sync"], query
+        assert by_engine["async"] == by_engine["sync"], query
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json_artifact():
+    """With ``REPRO_BENCH_JSON=<path>``, write per-engine sweep timings
+    and round-trip counts as a JSON artifact after the module finishes
+    (the CI bench-smoke job uploads it)."""
+    yield
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    engines_payload = {}
+    for engine in ENGINES:
+        checker = engine_checker(engine)
+        before = checker.backend.eval_roundtrips
+        median = timed_median(checker)
+        engines_payload[engine] = {
+            "median_seconds": median,
+            "eval_roundtrips": checker.backend.eval_roundtrips - before,
+        }
+    payload = {
+        "benchmark": "test_engines",
+        "config": {"clique_k": CLIQUE_K, "rounds": ROUNDS, "backend": "sqlite"},
+        "engines": engines_payload,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)

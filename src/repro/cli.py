@@ -21,6 +21,7 @@ import sys
 
 from repro import serialize
 from repro.core.checker import ALGORITHMS, DCSatChecker
+from repro.core.engine import ENGINES
 from repro.errors import ReproError
 from repro.obs.log import LEVELS, configure_logging
 
@@ -78,6 +79,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         db,
         backend=args.backend,
         assume_nonnegative_sums=args.assume_nonnegative_sums,
+        engine=args.engine,
     )
     result = checker.check(
         args.query,
@@ -100,7 +102,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
             )
             print(explanation.render())
     print(
-        f"  algorithm={stats.algorithm} worlds={stats.worlds_checked} "
+        f"  algorithm={stats.algorithm} engine={stats.engine or 'sync'} "
+        f"worlds={stats.worlds_checked} "
         f"cliques={stats.cliques_enumerated} "
         f"components={stats.components_total} "
         f"(pruned {stats.components_pruned}) "
@@ -150,12 +153,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     shard_db,
                     backend=args.backend,
                     assume_nonnegative_sums=args.assume_nonnegative_sums,
+                    engine=args.engine,
                     max_workers=per_shard_workers,
                 )
             return DCSatChecker(
                 shard_db,
                 backend=args.backend,
                 assume_nonnegative_sums=args.assume_nonnegative_sums,
+                engine=args.engine,
             )
 
         monitor = ShardedMonitor(
@@ -170,6 +175,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             db,
             backend=args.backend,
             assume_nonnegative_sums=args.assume_nonnegative_sums,
+            engine=args.engine,
             max_workers=args.pool_size,
         )
         monitor = ConstraintMonitor(checker)
@@ -256,7 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("database")
     check.add_argument("--query", required=True)
     check.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
-    check.add_argument("--backend", choices=["memory", "sqlite"], default="memory")
+    check.add_argument(
+        "--backend", choices=["memory", "sqlite"], default=None,
+        help="storage backend (default: $REPRO_BACKEND or memory)",
+    )
+    check.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="evaluation engine driving the backend: sync (one round "
+        "trip per world), batched (many worlds per round trip), or "
+        "async (coroutine backend surface); default: $REPRO_ENGINE "
+        "or sync",
+    )
     check.add_argument("--no-short-circuit", action="store_true")
     check.add_argument("--assume-nonnegative-sums", action="store_true")
     check.add_argument(
@@ -310,7 +326,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--http-host", default="127.0.0.1",
         help="bind address for the observability endpoint",
     )
-    serve.add_argument("--backend", choices=["memory", "sqlite"], default="memory")
+    serve.add_argument(
+        "--backend", choices=["memory", "sqlite"], default=None,
+        help="storage backend (default: $REPRO_BACKEND or memory)",
+    )
+    serve.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="evaluation engine for the coordinator checker and the "
+        "solver-pool workers (default: $REPRO_ENGINE or sync); with "
+        "async, uncached status solves run on the server's event loop",
+    )
     serve.add_argument("--assume-nonnegative-sums", action="store_true")
     serve.set_defaults(func=_cmd_serve)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 
+from repro.core.engine import as_engine
 from repro.core.fd_graph import FdTransactionGraph
 from repro.core.possible_worlds import get_maximal
 from repro.core.results import DCSatResult, DCSatStats
@@ -43,9 +44,13 @@ def batch_dcsat(
             raise AlgorithmError(
                 f"batch checking requires monotone queries; {query!s} is not"
             )
+    engine = as_engine(evaluate_world)
+    evaluate_world = engine.evaluate
     started = time.perf_counter()
     results: list[DCSatResult | None] = [None] * len(queries)
-    stats_list = [DCSatStats(algorithm="batch-naive") for _ in queries]
+    stats_list = [
+        DCSatStats(algorithm="batch-naive", engine=engine.name) for _ in queries
+    ]
 
     # Per-query fast paths: the current state, then the overlay.
     open_indexes: list[int] = []

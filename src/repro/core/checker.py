@@ -28,11 +28,12 @@ import time
 
 from repro.core.assignment import assignment_dcsat
 from repro.core.blockchain_db import BlockchainDatabase
-from repro.core.brute import DEFAULT_PENDING_LIMIT, brute_dcsat
+from repro.core.brute import DEFAULT_PENDING_LIMIT, brute_dcsat, brute_dcsat_async
+from repro.core.engine import EvaluationEngine, make_engine
 from repro.core.fd_graph import FdTransactionGraph
 from repro.core.ind_graph import IndQTransactionGraph
-from repro.core.naive import naive_dcsat
-from repro.core.opt import opt_dcsat
+from repro.core.naive import naive_dcsat, naive_dcsat_async
+from repro.core.opt import opt_dcsat, opt_dcsat_async
 from repro.core.results import DCSatResult, DCSatStats
 from repro.core.tractable import (
     dcsat_aggregate_fd,
@@ -58,8 +59,9 @@ class DCSatChecker:
     def __init__(
         self,
         db: BlockchainDatabase,
-        backend: str | Backend = "memory",
+        backend: str | Backend | None = None,
         assume_nonnegative_sums: bool = False,
+        engine: str | EvaluationEngine | None = None,
     ):
         self.db = db
         self.workspace = Workspace(db)
@@ -70,10 +72,22 @@ class DCSatChecker:
         #: / forget / absorb, so callers holding derived state (e.g. the
         #: solver pool's worker snapshots) can detect staleness cheaply.
         self.epoch = 0
+        # ``None`` defers to the REPRO_BACKEND / REPRO_ENGINE environment
+        # variables (defaults: memory, sync) — how CI runs the whole
+        # suite over sqlite or a different engine without editing tests.
         self.backend: Backend = (
-            make_backend(backend) if isinstance(backend, str) else backend
+            backend
+            if not (backend is None or isinstance(backend, str))
+            else make_backend(backend)
         )
         self.backend.attach(self.workspace)
+        #: The evaluation engine deciding *how* candidate worlds reach
+        #: the backend: "sync", "batched" or "async" (docs/ENGINES.md).
+        self.engine: EvaluationEngine = (
+            engine
+            if isinstance(engine, EvaluationEngine)
+            else make_engine(engine, self.backend)
+        )
 
     # ------------------------------------------------------------------
     # Steady-state maintenance
@@ -126,13 +140,13 @@ class DCSatChecker:
     def _evaluate_world(
         self, query: ConjunctiveQuery | AggregateQuery, active: frozenset[str]
     ) -> bool:
-        return self.backend.evaluate(query, active)
+        return self.engine.evaluate(query, active)
 
     def evaluate_world(
         self, query: ConjunctiveQuery | AggregateQuery, active: frozenset[str]
     ) -> bool:
         """Evaluate *query* over the world ``R ∪ {facts of active}``."""
-        return self.backend.evaluate(query, active)
+        return self.engine.evaluate(query, active)
 
     def _parse(self, query) -> ConjunctiveQuery | AggregateQuery:
         if isinstance(query, str):
@@ -206,14 +220,14 @@ class DCSatChecker:
         if algorithm == "naive":
             self._require_monotone(query, monotone, "NaiveDCSat")
             return naive_dcsat(
-                self.workspace, self.fd_graph, query, self._evaluate_world,
+                self.workspace, self.fd_graph, query, self.engine,
                 pivot=pivot, stats=stats,
             )
         if algorithm == "opt":
             self._require_monotone(query, monotone, "OptDCSat")
             return opt_dcsat(
                 self.workspace, self.fd_graph, self.ind_graph, query,
-                self._evaluate_world, pivot=pivot, use_coverage=use_coverage,
+                self.engine, pivot=pivot, use_coverage=use_coverage,
                 stats=stats,
             )
         if algorithm == "assign":
@@ -224,7 +238,97 @@ class DCSatChecker:
         if algorithm == "tractable":
             return self._tractable(query, stats)
         return brute_dcsat(
-            self.workspace, query, self._evaluate_world,
+            self.workspace, query, self.engine,
+            pending_limit=pending_limit, stats=stats,
+        )
+
+    async def check_async(
+        self,
+        query: ConjunctiveQuery | AggregateQuery | str,
+        algorithm: str = "auto",
+        short_circuit: bool = True,
+        use_coverage: bool = True,
+        pivot: bool = True,
+        pending_limit: int = DEFAULT_PENDING_LIMIT,
+        normalize: bool = True,
+    ) -> DCSatResult:
+        """:meth:`check` on the engine's coroutine surface.
+
+        With an :class:`~repro.core.engine.AsyncEngine` the world
+        evaluations are awaited, so a server calling this from its
+        event loop overlaps them with request handling; sync engines
+        run unchanged (their awaitables complete immediately).
+        ``assign`` and ``tractable`` have no world sweep to overlap and
+        run inline.
+        """
+        if algorithm not in ALGORITHMS:
+            raise AlgorithmError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        query = self._parse(query)
+        stats = DCSatStats(algorithm=algorithm if algorithm != "auto" else "")
+        if normalize:
+            from repro.query.rewriter import Verdict
+            from repro.query.rewriter import normalize as normalize_query
+
+            query, verdict = normalize_query(query)
+            if verdict is Verdict.UNSATISFIABLE:
+                stats.algorithm = "rewrite"
+                return DCSatResult(satisfied=True, stats=stats)
+        started = time.perf_counter()
+        with obs_span("dcsat.check", requested=algorithm, mode="async") as sp:
+            try:
+                return await self._check_async(
+                    query, algorithm, short_circuit, use_coverage, pivot,
+                    pending_limit, stats,
+                )
+            finally:
+                stats.elapsed_seconds = time.perf_counter() - started
+                sp.fold_stats(stats)
+                self.workspace.clear_active()
+
+    async def _check_async(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        algorithm: str,
+        short_circuit: bool,
+        use_coverage: bool,
+        pivot: bool,
+        pending_limit: int,
+        stats: DCSatStats,
+    ) -> DCSatResult:
+        monotone = is_monotone(query, self.assume_nonnegative_sums)
+
+        decided = await self.fast_paths_async(query, monotone, short_circuit, stats)
+        if decided is not None:
+            return decided
+
+        if algorithm == "auto":
+            algorithm = self._pick_algorithm(query, monotone)
+            stats.algorithm = algorithm
+
+        if algorithm == "naive":
+            self._require_monotone(query, monotone, "NaiveDCSat")
+            return await naive_dcsat_async(
+                self.workspace, self.fd_graph, query, self.engine,
+                pivot=pivot, stats=stats,
+            )
+        if algorithm == "opt":
+            self._require_monotone(query, monotone, "OptDCSat")
+            return await opt_dcsat_async(
+                self.workspace, self.fd_graph, self.ind_graph, query,
+                self.engine, pivot=pivot, use_coverage=use_coverage,
+                stats=stats,
+            )
+        if algorithm == "assign":
+            return assignment_dcsat(
+                self.workspace, self.fd_graph, self.ind_graph, query,
+                self._evaluate_world, pivot=pivot, stats=stats,
+            )
+        if algorithm == "tractable":
+            return self._tractable(query, stats)
+        return await brute_dcsat_async(
+            self.workspace, query, self.engine,
             pending_limit=pending_limit, stats=stats,
         )
 
@@ -257,6 +361,37 @@ class DCSatChecker:
                 stats.evaluations += 1
                 all_active = frozenset(self.db.pending_ids)
                 if not self._evaluate_world(query, all_active):
+                    stats.short_circuit_used = True
+                    stats.short_circuit_result = True
+                    stats.algorithm = stats.algorithm or "short-circuit"
+                    sp.set(decided="short-circuit")
+                    return DCSatResult(satisfied=True, stats=stats)
+                stats.short_circuit_used = True
+                stats.short_circuit_result = False
+            sp.set(decided="")
+        return None
+
+    async def fast_paths_async(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        monotone: bool,
+        short_circuit: bool,
+        stats: DCSatStats,
+    ) -> DCSatResult | None:
+        """:meth:`fast_paths` with awaited world evaluations."""
+        with obs_span("fast_paths") as sp:
+            stats.evaluations += 1
+            if await self.engine.evaluate_async(query, frozenset()):
+                stats.algorithm = stats.algorithm or "state-check"
+                sp.set(decided="state-check")
+                return DCSatResult(
+                    satisfied=False, witness=frozenset(), stats=stats
+                )
+
+            if monotone and short_circuit:
+                stats.evaluations += 1
+                all_active = frozenset(self.db.pending_ids)
+                if not await self.engine.evaluate_async(query, all_active):
                     stats.short_circuit_used = True
                     stats.short_circuit_result = True
                     stats.algorithm = stats.algorithm or "short-circuit"
@@ -339,7 +474,7 @@ class DCSatChecker:
             self.workspace,
             self.fd_graph,
             parsed,
-            self._evaluate_world,
+            self.engine,
             assume_nonnegative_sums=self.assume_nonnegative_sums,
             short_circuit=short_circuit,
             pivot=pivot,

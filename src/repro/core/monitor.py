@@ -179,6 +179,41 @@ class ConstraintMonitor:
             sp.set(satisfied=entry.result.satisfied)
         return entry.result
 
+    async def status_async(
+        self, name: str, use_subsumption: bool = True
+    ) -> DCSatResult:
+        """:meth:`status` for event-loop callers.
+
+        Cache hits and subsumption answers resolve without suspending;
+        an actual solve awaits :meth:`DCSatChecker.check_async`, so an
+        async evaluation engine's backend I/O can overlap with whatever
+        else the loop is doing (see :mod:`repro.service.server`).
+        """
+        entry = self.entry(name)
+        with obs_span("monitor.status", constraint=name, mode="async") as sp:
+            if entry.result is None and use_subsumption:
+                covering = self._subsumed_by_satisfied(entry)
+                if covering is not None:
+                    from repro.core.results import DCSatStats
+
+                    entry.result = DCSatResult(
+                        satisfied=True,
+                        stats=DCSatStats(algorithm=f"subsumed-by:{covering}"),
+                    )
+                    sp.set(outcome="subsumed", covered_by=covering)
+                    return entry.result
+            if entry.result is None:
+                sp.set(outcome="check")
+                entry.result = await self.checker.check_async(
+                    entry.query, **entry.check_kwargs
+                )
+                entry.checks_run += 1
+            else:
+                sp.set(outcome="cache-hit")
+                entry.cache_hits += 1
+            sp.set(satisfied=entry.result.satisfied)
+        return entry.result
+
     def status_all(self, batch: bool = True) -> dict[str, DCSatResult]:
         """Verdicts for every registered constraint.
 

@@ -6,12 +6,19 @@ and evaluates the denial constraint there.  Sound and complete for
 *monotone* denial constraints: a monotone query satisfied in any world
 is satisfied in some maximal world, and every maximal world arises from
 a maximal clique.
+
+Enumeration and evaluation are decoupled: :func:`maximal_worlds` emits
+the evaluation plan (a pure stream of candidate active-sets, no side
+effects), and an :class:`~repro.core.engine.EvaluationEngine` sweeps
+it — one world at a time, batched, or as coroutines
+(:func:`naive_dcsat_async`).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterator
 
+from repro.core.engine import EvaluationEngine, as_engine
 from repro.core.fd_graph import FdTransactionGraph
 from repro.core.possible_worlds import get_maximal
 from repro.core.results import DCSatResult, DCSatStats
@@ -20,14 +27,33 @@ from repro.obs.trace import span as obs_span
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 
 #: Evaluates the query over the workspace's currently active world.
+#: Solvers also accept an :class:`~repro.core.engine.EvaluationEngine`
+#: wherever a ``WorldEvaluator`` is expected (see ``as_engine``).
 WorldEvaluator = Callable[[ConjunctiveQuery | AggregateQuery, frozenset[str]], bool]
+
+
+def maximal_worlds(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    restrict: set[str] | None = None,
+    pivot: bool = True,
+) -> Iterator[frozenset[str]]:
+    """The clique sweep's evaluation plan: one maximal world per clique.
+
+    A pure generator — it never touches solver statistics, so an engine
+    that prefetches (batching) cannot skew the counters.  The consuming
+    engine charges ``cliques_enumerated`` / ``worlds_checked`` /
+    ``evaluations`` per world it actually examines.
+    """
+    for clique in fd_graph.maximal_cliques(restrict=restrict, pivot=pivot):
+        yield get_maximal(workspace, clique)
 
 
 def naive_dcsat(
     workspace: Workspace,
     fd_graph: FdTransactionGraph,
     query: ConjunctiveQuery | AggregateQuery,
-    evaluate_world: WorldEvaluator,
+    evaluate_world: WorldEvaluator | EvaluationEngine,
     pivot: bool = True,
     stats: DCSatStats | None = None,
 ) -> DCSatResult:
@@ -36,16 +62,41 @@ def naive_dcsat(
     Returns ``satisfied=False`` with the violating world as witness as
     soon as the query evaluates to true over some maximal world.
     """
+    engine = as_engine(evaluate_world)
     stats = stats if stats is not None else DCSatStats()
     stats.algorithm = stats.algorithm or "naive"
-    with obs_span("clique_sweep", algorithm="naive") as sp:
-        for clique in fd_graph.maximal_cliques(pivot=pivot):
-            stats.cliques_enumerated += 1
-            world = get_maximal(workspace, clique)
-            stats.worlds_checked += 1
-            stats.evaluations += 1
-            if evaluate_world(query, world):
-                sp.set(cliques=stats.cliques_enumerated, violated=True)
-                return DCSatResult(satisfied=False, witness=world, stats=stats)
-        sp.set(cliques=stats.cliques_enumerated, violated=False)
+    with obs_span("clique_sweep", algorithm="naive", engine=engine.name) as sp:
+        witness = engine.sweep(
+            query,
+            maximal_worlds(workspace, fd_graph, pivot=pivot),
+            stats=stats,
+            count_cliques=True,
+        )
+        sp.set(cliques=stats.cliques_enumerated, violated=witness is not None)
+    if witness is not None:
+        return DCSatResult(satisfied=False, witness=witness, stats=stats)
+    return DCSatResult(satisfied=True, stats=stats)
+
+
+async def naive_dcsat_async(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    query: ConjunctiveQuery | AggregateQuery,
+    engine: EvaluationEngine,
+    pivot: bool = True,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """:func:`naive_dcsat` on the engine's coroutine surface."""
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "naive"
+    with obs_span("clique_sweep", algorithm="naive", engine=engine.name) as sp:
+        witness = await engine.sweep_async(
+            query,
+            maximal_worlds(workspace, fd_graph, pivot=pivot),
+            stats=stats,
+            count_cliques=True,
+        )
+        sp.set(cliques=stats.cliques_enumerated, violated=witness is not None)
+    if witness is not None:
+        return DCSatResult(satisfied=False, witness=witness, stats=stats)
     return DCSatResult(satisfied=True, stats=stats)

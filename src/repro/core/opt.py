@@ -6,6 +6,12 @@ that cannot cover the query's constants, and run the maximal-clique
 machinery within each surviving component independently (Proposition 2:
 no satisfying assignment spans two components).
 
+Enumeration is decoupled from evaluation: :func:`component_survivors`
+plus the per-component :func:`~repro.core.naive.maximal_worlds` stream
+form the evaluation plan, and :func:`solve_component` hands the stream
+to an :class:`~repro.core.engine.EvaluationEngine` (sync, batched or
+async — see :func:`opt_dcsat_async`).
+
 Reproduction note: Proposition 2, as stated in the paper, can fail when
 two pending transactions are joined only *through tuples of the current
 state* — the chain of shared query variables passes through ``R``, so no
@@ -21,10 +27,10 @@ crafted instance demonstrating the divergence, and
 from __future__ import annotations
 
 from repro.core.coverage import covers
+from repro.core.engine import EvaluationEngine, as_engine
 from repro.core.fd_graph import FdTransactionGraph
 from repro.core.ind_graph import IndQTransactionGraph
-from repro.core.naive import WorldEvaluator
-from repro.core.possible_worlds import get_maximal
+from repro.core.naive import WorldEvaluator, maximal_worlds
 from repro.core.results import DCSatResult, DCSatStats
 from repro.core.workspace import Workspace
 from repro.errors import AlgorithmError
@@ -81,7 +87,7 @@ def solve_component(
     fd_graph: FdTransactionGraph,
     query: ConjunctiveQuery | AggregateQuery,
     candidates: set[str],
-    evaluate_world: WorldEvaluator,
+    evaluate_world: WorldEvaluator | EvaluationEngine,
     pivot: bool = True,
     stats: DCSatStats | None = None,
 ) -> frozenset[str] | None:
@@ -93,21 +99,45 @@ def solve_component(
     of the parallel solver pool: it only needs the workspace, the
     fd-graph and a candidate set — no ind-graph, no checker.
     """
-    with obs_span("clique_sweep", candidates=len(candidates)) as sp:
-        cliques = 0
-        for clique in fd_graph.maximal_cliques(restrict=candidates, pivot=pivot):
-            cliques += 1
-            if stats is not None:
-                stats.cliques_enumerated += 1
-            world = get_maximal(workspace, clique)
-            if stats is not None:
-                stats.worlds_checked += 1
-                stats.evaluations += 1
-            if evaluate_world(query, world):
-                sp.set(cliques=cliques, violated=True)
-                return world
-        sp.set(cliques=cliques, violated=False)
-    return None
+    engine = as_engine(evaluate_world)
+    before = stats.cliques_enumerated if stats is not None else 0
+    with obs_span(
+        "clique_sweep", candidates=len(candidates), engine=engine.name
+    ) as sp:
+        witness = engine.sweep(
+            query,
+            maximal_worlds(workspace, fd_graph, restrict=candidates, pivot=pivot),
+            stats=stats,
+            count_cliques=True,
+        )
+        after = stats.cliques_enumerated if stats is not None else 0
+        sp.set(cliques=after - before, violated=witness is not None)
+    return witness
+
+
+async def solve_component_async(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    query: ConjunctiveQuery | AggregateQuery,
+    candidates: set[str],
+    engine: EvaluationEngine,
+    pivot: bool = True,
+    stats: DCSatStats | None = None,
+) -> frozenset[str] | None:
+    """:func:`solve_component` on the engine's coroutine surface."""
+    before = stats.cliques_enumerated if stats is not None else 0
+    with obs_span(
+        "clique_sweep", candidates=len(candidates), engine=engine.name
+    ) as sp:
+        witness = await engine.sweep_async(
+            query,
+            maximal_worlds(workspace, fd_graph, restrict=candidates, pivot=pivot),
+            stats=stats,
+            count_cliques=True,
+        )
+        after = stats.cliques_enumerated if stats is not None else 0
+        sp.set(cliques=after - before, violated=witness is not None)
+    return witness
 
 
 def opt_dcsat(
@@ -115,7 +145,7 @@ def opt_dcsat(
     fd_graph: FdTransactionGraph,
     ind_graph: IndQTransactionGraph,
     query: ConjunctiveQuery | AggregateQuery,
-    evaluate_world: WorldEvaluator,
+    evaluate_world: WorldEvaluator | EvaluationEngine,
     pivot: bool = True,
     use_coverage: bool = True,
     check_connected: bool = True,
@@ -138,10 +168,45 @@ def opt_dcsat(
         workspace, fd_graph, ind_graph, query,
         use_coverage=use_coverage, stats=stats,
     )
+    engine = as_engine(evaluate_world)
     for index, candidates in enumerate(survivors):
         with obs_span("solve_component", component=index):
             witness = solve_component(
-                workspace, fd_graph, query, candidates, evaluate_world,
+                workspace, fd_graph, query, candidates, engine,
+                pivot=pivot, stats=stats,
+            )
+        if witness is not None:
+            return DCSatResult(satisfied=False, witness=witness, stats=stats)
+    return DCSatResult(satisfied=True, stats=stats)
+
+
+async def opt_dcsat_async(
+    workspace: Workspace,
+    fd_graph: FdTransactionGraph,
+    ind_graph: IndQTransactionGraph,
+    query: ConjunctiveQuery | AggregateQuery,
+    engine: EvaluationEngine,
+    pivot: bool = True,
+    use_coverage: bool = True,
+    check_connected: bool = True,
+    stats: DCSatStats | None = None,
+) -> DCSatResult:
+    """:func:`opt_dcsat` on the engine's coroutine surface."""
+    if check_connected and not is_connected(query):
+        raise AlgorithmError(
+            "OptDCSat requires a connected conjunctive query; "
+            f"{query!s} is not connected"
+        )
+    stats = stats if stats is not None else DCSatStats()
+    stats.algorithm = stats.algorithm or "opt"
+    survivors = component_survivors(
+        workspace, fd_graph, ind_graph, query,
+        use_coverage=use_coverage, stats=stats,
+    )
+    for index, candidates in enumerate(survivors):
+        with obs_span("solve_component", component=index):
+            witness = await solve_component_async(
+                workspace, fd_graph, query, candidates, engine,
                 pivot=pivot, stats=stats,
             )
         if witness is not None:

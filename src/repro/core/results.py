@@ -10,6 +10,11 @@ class DCSatStats:
     """Work counters for one denial-constraint satisfaction check."""
 
     algorithm: str = ""
+    #: Which evaluation engine examined the worlds ("sync", "batched",
+    #: "async"; empty when no world sweep ran).  Deliberately *not* part
+    #: of the parity contract — engines must agree on every counter
+    #: below while differing here.
+    engine: str = ""
     short_circuit_used: bool = False
     short_circuit_result: bool | None = None
     components_total: int = 0
@@ -27,6 +32,8 @@ class DCSatStats:
         # stats object adopts the worker's.
         if not self.algorithm:
             self.algorithm = other.algorithm
+        if not self.engine:
+            self.engine = other.engine
         # Short-circuit evidence must survive the merge: it was used if
         # either side used it, and the first concrete outcome wins.
         self.short_circuit_used = (

@@ -10,11 +10,23 @@ hit counters scraped from the monitor's
 
 Thread-safety: every mutation takes the registry lock, because samples
 arrive both from the asyncio event loop and from the solver thread.
+
+Histogram observations can carry an *exemplar* — the trace id of the
+request that produced the sample — linking the aggregate back to a
+concrete ``/tracez`` trace.  The render emits them as ``# EXEMPLAR``
+comment lines next to their series (the classic text format has no
+native exemplar syntax; comments survive every scraper).
+
+:func:`default_registry` is the process-wide registry that library
+layers (e.g. the evaluation engines' ``repro_worlds_evaluated_total``)
+feed without needing a service handle; the server folds it into its
+``/metrics`` output.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from typing import Iterable, Mapping
 
@@ -110,14 +122,24 @@ class Histogram:
         self._counts = [0] * (len(self.bounds) + 1)  # +inf bucket last
         self._sum = 0.0
         self._count = 0
+        self._exemplar: tuple[str, float, float] | None = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         index = bisect_left(self.bounds, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if exemplar:
+                # Keep the latest linked trace: exemplars are entry
+                # points for debugging, not a sample archive.
+                self._exemplar = (exemplar, value, time.time())
+
+    def exemplar(self) -> tuple[str, float, float] | None:
+        """The last ``(trace_id, observed value, unix time)`` exemplar."""
+        with self._lock:
+            return self._exemplar
 
     @property
     def count(self) -> int:
@@ -238,8 +260,32 @@ class MetricsRegistry:
                         f"{name}_sum{label_key} {_format_value(total_sum)}"
                     )
                     lines.append(f"{name}_count{label_key} {total_count}")
+                    exemplar = metric.exemplar()
+                    if exemplar is not None:
+                        trace_id, value, unix_time = exemplar
+                        lines.append(
+                            f"# EXEMPLAR {name}{label_key} "
+                            f'trace_id="{_escape_label_value(trace_id)}" '
+                            f"value={_format_value(value)} "
+                            f"timestamp={unix_time:.3f}"
+                        )
                 else:
                     lines.append(
                         f"{name}{label_key} {_format_value(metric.value)}"
                     )
         return "\n".join(lines) + "\n"
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry for library-level metrics.
+
+    Layers below the service (the evaluation engines, the pool) record
+    here; the server appends its render to every ``/metrics`` scrape.
+    Distinct from any registry the caller wires into
+    :class:`~repro.service.server.ConstraintService` so tests can keep
+    isolated registries.
+    """
+    return _DEFAULT_REGISTRY

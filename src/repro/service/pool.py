@@ -12,7 +12,11 @@ parallel.  :class:`SolverPool` fans those units out across a
   Steady-state changes (issue / commit / forget / absorb) are recorded
   in an op log; every task carries the log tail, and workers replay the
   ops they have not seen before solving.  When the log outgrows
-  ``resync_ops``, the pool discards the executor and re-snapshots.
+  ``resync_ops``, the pool *compacts*: it re-snapshots the database
+  into the sync payload and resets the log, and each warm worker
+  rebuilds its context from the fresh snapshot on its next task — no
+  executor teardown, so long-lived services never replay unbounded
+  logs and never pay worker re-fork latency.
 
 * **Determinism.**  Components are dispatched in the same order the
   sequential solver would visit them, and the verdict is taken from the
@@ -43,6 +47,7 @@ from repro import serialize
 from repro.core.batch import batch_dcsat
 from repro.core.blockchain_db import BlockchainDatabase
 from repro.core.checker import DCSatChecker
+from repro.core.engine import EvaluationEngine, make_engine, resolve_engine_name
 from repro.core.fd_graph import FdTransactionGraph
 from repro.core.opt import component_survivors, solve_component
 from repro.core.results import DCSatResult, DCSatStats
@@ -54,7 +59,7 @@ from repro.obs.trace import span as obs_span
 from repro.query.analysis import is_connected, is_monotone
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.relational.transaction import Transaction
-from repro.storage import make_backend
+from repro.storage import make_backend, resolve_backend_name
 
 Query = ConjunctiveQuery | AggregateQuery
 
@@ -93,27 +98,58 @@ def _transaction_from_wire(payload: dict) -> Transaction:
     )
 
 
-def _init_worker(db_payload: dict, backend_name: str, base_epoch: int) -> None:
-    global _WORKER_CTX
+def _build_worker_ctx(
+    db_payload: dict, backend_name: str, engine_name: str, base_epoch: int
+) -> dict:
     db = serialize.database_from_dict(db_payload, validate=False)
     workspace = Workspace(db)
     fd_graph = FdTransactionGraph(workspace)
     backend = make_backend(backend_name)
     backend.attach(workspace)
-    _WORKER_CTX = {
+    return {
         "workspace": workspace,
         "fd_graph": fd_graph,
         "backend": backend,
+        "engine": make_engine(engine_name, backend),
+        "backend_name": backend_name,
+        "engine_name": engine_name,
         "epoch": base_epoch,
         "base_epoch": base_epoch,
     }
 
 
-def _sync_worker(target_epoch: int, base_epoch: int, ops: tuple) -> dict:
-    """Replay the op-log tail this worker has not seen yet."""
+def _init_worker(
+    db_payload: dict, backend_name: str, engine_name: str, base_epoch: int
+) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = _build_worker_ctx(
+        db_payload, backend_name, engine_name, base_epoch
+    )
+
+
+def _sync_worker(
+    target_epoch: int,
+    base_epoch: int,
+    ops: tuple,
+    snapshot: dict | None = None,
+) -> dict:
+    """Replay the op-log tail this worker has not seen yet.
+
+    When the coordinator compacted its op log (``snapshot`` present and
+    the worker's base predates it), the warm worker rebuilds its whole
+    context from the shipped snapshot instead of erroring out.
+    """
+    global _WORKER_CTX
     ctx = _WORKER_CTX
     if ctx is None:
         raise ServiceError("solver worker used before initialization")
+    if ctx["base_epoch"] != base_epoch and (
+        snapshot is not None and ctx["base_epoch"] < base_epoch
+    ):
+        ctx["backend"].close()
+        ctx = _WORKER_CTX = _build_worker_ctx(
+            snapshot, ctx["backend_name"], ctx["engine_name"], base_epoch
+        )
     if ctx["base_epoch"] != base_epoch or ctx["epoch"] > target_epoch:
         raise ServiceError(
             "solver worker snapshot diverged from the coordinator "
@@ -151,7 +187,7 @@ def _sync_worker(target_epoch: int, base_epoch: int, ops: tuple) -> dict:
 
 
 def _solve_component_task(
-    sync: tuple[int, int, tuple],
+    sync: tuple[int, int, tuple, dict | None],
     query: Query,
     candidates: tuple[str, ...],
     pivot: bool,
@@ -178,7 +214,7 @@ def _solve_component_task(
                 ctx["fd_graph"],
                 query,
                 set(candidates),
-                ctx["backend"].evaluate,
+                ctx["engine"],
                 pivot=pivot,
                 stats=stats,
             )
@@ -191,7 +227,7 @@ def _solve_component_task(
 
 
 def _solve_batch_task(
-    sync: tuple[int, int, tuple],
+    sync: tuple[int, int, tuple, dict | None],
     queries: list[Query],
     pivot: bool,
     assume_nonnegative_sums: bool,
@@ -209,7 +245,7 @@ def _solve_batch_task(
                 workspace,
                 ctx["fd_graph"],
                 queries,
-                ctx["backend"].evaluate,
+                ctx["engine"],
                 # The coordinator's flag, not a hard-coded True: the worker
                 # must apply exactly the monotonicity assumptions the
                 # coordinator validated with, or pooled verdicts could
@@ -243,14 +279,16 @@ class SolverPool:
         self,
         checker: DCSatChecker,
         max_workers: int | None = None,
-        backend: str = "memory",
+        backend: str | None = None,
+        engine: str | None = None,
         start_method: str | None = None,
         resync_ops: int = 256,
         min_components: int = 2,
     ):
         self.checker = checker
         self.max_workers = max_workers or default_pool_size()
-        self._backend_name = backend
+        self._backend_name = resolve_backend_name(backend)
+        self._engine_name = resolve_engine_name(engine)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -260,6 +298,13 @@ class SolverPool:
         self._executor: ProcessPoolExecutor | None = None
         self._base_epoch = 0
         self._oplog: list[tuple[str, object]] = []
+        #: Fresh snapshot shipped with the sync payload after a
+        #: compaction, until workers can be assumed rebuilt from it
+        #: (i.e. until the next executor restart clears it).
+        self._snapshot: dict | None = None
+        #: How many times the op log was compacted (observable, and the
+        #: bounded-payload test's hook).
+        self.compactions = 0
 
     # -- snapshot / op-log management ----------------------------------
 
@@ -269,11 +314,25 @@ class SolverPool:
             return  # next executor starts from a fresh snapshot anyway
         self._oplog.append((op, payload))
         if len(self._oplog) > self.resync_ops:
-            log.debug(
-                "op log outgrew resync_ops; discarding executor",
-                extra={"ctx": {"ops": len(self._oplog), "limit": self.resync_ops}},
-            )
-            self.shutdown()
+            self._compact()
+
+    def _compact(self) -> None:
+        """Reset the op log against a fresh database snapshot.
+
+        Warm workers stay up: the snapshot rides along in each task's
+        sync payload and a worker whose base epoch predates it rebuilds
+        in place (see :func:`_sync_worker`).  This keeps the per-task
+        sync payload bounded by ``resync_ops`` for the lifetime of the
+        pool instead of growing with every recorded state change.
+        """
+        log.debug(
+            "op log outgrew resync_ops; compacting into a fresh snapshot",
+            extra={"ctx": {"ops": len(self._oplog), "limit": self.resync_ops}},
+        )
+        self._snapshot = serialize.database_to_dict(self.checker.db)
+        self._base_epoch = self.checker.epoch
+        self._oplog = []
+        self.compactions += 1
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -281,15 +340,21 @@ class SolverPool:
             ctx = multiprocessing.get_context(self._start_method)
             self._base_epoch = self.checker.epoch
             self._oplog = []
+            self._snapshot = None
             self._executor = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 mp_context=ctx,
                 initializer=_init_worker,
-                initargs=(payload, self._backend_name, self._base_epoch),
+                initargs=(
+                    payload, self._backend_name, self._engine_name,
+                    self._base_epoch,
+                ),
             )
         return self._executor
 
-    def _prepare(self) -> tuple[ProcessPoolExecutor, tuple[int, int, tuple]]:
+    def _prepare(
+        self,
+    ) -> tuple[ProcessPoolExecutor, tuple[int, int, tuple, dict | None]]:
         """A live executor plus the sync args for the current epoch."""
         executor = self._ensure_executor()
         if self._base_epoch + len(self._oplog) != self.checker.epoch:
@@ -307,13 +372,17 @@ class SolverPool:
             )
             self.shutdown()
             executor = self._ensure_executor()
-        return executor, (self.checker.epoch, self._base_epoch, tuple(self._oplog))
+        return executor, (
+            self.checker.epoch, self._base_epoch, tuple(self._oplog),
+            self._snapshot,
+        )
 
     def shutdown(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
         self._oplog = []
+        self._snapshot = None
 
     def __enter__(self) -> "SolverPool":
         return self
@@ -397,7 +466,7 @@ class SolverPool:
                     self.checker.fd_graph,
                     query,
                     candidates,
-                    self.checker.evaluate_world,
+                    self.checker.engine,
                     pivot=pivot,
                     stats=stats,
                 )
@@ -500,7 +569,7 @@ class SolverPool:
                     checker.workspace,
                     checker.fd_graph,
                     [parsed[i] for i in open_indexes],
-                    checker.evaluate_world,
+                    checker.engine,
                     assume_nonnegative_sums=checker.assume_nonnegative_sums,
                     short_circuit=False,
                     pivot=pivot,
@@ -546,19 +615,30 @@ class PooledDCSatChecker(DCSatChecker):
     def __init__(
         self,
         db: BlockchainDatabase,
-        backend: str = "memory",
+        backend: str | None = None,
         assume_nonnegative_sums: bool = False,
+        engine: str | EvaluationEngine | None = None,
         max_workers: int | None = None,
         start_method: str | None = None,
         resync_ops: int = 256,
     ):
         super().__init__(
-            db, backend=backend, assume_nonnegative_sums=assume_nonnegative_sums
+            db,
+            backend=backend,
+            assume_nonnegative_sums=assume_nonnegative_sums,
+            engine=engine,
         )
+        # Workers need picklable *names*, not instances: resolve the
+        # same defaults the coordinator resolved so both sides agree.
         self.pool = SolverPool(
             self,
             max_workers=max_workers,
-            backend=backend if isinstance(backend, str) else "memory",
+            backend=resolve_backend_name(backend),
+            engine=(
+                engine.name
+                if isinstance(engine, EvaluationEngine)
+                else resolve_engine_name(engine)
+            ),
             start_method=start_method,
             resync_ops=resync_ops,
         )

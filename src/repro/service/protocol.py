@@ -111,6 +111,7 @@ def transaction_from_wire(payload: Any) -> Transaction:
 def stats_to_wire(stats: DCSatStats) -> dict:
     return {
         "algorithm": stats.algorithm,
+        "engine": stats.engine,
         "short_circuit_used": stats.short_circuit_used,
         "short_circuit_result": stats.short_circuit_result,
         "components_total": stats.components_total,

@@ -10,19 +10,57 @@ backends:
   workspace (the active set *is* the ``current`` column);
 * :class:`SqliteBackend` — a real SQL engine (stdlib sqlite3, standing
   in for Postgres): tables carry a ``_current`` flag maintained with
-  UPDATE statements, and denial constraints are compiled to SQL.
+  UPDATE statements, and denial constraints are compiled to SQL; its
+  ``evaluate_many`` answers a whole batch of worlds in one round trip
+  via a per-world active-set CTE (the
+  :class:`~repro.core.engine.BatchedEngine` hook).
+
+:class:`AsyncBackend` is the coroutine twin of the protocol, and
+:class:`AsyncBackendAdapter` lifts either backend onto it for the
+:class:`~repro.core.engine.AsyncEngine` (see ``docs/ENGINES.md``).
 """
 
-from repro.storage.base import Backend
+import os
+
+from repro.storage.base import (
+    AsyncBackend,
+    AsyncBackendAdapter,
+    Backend,
+    evaluate_many_fallback,
+)
 from repro.storage.memory import MemoryBackend
 from repro.storage.sqlite_backend import SqliteBackend
-from repro.storage.sql_compiler import compile_query
+from repro.storage.sql_compiler import compile_query, compile_query_worlds
 
-__all__ = ["Backend", "MemoryBackend", "SqliteBackend", "compile_query"]
+__all__ = [
+    "AsyncBackend",
+    "AsyncBackendAdapter",
+    "Backend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "compile_query",
+    "compile_query_worlds",
+    "evaluate_many_fallback",
+    "make_backend",
+    "resolve_backend_name",
+]
 
 
-def make_backend(name: str) -> Backend:
-    """Build a backend from its name (``"memory"`` or ``"sqlite"``)."""
+def resolve_backend_name(backend: str | None) -> str:
+    """An explicit backend name, or the ``REPRO_BACKEND`` env default."""
+    if backend is not None:
+        return backend
+    return os.environ.get("REPRO_BACKEND", "memory")
+
+
+def make_backend(name: str | None = None) -> Backend:
+    """Build a backend from its name (``"memory"`` or ``"sqlite"``).
+
+    ``None`` falls back to the ``REPRO_BACKEND`` environment variable
+    (default ``"memory"``) — the hook CI uses to run the whole suite
+    over sqlite without touching each test.
+    """
+    name = resolve_backend_name(name)
     if name == "memory":
         return MemoryBackend()
     if name == "sqlite":

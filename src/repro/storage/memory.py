@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import StorageError
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.query.evaluator import evaluate
+from repro.storage.base import evaluate_many_fallback
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.workspace import Workspace
@@ -37,6 +38,14 @@ class MemoryBackend:
         workspace = self._require_workspace()
         workspace.set_active(active)
         return evaluate(query, workspace)
+
+    def evaluate_many(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        actives: Sequence[frozenset[str]],
+    ) -> list[bool]:
+        # World switches are O(1) here; there is nothing to amortize.
+        return evaluate_many_fallback(self, query, actives)
 
     def on_issue(self, tx: "Transaction") -> None:
         pass  # the workspace already indexes pending transactions

@@ -8,6 +8,19 @@ comparison predicates inlined.  Aggregate queries compile to a
 satisfying assignments — and the aggregate itself is computed by the
 backend in Python, which keeps the bag semantics (including the
 empty-bag-is-false rule) in exactly one place.
+
+:func:`compile_query_worlds` is the batched twin: instead of reading
+the world off the ``_current`` column, the statement is correlated
+against two caller-provided CTEs —
+
+* ``__repro_world_ids(world_id)`` — one row per candidate world;
+* ``__repro_worlds(world_id, tx)`` — that world's active-set members —
+
+and every ``_current = 1`` guard becomes "committed, or pending in
+*this* row's world".  One statement then answers a whole batch of
+worlds in a single round trip: the ``"exists"`` shape returns the ids
+of violating worlds, the ``"rows"`` shape returns satisfying
+assignments prefixed by their world id.
 """
 
 from __future__ import annotations
@@ -26,6 +39,13 @@ from repro.query.ast import (
 from repro.relational.schema import Schema
 
 _OP_SQL = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: CTE names the multi-world compilation references; the backend binds
+#: them with a ``WITH ... AS (VALUES ...)`` prologue per batch.
+WORLDS_CTE = "__repro_worlds"
+WORLD_IDS_CTE = "__repro_world_ids"
+#: Alias of the ``WORLD_IDS_CTE`` row the statement is correlated on.
+WORLD_ALIAS = "wi"
 
 
 def quote_identifier(name: str) -> str:
@@ -49,8 +69,9 @@ class CompiledQuery:
 
 
 class _Compilation:
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema, world_correlated: bool = False):
         self.schema = schema
+        self.world_correlated = world_correlated
         self.conditions: list[str] = []
         self.params: list = []
         self.var_expr: dict[str, str] = {}
@@ -66,10 +87,27 @@ class _Compilation:
         attrs = self.schema[relation].attribute_names
         return quote_identifier(attrs[position])
 
+    def _membership_guard(self, alias: str) -> str:
+        """The per-row "belongs to the world under consideration" test.
+
+        Single-world mode reads the materialized ``_current`` column;
+        world-correlated mode re-derives it per candidate world: a row
+        is in a world when it is committed (``_tx = ''``) or its
+        pending transaction is among that world's active set.
+        """
+        if not self.world_correlated:
+            return f"{alias}._current = 1"
+        return (
+            f"({alias}._tx = '' OR EXISTS (SELECT 1 FROM "
+            f"{quote_identifier(WORLDS_CTE)} __w WHERE "
+            f"__w.world_id = {WORLD_ALIAS}.world_id "
+            f"AND __w.tx = {alias}._tx))"
+        )
+
     def add_positive_atom(self, atom: Atom) -> None:
         alias = self._fresh_alias()
         self.from_items.append(f"{quote_identifier(atom.relation)} {alias}")
-        self.conditions.append(f"{alias}._current = 1")
+        self.conditions.append(self._membership_guard(alias))
         for position, term in enumerate(atom.terms):
             column = f"{alias}.{self._column(atom.relation, position)}"
             if isinstance(term, Constant):
@@ -101,7 +139,7 @@ class _Compilation:
 
     def add_negated_atom(self, atom: Atom) -> None:
         alias = self._fresh_alias()
-        inner: list[str] = [f"{alias}._current = 1"]
+        inner: list[str] = [self._membership_guard(alias)]
         for position, term in enumerate(atom.terms):
             column = f"{alias}.{self._column(atom.relation, position)}"
             inner.append(f"{column} = {self.term_sql(term)}")
@@ -113,8 +151,10 @@ class _Compilation:
         )
 
 
-def _compile_body(body: ConjunctiveQuery, schema: Schema) -> _Compilation:
-    compilation = _Compilation(schema)
+def _compile_body(
+    body: ConjunctiveQuery, schema: Schema, world_correlated: bool = False
+) -> _Compilation:
+    compilation = _Compilation(schema, world_correlated=world_correlated)
     for atom in body.positive_atoms:
         compilation.add_positive_atom(atom)
     for comparison in body.comparisons:
@@ -158,6 +198,59 @@ def compile_query(
     sql = (
         f"SELECT DISTINCT {select_list} FROM {from_clause} "
         f"WHERE {where_clause}"
+    )
+    return CompiledQuery(
+        sql=sql,
+        params=compilation.params,
+        kind="rows",
+        var_order=tuple(variables),
+    )
+
+
+def compile_query_worlds(
+    query: ConjunctiveQuery | AggregateQuery, schema: Schema
+) -> CompiledQuery:
+    """Compile the batched, world-correlated form of a denial constraint.
+
+    The statement references the :data:`WORLD_IDS_CTE` /
+    :data:`WORLDS_CTE` tables (the caller prepends the ``WITH``
+    prologue binding them — see ``SqliteBackend.evaluate_many``) and
+    answers every candidate world in one round trip:
+
+    * ``kind="exists"`` — one row per **violating** world:
+      ``SELECT wi.world_id ... WHERE EXISTS(<body>)``;
+    * ``kind="rows"`` — the satisfying assignments of every world at
+      once, each row prefixed by its ``world_id`` (the backend groups
+      them and applies the aggregate per world in Python).
+    """
+    body = query.body if isinstance(query, AggregateQuery) else query
+    compilation = _compile_body(body, schema, world_correlated=True)
+    from_clause = ", ".join(compilation.from_items)
+    where_clause = " AND ".join(compilation.conditions) or "1"
+    ids_table = f"{quote_identifier(WORLD_IDS_CTE)} {WORLD_ALIAS}"
+
+    variables = (
+        sorted(compilation.var_expr)
+        if isinstance(query, AggregateQuery)
+        else []
+    )
+    if not variables:
+        # Conjunctive, or a variable-free aggregate body: per world the
+        # answer is Boolean, so return the ids of worlds whose body is
+        # non-empty.
+        sql = (
+            f"SELECT {WORLD_ALIAS}.world_id FROM {ids_table} "
+            f"WHERE EXISTS(SELECT 1 FROM {from_clause} WHERE {where_clause})"
+        )
+        return CompiledQuery(sql=sql, params=compilation.params, kind="exists")
+
+    select_list = ", ".join(
+        f"{compilation.var_expr[name]} AS {quote_identifier(name)}"
+        for name in variables
+    )
+    sql = (
+        f"SELECT DISTINCT {WORLD_ALIAS}.world_id, {select_list} "
+        f"FROM {ids_table}, {from_clause} WHERE {where_clause}"
     )
     return CompiledQuery(
         sql=sql,

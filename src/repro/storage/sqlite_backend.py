@@ -16,11 +16,18 @@ run as compiled SQL (:mod:`repro.storage.sql_compiler`).
 from __future__ import annotations
 
 import sqlite3
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import StorageError
 from repro.query.ast import AggregateQuery, ConjunctiveQuery, Constant
-from repro.storage.sql_compiler import CompiledQuery, compile_query, quote_identifier
+from repro.storage.sql_compiler import (
+    WORLD_IDS_CTE,
+    WORLDS_CTE,
+    CompiledQuery,
+    compile_query,
+    compile_query_worlds,
+    quote_identifier,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.workspace import Workspace
@@ -29,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _TYPE_AFFINITY = {int: "INTEGER", float: "REAL", str: "TEXT", bytes: "BLOB", bool: "INTEGER"}
 
 #: sqlite limits host parameters; stay well below the historical 999.
-_CHUNK = 500
+_PARAM_BUDGET = 800
 
 
 class SqliteBackend:
@@ -45,13 +52,21 @@ class SqliteBackend:
         # (CPython recycles addresses of collected query objects, which
         # would hand a later query a stale compiled plan).
         self._compiled: dict[str, CompiledQuery] = {}
+        #: SELECT round trips issued for world evaluation — one per
+        #: :meth:`evaluate` call, one per :meth:`evaluate_many` chunk.
+        self.eval_roundtrips = 0
+        #: ``executemany`` flip statements issued by :meth:`set_active`.
+        self.flip_statements = 0
 
     # ------------------------------------------------------------------
     # Attachment / loading
 
     def attach(self, workspace: "Workspace") -> None:
         self._workspace = workspace
-        self._conn = sqlite3.connect(self._path)
+        # The service attaches on the main thread and evaluates on its
+        # solver thread (one op at a time, never concurrently), so the
+        # connection must be shareable across threads.
+        self._conn = sqlite3.connect(self._path, check_same_thread=False)
         self._conn.execute("PRAGMA journal_mode = MEMORY")
         self._conn.execute("PRAGMA synchronous = OFF")
         self._create_schema()
@@ -156,16 +171,17 @@ class SqliteBackend:
 
     def _flip(self, tx_ids: list[str], value: int) -> None:
         conn, workspace = self._require()
-        tables = [quote_identifier(name) for name in workspace.base.relation_names]
-        for start in range(0, len(tx_ids), _CHUNK):
-            chunk = tx_ids[start : start + _CHUNK]
-            placeholders = ", ".join("?" for _ in chunk)
-            for table in tables:
-                conn.execute(
-                    f"UPDATE {table} SET _current = ? "
-                    f"WHERE _tx IN ({placeholders})",
-                    [value, *chunk],
+        rows = [(value, tx_id) for tx_id in tx_ids]
+        # One executemany per table inside a single transaction: no
+        # per-chunk statement rebuilding, no host-parameter limit.
+        with conn:
+            for name in workspace.base.relation_names:
+                conn.executemany(
+                    f"UPDATE {quote_identifier(name)} "
+                    f"SET _current = ? WHERE _tx = ?",
+                    rows,
                 )
+                self.flip_statements += 1
 
     def set_active(self, active: frozenset[str]) -> None:
         """Flip ``_current`` so exactly *active* pending txs are current."""
@@ -199,6 +215,7 @@ class SqliteBackend:
         conn, _ = self._require()
         self.set_active(active)
         compiled = self._compiled_query(query)
+        self.eval_roundtrips += 1
         cursor = conn.execute(compiled.sql, compiled.params)
         if compiled.kind == "exists":
             exists = bool(cursor.fetchone()[0])
@@ -214,6 +231,112 @@ class SqliteBackend:
             return False
         assignments = [dict(zip(compiled.var_order, row)) for row in rows]
         return self._aggregate_over(query, assignments)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (the BatchedEngine hook)
+
+    def _compiled_worlds_query(
+        self, query: ConjunctiveQuery | AggregateQuery
+    ) -> CompiledQuery:
+        _, workspace = self._require()
+        key = f"worlds:{type(query).__name__}:{query}"
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = compile_query_worlds(query, workspace.base.schema)
+            self._compiled[key] = compiled
+        return compiled
+
+    def evaluate_many(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        actives: Sequence[frozenset[str]],
+    ) -> list[bool]:
+        """Answer a whole batch of worlds in one SQL round trip.
+
+        Instead of N× ``set_active`` flip/evaluate cycles, the batch's
+        active-sets are bound as ``VALUES`` CTEs and the
+        world-correlated compilation (:func:`compile_query_worlds`)
+        answers every world at once.  The ``_current`` column — and
+        :attr:`_active` — are left untouched.  Batches whose host
+        parameters would exceed sqlite's limit are split transparently.
+        """
+        actives = list(actives)
+        if not actives:
+            return []
+        self._require()
+        compiled = self._compiled_worlds_query(query)
+        results = [False] * len(actives)
+        base_cost = len(compiled.params)
+        start = 0
+        while start < len(actives):
+            end = start + 1
+            budget = base_cost + 2 * len(actives[start]) + 1
+            while end < len(actives):
+                cost = 2 * len(actives[end]) + 1
+                if budget + cost > _PARAM_BUDGET:
+                    break
+                budget += cost
+                end += 1
+            self._evaluate_world_chunk(query, compiled, actives, start, end, results)
+            start = end
+        return results
+
+    def _evaluate_world_chunk(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        compiled: CompiledQuery,
+        actives: list[frozenset[str]],
+        start: int,
+        end: int,
+        results: list[bool],
+    ) -> None:
+        conn, _ = self._require()
+        member_params: list = []
+        for world_id in range(start, end):
+            for tx_id in sorted(actives[world_id]):
+                member_params.extend((world_id, tx_id))
+        if member_params:
+            worlds_rows = ", ".join(
+                "(?, ?)" for _ in range(len(member_params) // 2)
+            )
+            worlds_cte = (
+                f"{quote_identifier(WORLDS_CTE)}(world_id, tx) "
+                f"AS (VALUES {worlds_rows})"
+            )
+        else:
+            # VALUES cannot be empty; bind a zero-row relation instead.
+            worlds_cte = (
+                f"{quote_identifier(WORLDS_CTE)}(world_id, tx) "
+                f"AS (SELECT -1, '' WHERE 0)"
+            )
+        id_rows = list(range(start, end))
+        ids_cte = (
+            f"{quote_identifier(WORLD_IDS_CTE)}(world_id) "
+            f"AS (VALUES {', '.join('(?)' for _ in id_rows)})"
+        )
+        sql = f"WITH {worlds_cte}, {ids_cte} {compiled.sql}"
+        params = [*member_params, *id_rows, *compiled.params]
+        self.eval_roundtrips += 1
+        cursor = conn.execute(sql, params)
+        if compiled.kind == "exists":
+            violating = {row[0] for row in cursor.fetchall()}
+            if isinstance(query, ConjunctiveQuery):
+                for world_id in violating:
+                    results[world_id] = True
+            elif violating:
+                # Variable-free aggregate body: every non-empty world
+                # holds the same single constant row.
+                verdict = self._aggregate_over(query, [{}])
+                for world_id in violating:
+                    results[world_id] = verdict
+            return
+        by_world: dict[int, list[dict[str, object]]] = {}
+        for row in cursor.fetchall():
+            by_world.setdefault(row[0], []).append(
+                dict(zip(compiled.var_order, row[1:]))
+            )
+        for world_id, assignments in by_world.items():
+            results[world_id] = self._aggregate_over(query, assignments)
 
     def _aggregate_over(
         self, query: AggregateQuery, assignments: list[dict[str, object]]

@@ -1,0 +1,273 @@
+"""Evaluation-engine parity: sync, batched and async are one solver.
+
+The engine layer's contract (see :mod:`repro.core.engine`) is that the
+*how* of world evaluation never leaks into the *what*: every engine
+must return the same verdict, the same witness, and the same work
+counters (``worlds_checked`` / ``evaluations`` / ``cliques_enumerated``
+— charged only up to and including the first violating world) on the
+same evaluation plan.  These tests drive all three engines over both
+storage backends on randomized databases, randomized monitor traces
+(verdicts *and* invalidation lists), the Proposition-2 divergence
+instance, and the aggregate paths, asserting byte-for-byte identical
+results everywhere.  ``DCSatStats.engine`` is the one field allowed —
+required, even — to differ.
+"""
+
+import asyncio
+import random
+from dataclasses import fields
+
+import pytest
+
+from repro import serialize
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.checker import DCSatChecker
+from repro.core.engine import ENGINES
+from repro.core.monitor import ConstraintMonitor
+from repro.core.results import DCSatStats
+from repro.relational.constraints import ConstraintSet, FunctionalDependency
+from repro.relational.database import Database, make_schema
+from repro.relational.transaction import Transaction
+from tests.core.test_opt_incompleteness import (
+    BRIDGE_QUERY,
+    bridge_db,  # noqa: F401 (pytest fixture, used by parameter name)
+)
+from tests.service.conftest import Q_ABSENT, Q_CONFLICT, Q_TWO_A, component_db, r_tx
+
+BACKENDS = ("memory", "sqlite")
+
+#: Everything engines must agree on.  ``engine`` identifies the engine
+#: (excluded by design); ``elapsed_seconds`` is wall clock.
+PARITY_FIELDS = tuple(
+    field.name
+    for field in fields(DCSatStats)
+    if field.name not in ("engine", "elapsed_seconds")
+)
+
+CONJUNCTIVE_QUERIES = (Q_CONFLICT, Q_TWO_A, Q_ABSENT)
+
+
+def db_copy(db: BlockchainDatabase) -> BlockchainDatabase:
+    """An independent database per engine: checkers mutate state."""
+    return serialize.database_from_dict(serialize.database_to_dict(db))
+
+
+def checker_for(
+    db: BlockchainDatabase, engine: str, backend: str, **kwargs
+) -> DCSatChecker:
+    return DCSatChecker(db_copy(db), backend=backend, engine=engine, **kwargs)
+
+
+def parity_view(result) -> tuple:
+    """The cross-engine-comparable projection of a check result."""
+    stats = {name: getattr(result.stats, name) for name in PARITY_FIELDS}
+    return (result.satisfied, result.witness, stats)
+
+
+def random_db(rng: random.Random) -> BlockchainDatabase:
+    """A small randomized instance: an FD-constrained relation plus an
+    unconstrained amounts relation for the aggregate paths."""
+    schema = make_schema({"R": ["cid", "k", "v"], "Amt": ["cid", "amount"]})
+    constraints = ConstraintSet(
+        schema, [FunctionalDependency("R", ["cid", "k"], ["v"])]
+    )
+    # One committed value per (cid, k) pair: the current state must
+    # itself satisfy the FD.
+    committed_r = [
+        (cid, k, rng.choice("ab"))
+        for cid in range(2)
+        for k in range(2)
+        if rng.random() < 0.4
+    ]
+    committed_amt = [
+        (rng.randrange(2), rng.randrange(1, 4)) for _ in range(rng.randrange(3))
+    ]
+    current = Database.from_dict(
+        schema, {"R": set(committed_r), "Amt": set(committed_amt)}
+    )
+    pending = []
+    for index in range(rng.randrange(4, 8)):
+        facts: dict = {
+            "R": [
+                (rng.randrange(2), rng.randrange(2), rng.choice("abc"))
+                for _ in range(rng.randrange(1, 3))
+            ]
+        }
+        if rng.random() < 0.5:
+            facts["Amt"] = [(rng.randrange(2), rng.randrange(1, 4))]
+        pending.append(Transaction(facts, tx_id=f"P{index}"))
+    return BlockchainDatabase(current, constraints, pending)
+
+
+class TestRandomizedCheckParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_engines_agree_on_random_instances(self, backend, seed):
+        rng = random.Random(seed)
+        db = random_db(rng)
+        checkers = {
+            engine: checker_for(db, engine, backend, assume_nonnegative_sums=True)
+            for engine in ENGINES
+        }
+        try:
+            cases = [
+                (query, algorithm)
+                for query in CONJUNCTIVE_QUERIES
+                for algorithm in ("auto", "naive", "opt", "brute")
+            ]
+            cases.append((f"[q(sum(a)) <- Amt(c, a)] >= {rng.randrange(3, 9)}", "auto"))
+            for query, algorithm in cases:
+                views = {
+                    engine: parity_view(
+                        checker.check(query, algorithm=algorithm)
+                    )
+                    for engine, checker in checkers.items()
+                }
+                reference = views["sync"]
+                for engine, view in views.items():
+                    assert view == reference, (query, algorithm, engine)
+        finally:
+            for checker in checkers.values():
+                checker.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_engine_field_identifies_the_engine(self, backend):
+        db = component_db(components=2, keys=1)
+        for engine in ENGINES:
+            checker = checker_for(db, engine, backend)
+            try:
+                result = checker.check(Q_CONFLICT, algorithm="naive")
+                assert result.stats.engine == engine
+            finally:
+                checker.close()
+
+
+class TestAsyncSurfaceParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_check_async_matches_check(self, backend):
+        db = component_db(components=2, keys=2)
+        for engine in ENGINES:
+            sync_side = checker_for(db, engine, backend)
+            async_side = checker_for(db, engine, backend)
+            try:
+                for query in CONJUNCTIVE_QUERIES:
+                    for algorithm in ("auto", "naive", "opt", "brute"):
+                        expected = parity_view(
+                            sync_side.check(query, algorithm=algorithm)
+                        )
+                        actual = parity_view(
+                            asyncio.run(
+                                async_side.check_async(
+                                    query, algorithm=algorithm
+                                )
+                            )
+                        )
+                        assert actual == expected, (query, algorithm, engine)
+            finally:
+                sync_side.close()
+                async_side.close()
+
+
+class TestPropositionTwoDivergenceParity:
+    """The documented OptDCSat false negative must be engine-invariant:
+    decoupling evaluation cannot change which worlds are *enumerated*."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bridge_instance(self, backend, bridge_db):
+        for engine in ENGINES:
+            checker = checker_for(bridge_db, engine, backend)
+            try:
+                opt = checker.check(
+                    BRIDGE_QUERY, algorithm="opt", short_circuit=False
+                )
+                assert opt.satisfied  # the documented divergence
+                naive = checker.check(BRIDGE_QUERY, algorithm="naive")
+                assert not naive.satisfied
+                assert naive.witness == frozenset({"TA", "TC"})
+            finally:
+                checker.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bridge_stats_identical_across_engines(self, backend, bridge_db):
+        views = {}
+        for engine in ENGINES:
+            checker = checker_for(bridge_db, engine, backend)
+            try:
+                views[engine] = (
+                    parity_view(
+                        checker.check(
+                            BRIDGE_QUERY, algorithm="opt", short_circuit=False
+                        )
+                    ),
+                    parity_view(checker.check(BRIDGE_QUERY, algorithm="naive")),
+                )
+            finally:
+                checker.close()
+        assert views["batched"] == views["sync"]
+        assert views["async"] == views["sync"]
+
+
+class TestRandomizedTraceParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_monitor_traces_agree(self, backend, seed):
+        """One random issue/commit/forget trace, three monitors: every
+        step must produce identical invalidation lists and identical
+        verdicts for every registered constraint."""
+        rng = random.Random(100 + seed)
+        base = component_db(components=2, keys=2)
+        monitors = {
+            engine: ConstraintMonitor(checker_for(base, engine, backend))
+            for engine in ENGINES
+        }
+        try:
+            for name, query in (
+                ("conflict", Q_CONFLICT),
+                ("two-a", Q_TWO_A),
+                ("absent", Q_ABSENT),
+            ):
+                for monitor in monitors.values():
+                    monitor.register(name, query)
+
+            def assert_monitors_agree(step):
+                reference = None
+                for engine, monitor in monitors.items():
+                    verdicts = {
+                        name: parity_view(result)
+                        for name, result in monitor.status_all().items()
+                    }
+                    if reference is None:
+                        reference = verdicts
+                    else:
+                        assert verdicts == reference, (step, engine)
+
+            assert_monitors_agree("initial")
+            issued = 0
+            for step in range(8):
+                action = rng.choice(("issue", "issue", "commit", "forget"))
+                pending = sorted(
+                    next(iter(monitors.values())).checker.db.pending_ids
+                )
+                if action == "issue" or not pending:
+                    tx = r_tx(
+                        f"T{issued}", rng.randrange(2), rng.randrange(2),
+                        rng.choice("ab"),
+                    )
+                    issued += 1
+                    invalidated = {
+                        engine: sorted(monitor.issue(tx))
+                        for engine, monitor in monitors.items()
+                    }
+                else:
+                    tx_id = rng.choice(pending)
+                    invalidated = {
+                        engine: sorted(getattr(monitor, action)(tx_id))
+                        for engine, monitor in monitors.items()
+                    }
+                reference = invalidated["sync"]
+                for engine, names in invalidated.items():
+                    assert names == reference, (step, action, engine)
+                assert_monitors_agree((step, action))
+        finally:
+            for monitor in monitors.values():
+                monitor.checker.close()

@@ -205,3 +205,45 @@ class TestSnapshots:
         finally:
             stop.set()
             thread.join()
+
+
+class TestExemplars:
+    def test_observe_stores_latest_exemplar(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(0.5)
+        assert histogram.exemplar() is None
+        histogram.observe(0.25, exemplar="trace-one")
+        histogram.observe(0.75, exemplar="trace-two")
+        trace_id, value, unix_time = histogram.exemplar()
+        assert trace_id == "trace-two"
+        assert value == 0.75
+        assert unix_time > 0
+
+    def test_render_emits_exemplar_comment(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_check_seconds", "t", labels={"constraint": "c1"}
+        ).observe(0.1, exemplar="abc123")
+        text = registry.render_text()
+        assert (
+            '# EXEMPLAR repro_check_seconds{constraint="c1"} '
+            'trace_id="abc123" value=0.1 timestamp='
+        ) in text
+        # The comment sits after its series' count line.
+        lines = text.splitlines()
+        count_at = lines.index('repro_check_seconds_count{constraint="c1"} 1')
+        assert lines[count_at + 1].startswith("# EXEMPLAR")
+
+    def test_unexemplared_series_render_without_comment(self):
+        registry = MetricsRegistry()
+        registry.histogram("plain_seconds", "t").observe(0.1)
+        assert "# EXEMPLAR" not in registry.render_text()
+
+    def test_exemplar_trace_id_is_escaped(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(0.1, exemplar='tr"ace\nid')
+        registry = MetricsRegistry()
+        registry._series(
+            "histogram", "h", "", None, lambda: histogram
+        )
+        assert 'trace_id="tr\\"ace\\nid"' in registry.render_text()

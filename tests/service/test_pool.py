@@ -92,17 +92,50 @@ class TestEpochSync:
             pooled.close()
             sequential.close()
 
-    def test_oplog_overflow_resnapshots(self):
+    def test_oplog_overflow_compacts_without_restart(self):
         pooled = PooledDCSatChecker(component_db(), max_workers=2, resync_ops=2)
         try:
             pooled.check(Q_CONFLICT)  # builds the executor
-            for index in range(4):  # overflows resync_ops=2 -> re-snapshot
+            executor = pooled.pool._executor
+            for index in range(4):  # overflows resync_ops=2 -> compaction
                 pooled.issue(r_tx(f"X{index}", 50 + index, 0, "a"))
-            assert pooled.pool._executor is None
+            # Warm workers stay up: the pool re-snapshots into the sync
+            # payload instead of tearing the executor down.
+            assert pooled.pool._executor is executor
+            assert pooled.pool.compactions >= 1
+            assert pooled.pool._snapshot is not None
+            assert len(pooled.pool._oplog) <= pooled.pool.resync_ops
             result = pooled.check(Q_CONFLICT)
             assert result.satisfied
         finally:
             pooled.close()
+
+    def test_long_lived_pool_sync_payload_stays_bounded(self):
+        """Satellite: the per-task sync payload must not grow with age."""
+        pooled = PooledDCSatChecker(component_db(), max_workers=2, resync_ops=4)
+        sequential = DCSatChecker(component_db())
+        try:
+            pooled.check(Q_CONFLICT)  # warm the executor
+            for index in range(25):  # many times resync_ops state changes
+                tx = r_tx(f"L{index}", 100 + index, 0, "a")
+                pooled.issue(tx)
+                sequential.issue(tx)
+            _, sync = pooled.pool._prepare()
+            epoch, base_epoch, ops, snapshot = sync
+            assert len(ops) <= pooled.pool.resync_ops
+            assert epoch == pooled.epoch
+            assert base_epoch + len(ops) == epoch
+            assert snapshot is not None
+            assert pooled.pool.compactions >= 5
+            # Verdicts after repeated compaction still match sequential.
+            for query in QUERIES:
+                expected = sequential.check(query, algorithm="opt")
+                actual = pooled.check(query)
+                assert actual.satisfied == expected.satisfied
+                assert actual.witness == expected.witness
+        finally:
+            pooled.close()
+            sequential.close()
 
     def test_unrecorded_mutation_triggers_resnapshot(self):
         pooled = PooledDCSatChecker(component_db(), max_workers=2)

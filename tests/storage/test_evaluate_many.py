@@ -1,0 +1,141 @@
+"""The multi-world evaluation path: ``Backend.evaluate_many``.
+
+The contract: ``evaluate_many(query, actives)`` returns exactly
+``[evaluate(query, active) for active in actives]`` — one verdict per
+world, in order — regardless of how the backend amortizes the work.
+The memory backend loops (world switches are O(1) there); the sqlite
+backend compiles a world-correlated query once and answers each chunk
+of worlds in a single SQL round trip, without touching the ``_active``
+flags its single-world path maintains.
+"""
+
+import pytest
+
+from repro.core.workspace import Workspace
+from repro.query.parser import parse_query
+from repro.relational.transaction import Transaction
+from repro.storage import MemoryBackend, SqliteBackend
+
+QUERIES = [
+    "q() <- TxOut(t, s, 'U8Pk', a)",
+    "q() <- TxOut(t, s, pk, a), TxIn(t, s, pk, a, n, sg)",
+    "q() <- TxIn(p1, s1, 'U2Pk', a, n1, sg1), TxIn(p2, s2, 'U2Pk', a, n2, sg2), n1 != n2",
+    "q() <- TxOut(t, s, pk, a), not TxIn(t, s, pk, a, 'T9', 'sig')",
+    "[q(sum(a)) <- TxOut(t, s, 'U7Pk', a)] >= 6",
+    "[q(count()) <- TxOut(t, s, pk, a)] > 8",
+    "[q(cntd(pk)) <- TxOut(t, s, pk, a)] >= 7",
+    "[q(max(a)) <- TxOut(t, s, 'U7Pk', a)] > 3",
+]
+
+WORLDS = [
+    frozenset(),
+    frozenset({"T1"}),
+    frozenset({"T3", "T5"}),
+    frozenset({"T1", "T2", "T3", "T4"}),
+    frozenset({"T2"}),
+    frozenset({"T1", "T2", "T3", "T4", "T5"}),  # overlay, not a world
+]
+
+
+@pytest.fixture
+def workspace(figure2):
+    return Workspace(figure2)
+
+
+@pytest.fixture
+def sqlite_backend(workspace):
+    backend = SqliteBackend()
+    backend.attach(workspace)
+    yield backend
+    backend.close()
+
+
+def test_memory_evaluate_many_matches_loop(workspace):
+    backend = MemoryBackend()
+    backend.attach(workspace)
+    for text in QUERIES:
+        query = parse_query(text)
+        expected = [backend.evaluate(query, world) for world in WORLDS]
+        assert backend.evaluate_many(query, WORLDS) == expected, text
+
+
+def test_sqlite_evaluate_many_matches_per_world(workspace, sqlite_backend):
+    memory = MemoryBackend()
+    memory.attach(workspace)
+    for text in QUERIES:
+        query = parse_query(text)
+        expected = [memory.evaluate(query, world) for world in WORLDS]
+        assert sqlite_backend.evaluate_many(query, WORLDS) == expected, text
+
+
+def test_sqlite_batch_is_one_round_trip(sqlite_backend):
+    query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+    before = sqlite_backend.eval_roundtrips
+    verdicts = sqlite_backend.evaluate_many(query, WORLDS)
+    assert len(verdicts) == len(WORLDS)
+    assert sqlite_backend.eval_roundtrips == before + 1
+    # The per-world path pays one round trip each.
+    for world in WORLDS:
+        sqlite_backend.evaluate(query, world)
+    assert sqlite_backend.eval_roundtrips == before + 1 + len(WORLDS)
+
+
+def test_sqlite_evaluate_many_leaves_active_flags_alone(sqlite_backend):
+    query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+    # Pin the single-world path's flag state, batch, then check that the
+    # next single-world call still answers from a consistent diff.
+    assert sqlite_backend.evaluate(query, frozenset({"T1", "T2", "T3", "T4"}))
+    sqlite_backend.evaluate_many(query, WORLDS)
+    assert not sqlite_backend.evaluate(query, frozenset({"T5"}))
+    assert sqlite_backend.evaluate(query, frozenset({"T1", "T2", "T3", "T4"}))
+
+
+def test_sqlite_evaluate_many_chunks_under_param_budget(workspace, sqlite_backend):
+    import repro.storage.sqlite_backend as mod
+
+    query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+    memory = MemoryBackend()
+    memory.attach(workspace)
+    worlds = WORLDS * 40  # enough membership params to overflow one chunk
+    expected = [memory.evaluate(query, world) for world in worlds]
+    original = mod._PARAM_BUDGET
+    mod._PARAM_BUDGET = 40
+    try:
+        before = sqlite_backend.eval_roundtrips
+        assert sqlite_backend.evaluate_many(query, worlds) == expected
+        chunks = sqlite_backend.eval_roundtrips - before
+    finally:
+        mod._PARAM_BUDGET = original
+    assert chunks > 1  # the budget forced splitting...
+    assert chunks < len(worlds)  # ...but not into one world per trip
+
+
+def test_sqlite_evaluate_many_empty_input(sqlite_backend):
+    query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+    assert sqlite_backend.evaluate_many(query, []) == []
+
+
+def test_sqlite_evaluate_many_sees_issue_and_commit(workspace, sqlite_backend):
+    query = parse_query("q() <- TxOut(t, s, 'U9Pk', a)")
+    assert sqlite_backend.evaluate_many(query, [frozenset()]) == [False]
+    tx = Transaction({"TxOut": [("T9", 0, "U9Pk", 1)]}, tx_id="T9")
+    workspace.issue(tx)
+    sqlite_backend.on_issue(tx)
+    assert sqlite_backend.evaluate_many(
+        query, [frozenset(), frozenset({"T9"})]
+    ) == [False, True]
+    committed = workspace.commit("T9")
+    sqlite_backend.on_commit(committed)
+    assert sqlite_backend.evaluate_many(query, [frozenset()]) == [True]
+
+
+def test_flip_uses_one_statement_per_relation(sqlite_backend):
+    """A world switch activating K transactions issues one batched
+    UPDATE per relation (executemany), not K separate statements."""
+    query = parse_query("q() <- TxOut(t, s, 'U8Pk', a)")
+    sqlite_backend.evaluate(query, frozenset())
+    before = sqlite_backend.flip_statements
+    # From {} to a 4-transaction world: one _flip of 4 ids.
+    sqlite_backend.evaluate(query, frozenset({"T1", "T2", "T3", "T4"}))
+    relations = len(sqlite_backend._workspace.base.relation_names)
+    assert sqlite_backend.flip_statements == before + relations
