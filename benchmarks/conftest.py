@@ -8,8 +8,13 @@ the generator.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
+import subprocess
 import sys
+import time
 
 _SRC = pathlib.Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
@@ -59,6 +64,63 @@ def cached_picker(spec: DatasetSpec | str) -> ConstantPicker:
     if id(dataset) not in _picker_cache:
         _picker_cache[id(dataset)] = ConstantPicker(dataset)
     return _picker_cache[id(dataset)]
+
+
+# ----------------------------------------------------------------------
+# The canonical benchmark artifact: every benchmark that calls
+# :func:`record_bench` lands one row (name + dimensions + timings) in a
+# single ``BENCH_<rev>.json``, written at session end.  CI uploads it;
+# locally set ``REPRO_BENCH_JSON=/path/out.json`` (or just
+# ``REPRO_BENCH_WRITE=1`` for the default name) to get one.
+
+_bench_records: list[dict] = []
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10.0,
+            cwd=str(pathlib.Path(__file__).parent.parent),
+        ).stdout.strip() or "dev"
+    except OSError:
+        return "dev"
+
+
+def record_bench(name: str, **fields) -> None:
+    """Add one row to the session's ``BENCH_<rev>.json`` artifact.
+
+    *name* identifies the benchmark; *fields* carry its dimensions
+    (``algorithm=``, ``engine=``, ``backend=``, ``shards=`` ...) and
+    measurements (``seconds=`` medians, counters).
+    """
+    _bench_records.append({"name": name, **fields})
+
+
+def _bench_json_path() -> str | None:
+    explicit = os.environ.get("REPRO_BENCH_JSON")
+    if explicit:
+        return explicit
+    if os.environ.get("REPRO_BENCH_WRITE"):
+        return f"BENCH_{_git_rev()}.json"
+    return None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = _bench_json_path()
+    if path is None or not _bench_records:
+        return
+    artifact = {
+        "rev": _git_rev(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": sorted(_bench_records, key=lambda row: row["name"]),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, default=str)
+        handle.write("\n")
+    print(f"\nwrote {len(_bench_records)} benchmark rows to {path}")
 
 
 @pytest.fixture(scope="session")

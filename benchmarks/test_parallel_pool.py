@@ -22,7 +22,6 @@ sequential solver on one CPU).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
@@ -137,12 +136,13 @@ def test_parallel_beats_sequential_with_identical_verdicts():
 
 @pytest.fixture(scope="module", autouse=True)
 def bench_json_artifact():
-    """With ``REPRO_BENCH_JSON=<path>``, write one traced pooled check's
-    stats and span tree as a JSON artifact after the module's benchmarks
-    finish (the CI bench-smoke job uploads it)."""
+    """When a ``BENCH_<rev>.json`` artifact is being written this
+    session (see :mod:`benchmarks.conftest`), land one traced pooled
+    check — stats plus its span tree — as a row in it."""
     yield
-    path = os.environ.get("REPRO_BENCH_JSON")
-    if not path:
+    from benchmarks.conftest import _bench_json_path, record_bench
+
+    if _bench_json_path() is None:
         return
     from repro.obs.trace import default_tracer
     from repro.service.protocol import stats_to_wire
@@ -150,22 +150,21 @@ def bench_json_artifact():
     tracer = default_tracer()
     checker = pooled_checker()
     with tracer.trace("bench_parallel_pool") as root:
+        started = time.perf_counter()
         result = checker.check(Q_SATISFIED)
+        elapsed = time.perf_counter() - started
         root.fold_stats(result.stats)
-    payload = {
-        "benchmark": "test_parallel_pool",
-        "config": {
-            "components": COMPONENTS,
-            "keys": KEYS,
-            "values": VALUES,
-            "workers": POOL_WORKERS,
-        },
-        "satisfied": result.satisfied,
-        "stats": stats_to_wire(result.stats),
-        "trace": tracer.recent(limit=1)[0],
-    }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, default=str)
+    record_bench(
+        "parallel_pool.traced_check",
+        components=COMPONENTS,
+        keys=KEYS,
+        values=VALUES,
+        workers=POOL_WORKERS,
+        seconds=elapsed,
+        satisfied=result.satisfied,
+        stats=stats_to_wire(result.stats),
+        trace=tracer.recent(limit=1)[0],
+    )
 
 
 def test_parallel_batch_identical_verdicts():

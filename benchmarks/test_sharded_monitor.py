@@ -88,6 +88,17 @@ def test_sharded_sweeps_beat_one_global_sweep():
     for detail in sharded.describe()["detail"]:
         assert detail["pending"] == 2 * KEYS
 
+    from benchmarks.conftest import record_bench
+
+    record_bench(
+        "sharded_monitor.status_all",
+        batteries=BATTERIES,
+        keys=KEYS,
+        shards=BATTERIES,
+        seconds=sharded_elapsed,
+        single_monitor_seconds=single_elapsed,
+        speedup=single_elapsed / sharded_elapsed if sharded_elapsed else 0.0,
+    )
     assert sharded_elapsed < single_elapsed, (
         f"{BATTERIES} shards took {sharded_elapsed:.3f}s vs "
         f"{single_elapsed:.3f}s for one monitor"

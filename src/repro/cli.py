@@ -225,6 +225,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.fabric import FabricMonitor, FleetSupervisor, ShardSpec
+    from repro.service.metrics import MetricsRegistry
+    from repro.service.server import ConstraintService
+
+    db = serialize.load(args.database)
+    metrics = MetricsRegistry()
+    spec = ShardSpec(
+        db_path=args.database,
+        backend=args.backend,
+        engine=args.engine,
+        pool_size=args.shard_pool_size,
+        queue_limit=args.queue_limit,
+        deadline=args.deadline,
+        log_level=args.log_level,
+    )
+    fleet = FleetSupervisor(spec, shards=args.shards)
+    monitor = FabricMonitor(db, fleet, metrics=metrics)
+    service = ConstraintService(
+        monitor,
+        metrics=metrics,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def ready(host: str, port: int) -> None:
+        ports = [
+            f"{item['port']}(pid {item['pid']})"
+            for item in monitor.fleet_health()["shards"]
+        ]
+        print(
+            f"repro-service listening on {host}:{port} "
+            f"(fabric router, {args.shards} shard processes: "
+            f"{', '.join(ports)})",
+            flush=True,
+        )
+        if service.http_port is not None:
+            print(
+                f"observability endpoint on "
+                f"http://{service.http_host}:{service.http_port} "
+                f"(/metrics /healthz /tracez)",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(
+            service.run(
+                args.host,
+                args.port,
+                ready=ready,
+                install_signal_handlers=True,
+                http_host=args.http_host,
+                http_port=args.http_port,
+            )
+        )
+    finally:
+        monitor.close()
+    print("repro-fabric stopped (fleet drained)", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -338,6 +402,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--assume-nonnegative-sums", action="store_true")
     serve.set_defaults(func=_cmd_serve)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="run a shard fleet: one server subprocess per shard behind "
+        "a routing front-end speaking the same wire protocol",
+    )
+    fabric.add_argument("database")
+    fabric.add_argument("--host", default="127.0.0.1")
+    fabric.add_argument("--port", type=int, default=7411)
+    fabric.add_argument(
+        "--shards", type=int, default=2,
+        help="shard server subprocesses to spawn and route across",
+    )
+    fabric.add_argument(
+        "--shard-pool-size", type=int, default=1,
+        help="solver worker processes per shard subprocess (1 keeps "
+        "each shard's solver sequential)",
+    )
+    fabric.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded solve queue on the router and on every shard",
+    )
+    fabric.add_argument(
+        "--deadline", type=float, default=30.0,
+        help="default per-request deadline in seconds",
+    )
+    fabric.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="how long graceful shutdown waits for in-flight checks",
+    )
+    fabric.add_argument(
+        "--http-port", type=int, default=None,
+        help="also serve GET /metrics, /healthz and /tracez over plain "
+        "HTTP on this port (0 picks a free one; default: disabled)",
+    )
+    fabric.add_argument(
+        "--http-host", default="127.0.0.1",
+        help="bind address for the observability endpoint",
+    )
+    fabric.add_argument(
+        "--backend", choices=["memory", "sqlite"], default=None,
+        help="storage backend for the shard subprocesses",
+    )
+    fabric.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="evaluation engine for the shard subprocesses",
+    )
+    fabric.set_defaults(func=_cmd_fabric)
 
     return parser
 

@@ -1,0 +1,40 @@
+"""repro.fabric — a cross-process shard fleet behind one wire endpoint.
+
+The fabric promotes :class:`~repro.service.shard.ShardedMonitor`'s
+in-process constraint partitioning to B-way *hardware* parallelism:
+every shard runs as its own ``repro serve`` subprocess (one interpreter,
+one GIL, one solver each), and a router process speaks the same
+JSON-lines protocol to clients, so existing
+:class:`~repro.service.client.ServiceClient` code works unchanged
+against a fleet.
+
+* :mod:`~repro.fabric.topology` — :class:`ShardTopology`, the routing
+  brain shared with ``ShardedMonitor``: constraint placement by coupled
+  footprint, skip/replay backlogs, per-shard pending bookkeeping, and
+  footprint-driven rebalance plans.  It only *decides*; executors apply.
+* :mod:`~repro.fabric.supervisor` — shard process lifecycle: spawn,
+  ready-probe, liveness, kill and respawn (:class:`FleetSupervisor`
+  over subprocesses; :class:`ThreadFleet` over in-process servers for
+  tests and embedding).
+* :mod:`~repro.fabric.router` — :class:`FabricMonitor`, the
+  monitor-shaped front that :class:`~repro.service.server.ConstraintService`
+  serves: it fans state changes to the coupled closure of affected
+  shards, scatter-gathers ``status_all``, journals every applied op so
+  a killed shard can be respawned and replayed, adopts shard-side trace
+  spans over the socket, and migrates constraints on ``rebalance``.
+
+Run a fleet from the command line with ``repro fabric --shards N``;
+see ``docs/FABRIC.md`` for topology and failure semantics.
+"""
+
+from repro.fabric.router import FabricMonitor
+from repro.fabric.supervisor import FleetSupervisor, ShardSpec, ThreadFleet
+from repro.fabric.topology import ShardTopology
+
+__all__ = [
+    "FabricMonitor",
+    "FleetSupervisor",
+    "ShardSpec",
+    "ThreadFleet",
+    "ShardTopology",
+]

@@ -1,0 +1,575 @@
+"""The fabric front-end: one monitor surface over N shard processes.
+
+:class:`FabricMonitor` is shaped exactly like a
+:class:`~repro.core.monitor.ConstraintMonitor`, so the existing
+:class:`~repro.service.server.ConstraintService` serves it unchanged —
+same wire protocol, same queue/deadline/backpressure machinery — and
+every existing :class:`~repro.service.client.ServiceClient` talks to a
+fleet without knowing it.  Underneath, each shard of the partition is a
+``repro serve`` *subprocess* (spawned by a
+:class:`~repro.fabric.supervisor.FleetSupervisor`), reached over its own
+JSON-lines connection.
+
+Routing decisions come from the shared
+:class:`~repro.fabric.topology.ShardTopology` — the same planner that
+drives the in-process :class:`~repro.service.shard.ShardedMonitor` — so
+the fleet inherits its verdict-identity guarantees: commits and absorbs
+fan out only to the ind/co-write coupled closure of affected shards,
+decoupled shards backlog the op router-side, and ``status_all``
+scatter-gathers across the fleet.
+
+Two things the cross-process setting adds:
+
+* **Router-side invalidation.**  Every applied op carries ``touched``
+  (the coupled closure against that shard's own pending set), and the
+  router holds mirror verdict caches (:class:`MonitorEntry` per
+  constraint).  Invalidation lists are computed *here*, never asked of
+  a shard — a freshly respawned shard has empty caches and would
+  under-report, breaking parity with the single-process fleet.
+* **Journal replay.**  The router journals every wire op it applied to
+  each shard (registrations included).  When a shard dies — detected by
+  a liveness probe before an op, or a connection failure during one —
+  the supervisor respawns it from the seed database and the router
+  replays its journal, reconstructing exactly the state the shard held.
+  The op that was in flight when the shard died is journaled *before*
+  the send, so the replay carries it and it is never sent twice.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.blockchain_db import BlockchainDatabase
+from repro.core.monitor import MonitorEntry
+from repro.core.results import DCSatResult
+from repro.errors import ReproError, ServiceError
+from repro.fabric.topology import AppliedOp, ShardAction, ShardTopology
+from repro.obs.log import get_logger
+from repro.obs.trace import default_tracer, span as obs_span
+from repro.query.ast import AggregateQuery, ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.relational.transaction import Transaction
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.metrics import MetricsRegistry
+
+log = get_logger("fabric.router")
+
+#: How long the router gives a shard for one replayed journal op.
+REPLAY_DEADLINE = 60.0
+
+
+class RemoteShard:
+    """One shard connection plus the journal that can rebuild it."""
+
+    def __init__(self, index: int, slot):
+        self.index = index
+        self._slot = slot
+        self.client: ServiceClient | None = None
+        #: Every wire op applied to this shard, in order — replaying it
+        #: against a fresh seed-state server reproduces the shard.
+        self.journal: list[tuple[str, dict]] = []
+
+    @property
+    def footprint(self) -> frozenset[str]:
+        return self._slot.footprint
+
+    @property
+    def names(self) -> list[str]:
+        return self._slot.names
+
+    @property
+    def skipped(self) -> list:
+        return self._slot.skipped
+
+    @property
+    def flushes(self) -> int:
+        return self._slot.flushes
+
+    def connect(self, handle) -> None:
+        if self.client is not None:
+            self.client.close()
+        self.client = ServiceClient(
+            handle.host, handle.port, timeout=None, connect_timeout=10.0
+        )
+
+    def close(self) -> None:
+        if self.client is not None:
+            self.client.close()
+            self.client = None
+
+
+class FabricMonitor:
+    """The routing front of a cross-process shard fleet.
+
+    *fleet* is a started (or startable)
+    :class:`~repro.fabric.supervisor.FleetSupervisor` — or any object
+    with the same surface, e.g. a
+    :class:`~repro.fabric.supervisor.ThreadFleet`; ``fleet.count``
+    fixes the shard count.  *db* must be the same seed state the shard
+    servers load, or journal replay would diverge from reality.
+    """
+
+    def __init__(
+        self,
+        db: BlockchainDatabase,
+        fleet,
+        max_skipped: int = 512,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self._topology = ShardTopology(db, fleet.count, max_skipped=max_skipped)
+        self._fleet = fleet
+        self._shards = [
+            RemoteShard(slot.index, slot) for slot in self._topology.slots
+        ]
+        #: Mirror entries: verdict caches and counters, global order.
+        self._entries: dict[str, MonitorEntry] = {}
+        self._metrics = metrics
+        self._executor: ThreadPoolExecutor | None = None
+        if any(handle is None for handle in fleet.handles):
+            fleet.start()
+        for shard in self._shards:
+            shard.connect(fleet.handle(shard.index))
+
+    @property
+    def epoch(self) -> int:
+        return self._topology.epoch
+
+    @property
+    def topology(self) -> ShardTopology:
+        return self._topology
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register(
+        self,
+        name: str,
+        query: ConjunctiveQuery | AggregateQuery | str,
+        **check_kwargs,
+    ) -> MonitorEntry:
+        if isinstance(query, str):
+            query = parse_query(query)
+        plan = self._topology.place(name, query.relations())
+        shard = self._shards[plan.shard]
+        self._ensure_alive(shard)
+        self._drain(shard, plan.drained, plan.retained)
+        args: dict = {"name": name, "query": str(query)}
+        if check_kwargs:
+            args["check_kwargs"] = check_kwargs
+        self._apply_wire(shard, "register", args)
+        entry = MonitorEntry(name, query, dict(check_kwargs))
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        shard = self._shards[self._topology.slot_of(name)]
+        self._topology.forget_placement(name)
+        self._ensure_alive(shard)
+        self._apply_wire(shard, "unregister", {"name": name})
+        del self._entries[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def entry(self, name: str) -> MonitorEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ReproError(f"no constraint named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Checking
+
+    def status(self, name: str, use_subsumption: bool = True) -> DCSatResult:
+        entry = self.entry(name)
+        if entry.result is not None:
+            entry.cache_hits += 1
+            return entry.result
+        shard = self._shards[self._topology.slot_of(name)]
+        payload = self._query_shard(
+            shard, "status", name=name, use_subsumption=use_subsumption
+        )
+        result = protocol.result_from_wire(payload)
+        entry.result = result
+        entry.checks_run += 1
+        return result
+
+    def status_all(self, batch: bool = True) -> dict[str, DCSatResult]:
+        """Scatter-gather: every populated shard sweeps concurrently.
+
+        This is the fleet's reason to exist: B coupled batteries sweep
+        B·2^K worlds *in parallel across processes*, where the
+        single-process :class:`ShardedMonitor` sweeps them serially.
+        """
+        tracer = default_tracer()
+        parent = tracer.current()
+        populated = [shard for shard in self._shards if shard.names]
+        merged: dict[str, DCSatResult] = {}
+        if populated:
+            for shard, payload, elapsed, spans in self._scatter(
+                populated, "status_all", batch=batch
+            ):
+                sp = None
+                if parent is not None:
+                    sp = tracer.record_span(
+                        "fabric.call",
+                        parent,
+                        elapsed,
+                        shard=shard.index,
+                        op="status_all",
+                        pid=getattr(self._fleet.handle(shard.index), "pid", None),
+                    )
+                if spans:
+                    tracer.adopt(spans, parent=sp or parent)
+                for name, wire in payload.items():
+                    entry = self._entries.get(name)
+                    result = protocol.result_from_wire(wire)
+                    if entry is not None:
+                        if entry.result is None:
+                            entry.checks_run += 1
+                        else:
+                            entry.cache_hits += 1
+                        entry.result = result
+                    merged[name] = result
+        return {name: merged[name] for name in self._entries if name in merged}
+
+    def violated(self) -> dict[str, DCSatResult]:
+        return {
+            name: result
+            for name, result in self.status_all().items()
+            if not result.satisfied
+        }
+
+    def _scatter(
+        self, shards: list[RemoteShard], op: str, **args
+    ) -> list[tuple[RemoteShard, dict, float, list[dict] | None]]:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=len(self._shards),
+                thread_name_prefix="repro-fabric",
+            )
+
+        def fetch(shard: RemoteShard):
+            started = time.perf_counter()
+            payload = self._query_shard(shard, op, **args)
+            return (
+                shard,
+                payload,
+                time.perf_counter() - started,
+                shard.client.last_spans if shard.client else None,
+            )
+
+        return list(self._executor.map(fetch, shards))
+
+    # ------------------------------------------------------------------
+    # State changes (routed)
+
+    def issue(self, tx: Transaction) -> list[str]:
+        with obs_span("fabric.route", kind="issue") as sp:
+            return self._run_actions("issue", self._topology.issue(tx), sp)
+
+    def commit(self, tx_id: str) -> list[str]:
+        with obs_span("fabric.route", kind="commit") as sp:
+            return self._run_actions("commit", self._topology.commit(tx_id), sp)
+
+    def forget(self, tx_id: str) -> list[str]:
+        with obs_span("fabric.route", kind="forget") as sp:
+            return self._run_actions("forget", self._topology.forget(tx_id), sp)
+
+    def absorb(self, tx: Transaction) -> list[str]:
+        with obs_span("fabric.route", kind="absorb") as sp:
+            return self._run_actions("absorb", self._topology.absorb(tx), sp)
+
+    def _run_actions(
+        self, kind: str, actions: list[ShardAction], sp
+    ) -> list[str]:
+        invalidated: list[str] = []
+        applied = skipped = 0
+        for action in actions:
+            shard = self._shards[action.shard]
+            if action.skipped:
+                skipped += 1
+                invalidated.extend(
+                    self._drain(shard, action.drained, action.retained)
+                )
+            else:
+                applied += 1
+                invalidated.extend(
+                    self._drain(shard, action.drained, action.retained)
+                )
+                self._ensure_alive(shard)
+                invalidated.extend(self._invalidate(shard, action.op.touched))
+                self._apply_op(shard, action.op)
+        sp.set(applied=applied, skipped=skipped)
+        hit = set(invalidated)
+        return [name for name in self._entries if name in hit]
+
+    def _drain(
+        self, shard: RemoteShard, drained: list[AppliedOp], retained: int
+    ) -> list[str]:
+        """Replay a backlog drain plan onto the shard, journaled."""
+        if not drained and not retained:
+            return []
+        with obs_span("fabric.drain", shard=shard.index) as sp:
+            if drained:
+                self._ensure_alive(shard)
+            invalidated: list[str] = []
+            for op in drained:
+                invalidated.extend(self._invalidate(shard, op.touched))
+                self._apply_op(shard, op)
+            sp.set(drained=len(drained), retained=retained)
+        return invalidated
+
+    def _invalidate(
+        self, shard: RemoteShard, touched: frozenset[str]
+    ) -> list[str]:
+        """Drop mirror verdicts the op can reach on *shard* — exactly
+        what the shard's own monitor does, mirrored router-side so the
+        list survives a shard respawn (whose caches start empty)."""
+        invalidated = []
+        for name in shard.names:
+            entry = self._entries.get(name)
+            if (
+                entry is not None
+                and entry.result is not None
+                and entry.relations & touched
+            ):
+                entry.result = None
+                invalidated.append(name)
+        return invalidated
+
+    @staticmethod
+    def _wire_of(op: AppliedOp) -> tuple[str, dict]:
+        if op.kind in ("issue", "absorb"):
+            return op.kind, {"tx": protocol.transaction_to_wire(op.payload)}
+        return op.kind, {"tx_id": op.payload}
+
+    def _apply_op(self, shard: RemoteShard, op: AppliedOp) -> None:
+        wire_op, args = self._wire_of(op)
+        self._apply_wire(shard, wire_op, args)
+
+    def _apply_wire(self, shard: RemoteShard, op: str, args: dict) -> None:
+        """Journal, then send.  Journal-first makes a mid-op shard death
+        safe: the replay carries the op, so it is never sent twice and
+        never lost."""
+        shard.journal.append((op, args))
+        try:
+            self._call(shard, op, **args)
+        except ServiceError as error:
+            if error.code != "unavailable":
+                # The shard is alive and rejected the op; keep the
+                # journal true to what the shard actually holds.
+                shard.journal.pop()
+                raise
+            self._revive(shard)
+        except ConnectionError:
+            self._revive(shard)
+
+    # ------------------------------------------------------------------
+    # Shard calls, liveness, replay
+
+    def _call(self, shard: RemoteShard, op: str, **args) -> dict:
+        tracer = default_tracer()
+        assert shard.client is not None
+        with tracer.span("fabric.call", shard=shard.index, op=op) as sp:
+            result = shard.client.call(op, export_spans=True, **args)
+            if shard.client.last_spans:
+                tracer.adopt(shard.client.last_spans, parent=sp)
+            return result
+
+    def _query_shard(self, shard: RemoteShard, op: str, **args) -> dict:
+        """A read-style call, with one revive-and-retry on failure."""
+        self._ensure_alive(shard)
+        try:
+            return self._call(shard, op, **args)
+        except ServiceError as error:
+            if error.code != "unavailable":
+                raise
+            self._revive(shard)
+            return self._call(shard, op, **args)
+        except ConnectionError:
+            self._revive(shard)
+            return self._call(shard, op, **args)
+
+    def _ensure_alive(self, shard: RemoteShard) -> None:
+        if not self._fleet.alive(shard.index):
+            self._revive(shard)
+
+    def _revive(self, shard: RemoteShard) -> None:
+        """Respawn a dead shard from the seed db and replay its journal."""
+        with obs_span(
+            "fabric.revive", shard=shard.index, journal_ops=len(shard.journal)
+        ):
+            handle = self._fleet.restart(shard.index)
+            shard.connect(handle)
+            for op, args in shard.journal:
+                assert shard.client is not None
+                shard.client.call(op, deadline=REPLAY_DEADLINE, **args)
+        log.warning(
+            "shard revived from journal",
+            extra={
+                "ctx": {
+                    "shard": shard.index,
+                    "replayed_ops": len(shard.journal),
+                    "pid": getattr(handle, "pid", None),
+                }
+            },
+        )
+        if self._metrics is not None:
+            labels = {"shard": str(shard.index)}
+            self._metrics.counter(
+                "repro_fabric_revives_total",
+                "Shard subprocesses respawned and journal-replayed.",
+                labels=labels,
+            ).inc()
+            self._metrics.counter(
+                "repro_fabric_replayed_ops_total",
+                "Journal operations replayed into respawned shards.",
+                labels=labels,
+            ).inc(len(shard.journal))
+
+    # ------------------------------------------------------------------
+    # Rebalance
+
+    def rebalance(self) -> dict:
+        """Migrate constraints by recorded solve cost (see
+        :meth:`ShardTopology.rebalance`); the cost of a constraint is
+        the worlds checked plus evaluations of its last mirror verdict."""
+        costs = {
+            name: float(
+                entry.result.stats.worlds_checked
+                + entry.result.stats.evaluations
+            )
+            or 1.0
+            for name, entry in self._entries.items()
+            if entry.result is not None
+        }
+        moves = []
+        for plan in self._topology.rebalance(costs):
+            executed = self._topology.migrate(plan.name, plan.target)
+            target = self._shards[executed.target]
+            source = self._shards[executed.source]
+            self._ensure_alive(target)
+            self._drain(target, executed.drained, executed.retained)
+            entry = self._entries[plan.name]
+            args: dict = {"name": plan.name, "query": str(entry.query)}
+            if entry.check_kwargs:
+                args["check_kwargs"] = entry.check_kwargs
+            self._apply_wire(target, "register", args)
+            self._ensure_alive(source)
+            self._apply_wire(source, "unregister", {"name": plan.name})
+            # The verdict would still hold, but the fresh placement has
+            # no shard-side cache; stay conservative and recompute.
+            entry.result = None
+            moves.append(
+                {"name": plan.name, "from": executed.source, "to": executed.target}
+            )
+            log.info(
+                "constraint migrated",
+                extra={"ctx": moves[-1]},
+            )
+        return {"migrated": moves, "shards": len(self._shards)}
+
+    # ------------------------------------------------------------------
+    # Introspection (the server's duck-typed surface)
+
+    def pending_count(self) -> int:
+        return self._topology.pending_count()
+
+    def checkers(self) -> list:
+        return []  # solving happens in the shard subprocesses
+
+    def fleet_health(self) -> dict:
+        """Per-shard liveness for ``/healthz`` — truthful, no revival:
+        a dead shard shows dead until the next op lazily respawns it."""
+        shards = []
+        dead = []
+        for shard in self._shards:
+            handle = self._fleet.handles[shard.index]
+            alive = handle is not None and handle.alive()
+            shards.append(
+                {
+                    "shard": shard.index,
+                    "alive": alive,
+                    "pid": getattr(handle, "pid", None),
+                    "port": getattr(handle, "port", None),
+                    "restarts": self._fleet.restarts[shard.index],
+                    "journal_ops": len(shard.journal),
+                }
+            )
+            if not alive:
+                dead.append(shard.index)
+        return {"ok": not dead, "dead": dead, "shards": shards}
+
+    def describe(self) -> dict:
+        info = self._topology.describe()
+        info["fabric"] = True
+        health = {item["shard"]: item for item in self.fleet_health()["shards"]}
+        for item in info["detail"]:
+            item.update(health[item["shard"]])
+        return info
+
+    def export_gauges(self, metrics: MetricsRegistry) -> None:
+        for item in self.fleet_health()["shards"]:
+            labels = {"shard": str(item["shard"])}
+            shard = self._shards[item["shard"]]
+            metrics.gauge(
+                "repro_fabric_shard_alive",
+                "1 when the shard subprocess is alive.",
+                labels=labels,
+            ).set(1 if item["alive"] else 0)
+            metrics.gauge(
+                "repro_fabric_shard_constraints",
+                "Constraints placed on the shard.",
+                labels=labels,
+            ).set(len(shard.names))
+            metrics.gauge(
+                "repro_fabric_shard_skipped_ops",
+                "State changes backlogged router-side for the shard.",
+                labels=labels,
+            ).set(len(shard.skipped))
+            metrics.gauge(
+                "repro_fabric_shard_flushes",
+                "Times the shard's backlog was drained.",
+                labels=labels,
+            ).set(shard.flushes)
+            metrics.gauge(
+                "repro_fabric_shard_restarts",
+                "Times the shard subprocess was respawned.",
+                labels=labels,
+            ).set(item["restarts"])
+            metrics.gauge(
+                "repro_fabric_shard_journal_ops",
+                "Wire operations journaled for replay on respawn.",
+                labels=labels,
+            ).set(item["journal_ops"])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for shard in self._shards:
+            shard.close()
+        self._fleet.stop()
+
+    def __enter__(self) -> "FabricMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        journaled = sum(len(shard.journal) for shard in self._shards)
+        return (
+            f"FabricMonitor({len(self._shards)} shard processes, "
+            f"{len(self._entries)} constraints, {journaled} journaled ops)"
+        )
+
+
+__all__ = ["FabricMonitor", "RemoteShard", "REPLAY_DEADLINE"]

@@ -1,0 +1,340 @@
+"""Shard process lifecycle: spawn, ready-probe, liveness, respawn.
+
+A fleet shard is just ``repro serve`` over the seed database with a
+single monitor — one interpreter, one GIL, one solver thread, its own
+optional fork pool.  :class:`FleetSupervisor` spawns those subprocesses
+(``sys.executable -m repro serve ... --port 0``), parses the ready line
+for the ephemeral port, answers liveness questions from ``poll()``, and
+respawns dead shards on demand.  It knows nothing about constraints or
+routing: the router (:class:`~repro.fabric.router.FabricMonitor`) owns
+the op journal and replays it into a respawned shard.
+
+:class:`ThreadFleet` implements the same surface over in-process
+servers on daemon threads (:func:`~repro.service.server.serve_in_thread`)
+— the router logic is then testable without paying a subprocess spawn
+per shard, and embedders get a single-process fleet for free.  Only the
+subprocess fleet survives a SIGKILL test, of course.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.obs.log import get_logger
+
+log = get_logger("fabric.supervisor")
+
+#: What ``repro serve`` prints once it is accepting connections.
+READY_PREFIX = "repro-service listening on "
+
+
+@dataclass
+class ShardSpec:
+    """How to build one shard server (shared by every shard of a fleet)."""
+
+    db_path: str
+    host: str = "127.0.0.1"
+    backend: str | None = None
+    engine: str | None = None
+    pool_size: int = 1  # 1 = sequential solver, no nested fork pool
+    queue_limit: int = 64
+    deadline: float = 30.0
+    log_level: str = "warning"
+
+    def argv(self) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro",
+            "--log-level", self.log_level,
+            "serve", self.db_path,
+            "--host", self.host,
+            "--port", "0",
+            "--pool-size", str(self.pool_size),
+            "--queue-limit", str(self.queue_limit),
+            "--deadline", str(self.deadline),
+        ]
+        if self.backend:
+            argv += ["--backend", self.backend]
+        if self.engine:
+            argv += ["--engine", self.engine]
+        return argv
+
+
+class SubprocessShard:
+    """One running shard server subprocess."""
+
+    def __init__(self, index: int, process: subprocess.Popen, host: str, port: int):
+        self.index = index
+        self.process = process
+        self.host = host
+        self.port = port
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the failure-injection path; no drain, no goodbye."""
+        if self.alive():
+            self.process.kill()
+        self.process.wait()
+
+    def stop(self, grace: float = 5.0) -> None:
+        """SIGTERM and wait; escalate to SIGKILL after *grace* seconds."""
+        if self.alive():
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck shard
+                self.process.kill()
+                self.process.wait()
+        else:
+            self.process.wait()
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+def _repro_pythonpath() -> str:
+    """A PYTHONPATH under which ``-m repro`` resolves to *this* package
+    (the parent of the package directory, prepended to any existing)."""
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH")
+    return package_root + (os.pathsep + existing if existing else "")
+
+
+class FleetSupervisor:
+    """Spawns and respawns the shard server subprocesses of one fleet."""
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        shards: int,
+        spawn_timeout: float = 30.0,
+    ):
+        if shards < 1:
+            raise ServiceError(f"need at least one shard, got {shards}")
+        self.spec = spec
+        self.count = shards
+        self.spawn_timeout = spawn_timeout
+        self.handles: list[SubprocessShard | None] = [None] * shards
+        self.restarts: list[int] = [0] * shards
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> None:
+        try:
+            for index in range(self.count):
+                self.handles[index] = self._spawn(index)
+        except Exception:
+            self.stop()
+            raise
+
+    def stop(self) -> None:
+        for handle in self.handles:
+            if handle is not None:
+                handle.stop()
+
+    def handle(self, index: int) -> SubprocessShard:
+        handle = self.handles[index]
+        if handle is None:
+            raise ServiceError(f"shard {index} was never started")
+        return handle
+
+    def alive(self, index: int) -> bool:
+        handle = self.handles[index]
+        return handle is not None and handle.alive()
+
+    def restart(self, index: int) -> SubprocessShard:
+        """Respawn a (dead or live) shard; its state starts from the
+        seed database — the router replays its journal on top."""
+        old = self.handles[index]
+        if old is not None:
+            old.kill()
+            if old.process.stdout is not None:
+                old.process.stdout.close()
+        handle = self._spawn(index)
+        self.handles[index] = handle
+        self.restarts[index] += 1
+        log.info(
+            "shard respawned",
+            extra={"ctx": {"shard": index, "pid": handle.pid, "port": handle.port}},
+        )
+        return handle
+
+    def kill(self, index: int) -> None:
+        """Failure injection: SIGKILL the shard, leave the slot dead."""
+        handle = self.handles[index]
+        if handle is not None:
+            handle.kill()
+
+    # ------------------------------------------------------------------
+    # Spawning
+
+    def _spawn(self, index: int) -> SubprocessShard:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _repro_pythonpath()
+        env["PYTHONUNBUFFERED"] = "1"
+        process = subprocess.Popen(
+            self.spec.argv(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+            # Its own process group: a Ctrl-C at the router's terminal
+            # must not tear the shards down before the drain does.
+            start_new_session=True,
+        )
+        try:
+            host, port = self._await_ready(process)
+        except Exception:
+            if process.poll() is None:
+                process.kill()
+            process.wait()
+            raise
+        log.info(
+            "shard listening",
+            extra={"ctx": {"shard": index, "pid": process.pid, "port": port}},
+        )
+        return SubprocessShard(index, process, host, port)
+
+    def _await_ready(self, process: subprocess.Popen) -> tuple[str, int]:
+        """Block until the child prints its ready line; parse the port."""
+        assert process.stdout is not None
+        deadline = time.monotonic() + self.spawn_timeout
+        buffered = ""
+        fd = process.stdout.fileno()
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"shard did not become ready within {self.spawn_timeout}s"
+                )
+            if process.poll() is not None:
+                raise ServiceError(
+                    f"shard exited with status {process.returncode} before ready"
+                )
+            readable, _, _ = select.select([fd], [], [], min(remaining, 0.25))
+            if not readable:
+                continue
+            chunk = os.read(fd, 4096).decode("utf-8", "replace")
+            if not chunk:
+                raise ServiceError("shard closed stdout before ready")
+            buffered += chunk
+            while "\n" in buffered:
+                line, buffered = buffered.split("\n", 1)
+                if line.startswith(READY_PREFIX):
+                    address = line[len(READY_PREFIX):].split(" ", 1)[0]
+                    host, _, port = address.rpartition(":")
+                    return host, int(port)
+
+
+class ThreadShard:
+    """An in-process shard server on a daemon thread (tests, embedding)."""
+
+    def __init__(self, index: int, handle, service):
+        self.index = index
+        self._handle = handle
+        self._service = service
+        self.host = handle.host
+        self.port = handle.port
+        self.pid = os.getpid()
+        self._dead = False
+
+    def alive(self) -> bool:
+        return not self._dead
+
+    def kill(self) -> None:
+        self.stop()
+
+    def stop(self, grace: float = 5.0) -> None:
+        if not self._dead:
+            self._dead = True
+            self._handle.stop(join_timeout=grace)
+            monitor = self._service.monitor
+            close = getattr(getattr(monitor, "checker", None), "close", None)
+            if callable(close):
+                close()
+
+
+class ThreadFleet:
+    """The supervisor surface over in-process servers (no subprocesses).
+
+    ``monitor_factory()`` builds a fresh monitor-shaped object from the
+    seed state for every (re)spawn — state reconstruction on restart is
+    the router's journal replay, exactly as with real subprocesses.
+    """
+
+    def __init__(self, monitor_factory, shards: int):
+        from repro.service.server import ConstraintService, serve_in_thread
+
+        if shards < 1:
+            raise ServiceError(f"need at least one shard, got {shards}")
+        self._factory = monitor_factory
+        self._serve = lambda: serve_in_thread(ConstraintService(self._factory()))
+        self.count = shards
+        self.handles: list[ThreadShard | None] = [None] * shards
+        self.restarts: list[int] = [0] * shards
+
+    def start(self) -> None:
+        for index in range(self.count):
+            self.handles[index] = self._spawn(index)
+
+    def stop(self) -> None:
+        for handle in self.handles:
+            if handle is not None:
+                handle.stop()
+
+    def handle(self, index: int) -> ThreadShard:
+        handle = self.handles[index]
+        if handle is None:
+            raise ServiceError(f"shard {index} was never started")
+        return handle
+
+    def alive(self, index: int) -> bool:
+        handle = self.handles[index]
+        return handle is not None and handle.alive()
+
+    def restart(self, index: int) -> ThreadShard:
+        old = self.handles[index]
+        if old is not None:
+            old.stop()
+        handle = self._spawn(index)
+        self.handles[index] = handle
+        self.restarts[index] += 1
+        return handle
+
+    def kill(self, index: int) -> None:
+        handle = self.handles[index]
+        if handle is not None:
+            handle.kill()
+
+    def _spawn(self, index: int) -> ThreadShard:
+        server_handle = self._serve()
+        return ThreadShard(index, server_handle, server_handle.service)
+
+
+# SIGKILL is what the chaos tests send; re-export so they need no
+# platform-conditional import.
+SHARD_KILL_SIGNAL = signal.SIGKILL if hasattr(signal, "SIGKILL") else signal.SIGTERM
+
+__all__ = [
+    "FleetSupervisor",
+    "ShardSpec",
+    "SubprocessShard",
+    "ThreadFleet",
+    "ThreadShard",
+    "SHARD_KILL_SIGNAL",
+    "READY_PREFIX",
+]

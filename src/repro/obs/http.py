@@ -60,7 +60,9 @@ class ObservabilityEndpoint:
     ``metrics_text`` returns the exposition body; ``health`` returns
     ``(status_code, payload_dict)``; ``tracer`` supplies the recent
     traces.  All three are optional — a missing provider turns its
-    route into a 404.
+    route into a 404.  ``extra`` adds JSON routes generically: a map of
+    path (``"/fabricz"``) to a ``() -> (status_code, payload_dict)``
+    provider, rendered exactly like ``/healthz``.
     """
 
     def __init__(
@@ -68,10 +70,12 @@ class ObservabilityEndpoint:
         metrics_text: Callable[[], str] | None = None,
         health: Callable[[], tuple[int, dict]] | None = None,
         tracer: Tracer | None = None,
+        extra: dict[str, Callable[[], tuple[int, dict]]] | None = None,
     ):
         self.metrics_text = metrics_text
         self.health = health
         self.tracer = tracer if tracer is not None else default_tracer()
+        self.extra = dict(extra) if extra else {}
         self._server: asyncio.AbstractServer | None = None
         self.host: str | None = None
         self.port: int | None = None
@@ -155,6 +159,14 @@ class ObservabilityEndpoint:
                 return _response(
                     200,
                     self._tracez(query) + "\n",
+                    content_type="application/json",
+                )
+            provider = self.extra.get(parts.path)
+            if provider is not None:
+                status, payload = provider()
+                return _response(
+                    status,
+                    json.dumps(payload, default=str) + "\n",
                     content_type="application/json",
                 )
         except Exception as error:

@@ -335,6 +335,16 @@ class Tracer:
                     return trace
         return None
 
+    def wire_spans(self, trace_id: str | None) -> list[dict] | None:
+        """A finished trace's spans, ready to ship across a process
+        boundary (the wire protocol's ``export_spans`` path) and be
+        grafted by the peer's :meth:`adopt` — ``None`` when the trace
+        is unknown or still open."""
+        if trace_id is None:
+            return None
+        finished = self.find(trace_id)
+        return finished["spans"] if finished is not None else None
+
     def export_json(self, limit: int | None = None) -> str:
         return json.dumps(
             {"traces": self.recent(limit), "dropped_spans": self._dropped},

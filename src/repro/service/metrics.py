@@ -233,6 +233,24 @@ class MetricsRegistry:
             "histogram", name, help_text, labels, lambda: Histogram(buckets)
         )
 
+    def value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float | None:
+        """The current value of a counter or gauge series, or ``None``
+        when the series was never created.  Reading never creates the
+        series (unlike :meth:`counter` / :meth:`gauge`), so probes —
+        the fabric router's revive counters, tests — can ask without
+        polluting the exposition."""
+        label_key = _format_labels(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            series = family[2].get(label_key)
+        if isinstance(series, (Counter, Gauge)):
+            return series.value
+        return None
+
     def render_text(self) -> str:
         """The Prometheus text exposition format (plain-text dump)."""
         lines: list[str] = []

@@ -34,7 +34,8 @@ on-disk serialization uses (``{"id": ..., "facts": {rel: [[...]]}}``).
 from __future__ import annotations
 
 import json
-from typing import Any
+from dataclasses import fields as dataclass_fields
+from typing import Any, Mapping
 
 from repro.core.results import DCSatResult, DCSatStats
 from repro.errors import ServiceError
@@ -55,6 +56,7 @@ QUEUED_OPS = frozenset(
         "status",
         "status_all",
         "violated",
+        "rebalance",
     }
 )
 
@@ -132,6 +134,28 @@ def result_to_wire(result: DCSatResult) -> dict:
     }
 
 
+def stats_from_wire(payload: Mapping[str, Any]) -> DCSatStats:
+    """Rebuild :class:`DCSatStats` from :func:`stats_to_wire` output.
+
+    Unknown keys are ignored and missing ones default, so a newer
+    router can read an older shard's stats (and vice versa).
+    """
+    known = {f.name for f in dataclass_fields(DCSatStats)}
+    return DCSatStats(**{k: v for k, v in payload.items() if k in known})
+
+
+def result_from_wire(payload: Mapping[str, Any]) -> DCSatResult:
+    """Rebuild :class:`DCSatResult` from :func:`result_to_wire` output —
+    what the fabric router does with every shard verdict, so results
+    re-encode byte-identically when it answers its own clients."""
+    witness = payload.get("witness")
+    return DCSatResult(
+        satisfied=bool(payload["satisfied"]),
+        witness=frozenset(witness) if witness is not None else None,
+        stats=stats_from_wire(payload.get("stats") or {}),
+    )
+
+
 def error_response(
     request_id: Any,
     message: str,
@@ -147,8 +171,19 @@ def error_response(
     return response
 
 
-def ok_response(request_id: Any, result: dict, trace: str | None = None) -> dict:
+def ok_response(
+    request_id: Any,
+    result: dict,
+    trace: str | None = None,
+    spans: list[dict] | None = None,
+) -> dict:
+    """*spans* (``Span.to_wire`` dicts) ride along when the request set
+    ``export_spans`` — the fabric router grafts them into its own trace
+    (:meth:`~repro.obs.trace.Tracer.adopt`), which is how one ``/tracez``
+    tree spans the router *and* its shard subprocesses."""
     response: dict = {"id": request_id, "ok": True, "result": result}
     if trace is not None:
         response["trace"] = trace
+    if spans is not None:
+        response["spans"] = spans
     return response

@@ -218,6 +218,13 @@ class ConstraintService:
                 name: protocol.result_to_wire(result)
                 for name, result in monitor.violated().items()
             }
+        if op == "rebalance":
+            rebalance = getattr(monitor, "rebalance", None)
+            if not callable(rebalance):
+                raise ServiceError(
+                    "rebalance needs a fabric router monitor", code="bad-request"
+                )
+            return rebalance()
         raise ServiceError(f"unknown operation {op!r}", code="bad-request")
 
     def _record_status(
@@ -464,8 +471,16 @@ class ConstraintService:
                     f"deadline of {deadline}s elapsed before the verdict",
                     code="deadline",
                 ) from None
+            spans = None
+            if payload.get("export_spans"):
+                # The trace is already finished (the root closes before
+                # the response future resolves), so it is in the ring.
+                spans = self.tracer.wire_spans(trace_id)
             await self._respond(
-                writer, protocol.ok_response(request_id, result, trace=trace_id)
+                writer,
+                protocol.ok_response(
+                    request_id, result, trace=trace_id, spans=spans
+                ),
             )
         except ServiceError as error:
             self._errors.inc()
@@ -481,6 +496,33 @@ class ConstraintService:
             await self._respond(
                 writer,
                 protocol.error_response(request_id, str(error), trace=trace_id),
+            )
+        except (KeyError, TypeError) as error:
+            # A structurally valid request missing (or mistyping) an
+            # argument: answer, don't strand the client waiting.
+            self._errors.inc()
+            await self._respond(
+                writer,
+                protocol.error_response(
+                    request_id,
+                    f"missing or invalid argument: {error}",
+                    code="bad-request",
+                    trace=trace_id,
+                ),
+            )
+        except Exception as error:
+            self._errors.inc()
+            log.warning(
+                "request failed unexpectedly",
+                extra={"ctx": {"op": op, "error": str(error)}},
+                exc_info=True,
+            )
+            await self._respond(
+                writer,
+                protocol.error_response(
+                    request_id, f"internal error: {error}", code="internal",
+                    trace=trace_id,
+                ),
             )
 
     @staticmethod
@@ -498,6 +540,27 @@ class ConstraintService:
         else:
             log.debug("operation abandoned at its deadline later completed")
 
+    @staticmethod
+    async def _discard_oversized_line(
+        reader: asyncio.StreamReader, overrun: asyncio.LimitOverrunError
+    ) -> bool:
+        """Resync after an oversized frame: consume through its newline.
+
+        ``readuntil`` leaves the data buffered; ``overrun.consumed``
+        bytes are known to precede the separator (or to be separator-free
+        entirely), so they can be discarded without eating the next
+        frame.  Returns False on EOF.
+        """
+        try:
+            while True:
+                try:
+                    await reader.readuntil(b"\n")
+                    return True
+                except asyncio.LimitOverrunError as error:
+                    await reader.readexactly(max(1, error.consumed))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return False
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -506,8 +569,27 @@ class ConstraintService:
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (ConnectionError, asyncio.LimitOverrunError):
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as error:
+                    line = error.partial  # EOF mid-line; process the tail
+                except ConnectionError:
+                    break
+                except asyncio.LimitOverrunError as error:
+                    # One oversized frame must not kill the connection:
+                    # answer with a structured error, discard bytes up
+                    # to the frame's newline, and keep serving.
+                    self._errors.inc()
+                    await self._respond(
+                        writer,
+                        protocol.error_response(
+                            None,
+                            f"request line exceeds "
+                            f"{protocol.MAX_LINE_BYTES} bytes",
+                            code="bad-request",
+                        ),
+                    )
+                    if await self._discard_oversized_line(reader, error):
+                        continue
                     break
                 if not line:
                     break
@@ -581,6 +663,17 @@ class ConstraintService:
                 )
         if pools:
             payload["pools"] = pools
+        fleet_health = getattr(self.monitor, "fleet_health", None)
+        if callable(fleet_health):
+            fleet = fleet_health()
+            payload["fleet"] = fleet
+            if fleet.get("dead"):
+                # A dead shard degrades the router: clients still get
+                # answers (the next op revives it), but probes must see
+                # the fleet is not whole — and which shards are down.
+                payload["status"] = "degraded"
+                payload["dead_shards"] = fleet["dead"]
+                return 503, payload
         return (503 if self._stopping else 200), payload
 
     # ------------------------------------------------------------------
@@ -620,10 +713,16 @@ class ConstraintService:
         bound_host, bound_port = self._server.sockets[0].getsockname()[:2]
         self.host, self.port = bound_host, bound_port
         if http_port is not None:
+            extra = {}
+            if callable(getattr(self.monitor, "fleet_health", None)):
+                # A fabric router in front: expose its topology, journal
+                # depths and per-shard liveness as one scrapeable route.
+                extra["/fabricz"] = lambda: (200, self.monitor.describe())
             self._http = ObservabilityEndpoint(
                 metrics_text=self._metrics_text,
                 health=self._health,
                 tracer=self.tracer,
+                extra=extra,
             )
             self.http_host, self.http_port = await self._http.start(
                 host=http_host, port=http_port

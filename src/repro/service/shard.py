@@ -9,32 +9,21 @@ shards, each with its own :class:`~repro.core.checker.DCSatChecker`
 (optionally a :class:`~repro.service.pool.PooledDCSatChecker`), behind
 a front that preserves the monitor API.
 
-Routing rests on the same coupling analysis the monitor's invalidation
-uses (:func:`~repro.core.monitor.coupled_relations`): a state change
-over relations ``S`` can only affect verdicts over relations in the
-ind-connectivity / co-write closure of ``S``.  Each incoming
-issue / commit / forget / absorb is therefore applied **only** to
-shards whose footprint intersects that closure; for every other shard
-the op is appended to a per-shard *skipped* list.
+All routing *decisions* — placement, the coupled-closure fan-out, the
+skip/replay backlogs — live in :class:`~repro.fabric.topology.ShardTopology`,
+which this front shares with the cross-process fleet
+(:class:`~repro.fabric.router.FabricMonitor`): the same decision engine
+drives in-process monitors here and shard subprocesses there, so the
+verdict-identity guarantees pinned by ``tests/service/test_shard.py``
+carry over to the fabric unchanged.
 
-Skipped ops are replayed — in original order, ahead of any newer op —
-the moment the shard's state starts to matter:
-
-* before a routed op is applied, every skipped op whose coupled
-  closure *now* intersects the shard's footprint is drained first (a
-  later op can couple previously independent relations, e.g. a pending
-  transaction spanning both; ops in a different coupling component
-  commute with the routed op and stay skipped);
-* before a constraint is registered on the shard, against the grown
-  footprint;
-* the whole backlog, when it outgrows ``max_skipped`` (bounds memory).
-
-Drained ops replay against exactly the shard state their original
-global position produced (coupled ops drain together, decoupled ops
-commute), so each shard's database always equals the global database
-*restricted to what its verdicts can observe* — the verdict-identity
-tests in ``tests/service/test_shard.py`` exercise this against a
-single monitor over randomized traces.
+Routing semantics (see the topology module for the full story): a state
+change over relations ``S`` is applied **only** to shards whose
+footprint intersects the ind-connectivity / co-write coupled closure of
+``S``; every other shard backlogs the op, and backlogged ops replay —
+in original global order — the moment the shard's state starts to
+matter.  Each shard's database therefore always equals the global
+database *restricted to what its verdicts can observe*.
 
 The payoff: a shard's world sweep enumerates cliques only over the
 pending transactions it has seen.  With B independent constraint
@@ -46,12 +35,17 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro import serialize
 from repro.core.blockchain_db import BlockchainDatabase
 from repro.core.checker import DCSatChecker
-from repro.core.monitor import ConstraintMonitor, MonitorEntry, coupled_relations
+from repro.core.monitor import ConstraintMonitor, MonitorEntry
 from repro.core.results import DCSatResult
 from repro.errors import ReproError
+from repro.fabric.topology import (
+    AppliedOp,
+    ShardAction,
+    ShardTopology,
+    copy_database,
+)
 from repro.obs.log import get_logger
 from repro.obs.trace import span as obs_span
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
@@ -64,37 +58,33 @@ log = get_logger("service.shard")
 #: Bucket bounds for the drained-ops-per-flush histogram.
 FLUSH_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 
-
-def _copy_database(db: BlockchainDatabase) -> BlockchainDatabase:
-    """An independent deep copy (shards must not share mutable state)."""
-    return serialize.database_from_dict(
-        serialize.database_to_dict(db), validate=False
-    )
+# Re-exported for callers that used the private helper.
+_copy_database = copy_database
 
 
 class _Shard:
-    """One monitor plus its routing state."""
+    """One monitor bound to its topology slot (the executor side)."""
 
-    def __init__(self, index: int, monitor: ConstraintMonitor):
+    def __init__(self, index: int, monitor: ConstraintMonitor, slot):
         self.index = index
         self.monitor = monitor
-        #: Union of the raw relation footprints of registered entries.
-        self.footprint: frozenset[str] = frozenset()
-        #: State changes not yet applied, as ``(kind, payload,
-        #: relations)`` with the op's seed relations recorded at skip
-        #: time (a committed transaction's relations are not otherwise
-        #: recoverable later).  They cannot affect this shard's verdicts
-        #: while their coupling to the footprint stays empty.
-        self.skipped: list[tuple[str, object, frozenset[str]]] = []
-        self.flushes = 0
-        self.drained_ops = 0
+        self._slot = slot
 
-    def refresh_footprint(self) -> None:
-        names = self.monitor.names
-        footprint: set[str] = set()
-        for name in names:
-            footprint |= self.monitor.entry(name).relations
-        self.footprint = frozenset(footprint)
+    @property
+    def footprint(self) -> frozenset[str]:
+        return self._slot.footprint
+
+    @property
+    def skipped(self) -> list:
+        return self._slot.skipped
+
+    @property
+    def flushes(self) -> int:
+        return self._slot.flushes
+
+    @property
+    def drained_ops(self) -> int:
+        return self._slot.drained_ops
 
     def apply(self, kind: str, payload) -> list[str]:
         if kind == "issue":
@@ -130,22 +120,30 @@ class ShardedMonitor:
         max_skipped: int = 512,
         metrics: MetricsRegistry | None = None,
     ):
-        if shards < 1:
-            raise ReproError(f"need at least one shard, got {shards}")
         if checker_factory is None:
             checker_factory = DCSatChecker
-        #: The front's own authoritative copy: validates ops and tracks
-        #: the pending set whose co-write footprints drive routing.
-        self._front = _copy_database(db)
+        self._topology = ShardTopology(db, shards, max_skipped=max_skipped)
         self._shards = [
-            _Shard(index, ConstraintMonitor(checker_factory(_copy_database(db))))
-            for index in range(shards)
+            _Shard(
+                slot.index,
+                ConstraintMonitor(checker_factory(copy_database(db))),
+                slot,
+            )
+            for slot in self._topology.slots
         ]
+        #: constraint name -> owning shard (kept in registration order).
         self._placement: dict[str, _Shard] = {}
         self.max_skipped = max_skipped
         self._metrics = metrics
-        #: Monotone state-change counter, mirroring ``DCSatChecker.epoch``.
-        self.epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotone state-change counter, mirroring ``DCSatChecker.epoch``."""
+        return self._topology.epoch
+
+    @property
+    def topology(self) -> ShardTopology:
+        return self._topology
 
     # ------------------------------------------------------------------
     # Registration
@@ -156,40 +154,22 @@ class ShardedMonitor:
         query: ConjunctiveQuery | AggregateQuery | str,
         **check_kwargs,
     ) -> MonitorEntry:
-        if name in self._placement:
-            raise ReproError(f"constraint {name!r} is already registered")
         if isinstance(query, str):
             query = parse_query(query)
-        shard = self._place(query.relations())
+        plan = self._topology.place(name, query.relations())
+        shard = self._shards[plan.shard]
         # The footprint is about to grow: drain every skipped op the
         # new constraint could observe before it can cache a verdict.
-        self._drain(shard, shard.footprint | query.relations())
+        self._replay(shard, plan.drained, plan.retained)
         entry = shard.monitor.register(name, query, **check_kwargs)
-        shard.footprint |= entry.relations
         self._placement[name] = shard
         return entry
 
-    def _place(self, relations: frozenset[str]) -> _Shard:
-        """Deterministic placement: co-locate with the shard sharing the
-        most ind-coupled relations; otherwise balance by entry count."""
-        expanded = self._front.constraints.ind_closure(relations)
-        best: _Shard | None = None
-        best_score = 0
-        for shard in self._shards:
-            score = len(expanded & shard.footprint)
-            if score > best_score:
-                best, best_score = shard, score
-        if best is None:
-            best = min(
-                self._shards, key=lambda s: (len(s.monitor.names), s.index)
-            )
-        return best
-
     def unregister(self, name: str) -> None:
         shard = self._shard_of(name)
+        self._topology.forget_placement(name)
         shard.monitor.unregister(name)
         del self._placement[name]
-        shard.refresh_footprint()
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -237,105 +217,67 @@ class ShardedMonitor:
     # State changes (routed)
 
     def issue(self, tx: Transaction) -> list[str]:
-        self._front.add_pending(tx)  # validates id, relations, arity
-        self.epoch += 1
-        return self._route("issue", tx, frozenset(tx.relation_names))
+        with obs_span("shard.route", kind="issue") as sp:
+            return self._run_actions("issue", self._topology.issue(tx), sp)
 
     def commit(self, tx_id: str) -> list[str]:
-        tx = self._front.remove_pending(tx_id)
-        self.epoch += 1
-        return self._route("commit", tx_id, frozenset(tx.relation_names))
+        with obs_span("shard.route", kind="commit") as sp:
+            return self._run_actions("commit", self._topology.commit(tx_id), sp)
 
     def forget(self, tx_id: str) -> list[str]:
-        tx = self._front.remove_pending(tx_id)
-        self.epoch += 1
-        return self._route("forget", tx_id, frozenset(tx.relation_names))
+        with obs_span("shard.route", kind="forget") as sp:
+            return self._run_actions("forget", self._topology.forget(tx_id), sp)
 
     def absorb(self, tx: Transaction) -> list[str]:
-        for rel in tx.relation_names:
-            if rel not in self._front.current:
-                raise ReproError(
-                    f"transaction {tx.tx_id!r} targets unknown relation {rel!r}"
-                )
-            schema = self._front.current[rel].schema
-            for values in tx.tuples(rel):
-                schema.validate_tuple(values)
-        self.epoch += 1
-        return self._route("absorb", tx, frozenset(tx.relation_names))
+        with obs_span("shard.route", kind="absorb") as sp:
+            return self._run_actions("absorb", self._topology.absorb(tx), sp)
 
-    def _route(
-        self, kind: str, payload, relations: frozenset[str]
+    def _run_actions(
+        self, kind: str, actions: list[ShardAction], sp
     ) -> list[str]:
-        with obs_span("shard.route", kind=kind) as sp:
-            touched = coupled_relations(
-                relations,
-                self._front.constraints,
-                (tx.relation_names for tx in self._front.pending),
-            )
-            invalidated: list[str] = []
-            applied = skipped = 0
-            for shard in self._shards:
-                if touched & shard.footprint:
-                    applied += 1
-                    invalidated.extend(self._drain(shard, shard.footprint))
-                    with obs_span(
-                        "shard.apply", shard=shard.index, kind=kind
-                    ):
-                        invalidated.extend(shard.apply(kind, payload))
-                else:
-                    skipped += 1
-                    with obs_span("shard.skip", shard=shard.index, kind=kind):
-                        shard.skipped.append((kind, payload, relations))
-                    if (
-                        self.max_skipped
-                        and len(shard.skipped) > self.max_skipped
-                    ):
-                        invalidated.extend(self._drain(shard, None))
-            sp.set(applied=applied, skipped=skipped)
+        invalidated: list[str] = []
+        applied = skipped = 0
+        for action in actions:
+            shard = self._shards[action.shard]
+            if action.skipped:
+                skipped += 1
+                with obs_span("shard.skip", shard=shard.index, kind=kind):
+                    pass
+                # A backlog-overflow flush replays everything, the
+                # routed op included.
+                invalidated.extend(
+                    self._replay(shard, action.drained, action.retained)
+                )
+            else:
+                applied += 1
+                invalidated.extend(
+                    self._replay(shard, action.drained, action.retained)
+                )
+                with obs_span("shard.apply", shard=shard.index, kind=kind):
+                    invalidated.extend(
+                        shard.apply(action.op.kind, action.op.payload)
+                    )
+        sp.set(applied=applied, skipped=skipped)
         # Match the single monitor: names in global registration order.
         hit = set(invalidated)
         return [name for name in self._placement if name in hit]
 
-    def _drain(self, shard: _Shard, footprint: frozenset[str] | None) -> list[str]:
-        """Replay the skipped ops coupled to *footprint*, in original
-        global order; ``None`` drains the whole backlog.
-
-        Ops in a different coupling component commute with everything
-        the shard observes, so they stay skipped — that independence is
-        what keeps each shard's world sweep small.  Coupled ops drain
-        together (their seeds close over the same component), so the
-        relative order among drained ops is the global one.
-        """
-        if not shard.skipped:
+    def _replay(
+        self, shard: _Shard, drained: list[AppliedOp], retained: int
+    ) -> list[str]:
+        """Apply a drain plan to the shard's monitor, in plan order."""
+        if not drained and not retained:
             return []
         with obs_span("shard.drain", shard=shard.index) as sp:
-            footprints = [
-                frozenset(tx.relation_names) for tx in self._front.pending
-            ]
-            retained: list[tuple[str, object, frozenset[str]]] = []
             invalidated: list[str] = []
-            drained = 0
-            for kind, payload, relations in shard.skipped:
-                coupled = footprint is None or (
-                    coupled_relations(
-                        relations, self._front.constraints, footprints
-                    )
-                    & footprint
-                )
-                if coupled:
-                    invalidated.extend(shard.apply(kind, payload))
-                    drained += 1
-                else:
-                    retained.append((kind, payload, relations))
-            shard.skipped = retained
-            sp.set(drained=drained, retained=len(retained))
+            for op in drained:
+                invalidated.extend(shard.apply(op.kind, op.payload))
+            sp.set(drained=len(drained), retained=retained)
             if drained:
-                shard.flushes += 1
-                shard.drained_ops += drained
                 log.debug(
                     "shard drained skipped ops",
                     extra={
-                        "ctx": {"shard": shard.index, "drained": drained}
+                        "ctx": {"shard": shard.index, "drained": len(drained)}
                     },
                 )
                 if self._metrics is not None:
@@ -344,14 +286,14 @@ class ShardedMonitor:
                         "Skipped operations replayed per shard drain.",
                         labels={"shard": str(shard.index)},
                         buckets=FLUSH_BUCKETS,
-                    ).observe(drained)
+                    ).observe(len(drained))
         return invalidated
 
     # ------------------------------------------------------------------
     # Introspection (used by the server's duck-typed surface)
 
     def pending_count(self) -> int:
-        return len(self._front.pending_ids)
+        return self._topology.pending_count()
 
     def checkers(self) -> list[DCSatChecker]:
         return [shard.monitor.checker for shard in self._shards]

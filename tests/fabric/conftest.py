@@ -1,0 +1,27 @@
+"""Shared fabric-test helpers: in-process fleets over the shard schemas.
+
+The db factories come from the shard suite so the fabric is pinned
+against exactly the workloads that pinned :class:`ShardedMonitor`.  A
+:class:`ThreadFleet` gives every test a real server per shard (same
+wire protocol, same journal-replay semantics) without paying a Python
+subprocess spawn; only the e2e module boots actual subprocesses.
+"""
+
+from __future__ import annotations
+
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+from repro.fabric import FabricMonitor, ThreadFleet
+from repro.fabric.topology import copy_database
+
+from tests.service.test_shard import parent_child_db, two_relation_db  # noqa: F401
+
+
+def thread_fabric(db_factory, shards: int, **kwargs) -> FabricMonitor:
+    """A FabricMonitor over an in-process fleet seeded from *db_factory*."""
+    db = db_factory()
+    fleet = ThreadFleet(
+        lambda: ConstraintMonitor(DCSatChecker(copy_database(db))),
+        shards=shards,
+    )
+    return FabricMonitor(db, fleet, **kwargs)

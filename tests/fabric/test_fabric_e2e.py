@@ -1,0 +1,163 @@
+"""End-to-end: real shard subprocesses behind a wire-served router.
+
+The full fabric stack — ``repro serve`` subprocesses spawned by a
+:class:`FleetSupervisor`, a :class:`FabricMonitor` router served over
+the JSON-lines protocol, a stock :class:`ServiceClient` in front — plus
+the chaos path: SIGKILL a shard mid-trace and require verdict parity
+with a single in-process monitor, ``/healthz`` truthfully degrading to
+503 while the shard is down, and ``/tracez`` showing shard-subprocess
+spans grafted under the router's trace.
+"""
+
+import json
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import serialize
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+from repro.fabric import FabricMonitor, FleetSupervisor, ShardSpec
+from repro.relational.transaction import Transaction
+from repro.service.client import ServiceClient
+from repro.service.server import ConstraintService, serve_in_thread
+
+from tests.fabric.conftest import two_relation_db
+
+pytestmark = pytest.mark.slow
+
+
+Q_A = "q() <- A(k, 'x'), A(k, 'y')"
+Q_B = "q() <- B(k, 'x'), B(k, 'y')"
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    db = two_relation_db()
+    db_path = str(tmp_path_factory.mktemp("fabric") / "seed.json")
+    serialize.dump(db, db_path)
+    fleet = FleetSupervisor(ShardSpec(db_path=db_path), shards=2)
+    fabric = FabricMonitor(two_relation_db(), fleet)
+    handle = serve_in_thread(ConstraintService(fabric), http_port=0)
+    client = ServiceClient(handle.host, handle.port, timeout=120.0)
+    single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+    try:
+        yield fabric, fleet, client, handle, single
+    finally:
+        client.close()
+        handle.stop()
+        fabric.close()
+
+
+def http_get(handle, path):
+    url = f"http://{handle.http_host}:{handle.http_port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def assert_parity(client, single):
+    got = client.status_all()
+    want = single.status_all()
+    assert set(got) == set(want)
+    for name, wire in got.items():
+        assert wire["satisfied"] == want[name].satisfied, name
+        witness = want[name].witness
+        wire_witness = wire["witness"]
+        assert (wire_witness is None) == (witness is None), name
+        if witness is not None:
+            assert set(wire_witness) == set(witness), name
+
+
+def test_fleet_chaos_roundtrip(stack):
+    fabric, fleet, client, handle, single = stack
+
+    for name, query in (("a1", Q_A), ("b1", Q_B)):
+        client.register(name, query)
+        single.register(name, query)
+
+    # Healthy fleet: /healthz is 200 and names no dead shards.
+    status, payload = http_get(handle, "/healthz")
+    assert status == 200
+    assert payload["fleet"]["dead"] == []
+    assert len(payload["fleet"]["shards"]) == 2
+
+    # The router's extra scrape route: topology + liveness in one JSON.
+    status, payload = http_get(handle, "/fabricz")
+    assert status == 200
+    assert payload["fabric"] is True
+    assert {item["shard"] for item in payload["detail"]} == {0, 1}
+
+    for i, (rel, value) in enumerate(
+        [("A", "x"), ("A", "y"), ("B", "x"), ("B", "y")]
+    ):
+        got = client.issue(Transaction({rel: [(1, value)]}, tx_id=f"T{i}"))
+        want = single.issue(Transaction({rel: [(1, value)]}, tx_id=f"T{i}"))
+        assert got == want
+    assert_parity(client, single)
+
+    # SIGKILL one shard mid-trace.  The router must report it dead
+    # (degraded /healthz, 503) until an op lazily revives it.
+    victim = fabric.topology.slot_of("a1")
+    fleet.kill(victim)
+    status, payload = http_get(handle, "/healthz")
+    assert status == 503
+    assert payload["status"] == "degraded"
+    assert payload["dead_shards"] == [victim]
+
+    # The next touching op respawns the shard and replays its journal;
+    # verdicts and invalidation lists stay identical to the single
+    # monitor that never died.
+    got = client.commit("T0")
+    want = single.commit("T0")
+    assert got == want
+    status, payload = http_get(handle, "/healthz")
+    assert status == 200
+    assert payload["fleet"]["shards"][victim]["restarts"] == 1
+    assert_parity(client, single)
+
+    got = client.commit("T1")
+    want = single.commit("T1")
+    assert got == want
+    assert_parity(client, single)
+    assert not client.status("a1")["satisfied"]
+
+
+def test_status_all_trace_spans_cross_processes(stack):
+    fabric, fleet, client, handle, single = stack
+    client.status_all()
+    trace_id = client.last_trace_id
+    assert trace_id is not None
+    status, payload = http_get(handle, f"/tracez?trace_id={trace_id}")
+    assert status == 200
+    (trace,) = payload["traces"]
+    spans = trace["spans"]
+    names = {span["name"] for span in spans}
+    assert "fabric.call" in names
+    # Span ids embed the creating pid: the shard subprocesses' spans
+    # keep theirs, proving the trace really crossed process boundaries.
+    router_prefix = f"s{os.getpid():x}-"
+    foreign = [s for s in spans if not s["span_id"].startswith(router_prefix)]
+    assert foreign, "no shard-subprocess spans were adopted"
+    shard_pids = {
+        f"s{item['pid']:x}-" for item in fabric.fleet_health()["shards"]
+    }
+    assert {
+        s["span_id"].split("-")[0] + "-" for s in foreign
+    } <= shard_pids
+
+    calls = {s["span_id"] for s in spans if s["name"] == "fabric.call"}
+    adopted_roots = [s for s in foreign if s["parent_id"] in calls]
+    assert adopted_roots, "shard spans were not re-parented under fabric.call"
+
+
+def test_rebalance_over_the_wire(stack):
+    fabric, fleet, client, handle, single = stack
+    moved = client.rebalance()
+    assert moved["shards"] == 2
+    assert isinstance(moved["migrated"], list)
+    assert_parity(client, single)

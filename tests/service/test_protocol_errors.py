@@ -1,0 +1,157 @@
+"""Protocol hardening: a hostile or buggy peer must get a structured
+error back, and the connection (and the server) must keep serving.
+
+Everything here talks raw sockets on purpose — the stock
+:class:`ServiceClient` cannot even produce most of these frames.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+from repro.service import protocol
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import ConstraintService, serve_in_thread
+
+from tests.service.test_server import two_relation_db
+
+
+@pytest.fixture
+def server():
+    service = ConstraintService(
+        ConstraintMonitor(DCSatChecker(two_relation_db())),
+        metrics=MetricsRegistry(),
+    )
+    handle = serve_in_thread(service)
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@pytest.fixture
+def sock(server):
+    with socket.create_connection((server.host, server.port), timeout=30.0) as s:
+        s.settimeout(30.0)
+        yield s
+
+
+def send_raw(sock, payload: bytes) -> None:
+    sock.sendall(payload)
+
+
+def read_response(sock) -> dict:
+    file = sock.makefile("rb")
+    line = file.readline()
+    assert line, "server closed the connection instead of answering"
+    return json.loads(line)
+
+
+def roundtrip(sock, request: dict) -> dict:
+    send_raw(sock, json.dumps(request).encode() + b"\n")
+    return read_response(sock)
+
+
+def assert_bad_request(response: dict, request_id=None):
+    assert response["ok"] is False
+    assert response["code"] == "bad-request"
+    assert response["id"] == request_id
+    assert isinstance(response["error"], str) and response["error"]
+
+
+def assert_still_serving(sock):
+    """The hardening contract: after any bad frame, the same connection
+    still answers a well-formed request."""
+    response = roundtrip(sock, {"id": 99, "op": "ping", "args": {}})
+    assert response["ok"] is True
+    assert response["id"] == 99
+
+
+class TestMalformedFrames:
+    def test_malformed_json_line(self, sock):
+        send_raw(sock, b'{"id": 1, "op": "ping", not json at all\n')
+        assert_bad_request(read_response(sock))
+        assert_still_serving(sock)
+
+    def test_non_object_request(self, sock):
+        send_raw(sock, b'["not", "a", "request"]\n')
+        assert_bad_request(read_response(sock))
+        assert_still_serving(sock)
+
+    def test_empty_line_is_skipped(self, sock):
+        # Blank keep-alive lines are tolerated silently.
+        send_raw(sock, b"\n\n")
+        assert_still_serving(sock)
+
+    def test_oversized_frame_is_rejected_not_fatal(self, sock):
+        # One frame over the 4 MiB line limit: the server must answer
+        # with a structured error, resynchronize on the newline, and
+        # keep the connection alive.
+        filler = "x" * (protocol.MAX_LINE_BYTES + 1024)
+        frame = json.dumps({"id": 7, "op": "ping", "args": {"pad": filler}})
+        send_raw(sock, frame.encode() + b"\n")
+        response = read_response(sock)
+        assert response["ok"] is False
+        assert response["code"] == "bad-request"
+        assert "exceeds" in response["error"]
+        assert_still_serving(sock)
+
+    def test_two_oversized_frames_back_to_back(self, sock):
+        filler = b"y" * (protocol.MAX_LINE_BYTES + 1)
+        file = sock.makefile("rb")
+        for _ in range(2):
+            send_raw(sock, filler + b"\n")
+            response = json.loads(file.readline())
+            assert response["code"] == "bad-request"
+        assert_still_serving(sock)
+
+
+class TestMalformedRequests:
+    def test_unknown_op(self, sock):
+        response = roundtrip(sock, {"id": 3, "op": "explode", "args": {}})
+        assert_bad_request(response, request_id=3)
+        assert_still_serving(sock)
+
+    def test_non_string_op(self, sock):
+        response = roundtrip(sock, {"id": 4, "op": 17, "args": {}})
+        assert_bad_request(response, request_id=4)
+        assert_still_serving(sock)
+
+    def test_non_dict_args(self, sock):
+        response = roundtrip(sock, {"id": 5, "op": "ping", "args": [1, 2]})
+        assert_bad_request(response, request_id=5)
+        assert_still_serving(sock)
+
+    def test_missing_required_arg(self, sock):
+        response = roundtrip(sock, {"id": 6, "op": "status", "args": {}})
+        assert_bad_request(response, request_id=6)
+        assert "name" in response["error"]
+        assert_still_serving(sock)
+
+    def test_errors_counted_not_crashed(self, server, sock):
+        roundtrip(sock, {"id": 8, "op": "nope", "args": {}})
+        send_raw(sock, b"garbage\n")
+        read_response(sock)
+        assert_still_serving(sock)
+        text = server.service.metrics.render_text()
+        assert "repro_request_errors_total" in text
+
+
+class TestConnectionIsolation:
+    def test_bad_connection_does_not_poison_others(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=30.0
+        ) as bad, socket.create_connection(
+            (server.host, server.port), timeout=30.0
+        ) as good:
+            bad.settimeout(30.0)
+            good.settimeout(30.0)
+            send_raw(bad, b"z" * (protocol.MAX_LINE_BYTES + 1) + b"\n")
+            read_response(bad)  # structured rejection
+            assert_still_serving(good)
+            assert_still_serving(bad)
