@@ -228,7 +228,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_fabric(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.fabric import FabricMonitor, FleetSupervisor, ShardSpec
+    from repro.fabric import (
+        FabricJournal,
+        FabricMonitor,
+        FleetSupervisor,
+        ShardSpec,
+        reap_stale,
+    )
     from repro.service.metrics import MetricsRegistry
     from repro.service.server import ConstraintService
 
@@ -243,8 +249,68 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
         deadline=args.deadline,
         log_level=args.log_level,
     )
-    fleet = FleetSupervisor(spec, shards=args.shards)
-    monitor = FabricMonitor(db, fleet, metrics=metrics)
+
+    journal = None
+    state_path = None
+    if args.recover and not args.journal_dir:
+        print("repro fabric: --recover requires --journal-dir", flush=True)
+        return 2
+    if args.journal_dir:
+        had_journal = FabricJournal.exists(args.journal_dir)
+        if had_journal and not args.recover:
+            print(
+                f"repro fabric: {args.journal_dir} already holds a journal; "
+                "pass --recover to rebuild from it, or use a fresh "
+                "--journal-dir",
+                flush=True,
+            )
+            return 2
+        if args.recover and not had_journal:
+            print(
+                f"repro fabric: no journal at {args.journal_dir} to recover "
+                "from",
+                flush=True,
+            )
+            return 2
+        journal = FabricJournal(
+            args.journal_dir, shards=args.shards, fsync=args.fsync
+        )
+        state_path = journal.fleet_state_path
+        if args.recover:
+            # Shard subprocesses orphaned by the crashed router would
+            # otherwise hold their ports and data forever.
+            reaped = reap_stale(state_path)
+            if reaped:
+                print(
+                    f"repro fabric: reaped {len(reaped)} orphaned shard "
+                    f"process(es): {reaped}",
+                    flush=True,
+                )
+
+    fleet = FleetSupervisor(spec, shards=args.shards, state_path=state_path)
+    if args.recover:
+        fleet.start()
+        monitor = FabricMonitor.recover(
+            db,
+            fleet,
+            journal=journal,
+            metrics=metrics,
+            journal_max_ops=args.journal_max_ops,
+        )
+    else:
+        monitor = FabricMonitor(
+            db,
+            fleet,
+            metrics=metrics,
+            journal=journal,
+            journal_max_ops=args.journal_max_ops,
+        )
+    if args.watchdog_interval > 0:
+        monitor.start_watchdog(
+            interval=args.watchdog_interval,
+            flap_limit=args.watchdog_flap_limit,
+            flap_window=args.watchdog_flap_window,
+        )
     service = ConstraintService(
         monitor,
         metrics=metrics,
@@ -264,6 +330,14 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             f"{', '.join(ports)})",
             flush=True,
         )
+        if args.journal_dir:
+            print(
+                f"durable journal at {args.journal_dir} "
+                f"(fsync={args.fsync}"
+                + (", recovered" if args.recover else "")
+                + ")",
+                flush=True,
+            )
         if service.http_port is not None:
             print(
                 f"observability endpoint on "
@@ -448,6 +522,41 @@ def build_parser() -> argparse.ArgumentParser:
     fabric.add_argument(
         "--engine", choices=list(ENGINES), default=None,
         help="evaluation engine for the shard subprocesses",
+    )
+    fabric.add_argument(
+        "--journal-dir", default=None,
+        help="directory for the durable write-ahead shard journal; "
+        "enables crash recovery with --recover (default: in-memory "
+        "journaling only)",
+    )
+    fabric.add_argument(
+        "--fsync", choices=["always", "batch", "never"], default="batch",
+        help="journal durability: fsync every record, every few records, "
+        "or never (leave it to the OS)",
+    )
+    fabric.add_argument(
+        "--recover", action="store_true",
+        help="rebuild router state and shard fleet from --journal-dir "
+        "after a crash (reaps orphaned shard processes first)",
+    )
+    fabric.add_argument(
+        "--journal-max-ops", type=int, default=4096,
+        help="compact a shard's journal (snapshot + truncate) once it "
+        "holds more than this many records; 0 disables compaction",
+    )
+    fabric.add_argument(
+        "--watchdog-interval", type=float, default=2.0,
+        help="seconds between liveness-watchdog probes that proactively "
+        "respawn dead shards; 0 disables the watchdog",
+    )
+    fabric.add_argument(
+        "--watchdog-flap-limit", type=int, default=5,
+        help="crashes within --watchdog-flap-window that circuit-break "
+        "a shard instead of respawning it again",
+    )
+    fabric.add_argument(
+        "--watchdog-flap-window", type=float, default=30.0,
+        help="sliding window in seconds for flap detection",
     )
     fabric.set_defaults(func=_cmd_fabric)
 

@@ -79,6 +79,32 @@ class ServiceError(ReproError):
         self.retry_after = retry_after
 
 
+class FabricError(ServiceError):
+    """A shard-fleet operation failed: a shard subprocess died before its
+    ready line, its write-ahead journal is corrupt, or its respawn
+    circuit breaker is open.
+
+    Subclasses :class:`ServiceError` so the wire server answers it as a
+    structured error instead of an internal one.
+
+    Attributes:
+        shard: the index of the shard involved, when known.
+        stderr: captured stderr tail of a failed shard subprocess,
+            when available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "fabric",
+        shard: int | None = None,
+        stderr: str | None = None,
+    ):
+        super().__init__(message, code=code)
+        self.shard = shard
+        self.stderr = stderr
+
+
 class AlgorithmError(ReproError):
     """A DCSat algorithm was asked to run outside its supported scope
     (e.g. OptDCSat on a disconnected query, a tractable-case solver on a

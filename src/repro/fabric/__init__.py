@@ -22,19 +22,44 @@ against a fleet.
   shards, scatter-gathers ``status_all``, journals every applied op so
   a killed shard can be respawned and replayed, adopts shard-side trace
   spans over the socket, and migrates constraints on ``rebalance``.
+* :mod:`~repro.fabric.journal` — the durable half of that journal:
+  segmented, checksummed JSON-lines write-ahead files per shard
+  (:class:`FabricJournal`), written *before* each op is sent, with
+  snapshot-and-truncate compaction.  :meth:`FabricMonitor.recover`
+  rebuilds a whole router from one after a crash.
+* :mod:`~repro.fabric.chaos` — fault injection: a seeded
+  :class:`ChaosProxy` per shard (connection drops, delayed / truncated
+  replies, kill-during-replay) behind a fleet-shaped
+  :class:`ChaosFleet`, for crash-parity testing.
 
-Run a fleet from the command line with ``repro fabric --shards N``;
-see ``docs/FABRIC.md`` for topology and failure semantics.
+Run a fleet from the command line with ``repro fabric --shards N``
+(add ``--journal-dir`` for durability, ``--recover`` after a crash);
+see ``docs/FABRIC.md`` for topology, durability and failure semantics.
 """
 
+from repro.fabric.chaos import ChaosFleet, ChaosProxy, FaultPlan
+from repro.fabric.journal import FabricJournal, ShardJournal
 from repro.fabric.router import FabricMonitor
-from repro.fabric.supervisor import FleetSupervisor, ShardSpec, ThreadFleet
+from repro.fabric.supervisor import (
+    FleetSupervisor,
+    LivenessWatchdog,
+    ShardSpec,
+    ThreadFleet,
+    reap_stale,
+)
 from repro.fabric.topology import ShardTopology
 
 __all__ = [
+    "ChaosFleet",
+    "ChaosProxy",
+    "FabricJournal",
     "FabricMonitor",
+    "FaultPlan",
     "FleetSupervisor",
+    "LivenessWatchdog",
+    "ShardJournal",
     "ShardSpec",
     "ThreadFleet",
     "ShardTopology",
+    "reap_stale",
 ]

@@ -1,0 +1,327 @@
+"""Fault injection for the shard fabric: a chaos proxy per shard.
+
+The durability story of :mod:`repro.fabric` — journal-before-send,
+revive-by-replay, recovery from disk — is only as good as the failure
+modes it has actually met.  This module injects them deterministically:
+a :class:`ChaosProxy` sits on its own TCP port between the router and
+each shard server and, driven by a seeded :class:`FaultPlan`, injects
+
+* **connection drops** before the request is forwarded (the op never
+  reached the shard),
+* **reply drops** after the shard applied the op (the classic
+  "sent, reply lost" ambiguity the idempotency classification exists
+  for),
+* **delayed replies** (the router's per-shard socket timeout fires),
+* **truncated replies** (a partial JSON line, then EOF), and
+* **kill-during-replay**: after a respawn, the shard is SIGKILLed again
+  once K replayed ops have passed through — the revive path's own crash
+  window.
+
+:class:`ChaosFleet` wraps any fleet (a
+:class:`~repro.fabric.supervisor.FleetSupervisor` or
+:class:`~repro.fabric.supervisor.ThreadFleet`) so a
+:class:`~repro.fabric.router.FabricMonitor` dials the proxies without
+knowing it; the randomized crash-parity suite in
+``tests/fabric/test_chaos.py`` then proves verdicts stay identical to a
+single uninterrupted monitor under every injected fault.  Same seed,
+same schedule — a failing run reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+
+from repro.errors import ServiceError
+from repro.obs.log import get_logger
+
+log = get_logger("fabric.chaos")
+
+FAULT_KINDS = ("drop", "reply_drop", "delay", "truncate")
+
+
+class FaultPlan:
+    """A seeded schedule of faults: probabilities per request, plus a
+    per-respawn chance of arming a kill-during-replay."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop: float = 0.0,
+        reply_drop: float = 0.0,
+        delay: float = 0.0,
+        truncate: float = 0.0,
+        kill_replay: float = 0.0,
+        delay_seconds: float = 0.5,
+        kill_after: int = 2,
+    ):
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.drop = drop
+        self.reply_drop = reply_drop
+        self.delay = delay
+        self.truncate = truncate
+        self.kill_replay = kill_replay
+        self.delay_seconds = delay_seconds
+        self.kill_after = kill_after
+
+    def next_fault(self, shard: int) -> str | None:
+        """The fault (if any) to inject on the next request of *shard*."""
+        with self._lock:
+            roll = self._rng.random()
+        for kind in FAULT_KINDS:
+            threshold = getattr(self, kind)
+            if roll < threshold:
+                return kind
+            roll -= threshold
+        return None
+
+    def replay_kill(self, shard: int) -> int | None:
+        """On a respawn of *shard*: requests to let through before
+        SIGKILLing it again, or ``None`` to leave this replay alone."""
+        with self._lock:
+            if self._rng.random() < self.kill_replay:
+                return self.kill_after
+        return None
+
+
+class ChaosProxy:
+    """A line-granularity TCP proxy for one shard, injecting faults."""
+
+    def __init__(
+        self,
+        index: int,
+        backend_host: str,
+        backend_port: int,
+        plan: FaultPlan,
+        kill_backend,
+    ):
+        self.index = index
+        self._backend = (backend_host, backend_port)
+        self._plan = plan
+        self._kill_backend = kill_backend
+        self._lock = threading.Lock()
+        self._kill_after: int | None = None
+        self._closed = False
+        #: fault kind -> times injected (``"kill_replay"`` included).
+        self.injected: dict[str, int] = {}
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+        self._thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"repro-chaos-{index}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def arm_kill(self, after_requests: int) -> None:
+        """SIGKILL the backend once this many more requests pass."""
+        with self._lock:
+            self._kill_after = max(1, after_requests)
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: proxy stopped
+            threading.Thread(
+                target=self._handle_conn, args=(conn,), daemon=True
+            ).start()
+
+    def _handle_conn(self, client: socket.socket) -> None:
+        try:
+            backend = socket.create_connection(self._backend, timeout=10.0)
+        except OSError:
+            client.close()
+            return
+        client_file = client.makefile("rb")
+        backend_file = backend.makefile("rb")
+        try:
+            while True:
+                line = client_file.readline()
+                if not line:
+                    return
+                kill_now = False
+                with self._lock:
+                    if self._kill_after is not None:
+                        self._kill_after -= 1
+                        if self._kill_after <= 0:
+                            self._kill_after = None
+                            kill_now = True
+                if kill_now:
+                    self._count("kill_replay")
+                    self._kill_backend()
+                    return
+                fault = self._plan.next_fault(self.index)
+                if fault == "drop":
+                    self._count(fault)
+                    return  # request never reaches the shard
+                if fault == "delay":
+                    self._count(fault)
+                    time.sleep(self._plan.delay_seconds)
+                backend.sendall(line)
+                reply = backend_file.readline()
+                if not reply:
+                    return  # backend died mid-request
+                if fault == "reply_drop":
+                    self._count(fault)
+                    return  # the shard applied the op; the reply is lost
+                if fault == "truncate":
+                    self._count(fault)
+                    client.sendall(reply[: max(1, len(reply) // 2)])
+                    return
+                client.sendall(reply)
+        except OSError:
+            return
+        finally:
+            for closer in (client_file, backend_file, client, backend):
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        # close() alone does NOT wake a thread blocked in accept() (the
+        # in-flight syscall pins the kernel socket, so the port would
+        # stay bound and silently swallow later connections); shutdown()
+        # is what actually unblocks it.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # never connected, or already dead — fine either way
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._thread.join(timeout=5.0)
+
+
+class ProxyHandle:
+    """What the router sees as a shard handle: the proxy's address,
+    the backend's liveness."""
+
+    def __init__(self, proxy: ChaosProxy, backend_handle):
+        self.proxy = proxy
+        self.backend = backend_handle
+        self.host = proxy.host
+        self.port = proxy.port
+
+    @property
+    def pid(self):
+        return getattr(self.backend, "pid", None)
+
+    def alive(self) -> bool:
+        return self.backend.alive()
+
+
+class ChaosFleet:
+    """A fleet wrapper interposing one :class:`ChaosProxy` per shard.
+
+    Duck-types the supervisor surface the router consumes (``count``,
+    ``handles``, ``start/stop/handle/alive/restart/kill``,
+    ``restarts``), so ``FabricMonitor(db, ChaosFleet(fleet, plan))``
+    runs the real routing, journaling and revive machinery with every
+    wire exchange at the plan's mercy.
+    """
+
+    def __init__(self, fleet, plan: FaultPlan):
+        self._fleet = fleet
+        self.plan = plan
+        self.count = fleet.count
+        self.handles: list[ProxyHandle | None] = [None] * fleet.count
+        self._proxies: list[ChaosProxy | None] = [None] * fleet.count
+        #: Faults injected by proxies already retired by a restart.
+        self._retired_faults: dict[str, int] = {}
+
+    @property
+    def restarts(self) -> list[int]:
+        return self._fleet.restarts
+
+    def start(self) -> None:
+        self._fleet.start()
+        for index in range(self.count):
+            self.handles[index] = self._wrap(index)
+
+    def _wrap(self, index: int) -> ProxyHandle:
+        backend = self._fleet.handle(index)
+        old = self._proxies[index]
+        if old is not None:
+            old.stop()
+            for kind, count in old.injected.items():
+                self._retired_faults[kind] = (
+                    self._retired_faults.get(kind, 0) + count
+                )
+        proxy = ChaosProxy(
+            index,
+            backend.host,
+            backend.port,
+            self.plan,
+            lambda i=index: self._fleet.kill(i),
+        )
+        self._proxies[index] = proxy
+        return ProxyHandle(proxy, backend)
+
+    def handle(self, index: int) -> ProxyHandle:
+        handle = self.handles[index]
+        if handle is None:
+            raise ServiceError(f"shard {index} was never started")
+        return handle
+
+    def alive(self, index: int) -> bool:
+        return self._fleet.alive(index)
+
+    def restart(self, index: int) -> ProxyHandle:
+        self._fleet.restart(index)
+        handle = self._wrap(index)
+        self.handles[index] = handle
+        kill_after = self.plan.replay_kill(index)
+        if kill_after is not None:
+            log.info(
+                "arming kill-during-replay",
+                extra={"ctx": {"shard": index, "after": kill_after}},
+            )
+            self._proxies[index].arm_kill(kill_after)
+        return handle
+
+    def kill(self, index: int) -> None:
+        self._fleet.kill(index)
+
+    def stop(self) -> None:
+        for proxy in self._proxies:
+            if proxy is not None:
+                proxy.stop()
+        self._fleet.stop()
+
+    def fault_counts(self) -> dict[str, int]:
+        """Aggregated injected-fault counts across all proxies, retired
+        ones included."""
+        totals = dict(self._retired_faults)
+        for proxy in self._proxies:
+            if proxy is None:
+                continue
+            for kind, count in proxy.injected.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+
+__all__ = [
+    "ChaosFleet",
+    "ChaosProxy",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "ProxyHandle",
+]

@@ -63,6 +63,11 @@ class AppliedOp:
     #: — the relations whose constraint verdicts the op can invalidate
     #: on that shard (mirrors ConstraintMonitor._invalidate_touching).
     touched: frozenset[str] = frozenset()
+    #: Global routing sequence number of the originating state change.
+    #: A drained backlog op keeps the seq it was routed under, so the
+    #: durable journal can match an applied record against the skip
+    #: record it supersedes.
+    seq: int = 0
 
 
 @dataclass
@@ -78,6 +83,9 @@ class ShardAction:
     #: (an overflow flush then carries it inside ``drained``).
     op: AppliedOp | None = None
     skipped: bool = False
+    #: The backlog entry ``(seq, kind, payload, relations)`` appended
+    #: when ``skipped`` — what a durable journal records for the shard.
+    backlogged: tuple | None = None
 
 
 @dataclass
@@ -113,10 +121,11 @@ class ShardSlot:
         self.index = index
         #: Union of the raw relation footprints of placed constraints.
         self.footprint: frozenset[str] = frozenset()
-        #: Backlogged ``(kind, payload, relations)`` with seed relations
-        #: recorded at skip time (a committed transaction's relations
-        #: are not otherwise recoverable later).
-        self.skipped: list[tuple[str, object, frozenset[str]]] = []
+        #: Backlogged ``(seq, kind, payload, relations)`` with seed
+        #: relations recorded at skip time (a committed transaction's
+        #: relations are not otherwise recoverable later) and the global
+        #: sequence number the op was routed under.
+        self.skipped: list[tuple[int, str, object, frozenset[str]]] = []
         #: Constraints placed here, in placement order.
         self.names: list[str] = []
         #: tx_id -> relations of pending transactions this shard has
@@ -148,6 +157,16 @@ class ShardTopology:
         self.max_skipped = max_skipped
         #: Monotone state-change counter, mirroring ``DCSatChecker.epoch``.
         self.epoch = 0
+        #: Global routing sequence: every routed state change (and every
+        #: registration the router journals) takes the next value, so a
+        #: durable journal can order records across shards.
+        self.seq = 0
+
+    def next_seq(self) -> int:
+        """Advance and return the global routing sequence (used by the
+        router to stamp registration records it journals itself)."""
+        self.seq += 1
+        return self.seq
 
     # ------------------------------------------------------------------
     # Placement
@@ -240,6 +259,7 @@ class ShardTopology:
     def _route(
         self, kind: str, payload, relations: frozenset[str]
     ) -> list[ShardAction]:
+        seq = self.next_seq()
         touched = coupled_relations(
             relations,
             self.front.constraints,
@@ -254,12 +274,13 @@ class ShardTopology:
                         slot.index,
                         drained,
                         retained,
-                        self._applied(slot, kind, payload, relations),
+                        self._applied(slot, kind, payload, relations, seq),
                     )
                 )
             else:
-                slot.skipped.append((kind, payload, relations))
-                action = ShardAction(slot.index, skipped=True)
+                entry = (seq, kind, payload, relations)
+                slot.skipped.append(entry)
+                action = ShardAction(slot.index, skipped=True, backlogged=entry)
                 if self.max_skipped and len(slot.skipped) > self.max_skipped:
                     action.drained, action.retained = self._take_drainable(
                         slot, None
@@ -285,8 +306,8 @@ class ShardTopology:
             frozenset(tx.relation_names) for tx in self.front.pending
         ]
         drained: list[AppliedOp] = []
-        retained: list[tuple[str, object, frozenset[str]]] = []
-        for kind, payload, relations in slot.skipped:
+        retained: list[tuple[int, str, object, frozenset[str]]] = []
+        for seq, kind, payload, relations in slot.skipped:
             coupled = footprint is None or (
                 coupled_relations(
                     relations, self.front.constraints, pending_footprints
@@ -294,9 +315,11 @@ class ShardTopology:
                 & footprint
             )
             if coupled:
-                drained.append(self._applied(slot, kind, payload, relations))
+                drained.append(
+                    self._applied(slot, kind, payload, relations, seq)
+                )
             else:
-                retained.append((kind, payload, relations))
+                retained.append((seq, kind, payload, relations))
         slot.skipped = retained
         if drained:
             slot.flushes += 1
@@ -304,7 +327,12 @@ class ShardTopology:
         return drained, len(retained)
 
     def _applied(
-        self, slot: ShardSlot, kind: str, payload, relations: frozenset[str]
+        self,
+        slot: ShardSlot,
+        kind: str,
+        payload,
+        relations: frozenset[str],
+        seq: int = 0,
     ) -> AppliedOp:
         """Record an op as applied to *slot* and compute its reach.
 
@@ -320,7 +348,56 @@ class ShardTopology:
         touched = coupled_relations(
             relations, self.front.constraints, slot.pending.values()
         )
-        return AppliedOp(kind, payload, relations, touched)
+        return AppliedOp(kind, payload, relations, touched, seq)
+
+    # ------------------------------------------------------------------
+    # Recovery restoration (see FabricMonitor.recover)
+
+    def restore_placement(
+        self, name: str, relations: frozenset[str], shard: int
+    ) -> None:
+        """Record a placement known from a durable journal, bypassing
+        :meth:`_pick_slot` — recovery must land every constraint on the
+        shard whose journal registered it, not wherever the heuristic
+        would put it today."""
+        if name in self.placement:
+            raise ReproError(f"constraint {name!r} is already registered")
+        slot = self.slots[shard]
+        slot.footprint |= relations
+        slot.names.append(name)
+        self.placement[name] = shard
+        self.footprints[name] = relations
+
+    def restore_front(self, kind: str, payload) -> None:
+        """Re-apply one recovered global state op to the front database
+        only — no routing, no backlog effects.  Rebuilds the pending set
+        a restarted router needs for coupled-closure decisions."""
+        if kind == "issue":
+            self.front.add_pending(payload)
+        elif kind in ("commit", "forget"):
+            self.front.remove_pending(payload)
+        # absorb leaves the front untouched: the front's ``current`` is
+        # never mutated, it only tracks the pending set.
+        self.epoch += 1
+
+    def restore_backlog(
+        self,
+        shard: int,
+        entries: list[tuple[int, str, object, frozenset[str]]],
+    ) -> None:
+        """Install a shard's recovered skip backlog, in original order."""
+        self.slots[shard].skipped = sorted(entries, key=lambda e: e[0])
+
+    def restore_pending(
+        self, shard: int, pending: dict[str, frozenset[str]]
+    ) -> None:
+        """Install a shard's recovered router-side pending mirror."""
+        self.slots[shard].pending = dict(pending)
+
+    def resume_seq(self, seq: int) -> None:
+        """Fast-forward the routing sequence past every recovered record
+        so new ops never reuse a journaled sequence number."""
+        self.seq = max(self.seq, seq)
 
     # ------------------------------------------------------------------
     # Rebalance

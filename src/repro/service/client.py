@@ -39,11 +39,10 @@ from repro.errors import ServiceError
 from repro.relational.transaction import Transaction
 from repro.service import protocol
 
-#: Operations safe to resend after a connection died mid-flight: they
-#: either mutate nothing or re-apply to the same effect.
-IDEMPOTENT_OPS = frozenset(
-    {"ping", "status", "status_all", "violated", "constraints", "shards", "metrics"}
-)
+#: Operations safe to resend after a connection died mid-flight (the
+#: canonical classification lives in :mod:`repro.service.protocol`;
+#: re-exported here for backward compatibility).
+IDEMPOTENT_OPS = protocol.IDEMPOTENT_OPS
 
 #: First backoff sleep; doubles per attempt up to :data:`BACKOFF_CAP`.
 BACKOFF_BASE = 0.05
@@ -158,17 +157,14 @@ class ServiceClient:
             try:
                 if self._sock is None:
                     self._connect(deadline_at=deadline_at)
-                return self._call_once(
-                    op, deadline, trace, export_spans, args,
-                    mark_sent=lambda: None if sent else None,
-                )
+                return self._call_once(op, deadline, trace, export_spans, args)
             except ServiceError:
                 raise
             except (ConnectionError, TimeoutError, OSError) as error:
                 sent = getattr(error, "_repro_sent", False)
                 self._teardown()
                 attempt += 1
-                retriable = (not sent) or op in IDEMPOTENT_OPS
+                retriable = (not sent) or protocol.is_idempotent(op)
                 delay = backoff_delay(attempt, self._rng)
                 if (
                     not retriable
@@ -190,7 +186,6 @@ class ServiceClient:
         trace: str | None,
         export_spans: bool,
         args: dict,
-        mark_sent,
     ) -> dict:
         request_id = next(self._ids)
         request: dict = {"id": request_id, "op": op, "args": args}
@@ -213,12 +208,33 @@ class ServiceClient:
             error._repro_sent = True  # type: ignore[attr-defined]
             raise
         while True:
-            line = self._file.readline()
+            try:
+                line = self._file.readline()
+            except (ConnectionError, TimeoutError, OSError) as error:
+                # The request reached the wire before the read failed
+                # (a timeout here included): the server may have applied
+                # the op and lost only the reply — ambiguous, never a
+                # free resend.
+                error._repro_sent = True  # type: ignore[attr-defined]
+                raise
             if not line:
                 error = ConnectionResetError("server closed the connection")
                 error._repro_sent = True  # type: ignore[attr-defined]
                 raise error
-            response = json.loads(line)
+            if not line.endswith(b"\n"):
+                # readline() returned a partial line at EOF: the
+                # connection died mid-reply.  Same ambiguity as above.
+                error = ConnectionResetError("server reply truncated")
+                error._repro_sent = True  # type: ignore[attr-defined]
+                raise error
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError as decode_error:
+                error = ConnectionResetError(
+                    f"unparseable server reply: {decode_error}"
+                )
+                error._repro_sent = True  # type: ignore[attr-defined]
+                raise error from decode_error
             if response.get("id") != request_id:
                 continue  # stale response from an abandoned request
             if "trace" in response:

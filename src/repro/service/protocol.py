@@ -63,6 +63,36 @@ QUEUED_OPS = frozenset(
 #: Operations answered directly on the event loop.
 IMMEDIATE_OPS = frozenset({"ping", "metrics", "constraints", "shards", "shutdown"})
 
+#: Operations safe to resend after an ambiguous transport failure: they
+#: read state without changing it, so a double delivery is harmless.
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "status", "status_all", "violated", "constraints", "shards", "metrics"}
+)
+
+#: Operations that change monitor (or server) state.  Once the request
+#: bytes may have left the process, a transport failure is *ambiguous* —
+#: the server may have applied the op before the reply was lost — so
+#: retry layers must never resend these blind.  The fabric router instead
+#: resolves ambiguity by respawning the shard and replaying its journal.
+MUTATING_OPS = frozenset(
+    {
+        "register",
+        "unregister",
+        "issue",
+        "commit",
+        "forget",
+        "absorb",
+        "rebalance",
+        "shutdown",
+    }
+)
+
+
+def is_idempotent(op: str) -> bool:
+    """True when *op* may be resent after an ambiguous failure.  Unknown
+    ops count as mutating — the safe default for a newer server's ops."""
+    return op in IDEMPOTENT_OPS
+
 
 def encode_line(payload: dict) -> bytes:
     return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"

@@ -667,12 +667,18 @@ class ConstraintService:
         if callable(fleet_health):
             fleet = fleet_health()
             payload["fleet"] = fleet
-            if fleet.get("dead"):
+            if fleet.get("dead") or fleet.get("broken"):
                 # A dead shard degrades the router: clients still get
                 # answers (the next op revives it), but probes must see
                 # the fleet is not whole — and which shards are down.
+                # A circuit-broken shard is worse: the watchdog gave up
+                # respawning it, so probes report it until an operator
+                # intervenes (``reset_shard``) instead of masking a
+                # crash loop behind endless restarts.
                 payload["status"] = "degraded"
-                payload["dead_shards"] = fleet["dead"]
+                payload["dead_shards"] = fleet.get("dead", [])
+                if fleet.get("broken"):
+                    payload["broken_shards"] = fleet["broken"]
                 return 503, payload
         return (503 if self._stopping else 200), payload
 

@@ -1,0 +1,219 @@
+"""The fault-injection harness: seeded chaos between router and shards
+must never break verdict parity with an uninterrupted single monitor —
+the whole durability design (journal-before-send, revive-resync,
+idempotency gating) under adversarial transport behavior."""
+
+import random
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+from repro.errors import ServiceError
+from repro.fabric import (
+    ChaosFleet,
+    FabricJournal,
+    FabricMonitor,
+    FaultPlan,
+    ThreadFleet,
+)
+from repro.fabric.topology import copy_database
+from repro.relational.transaction import Transaction
+
+from tests.fabric.conftest import two_relation_db
+
+
+def chaos_fabric(db_factory, plan, shards=2, **kwargs):
+    db = db_factory()
+    inner = ThreadFleet(
+        lambda: ConstraintMonitor(DCSatChecker(copy_database(db))),
+        shards=shards,
+    )
+    return FabricMonitor(db, ChaosFleet(inner, plan), **kwargs)
+
+
+@contextmanager
+def healed(plan):
+    """Suspend fault injection (the classic chaos-test cadence: inject
+    during the workload, heal the network, verify convergence).  Reads
+    during chaos trigger revives whose journal replays also ride the
+    faulty proxy, so a verdict sweep only terminates on a healed plan —
+    mutations, by contrast, must absorb every fault mid-chaos."""
+    saved = {kind: getattr(plan, kind) for kind in
+             ("drop", "reply_drop", "delay", "truncate", "kill_replay")}
+    for kind in saved:
+        setattr(plan, kind, 0.0)
+    try:
+        yield
+    finally:
+        for kind, value in saved.items():
+            setattr(plan, kind, value)
+
+
+def assert_verdicts(got, want):
+    assert set(got) == set(want)
+    for name in want:
+        assert got[name].satisfied == want[name].satisfied, name
+        assert got[name].witness == want[name].witness, name
+
+
+def check_parity(fabric, single):
+    """Verdict parity on a healed network: the revives this forces must
+    replay every chaos-built journal to exactly the single monitor's
+    state."""
+    with healed(fabric._fleet.plan):
+        got = fabric.status_all()
+    assert_verdicts(got, want=single.status_all())
+
+
+def drive(rng, fabric, single, steps):
+    """A randomized trace where mutations assert invalidation parity
+    step by step (router-side mirrors make them fault-independent)."""
+    next_id = 0
+    for step in range(steps):
+        pending = list(single.checker.db.pending_ids)
+        roll = rng.random()
+        if roll < 0.45 or not pending:
+            next_id += 1
+            if rng.random() < 0.25:  # spanning co-write
+                facts = {
+                    rel: [(rng.randrange(4), rng.choice("xy"))]
+                    for rel in ("A", "B")
+                }
+            else:
+                rel = rng.choice(["A", "B"])
+                facts = {rel: [(rng.randrange(4), rng.choice("xy"))]}
+            tx = Transaction(facts, tx_id=f"T{next_id}")
+            assert fabric.issue(tx) == single.issue(tx)
+        elif roll < 0.65:
+            victim = rng.choice(pending)
+            assert fabric.commit(victim) == single.commit(victim)
+        elif roll < 0.8:
+            victim = rng.choice(pending)
+            assert fabric.forget(victim) == single.forget(victim)
+        else:
+            next_id += 1
+            rel = rng.choice(["A", "B"])
+            tx = Transaction({rel: [(100 + next_id, "z")]}, tx_id=f"X{next_id}")
+            assert fabric.absorb(tx) == single.absorb(tx)
+        if step % 5 == 4:
+            check_parity(fabric, single)
+    check_parity(fabric, single)
+
+
+class TestChaosParity:
+    @pytest.mark.parametrize("seed", [11, 42])
+    def test_transport_faults_never_break_parity(self, seed):
+        plan = FaultPlan(
+            seed=seed, drop=0.08, reply_drop=0.08, truncate=0.08
+        )
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = chaos_fabric(two_relation_db, plan)
+        try:
+            for m in (fabric, single):
+                m.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+                m.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+            drive(random.Random(seed), fabric, single, steps=25)
+            # The run must actually have been chaotic.
+            assert sum(fabric._fleet.fault_counts().values()) > 0
+        finally:
+            fabric.close()
+
+    def test_kill_during_replay_converges(self):
+        # Every respawn gets SIGKILLed again after two replayed ops
+        # until the plan's coin lands tails: the revive path's own
+        # crash window must also resolve to the journaled state.
+        plan = FaultPlan(seed=7, drop=0.1, kill_replay=0.5, kill_after=2)
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = chaos_fabric(two_relation_db, plan)
+        try:
+            for m in (fabric, single):
+                m.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+                m.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+            rng = random.Random(7)
+            for step in range(10):
+                tx = Transaction(
+                    {rng.choice(["A", "B"]): [(step % 3, rng.choice("xy"))]},
+                    tx_id=f"T{step}",
+                )
+                assert fabric.issue(tx) == single.issue(tx)
+                if step % 3 == 2:
+                    fabric._fleet.kill(rng.randrange(2))
+            check_parity(fabric, single)
+        finally:
+            fabric.close()
+
+    def test_delayed_replies_time_out_then_recover(self):
+        # With every reply delayed past the router's shard timeout, a
+        # mutation neither blocks nor fails: it is journaled, the
+        # revive is deferred, and once the network heals the next read
+        # replays the shard to the full journaled state.
+        plan = FaultPlan(seed=3, delay=1.0, delay_seconds=0.6)
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = chaos_fabric(two_relation_db, plan, shard_timeout=0.15)
+        try:
+            single.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+            fabric.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+            tx = Transaction({"A": [(1, "x")]}, tx_id="TA")
+            assert fabric.issue(tx) == single.issue(tx)
+            assert plan.next_fault(0) == "delay"  # chaos really was on
+            plan.delay = 0.0  # the network heals
+            check_parity(fabric, single)
+            for m in (fabric, single):
+                m.issue(Transaction({"A": [(1, "y")]}, tx_id="TB"))
+                m.commit("TA")
+                m.commit("TB")
+            check_parity(fabric, single)
+            assert not fabric.status("a1").satisfied
+        finally:
+            fabric.close()
+
+    def test_chaos_with_durable_journal_stays_bounded(self, tmp_path):
+        # Faults force revives and resends; compaction must still keep
+        # the durable journal proportional to live state, and a crash
+        # after all that chaos must still recover to parity.
+        plan = FaultPlan(seed=5, drop=0.06, reply_drop=0.06)
+        db = two_relation_db()
+        inner = ThreadFleet(
+            lambda: ConstraintMonitor(DCSatChecker(copy_database(db))),
+            shards=2,
+        )
+        journal = FabricJournal(
+            str(tmp_path / "journal"), shards=2, fsync="always"
+        )
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = FabricMonitor(
+            db, ChaosFleet(inner, plan), journal=journal, journal_max_ops=6
+        )
+        try:
+            for m in (fabric, single):
+                m.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+            for i in range(10):
+                tx = Transaction({"A": [(i, "x")]}, tx_id=f"T{i}")
+                for m in (fabric, single):
+                    m.issue(tx)
+                for m in (fabric, single):
+                    m.commit(f"T{i}")
+            check_parity(fabric, single)
+            a_shard = fabric._shards[fabric.topology.slot_of("a1")]
+            assert len(a_shard.journal) < 22
+            on_disk = journal.bytes
+            assert on_disk < 50_000
+        finally:
+            fabric.close()
+
+        fresh = ThreadFleet(
+            lambda: ConstraintMonitor(DCSatChecker(copy_database(db))),
+            shards=2,
+        )
+        fresh.start()
+        recovered = FabricMonitor.recover(
+            two_relation_db(),
+            fresh,
+            journal=FabricJournal(str(tmp_path / "journal")),
+        )
+        try:
+            assert_verdicts(recovered.status_all(), single.status_all())
+        finally:
+            recovered.close()

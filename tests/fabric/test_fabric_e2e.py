@@ -11,6 +11,11 @@ spans grafted under the router's trace.
 
 import json
 import os
+import select
+import signal
+import subprocess
+import sys
+import time
 import urllib.error
 import urllib.request
 
@@ -19,7 +24,9 @@ import pytest
 from repro import serialize
 from repro.core.checker import DCSatChecker
 from repro.core.monitor import ConstraintMonitor
+from repro.errors import FabricError
 from repro.fabric import FabricMonitor, FleetSupervisor, ShardSpec
+from repro.fabric.supervisor import READY_PREFIX, _repro_pythonpath
 from repro.relational.transaction import Transaction
 from repro.service.client import ServiceClient
 from repro.service.server import ConstraintService, serve_in_thread
@@ -161,3 +168,215 @@ def test_rebalance_over_the_wire(stack):
     assert moved["shards"] == 2
     assert isinstance(moved["migrated"], list)
     assert_parity(client, single)
+
+
+# ----------------------------------------------------------------------
+# Router crash + --recover, end to end through the CLI.
+
+
+def spawn_router(db_path, journal_dir, recover=False, timeout=120.0):
+    """Launch ``repro fabric`` as a real subprocess and wait for its
+    ready line.  Returns ``(process, host, port, pre_ready_lines)``."""
+    argv = [
+        sys.executable, "-m", "repro",
+        "--log-level", "warning",
+        "fabric", db_path,
+        "--host", "127.0.0.1",
+        "--port", "0",
+        "--shards", "2",
+        "--journal-dir", journal_dir,
+        "--fsync", "always",
+        "--watchdog-interval", "0",
+    ]
+    if recover:
+        argv.append("--recover")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _repro_pythonpath()
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+        start_new_session=True,
+    )
+    fd = process.stdout.fileno()
+    deadline = time.monotonic() + timeout
+    buffered, lines = "", []
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or process.poll() is not None:
+            process.kill()
+            process.wait()
+            raise AssertionError(
+                f"router never became ready; output so far: {lines!r}"
+            )
+        readable, _, _ = select.select([fd], [], [], min(remaining, 0.25))
+        if not readable:
+            continue
+        chunk = os.read(fd, 4096).decode("utf-8", "replace")
+        if not chunk:
+            process.kill()
+            process.wait()
+            raise AssertionError(
+                f"router closed stdout before ready: {lines!r}"
+            )
+        buffered += chunk
+        while "\n" in buffered:
+            line, buffered = buffered.split("\n", 1)
+            lines.append(line)
+            if line.startswith(READY_PREFIX):
+                address = line[len(READY_PREFIX):].split(" ", 1)[0]
+                host, _, port = address.rpartition(":")
+                return process, host, int(port), lines
+
+
+def test_router_sigkill_then_recover_matches_single_monitor(tmp_path):
+    """The acceptance scenario: SIGKILL the router mid-workload, restart
+    it with ``--recover``, and every verdict — plus the whole
+    ``status_all`` surface — matches a single uninterrupted monitor."""
+    db_path = str(tmp_path / "seed.json")
+    serialize.dump(two_relation_db(), db_path)
+    journal_dir = str(tmp_path / "journal")
+    single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+
+    router, host, port, _ = spawn_router(db_path, journal_dir)
+    survivor = None
+    try:
+        with ServiceClient(host, port, timeout=120.0) as client:
+            for name, query in (("a1", Q_A), ("b1", Q_B)):
+                client.register(name, query)
+                single.register(name, query)
+            for i, (rel, value) in enumerate(
+                [("A", "x"), ("A", "y"), ("B", "x"), ("B", "y")]
+            ):
+                tx = Transaction({rel: [(1, value)]}, tx_id=f"T{i}")
+                assert client.issue(tx) == single.issue(tx)
+            assert client.commit("T0") == single.commit("T0")
+            assert_parity(client, single)
+
+        # Mid-workload murder: no drain, no flush beyond what the
+        # journal already forced (fsync=always), shard subprocesses
+        # orphaned in their own sessions.
+        os.kill(router.pid, signal.SIGKILL)
+        router.wait()
+
+        survivor, host, port, lines = spawn_router(
+            db_path, journal_dir, recover=True
+        )
+        assert any("reaped" in line for line in lines), lines
+        assert any("recovered" in line for line in lines), lines
+
+        with ServiceClient(host, port, timeout=120.0) as client:
+            # Everything journaled before the kill is back.
+            assert_parity(client, single)
+            # And the recovered router keeps agreeing as work continues.
+            assert client.commit("T1") == single.commit("T1")
+            assert client.status("a1")["satisfied"] is False
+            tx = Transaction({"B": [(2, "x")]}, tx_id="T9")
+            assert client.issue(tx) == single.issue(tx)
+            assert client.forget("T9") == single.forget("T9")
+            assert_parity(client, single)
+            client.shutdown_server()
+        survivor.wait(timeout=60.0)
+        assert survivor.returncode == 0
+        survivor = None
+    finally:
+        for process in (router, survivor):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait()
+        from repro.fabric import FabricJournal, reap_stale
+
+        reap_stale(FabricJournal(journal_dir).fleet_state_path)
+
+
+def test_fabric_rejects_stale_journal_without_recover_flag(tmp_path):
+    """Restarting over an existing journal without ``--recover`` must
+    refuse loudly instead of silently shadowing durable state."""
+    db_path = str(tmp_path / "seed.json")
+    serialize.dump(two_relation_db(), db_path)
+    journal_dir = str(tmp_path / "journal")
+    from repro.fabric import FabricJournal
+
+    FabricJournal(journal_dir, shards=2).close()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _repro_pythonpath()
+    done = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "fabric", db_path,
+            "--port", "0", "--shards", "2", "--journal-dir", journal_dir,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60.0,
+    )
+    assert done.returncode == 2
+    assert "--recover" in done.stdout
+
+
+# ----------------------------------------------------------------------
+# Spawn-failure hardening: a shard that dies, goes mute, or floods
+# stdout before its ready line must surface as a FabricError carrying
+# its stderr — never a hang until the spawn timeout.
+
+
+class ScriptSpec(ShardSpec):
+    """A shard spec whose argv is an arbitrary ``python -c`` script."""
+
+    def __init__(self, code):
+        super().__init__(db_path="unused")
+        self.code = code
+
+    def argv(self):
+        return [sys.executable, "-u", "-c", self.code]
+
+
+class TestSpawnFailure:
+    def test_shard_exiting_before_ready_raises_with_stderr(self, tmp_path):
+        missing = str(tmp_path / "no-such-db.json")
+        fleet = FleetSupervisor(
+            ShardSpec(db_path=missing), shards=1, spawn_timeout=60.0
+        )
+        start = time.monotonic()
+        with pytest.raises(FabricError) as excinfo:
+            fleet.start()
+        assert time.monotonic() - start < 30.0  # reaped, not timed out
+        assert excinfo.value.code == "spawn-failed"
+        # EOF and exit race: either diagnosis is truthful, both carry
+        # the stderr tail.
+        message = str(excinfo.value)
+        assert "exited with status" in message or "closed stdout" in message
+        # The child's traceback rode along for the post-mortem.
+        assert excinfo.value.stderr
+        assert "no-such-db.json" in excinfo.value.stderr
+
+    def test_shard_closing_stdout_before_ready_is_reaped(self):
+        spec = ScriptSpec(
+            "import sys, time, os; print('boom', file=sys.stderr); "
+            "sys.stderr.flush(); os.close(1); time.sleep(60)"
+        )
+        fleet = FleetSupervisor(spec, shards=1, spawn_timeout=60.0)
+        start = time.monotonic()
+        with pytest.raises(FabricError) as excinfo:
+            fleet.start()
+        assert time.monotonic() - start < 30.0
+        assert excinfo.value.code == "spawn-failed"
+        assert "closed stdout" in str(excinfo.value)
+        assert "boom" in (excinfo.value.stderr or "")
+        assert not fleet.alive(0)  # the sleeping child was killed
+
+    def test_shard_flooding_stdout_is_cut_off(self):
+        spec = ScriptSpec(
+            "while True:\n print('x' * 1024)"
+        )
+        fleet = FleetSupervisor(spec, shards=1, spawn_timeout=60.0)
+        start = time.monotonic()
+        with pytest.raises(FabricError) as excinfo:
+            fleet.start()
+        assert time.monotonic() - start < 30.0
+        assert excinfo.value.code == "spawn-failed"
+        assert "without a ready line" in str(excinfo.value)
+        assert not fleet.alive(0)

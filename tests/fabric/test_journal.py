@@ -1,0 +1,191 @@
+"""The durable write-ahead journal: framing, torn tails vs corruption,
+segment rollover, snapshot+truncate compaction, fsync modes, revokes."""
+
+import os
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.journal import (
+    FabricJournal,
+    ShardJournal,
+    decode_segment,
+    encode_record,
+)
+
+
+def rec(g, k="op", op="issue", **extra):
+    record = {"g": g, "k": k, "op": op, "args": {"tx_id": f"T{g}"}}
+    record.update(extra)
+    return record
+
+
+def wal_paths(journal: ShardJournal) -> list[str]:
+    return sorted(
+        os.path.join(journal.directory, name)
+        for name in os.listdir(journal.directory)
+        if name.startswith("wal-")
+    )
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        records = [rec(1), rec(2, k="skip", rels=["A"]), rec(3, op="commit")]
+        data = b"".join(encode_record(r) for r in records)
+        decoded, torn = decode_segment(data)
+        assert decoded == records
+        assert torn == 0
+
+    def test_frame_is_length_crc_json(self):
+        line = encode_record({"g": 1, "k": "op", "op": "ping", "args": {}})
+        length, crc, payload = line.split(b" ", 2)
+        assert int(length) == len(payload) - 1  # trailing newline
+        assert len(crc) == 8
+
+    def test_torn_tail_is_dropped_not_fatal(self):
+        data = encode_record(rec(1)) + encode_record(rec(2))
+        full = len(encode_record(rec(2)))
+        for cut in range(1, full):
+            decoded, torn = decode_segment(data[: len(data) - cut])
+            assert decoded == [rec(1)]
+            assert torn == full - cut
+
+    def test_flipped_byte_in_final_record_counts_as_torn(self):
+        # A payload that reached disk only partially can fail its CRC
+        # without being short; at EOF that is still a crash artifact.
+        data = bytearray(encode_record(rec(1)) + encode_record(rec(2)))
+        data[-3] ^= 0xFF
+        decoded, torn = decode_segment(bytes(data))
+        assert decoded == [rec(1)]
+        assert torn > 0
+
+    def test_mid_file_damage_raises(self):
+        data = bytearray(
+            encode_record(rec(1)) + encode_record(rec(2)) + encode_record(rec(3))
+        )
+        middle = len(encode_record(rec(1))) + 5
+        data[middle] ^= 0xFF
+        with pytest.raises(FabricError) as excinfo:
+            decode_segment(bytes(data))
+        assert excinfo.value.code == "journal-corrupt"
+
+    def test_garbage_header_raises(self):
+        with pytest.raises(FabricError):
+            decode_segment(b"not a frame at all\n" + encode_record(rec(1)))
+
+
+class TestShardJournal:
+    def test_append_load_roundtrip(self, tmp_path):
+        journal = ShardJournal(str(tmp_path / "s0"), fsync="never")
+        for g in range(5):
+            journal.append(rec(g))
+        loaded = journal.load()
+        assert loaded.records == [rec(g) for g in range(5)]
+        assert loaded.torn_bytes == 0
+
+    def test_segment_rollover(self, tmp_path):
+        journal = ShardJournal(
+            str(tmp_path / "s0"), fsync="never", segment_bytes=128
+        )
+        for g in range(20):
+            journal.append(rec(g))
+        assert journal.segment_count > 1
+        assert journal.load().records == [rec(g) for g in range(20)]
+
+    def test_restart_opens_fresh_segment(self, tmp_path):
+        path = str(tmp_path / "s0")
+        first = ShardJournal(path, fsync="never")
+        first.append(rec(1))
+        first.close()
+        second = ShardJournal(path, fsync="never")
+        second.append(rec(2))
+        assert second.segment_count == 2
+        assert second.load().records == [rec(1), rec(2)]
+
+    def test_torn_tail_survives_reload(self, tmp_path):
+        journal = ShardJournal(str(tmp_path / "s0"), fsync="always")
+        journal.append(rec(1))
+        journal.append(rec(2))
+        journal.close()
+        last = wal_paths(journal)[-1]
+        with open(last, "r+b") as handle:
+            handle.truncate(os.path.getsize(last) - 4)
+        loaded = journal.load()
+        assert loaded.records == [rec(1)]
+        assert loaded.torn_bytes > 0
+
+    def test_snapshot_truncates_history(self, tmp_path):
+        journal = ShardJournal(
+            str(tmp_path / "s0"), fsync="never", segment_bytes=128
+        )
+        for g in range(20):
+            journal.append(rec(g))
+        before = journal.bytes
+        journal.write_snapshot([rec(19)])
+        assert journal.bytes < before
+        assert journal.segment_count == 1  # the snapshot alone
+        assert journal.load().records == [rec(19)]
+
+    def test_appends_after_snapshot_are_read_after_it(self, tmp_path):
+        journal = ShardJournal(str(tmp_path / "s0"), fsync="never")
+        journal.append(rec(1))
+        journal.write_snapshot([rec(1)])
+        journal.append(rec(2))
+        assert journal.load().records == [rec(1), rec(2)]
+
+    def test_stale_snapshot_tmp_is_ignored(self, tmp_path):
+        # A crash between writing the temp file and the rename must
+        # leave the pre-compaction history authoritative.
+        journal = ShardJournal(str(tmp_path / "s0"), fsync="never")
+        journal.append(rec(1))
+        journal.flush()
+        with open(tmp_path / "s0" / "snap-0000000009.jsonl.tmp", "wb") as fh:
+            fh.write(b"half a snapsh")
+        assert journal.load().records == [rec(1)]
+
+    def test_revoked_op_is_not_replayed(self, tmp_path):
+        journal = ShardJournal(str(tmp_path / "s0"), fsync="never")
+        journal.append(rec(1))
+        journal.append(rec(2))
+        journal.append({"g": 2, "k": "revoke", "op": "issue"})
+        assert journal.load().records == [rec(1)]
+
+    @pytest.mark.parametrize("mode", ["always", "batch", "never"])
+    def test_fsync_modes_all_roundtrip(self, tmp_path, mode):
+        journal = ShardJournal(str(tmp_path / "s0"), fsync=mode, sync_every=2)
+        for g in range(5):
+            journal.append(rec(g))
+        journal.flush()
+        assert journal.load().records == [rec(g) for g in range(5)]
+
+    def test_unknown_fsync_mode_rejected(self, tmp_path):
+        with pytest.raises(FabricError):
+            ShardJournal(str(tmp_path / "s0"), fsync="sometimes")
+
+
+class TestFabricJournal:
+    def test_shard_count_is_pinned(self, tmp_path):
+        path = str(tmp_path / "j")
+        FabricJournal(path, shards=3).close()
+        assert FabricJournal.exists(path)
+        reopened = FabricJournal(path)  # count read back from metadata
+        assert reopened.count == 3
+        reopened.close()
+        with pytest.raises(FabricError) as excinfo:
+            FabricJournal(path, shards=2)
+        assert excinfo.value.code == "journal-mismatch"
+
+    def test_missing_metadata_needs_count(self, tmp_path):
+        with pytest.raises(FabricError):
+            FabricJournal(str(tmp_path / "fresh"))
+
+    def test_per_shard_isolation(self, tmp_path):
+        journal = FabricJournal(str(tmp_path / "j"), shards=2, fsync="never")
+        journal.append(0, rec(1))
+        journal.append(1, rec(2))
+        journal.append(1, rec(3))
+        loaded = journal.load_all()
+        assert [r["g"] for r in loaded[0].records] == [1]
+        assert [r["g"] for r in loaded[1].records] == [2, 3]
+        assert journal.bytes > 0
+        journal.close()

@@ -1,0 +1,482 @@
+"""Router crash recovery from the durable journal: verdict parity with
+an uninterrupted single monitor, torn tails, compaction, failed replay,
+the liveness watchdog's backoff and circuit breaker, orphan reaping."""
+
+import json
+import os
+import subprocess
+import time
+
+import pytest
+
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+from repro.errors import FabricError
+from repro.fabric import (
+    FabricJournal,
+    FabricMonitor,
+    LivenessWatchdog,
+    ThreadFleet,
+    reap_stale,
+)
+from repro.fabric.journal import decode_segment, encode_record
+from repro.fabric.router import compact_records
+from repro.fabric.topology import copy_database
+from repro.relational.transaction import Transaction
+
+from tests.fabric.conftest import two_relation_db
+
+
+def durable_fabric(db_factory, journal_dir, shards=2, **kwargs):
+    db = db_factory()
+    fleet = ThreadFleet(
+        lambda: ConstraintMonitor(DCSatChecker(copy_database(db))),
+        shards=shards,
+    )
+    journal = FabricJournal(str(journal_dir), shards=shards, fsync="always")
+    return FabricMonitor(db, fleet, journal=journal, **kwargs)
+
+
+def recover_fabric(db_factory, journal_dir, shards=2, **kwargs):
+    db = db_factory()
+    fleet = ThreadFleet(
+        lambda: ConstraintMonitor(DCSatChecker(copy_database(db))),
+        shards=shards,
+    )
+    fleet.start()
+    journal = FabricJournal(str(journal_dir))
+    return FabricMonitor.recover(db, fleet, journal=journal, **kwargs)
+
+
+def assert_parity(fabric, single):
+    got = fabric.status_all()
+    want = single.status_all()
+    assert set(got) == set(want)
+    for name in want:
+        assert got[name].satisfied == want[name].satisfied, name
+        assert got[name].witness == want[name].witness, name
+
+
+def tear_last_record(journal_dir, shard) -> dict:
+    """Truncate the shard's newest journal record halfway (a torn tail)."""
+    sdir = os.path.join(str(journal_dir), f"shard-{shard:02d}")
+    wals = sorted(n for n in os.listdir(sdir) if n.startswith("wal-"))
+    path = os.path.join(sdir, wals[-1])
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records, torn = decode_segment(data, path)
+    assert torn == 0 and records
+    cut = len(encode_record(records[-1])) // 2
+    with open(path, "r+b") as handle:
+        handle.truncate(len(data) - cut)
+    return records[-1]
+
+
+class TestRecovery:
+    def test_recover_matches_uninterrupted_single_monitor(self, tmp_path):
+        jdir = tmp_path / "journal"
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = durable_fabric(two_relation_db, jdir)
+        for m in (fabric, single):
+            m.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+            m.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+        script = [
+            ("issue", Transaction({"A": [(1, "x")]}, tx_id="TA")),
+            ("issue", Transaction({"B": [(1, "x")]}, tx_id="TB")),
+            ("issue", Transaction({"A": [(1, "y")]}, tx_id="TC")),
+            ("commit", "TA"),
+            ("absorb", Transaction({"B": [(1, "y")]}, tx_id="TX")),
+        ]
+        for kind, payload in script:
+            assert getattr(fabric, kind)(payload) == getattr(single, kind)(
+                payload
+            )
+        fabric.close()  # the crash: nothing flushed beyond the WAL
+
+        recovered = recover_fabric(two_relation_db, jdir)
+        try:
+            assert set(recovered.names) == {"a1", "b1"}
+            # /fabricz tells the recovery story (a fresh boot says 0).
+            assert recovered.describe()["recoveries"] == 1
+            assert_parity(recovered, single)
+            # Life goes on: pending state recovered well enough to keep
+            # routing new ops in lockstep with the single monitor.
+            after = [
+                ("commit", "TC"),
+                ("issue", Transaction({"B": [(2, "x")]}, tx_id="TD")),
+                ("forget", "TB"),
+            ]
+            for kind, payload in after:
+                assert getattr(recovered, kind)(payload) == getattr(
+                    single, kind
+                )(payload)
+            assert_parity(recovered, single)
+        finally:
+            recovered.close()
+
+    def test_recover_completes_op_torn_mid_fanout(self, tmp_path):
+        # Tear the *applying* shard's copy of the last op: the other
+        # shard's skip record at the same sequence is the evidence the
+        # recovery uses to re-complete the fanout.
+        jdir = tmp_path / "journal"
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = durable_fabric(two_relation_db, jdir)
+        for m in (fabric, single):
+            m.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+            m.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+        for m in (fabric, single):
+            m.issue(Transaction({"A": [(1, "x")]}, tx_id="TA"))
+            m.issue(Transaction({"A": [(1, "y")]}, tx_id="TB"))
+        victim = fabric.topology.slot_of("a1")
+        fabric.close()
+        torn = tear_last_record(jdir, victim)
+        assert torn["op"] == "issue" and torn["k"] == "op"
+
+        recovered = recover_fabric(two_relation_db, jdir)
+        try:
+            assert_parity(recovered, single)  # TB was re-fanned out
+            # Both issues survived the tear: committing them violates a1
+            # in lockstep with the uninterrupted monitor.
+            for m in (recovered, single):
+                m.commit("TA")
+                m.commit("TB")
+            assert_parity(recovered, single)
+            assert not recovered.status("a1").satisfied
+        finally:
+            recovered.close()
+
+    def test_recover_restores_backlog_for_decoupled_shard(self, tmp_path):
+        # An op skipped pre-crash must drain after recovery exactly as
+        # it would have without the crash.
+        jdir = tmp_path / "journal"
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = durable_fabric(two_relation_db, jdir)
+        for m in (fabric, single):
+            m.register("a1", "q() <- A(k, v)")
+            m.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+        for m in (fabric, single):
+            m.issue(Transaction({"B": [(1, "x")]}, tx_id="TB"))
+        a_slot = fabric.topology.slot_of("a1")
+        b_slot = fabric.topology.slot_of("b1")
+        assert a_slot != b_slot
+        fabric.close()
+
+        recovered = recover_fabric(two_relation_db, jdir)
+        try:
+            assert len(recovered.topology.slots[a_slot].skipped) == 1
+            # Registering a B-touching constraint on the backlogged
+            # shard forces the drain through the recovered entries.
+            recovered.register("b2", "q() <- B(k, v), A(k, v)")
+            single.register("b2", "q() <- B(k, v), A(k, v)")
+            for m in (recovered, single):
+                m.issue(Transaction({"B": [(1, "y")]}, tx_id="TC"))
+            assert_parity(recovered, single)
+        finally:
+            recovered.close()
+
+    def test_recover_rejects_mismatched_fleet(self, tmp_path):
+        jdir = tmp_path / "journal"
+        durable_fabric(two_relation_db, jdir, shards=2).close()
+        with pytest.raises(FabricError):
+            recover_fabric(two_relation_db, jdir, shards=3)
+
+    def test_failed_replay_leaves_shard_dead_then_lazily_revives(
+        self, tmp_path, monkeypatch
+    ):
+        jdir = tmp_path / "journal"
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = durable_fabric(two_relation_db, jdir)
+        for m in (fabric, single):
+            m.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+        for m in (fabric, single):
+            m.issue(Transaction({"A": [(1, "x")]}, tx_id="TA"))
+        victim = fabric.topology.slot_of("a1")
+        fabric.close()
+
+        original = FabricMonitor._replay
+        failed = []
+
+        def flaky_replay(self, shard):
+            if shard.index == victim and not failed:
+                failed.append(shard.index)
+                raise ConnectionError("shard died mid-replay")
+            return original(self, shard)
+
+        monkeypatch.setattr(FabricMonitor, "_replay", flaky_replay)
+        recovered = recover_fabric(two_relation_db, jdir)
+        try:
+            assert failed == [victim]
+            assert recovered.fleet_health()["dead"] == [victim]
+            # The journal stayed intact, so the next touching op
+            # revives the shard from scratch with its full history.
+            for m in (recovered, single):
+                m.issue(Transaction({"A": [(1, "y")]}, tx_id="TB"))
+            assert recovered.fleet_health()["dead"] == []
+            assert_parity(recovered, single)
+        finally:
+            recovered.close()
+
+    def test_compaction_bounds_journal_and_preserves_recovery(self, tmp_path):
+        jdir = tmp_path / "journal"
+        single = ConstraintMonitor(DCSatChecker(two_relation_db()))
+        fabric = durable_fabric(two_relation_db, jdir, journal_max_ops=6)
+        for m in (fabric, single):
+            m.register("a1", "q() <- A(k, 'x'), A(k, 'y')")
+            m.register("b1", "q() <- B(k, 'x'), B(k, 'y')")
+        for i in range(12):
+            tx = Transaction({"A": [(i, "x")]}, tx_id=f"T{i}")
+            for m in (fabric, single):
+                m.issue(tx)
+            for m in (fabric, single):
+                m.commit(f"T{i}")
+        total_ops = 2 + 12 * 2
+        a_shard = fabric._shards[fabric.topology.slot_of("a1")]
+        assert len(a_shard.journal) < total_ops
+        assert fabric._journal.shards[a_shard.index].snapshots > 0
+        on_disk = fabric._journal.bytes
+        fabric.close()
+
+        recovered = recover_fabric(two_relation_db, jdir, journal_max_ops=6)
+        try:
+            assert_parity(recovered, single)
+            for m in (recovered, single):
+                m.issue(Transaction({"A": [(0, "y")]}, tx_id="TZ"))
+                m.commit("TZ")
+            assert_parity(recovered, single)
+            # A(0,'x') came from a compacted-away issue/commit pair,
+            # A(0,'y') from the post-recovery commit: the violation
+            # needs both histories to have survived.
+            assert not recovered.status("a1").satisfied
+        finally:
+            recovered.close()
+        assert on_disk < 100_000  # compacted, not unbounded history
+
+
+class TestCompactRecords:
+    def issue(self, g, tx_id, rel="A"):
+        return {
+            "g": g,
+            "k": "op",
+            "op": "issue",
+            "args": {"tx": {"id": tx_id, "facts": {rel: [[1, "x"]]}}},
+        }
+
+    def commit(self, g, tx_id):
+        return {"g": g, "k": "op", "op": "commit", "args": {"tx_id": tx_id}}
+
+    def forget(self, g, tx_id):
+        return {"g": g, "k": "op", "op": "forget", "args": {"tx_id": tx_id}}
+
+    def register(self, g, name):
+        return {
+            "g": g,
+            "k": "op",
+            "op": "register",
+            "args": {"name": name, "query": "q() <- A(k, v)"},
+        }
+
+    def test_issue_commit_becomes_absorb(self):
+        records = [self.register(1, "c"), self.issue(2, "T"), self.commit(3, "T")]
+        out = compact_records(records)
+        assert [r["op"] for r in out] == ["register", "absorb"]
+        assert out[1]["g"] == 3
+        assert out[1]["args"]["tx"]["id"] == "T"
+
+    def test_issue_forget_vanishes(self):
+        records = [self.register(1, "c"), self.issue(2, "T"), self.forget(3, "T")]
+        assert [r["op"] for r in compact_records(records)] == ["register"]
+
+    def test_register_unregister_vanishes(self):
+        records = [
+            self.register(1, "c"),
+            {"g": 2, "k": "op", "op": "unregister", "args": {"name": "c"}},
+            self.issue(3, "T"),
+        ]
+        assert [r["op"] for r in compact_records(records)] == ["issue"]
+
+    def test_superseded_skip_dropped_live_skip_kept(self):
+        live = {
+            "g": 9,
+            "k": "skip",
+            "op": "issue",
+            "args": {"tx": {"id": "S", "facts": {}}},
+            "rels": ["B"],
+        }
+        drained = dict(live, g=2)
+        records = [drained, self.issue(2, "T"), live]
+        out = compact_records(records)
+        assert drained not in out
+        assert live in out
+
+    def test_refuses_non_self_contained_history(self):
+        assert compact_records([self.commit(1, "T")]) is None
+        assert (
+            compact_records(
+                [{"g": 1, "k": "op", "op": "unregister", "args": {"name": "c"}}]
+            )
+            is None
+        )
+        assert compact_records([{"g": 1, "k": "wat", "op": "issue"}]) is None
+
+
+class FakeFleet:
+    def __init__(self, count):
+        self.alive_flags = [True] * count
+
+    def alive(self, index):
+        return self.alive_flags[index]
+
+
+class FakeRouter:
+    def __init__(self, count=2):
+        self._fleet = FakeFleet(count)
+        self.broken = {}
+        self.revives = []
+        self.fail_revive = False
+
+    @property
+    def shard_count(self):
+        return len(self._fleet.alive_flags)
+
+    def is_broken(self, index):
+        return index in self.broken
+
+    def break_shard(self, index, reason):
+        self.broken[index] = reason
+
+    def revive_shard(self, index):
+        if self.fail_revive:
+            raise ConnectionError("respawn failed")
+        self.revives.append(index)
+        self._fleet.alive_flags[index] = True
+
+
+class TestLivenessWatchdog:
+    def test_respawns_dead_shard(self):
+        router = FakeRouter()
+        dog = LivenessWatchdog(router)
+        router._fleet.alive_flags[1] = False
+        dog.check_once(now=0.0)
+        assert router.revives == [1]
+        assert dog.respawns == 1
+        dog.check_once(now=1.0)  # healthy pass: nothing more
+        assert router.revives == [1]
+
+    def test_exponential_backoff_between_failed_respawns(self):
+        router = FakeRouter()
+        router._fleet.alive_flags[0] = False
+        router.fail_revive = True
+        dog = LivenessWatchdog(router, backoff_base=1.0, flap_limit=100)
+        dog.check_once(now=0.0)  # fails; next attempt at 1.0
+        dog.check_once(now=0.5)  # inside backoff: no attempt
+        assert dog._failures[0] == 1
+        dog.check_once(now=1.5)  # fails again; next at 1.5 + 2.0
+        assert dog._failures[0] == 2
+        dog.check_once(now=3.0)
+        assert dog._failures[0] == 2  # still backing off
+        router.fail_revive = False
+        dog.check_once(now=4.0)
+        assert router.revives == [0]
+        assert dog._failures[0] == 0
+
+    def test_flapping_shard_gets_circuit_broken(self):
+        router = FakeRouter()
+        dog = LivenessWatchdog(router, flap_limit=3, flap_window=10.0)
+        for now in (0.0, 1.0, 2.0):
+            router._fleet.alive_flags[0] = False
+            dog.check_once(now=now)
+        assert 0 in router.broken
+        assert router.revives == [0, 0]  # third crash broke, not revived
+        router._fleet.alive_flags[0] = False
+        dog.check_once(now=3.0)  # broken shards are left alone
+        assert router.revives == [0, 0]
+
+    def test_slow_crashes_age_out_of_flap_window(self):
+        router = FakeRouter()
+        dog = LivenessWatchdog(router, flap_limit=3, flap_window=5.0)
+        for now in (0.0, 10.0, 20.0, 30.0):
+            router._fleet.alive_flags[0] = False
+            dog.check_once(now=now)
+        assert router.broken == {}
+        assert len(router.revives) == 4
+
+    def test_circuit_break_integrates_with_router(self):
+        from tests.fabric.conftest import thread_fabric
+
+        fabric = thread_fabric(two_relation_db, shards=2)
+        try:
+            fabric.register("a1", "q() <- A(k, v)")
+            victim = fabric.topology.slot_of("a1")
+            # A watchdog-managed router reports its probe state on
+            # /fabricz; kill a shard and one probe pass respawns it.
+            dog = fabric.start_watchdog(interval=3600.0)
+            fabric._fleet.kill(victim)
+            dog.check_once()
+            info = fabric.describe()
+            assert info["watchdog"]["respawns"] == 1
+            assert info["recoveries"] == 0  # fresh boot, no journal
+            fabric.break_shard(victim, "test says so")
+            health = fabric.fleet_health()
+            assert health["broken"] == [victim]
+            assert not health["ok"]
+            fabric._fleet.kill(victim)
+            with pytest.raises(FabricError) as excinfo:
+                fabric.status("a1")
+            assert excinfo.value.code == "circuit-open"
+            # Mutations still journal durably instead of failing.
+            fabric.issue(Transaction({"A": [(1, "x")]}, tx_id="TA"))
+            fabric.reset_shard(victim)
+            assert fabric.fleet_health()["broken"] == []
+            assert not fabric.status("a1").satisfied
+        finally:
+            fabric.close()
+
+
+class TestReapStale:
+    def test_reaps_only_repro_lookalikes(self, tmp_path):
+        if not os.path.isdir("/proc"):
+            pytest.skip("needs /proc to verify pid identity")
+        orphan = subprocess.Popen(["bash", "-c", "exec -a repro-orphan sleep 30"])
+        stranger = subprocess.Popen(["sleep", "30"])
+
+        # Freshly forked children briefly show the *parent's* cmdline
+        # (this pytest invocation mentions "repro") until exec lands;
+        # wait for the real argv0 so the reap guard sees the truth.
+        def await_argv0(proc, argv0):
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with open(f"/proc/{proc.pid}/cmdline", "rb") as fh:
+                    if fh.read().split(b"\0")[0] == argv0:
+                        return
+                time.sleep(0.01)
+            raise AssertionError(f"pid {proc.pid} never exec'd {argv0!r}")
+
+        await_argv0(orphan, b"repro-orphan")
+        await_argv0(stranger, b"sleep")
+        state = tmp_path / "fleet.json"
+        state.write_text(
+            json.dumps(
+                {
+                    "shards": [
+                        {"index": 0, "pid": orphan.pid, "port": 1},
+                        {"index": 1, "pid": stranger.pid, "port": 2},
+                        {"index": 2, "pid": 999999999, "port": 3},
+                    ]
+                }
+            )
+        )
+        try:
+            reaped = reap_stale(str(state))
+            assert reaped == [orphan.pid]
+            orphan.wait(timeout=5)
+            assert stranger.poll() is None  # never kill a stranger
+            assert not state.exists()
+        finally:
+            for proc in (orphan, stranger):
+                try:
+                    proc.kill()
+                except OSError:
+                    pass
+
+    def test_missing_state_file_is_noop(self, tmp_path):
+        assert reap_stale(str(tmp_path / "nope.json")) == []

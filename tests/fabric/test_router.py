@@ -213,10 +213,10 @@ class TestRecovery:
             fabric.issue(Transaction({"A": [(1, "y")]}, tx_id="TB"))
             labels = {"shard": str(victim)}
             assert metrics.value("repro_fabric_revives_total", labels) == 1
-            # The liveness probe caught the death before the send, so
-            # the replay carried the journal as of the kill: the
-            # registration plus TA.
-            assert metrics.value("repro_fabric_replayed_ops_total", labels) == 2
+            # Journal-before-send: TB was recorded before the send hit
+            # the dead shard, so the replay carries the registration,
+            # TA, and TB itself.
+            assert metrics.value("repro_fabric_replayed_ops_total", labels) == 3
             assert metrics.value("repro_fabric_revives_total") is None
         finally:
             fabric.close()
@@ -228,9 +228,14 @@ class TestRecovery:
         runner.op("issue", Transaction({"A": [(1, "x")]}, tx_id="TA"))
         a_shard = runner.fabric._shards[runner.fabric.topology.slot_of("a1")]
         b_shard = runner.fabric._shards[runner.fabric.topology.slot_of("b1")]
-        assert [op for op, _ in a_shard.journal] == ["register", "issue"]
-        # The decoupled shard never saw the issue: backlogged, not sent.
-        assert [op for op, _ in b_shard.journal] == ["register"]
+        assert [r["op"] for r in a_shard.journal if r["k"] == "op"] == [
+            "register",
+            "issue",
+        ]
+        # The decoupled shard never saw the issue: backlogged (a skip
+        # record for recovery), not sent as an applied op.
+        assert [r["op"] for r in b_shard.journal if r["k"] == "op"] == ["register"]
+        assert [r["op"] for r in b_shard.journal if r["k"] == "skip"] == ["issue"]
 
 
 class TestRebalance:

@@ -1,0 +1,165 @@
+"""Resend safety: after an ambiguous transport failure (request sent,
+reply never arrived) the client must resend idempotent reads but NEVER
+a mutating op — the double-apply the fabric's journal semantics forbid.
+
+A scripted fake server misbehaves deterministically per connection, and
+the request log proves how many times each op actually arrived.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+
+
+class ScriptedServer:
+    """One scripted behavior per accepted connection, then ``serve``."""
+
+    def __init__(self, behaviors):
+        self._behaviors = list(behaviors)
+        self.requests: list[str] = []
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.host, self.port = self._sock.getsockname()
+        threading.Thread(target=self._accept, daemon=True).start()
+
+    def _accept(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            behavior = self._behaviors.pop(0) if self._behaviors else "serve"
+            threading.Thread(
+                target=self._serve_conn, args=(conn, behavior), daemon=True
+            ).start()
+
+    def _serve_conn(self, conn, behavior):
+        file = conn.makefile("rb")
+        try:
+            while True:
+                line = file.readline()
+                if not line:
+                    return
+                request = json.loads(line)
+                self.requests.append(request["op"])
+                reply = (
+                    json.dumps(
+                        {"id": request["id"], "ok": True, "result": {}}
+                    ).encode()
+                    + b"\n"
+                )
+                if behavior == "drop_reply":
+                    return  # op processed, reply lost
+                if behavior == "truncate":
+                    conn.sendall(reply[: len(reply) // 2])
+                    return
+                if behavior == "garbage":
+                    conn.sendall(b"}{ not json\n")
+                    return
+                if behavior == "stall":
+                    time.sleep(1.0)
+                    return
+                conn.sendall(reply)
+        except OSError:
+            return
+        finally:
+            for closer in (file, conn):
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        # shutdown() first: close() alone leaves the accept thread
+        # blocked and the port bound (the in-flight accept pins the
+        # kernel socket), silently swallowing later connections.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def make(*behaviors):
+        server = ScriptedServer(behaviors)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+def test_idempotent_op_is_resent_after_lost_reply(scripted):
+    server = scripted("drop_reply")
+    with ServiceClient(server.host, server.port, timeout=5.0) as client:
+        assert client.call("ping") == {}
+    assert server.requests == ["ping", "ping"]
+
+
+def test_mutating_op_is_never_resent_after_lost_reply(scripted):
+    server = scripted("drop_reply")
+    with ServiceClient(server.host, server.port, timeout=5.0) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("issue", tx={"id": "T1", "facts": {}})
+        assert excinfo.value.code == "unavailable"
+    assert server.requests == ["issue"]  # exactly once
+
+
+def test_mutating_op_is_never_resent_after_truncated_reply(scripted):
+    server = scripted("truncate")
+    with ServiceClient(server.host, server.port, timeout=5.0) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("commit", tx_id="T1")
+        assert excinfo.value.code == "unavailable"
+    assert server.requests == ["commit"]
+
+
+def test_mutating_op_is_never_resent_after_unparseable_reply(scripted):
+    server = scripted("garbage")
+    with ServiceClient(server.host, server.port, timeout=5.0) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("absorb", tx={"id": "T2", "facts": {}})
+        assert excinfo.value.code == "unavailable"
+    assert server.requests == ["absorb"]
+
+
+def test_mutating_op_is_never_resent_after_read_timeout(scripted):
+    server = scripted("stall")
+    with ServiceClient(server.host, server.port, timeout=0.2) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("register", name="c", query="q() <- A(k, v)")
+        assert excinfo.value.code == "unavailable"
+    assert server.requests == ["register"]
+
+
+def test_idempotent_read_recovers_from_truncated_reply(scripted):
+    server = scripted("truncate")
+    with ServiceClient(server.host, server.port, timeout=5.0) as client:
+        assert client.call("status", name="c") == {}
+        assert client.retries >= 1
+    assert server.requests == ["status", "status"]
+
+
+def test_unknown_op_counts_as_mutating(scripted):
+    # Forward compatibility: an op this client build does not know must
+    # get the conservative (no-resend) treatment.
+    server = scripted("drop_reply")
+    with ServiceClient(server.host, server.port, timeout=5.0) as client:
+        with pytest.raises(ServiceError):
+            client.call("frobnicate")
+    assert server.requests == ["frobnicate"]
