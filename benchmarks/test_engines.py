@@ -31,9 +31,11 @@ import time
 
 import pytest
 
+from repro.core.bitset import make_fd_graph
 from repro.core.blockchain_db import BlockchainDatabase
 from repro.core.checker import DCSatChecker
 from repro.core.engine import BatchedEngine, make_engine
+from repro.core.workspace import Workspace
 from repro.relational.constraints import ConstraintSet, FunctionalDependency
 from repro.relational.database import Database, make_schema
 from repro.relational.transaction import Transaction
@@ -51,6 +53,14 @@ def _env_int(name: str, default: int) -> int:
 CLIQUE_K = _env_int("REPRO_BENCH_CLIQUE_K", 96)
 #: Wall-clock comparison repetitions (medians are reported).
 ROUNDS = _env_int("REPRO_BENCH_ENGINE_ROUNDS", 3)
+#: Component size for the planner (enumeration-only) comparison — the
+#: set planner rebuilds its clique subgraph quadratically per sweep,
+#: so the gap widens with K.
+PLANNER_K = _env_int("REPRO_BENCH_PLANNER_K", 384)
+#: Required bitset-over-set speedup on the repeated clique sweep.
+PLANNER_MIN_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_BITSET_MIN_SPEEDUP", "5")
+)
 
 #: No singleton world holds two values; the pending superset does —
 #: the short-circuit stays undecided and the full K-world sweep runs.
@@ -168,6 +178,52 @@ def test_all_engines_verdict_and_stats_identical():
         assert by_engine["async"] == by_engine["sync"], query
 
 
+# ----------------------------------------------------------------------
+# Planner comparison: the clique-sweep hot path, enumeration only.
+#
+# A steady-state monitor re-sweeps its components check after check, so
+# the planner cost is the *repeated* maximal-clique enumeration over an
+# unchanged graph.  The set planner rebuilds its clique subgraph
+# (O(K²) pair scans) and runs Bron–Kerbosch over Python string sets on
+# every sweep; the bitset planner sweeps cached machine-word masks.
+
+
+def planner_graph(planner: str):
+    return make_fd_graph(planner, Workspace(k_clique_db(PLANNER_K)))
+
+
+def sweep_median(graph, rounds: int = max(ROUNDS, 3)) -> tuple[float, int]:
+    count = sum(1 for _ in graph.maximal_cliques())  # warm any caches
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        swept = sum(1 for _ in graph.maximal_cliques())
+        samples.append(time.perf_counter() - started)
+        assert swept == count
+    samples.sort()
+    return samples[len(samples) // 2], count
+
+
+def test_planner_sweeps_are_identical():
+    set_graph = planner_graph("set")
+    bitset_graph = planner_graph("bitset")
+    assert list(bitset_graph.maximal_cliques()) == list(
+        set_graph.maximal_cliques()
+    )
+
+
+def test_bitset_planner_speedup_on_clique_sweep():
+    set_median, count = sweep_median(planner_graph("set"))
+    bitset_median, bitset_count = sweep_median(planner_graph("bitset"))
+    assert count == bitset_count == PLANNER_K
+    speedup = set_median / bitset_median
+    assert speedup >= PLANNER_MIN_SPEEDUP, (
+        f"bitset sweep {bitset_median * 1000:.2f}ms vs set "
+        f"{set_median * 1000:.2f}ms over a {PLANNER_K}-clique component: "
+        f"{speedup:.1f}x < required {PLANNER_MIN_SPEEDUP}x"
+    )
+
+
 @pytest.fixture(scope="module", autouse=True)
 def bench_json_artifact():
     """When a ``BENCH_<rev>.json`` artifact is being written this
@@ -187,8 +243,19 @@ def bench_json_artifact():
             engine=engine,
             backend="sqlite",
             algorithm="naive",
+            planner=checker.planner,
             clique_k=CLIQUE_K,
             rounds=ROUNDS,
             seconds=median,
             eval_roundtrips=checker.backend.eval_roundtrips - before,
+        )
+    for planner in ("set", "bitset"):
+        median, count = sweep_median(planner_graph(planner))
+        record_bench(
+            "planner.clique_sweep",
+            planner=planner,
+            clique_k=PLANNER_K,
+            cliques=count,
+            rounds=max(ROUNDS, 3),
+            seconds=median,
         )

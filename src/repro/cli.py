@@ -20,6 +20,7 @@ import argparse
 import sys
 
 from repro import serialize
+from repro.core.bitset import PLANNERS
 from repro.core.checker import ALGORITHMS, DCSatChecker
 from repro.core.engine import ENGINES
 from repro.errors import ReproError
@@ -80,6 +81,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         backend=args.backend,
         assume_nonnegative_sums=args.assume_nonnegative_sums,
         engine=args.engine,
+        planner=args.planner,
     )
     result = checker.check(
         args.query,
@@ -103,6 +105,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(explanation.render())
     print(
         f"  algorithm={stats.algorithm} engine={stats.engine or 'sync'} "
+        f"planner={checker.planner} "
         f"worlds={stats.worlds_checked} "
         f"cliques={stats.cliques_enumerated} "
         f"components={stats.components_total} "
@@ -410,6 +413,12 @@ def build_parser() -> argparse.ArgumentParser:
         "trip per world), batched (many worlds per round trip), or "
         "async (coroutine backend surface); default: $REPRO_ENGINE "
         "or sync",
+    )
+    check.add_argument(
+        "--planner", choices=list(PLANNERS), default=None,
+        help="world-enumeration planner: set (Python sets) or bitset "
+        "(interned ids + machine-word masks; identical plans); "
+        "default: $REPRO_BITSET or set",
     )
     check.add_argument("--no-short-circuit", action="store_true")
     check.add_argument("--assume-nonnegative-sums", action="store_true")

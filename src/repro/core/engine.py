@@ -57,24 +57,55 @@ DEFAULT_BATCH_SIZE = 32
 
 
 def resolve_engine_name(engine: str | None) -> str:
-    """An explicit engine name, or the ``REPRO_ENGINE`` env default."""
-    if engine is not None:
-        return engine
-    return os.environ.get("REPRO_ENGINE", "sync")
+    """An explicit engine name, or the ``REPRO_ENGINE`` env default.
+
+    Validated eagerly: a typo like ``REPRO_ENGINE=bacthed`` fails here,
+    at resolution time, with the valid choices named — not deep inside
+    ``as_engine`` on some worker process.
+    """
+    name = engine if engine is not None else os.environ.get("REPRO_ENGINE", "sync")
+    if name not in ENGINES:
+        raise AlgorithmError(
+            f"unknown evaluation engine {name!r}; expected one of {ENGINES}"
+        )
+    return name
+
+
+# engine name -> (registry it was resolved against, bound counter).  The
+# registry identity is part of the key so a swapped default registry
+# (tests) never receives charges through a stale counter.
+_counter_cache: dict[str, tuple[object, object]] = {}
+
+
+def _bound_counter(engine_name: str):
+    """The ``repro_worlds_evaluated_total{engine=...}`` counter, cached.
+
+    ``_count_worlds`` sits inside the sweep hot loop; re-importing the
+    metrics module and re-resolving the labelled counter on every charge
+    is measurable overhead for nothing — the binding is stable for the
+    life of the default registry.
+    """
+    # Imported lazily: repro.core must stay importable without pulling
+    # the service package in (workers import core before service).
+    from repro.service.metrics import default_registry
+
+    registry = default_registry()
+    cached = _counter_cache.get(engine_name)
+    if cached is not None and cached[0] is registry:
+        return cached[1]
+    counter = registry.counter(
+        "repro_worlds_evaluated_total",
+        "Worlds evaluated, by evaluation engine",
+        labels={"engine": engine_name},
+    )
+    _counter_cache[engine_name] = (registry, counter)
+    return counter
 
 
 def _count_worlds(engine_name: str, worlds: int) -> None:
     if not worlds:
         return
-    # Imported lazily: repro.core must stay importable without pulling
-    # the service package in (workers import core before service).
-    from repro.service.metrics import default_registry
-
-    default_registry().counter(
-        "repro_worlds_evaluated_total",
-        "Worlds evaluated, by evaluation engine",
-        labels={"engine": engine_name},
-    ).inc(worlds)
+    _bound_counter(engine_name).inc(worlds)
 
 
 def _charge(

@@ -47,6 +47,7 @@ class FdTransactionGraph:
         self.nodes = set()
         self.never_appendable = set()
         self._group_index = {}
+        self._tx_signatures = {}
         for tx_id in self._workspace.db.pending_ids:
             self._add_node(tx_id)
 
@@ -82,8 +83,14 @@ class FdTransactionGraph:
         return False
 
     def _internally_inconsistent(self, tx_id: str) -> bool:
+        return self._signature_inconsistent(self._fd_signature(tx_id))
+
+    @staticmethod
+    def _signature_inconsistent(
+        signature: list[tuple[tuple, tuple]]
+    ) -> bool:
         groups: dict[tuple, tuple] = {}
-        for group, rhs in self._fd_signature(tx_id):
+        for group, rhs in signature:
             seen = groups.get(group)
             if seen is None:
                 groups[group] = rhs
@@ -93,14 +100,20 @@ class FdTransactionGraph:
 
     # group key -> {rhs projection -> set of tx ids}
     _group_index: dict[tuple, dict[tuple, set[str]]]
+    # tx id -> its fd signature at add time, so removal can prune the
+    # exact buckets the transaction occupies (the transaction itself may
+    # already be gone from the pending set when it is removed here).
+    _tx_signatures: dict[str, list[tuple[tuple, tuple]]]
 
     def _add_node(self, tx_id: str) -> None:
-        if self._internally_inconsistent(tx_id) or self._clashes_with_base(tx_id):
+        signature = self._fd_signature(tx_id)
+        if self._signature_inconsistent(signature) or self._clashes_with_base(tx_id):
             self.never_appendable.add(tx_id)
             return
         self.nodes.add(tx_id)
         self.conflicts.setdefault(tx_id, set())
-        for group, rhs in self._fd_signature(tx_id):
+        self._tx_signatures[tx_id] = signature
+        for group, rhs in signature:
             bucket = self._group_index.setdefault(group, {})
             for other_rhs, others in bucket.items():
                 if other_rhs != rhs:
@@ -127,9 +140,34 @@ class FdTransactionGraph:
         self.nodes.discard(tx_id)
         for other in self.conflicts.pop(tx_id, set()):
             self.conflicts[other].discard(tx_id)
-        for bucket in self._group_index.values():
-            for others in bucket.values():
+        signature = self._tx_signatures.pop(tx_id, None)
+        if signature is not None:
+            # Prune exactly the buckets the transaction occupies, and
+            # drop emptied rhs-buckets/group keys — a long-running
+            # monitor under churn must not leak dead groups (they cost
+            # memory *and* a scan on every subsequent ``_add_node``).
+            for group, rhs in signature:
+                bucket = self._group_index.get(group)
+                if bucket is None:
+                    continue
+                others = bucket.get(rhs)
+                if others is None:
+                    continue
                 others.discard(tx_id)
+                if not others:
+                    del bucket[rhs]
+                if not bucket:
+                    del self._group_index[group]
+        else:  # defensive: unknown signature, fall back to a full scan
+            for group in list(self._group_index):
+                bucket = self._group_index[group]
+                for rhs in list(bucket):
+                    others = bucket[rhs]
+                    others.discard(tx_id)
+                    if not others:
+                        del bucket[rhs]
+                if not bucket:
+                    del self._group_index[group]
 
     def refresh_after_commit(self) -> None:
         """Re-evaluate base clashes after the committed state grew."""

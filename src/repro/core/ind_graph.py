@@ -59,7 +59,10 @@ class _UnionFind:
         groups: dict[str, set[str]] = {}
         for item in self.parent:
             groups.setdefault(self.find(item), set()).add(item)
-        return [frozenset(g) for g in groups.values()]
+        # Deterministic component order (lowest member first): the
+        # evaluation-plan stream — and hence engine/planner parity —
+        # must not depend on hash randomization.
+        return sorted((frozenset(g) for g in groups.values()), key=min)
 
     def clone(self) -> "_UnionFind":
         return _UnionFind(self.parent)

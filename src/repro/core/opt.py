@@ -66,7 +66,14 @@ def component_survivors(
             total += 1
             if stats is not None:
                 stats.components_total += 1
-            candidates = component & fd_graph.nodes
+            # The bitset planner answers the component ∩ nodes
+            # intersection through its interner masks (one AND sweep);
+            # the set planner intersects Python sets.
+            restrict = getattr(fd_graph, "restrict_appendable", None)
+            if restrict is not None:
+                candidates = restrict(component)
+            else:
+                candidates = component & fd_graph.nodes
             if not candidates:
                 pruned += 1
                 if stats is not None:

@@ -7,13 +7,34 @@ with the pivot selection of Tomita, Tanaka and Takahashi [44] (choose
 the vertex of ``P ∪ X`` with the most neighbours in ``P``), exactly as
 the paper's implementation does.  A no-pivot variant is kept for the
 ablation benchmarks.
+
+Emission order is *canonical*: nodes are ranked by their sorted order,
+candidates are explored ascending, and pivot ties break toward the
+lowest rank.  The sequence of emitted cliques is therefore a pure
+function of the graph — independent of hash randomization — which is
+the contract that lets the bitset planner
+(:mod:`repro.core.bitset`) reproduce the exact same evaluation plans
+with machine-word masks.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from typing import Hashable, Iterable, Iterator
 
 from repro.graphs.undirected import UndirectedGraph
+
+
+def canonical_ranks(nodes: Iterable[Hashable]) -> dict:
+    """A deterministic total order over *nodes*: ``node -> rank``.
+
+    Sorted order where the nodes are mutually comparable; a
+    type-name/repr key otherwise (mixed-type graphs in tests).
+    """
+    try:
+        ordered = sorted(nodes)
+    except TypeError:
+        ordered = sorted(nodes, key=lambda n: (type(n).__name__, repr(n)))
+    return {node: index for index, node in enumerate(ordered)}
 
 
 def bron_kerbosch(
@@ -24,21 +45,34 @@ def bron_kerbosch(
     Iterative (explicit stack) to survive graphs whose recursion depth
     would exceed Python's limit.  With ``pivot=False`` runs the plain
     Bron–Kerbosch recurrence — exponentially slower on dense graphs,
-    retained for the pivoting ablation.
+    retained for the pivoting ablation.  Cliques are emitted in the
+    canonical order described in the module docstring.
     """
     adjacency = graph.adjacency()
     if not adjacency:
         return
+    rank = canonical_ranks(adjacency)
 
-    # Stack frames: (R, P, X, iterator over candidate vertices).
+    # Stack frames: (R, P, X, candidate vertices, popped lowest-rank
+    # first).
     def candidates(p: set, x: set) -> list:
         if not p:
             return []
-        if not pivot:
-            return list(p)
-        # Tomita pivot: vertex of P ∪ X maximizing |N(u) ∩ P|.
-        best = max(p | x, key=lambda u: len(adjacency[u] & p))
-        return list(p - adjacency[best])
+        if pivot:
+            # Tomita pivot: vertex of P ∪ X maximizing |N(u) ∩ P|;
+            # ties break toward the lowest rank (ascending scan with a
+            # strict improvement test).
+            best = None
+            best_score = -1
+            for u in sorted(p | x, key=rank.__getitem__):
+                score = len(adjacency[u] & p)
+                if score > best_score:
+                    best, best_score = u, score
+            pool = p - adjacency[best]
+        else:
+            pool = p
+        # Descending rank: ``pop()`` then processes ascending.
+        return sorted(pool, key=rank.__getitem__, reverse=True)
 
     stack: list[tuple[set, set, set, list]] = []
     r: set = set()

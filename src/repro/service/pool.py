@@ -47,6 +47,7 @@ from repro import serialize
 from repro.core.batch import batch_dcsat
 from repro.core.blockchain_db import BlockchainDatabase
 from repro.core.checker import DCSatChecker
+from repro.core.bitset import make_fd_graph
 from repro.core.engine import EvaluationEngine, make_engine, resolve_engine_name
 from repro.core.fd_graph import FdTransactionGraph
 from repro.core.opt import component_survivors, solve_component
@@ -103,7 +104,9 @@ def _build_worker_ctx(
 ) -> dict:
     db = serialize.database_from_dict(db_payload, validate=False)
     workspace = Workspace(db)
-    fd_graph = FdTransactionGraph(workspace)
+    # Planner resolves from REPRO_BITSET, which forked workers inherit —
+    # the pool sweeps with the same planner as an inline checker would.
+    fd_graph = make_fd_graph(None, workspace)
     backend = make_backend(backend_name)
     backend.attach(workspace)
     return {

@@ -1,0 +1,238 @@
+"""The bitset planner: interning, mask sweeps, planner selection.
+
+The contract under test is *byte-identical plans*: every clique stream
+the :class:`~repro.core.bitset.BitsetFdGraph` emits must equal — same
+frozensets, same order — the stream of the set-based
+:class:`~repro.core.fd_graph.FdTransactionGraph`, with and without
+pivoting, restricted or not, through churn, and under both the pure
+``int`` and the numpy pivot paths.
+"""
+
+import random
+
+import pytest
+
+from repro.core import bitset as bitset_mod
+from repro.core.bitset import (
+    BitsetFdGraph,
+    BitsetPlanner,
+    NumpyPivot,
+    SetPlanner,
+    TxInterner,
+    make_fd_graph,
+    make_planner,
+    mask_bron_kerbosch,
+    python_pivot,
+    resolve_planner_name,
+)
+from repro.core.fd_graph import FdTransactionGraph
+from repro.core.workspace import Workspace
+from repro.errors import AlgorithmError
+from repro.graphs import UndirectedGraph, bron_kerbosch
+from tests.core.test_engine_parity import db_copy, random_db
+
+
+class TestTxInterner:
+    def test_dense_assignment(self):
+        interner = TxInterner()
+        assert [interner.intern(t) for t in ("a", "b", "c")] == [0, 1, 2]
+        assert interner.intern("a") == 0  # idempotent
+        assert len(interner) == 3
+        assert interner.capacity == 3
+
+    def test_lowest_slot_reuse(self):
+        interner = TxInterner()
+        for t in ("a", "b", "c", "d"):
+            interner.intern(t)
+        interner.release("b")
+        interner.release("c")
+        assert interner.intern("e") == 1  # lowest released slot first
+        assert interner.intern("f") == 2
+        assert interner.intern("g") == 4  # heap drained: grow
+        assert interner.capacity == 5
+
+    def test_release_unknown_is_none(self):
+        assert TxInterner().release("nope") is None
+
+    def test_mask_round_trip(self):
+        interner = TxInterner()
+        for t in ("a", "b", "c"):
+            interner.intern(t)
+        mask = interner.mask_of(["c", "a", "unknown"])
+        assert mask == 0b101
+        assert interner.ids_of(mask) == ["a", "c"]
+
+    def test_dead_slot_lookup_raises(self):
+        interner = TxInterner()
+        interner.intern("a")
+        interner.release("a")
+        with pytest.raises(KeyError):
+            interner.id_of(0)
+
+
+def random_mask_graph(rng: random.Random, n: int, density: float):
+    """Paired set-graph (nodes 0..n-1) and adjacency-mask list."""
+    graph = UndirectedGraph(nodes=range(n))
+    masks = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                graph.add_edge(i, j)
+                masks[i] |= 1 << j
+                masks[j] |= 1 << i
+    return graph, masks
+
+
+def mask_to_set(mask: int) -> frozenset:
+    return frozenset(
+        index for index in range(mask.bit_length()) if mask >> index & 1
+    )
+
+
+class TestMaskBronKerbosch:
+    @pytest.mark.parametrize("pivot", [True, False])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stream_matches_set_bron_kerbosch(self, seed, pivot):
+        rng = random.Random(seed)
+        n = rng.randrange(1, 14)
+        graph, masks = random_mask_graph(rng, n, rng.choice((0.2, 0.5, 0.8)))
+        expected = list(bron_kerbosch(graph, pivot=pivot))
+        actual = [
+            mask_to_set(clique)
+            for clique in mask_bron_kerbosch(masks, (1 << n) - 1, pivot=pivot)
+        ]
+        # Same cliques in the same order: the plan-parity contract.
+        assert actual == expected
+
+    def test_empty_pool_yields_nothing(self):
+        assert list(mask_bron_kerbosch([0b10, 0b01], 0)) == []
+
+    def test_pool_restriction(self):
+        # Triangle 0-1-2; restricting to {0, 1} must see only that edge.
+        masks = [0b110, 0b101, 0b011]
+        assert list(mask_bron_kerbosch(masks, 0b011)) == [0b011]
+
+
+class TestNumpyPivot:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_python_pivot(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(2, 200)
+        _, masks = random_mask_graph(rng, n, rng.choice((0.1, 0.5, 0.9)))
+        chooser = NumpyPivot(masks)
+        full = (1 << n) - 1
+        for _ in range(40):
+            p = rng.getrandbits(n) & full
+            x = rng.getrandbits(n) & full & ~p
+            if not p:
+                p = 1 << rng.randrange(n)
+                x &= ~p
+            assert chooser(masks, p, x) == python_pivot(masks, p, x)
+
+    def test_clique_stream_identical_across_pivot_paths(self):
+        rng = random.Random(7)
+        n = 70  # past NUMPY_MIN_NODES
+        _, masks = random_mask_graph(rng, n, 0.85)
+        full = (1 << n) - 1
+        via_python = list(
+            mask_bron_kerbosch(masks, full, choose_pivot=python_pivot)
+        )
+        via_numpy = list(
+            mask_bron_kerbosch(masks, full, choose_pivot=NumpyPivot(masks))
+        )
+        assert via_python == via_numpy
+
+    def test_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BITSET_NUMPY", "0")
+        assert bitset_mod.make_pivot_chooser([0] * 100) is python_pivot
+        monkeypatch.delenv("REPRO_BITSET_NUMPY")
+        monkeypatch.setattr(bitset_mod, "NUMPY_MIN_NODES", 4)
+        assert isinstance(bitset_mod.make_pivot_chooser([0] * 5), NumpyPivot)
+
+
+class TestBitsetFdGraphParity:
+    @pytest.mark.parametrize("pivot", [True, False])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_clique_stream_parity_on_random_instances(self, seed, pivot):
+        db = random_db(random.Random(seed))
+        set_graph = FdTransactionGraph(Workspace(db_copy(db)))
+        bit_graph = BitsetFdGraph(Workspace(db_copy(db)))
+        bit_graph.verify_masks()
+        assert bit_graph.nodes == set_graph.nodes
+        assert bit_graph.conflicts == set_graph.conflicts
+        assert bit_graph.never_appendable == set_graph.never_appendable
+        assert list(bit_graph.maximal_cliques(pivot=pivot)) == list(
+            set_graph.maximal_cliques(pivot=pivot)
+        )
+        restrict = sorted(set_graph.nodes)[: max(1, len(set_graph.nodes) // 2)]
+        assert list(
+            bit_graph.maximal_cliques(restrict=restrict, pivot=pivot)
+        ) == list(set_graph.maximal_cliques(restrict=restrict, pivot=pivot))
+
+    def test_parity_survives_churn(self):
+        db = random_db(random.Random(42))
+        set_graph = FdTransactionGraph(Workspace(db_copy(db)))
+        bit_graph = BitsetFdGraph(Workspace(db_copy(db)))
+        victims = sorted(set_graph.nodes)[:2]
+        for graph in (set_graph, bit_graph):
+            for tx_id in victims:
+                graph.remove_transaction(tx_id)
+            for tx_id in victims:
+                graph.add_transaction(tx_id)
+        bit_graph.verify_masks()
+        assert bit_graph.conflicts == set_graph.conflicts
+        assert list(bit_graph.maximal_cliques()) == list(
+            set_graph.maximal_cliques()
+        )
+
+    def test_numpy_path_emits_the_same_plan(self, monkeypatch):
+        # Force the numpy pivot on for any contested-node count and
+        # re-check stream equality against the set-based sweep.
+        monkeypatch.setattr(bitset_mod, "NUMPY_MIN_NODES", 1)
+        db = random_db(random.Random(3))
+        set_graph = FdTransactionGraph(Workspace(db_copy(db)))
+        bit_graph = BitsetFdGraph(Workspace(db_copy(db)))
+        assert list(bit_graph.maximal_cliques()) == list(
+            set_graph.maximal_cliques()
+        )
+
+    def test_restrict_appendable(self):
+        db = random_db(random.Random(5))
+        graph = BitsetFdGraph(Workspace(db))
+        nodes = sorted(graph.nodes)
+        probe = set(nodes[:2]) | {"unknown"} | set(graph.never_appendable)
+        assert graph.restrict_appendable(probe) == set(nodes[:2])
+
+
+class TestPlannerSelection:
+    def test_explicit_names(self):
+        assert resolve_planner_name("set") == "set"
+        assert resolve_planner_name("bitset") == "bitset"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AlgorithmError, match="unknown planner"):
+            resolve_planner_name("bitest")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BITSET", raising=False)
+        assert resolve_planner_name(None) == "set"
+        for flag in ("1", "true", "ON", "bitset"):
+            monkeypatch.setenv("REPRO_BITSET", flag)
+            assert resolve_planner_name(None) == "bitset"
+        for flag in ("0", "false", "off", "set", ""):
+            monkeypatch.setenv("REPRO_BITSET", flag)
+            assert resolve_planner_name(None) == "set"
+
+    def test_env_typo_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BITSET", "bitest")
+        with pytest.raises(AlgorithmError, match="REPRO_BITSET"):
+            resolve_planner_name(None)
+
+    def test_make_planner_and_graph(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BITSET", raising=False)
+        assert isinstance(make_planner(None), SetPlanner)
+        assert isinstance(make_planner("bitset"), BitsetPlanner)
+        db = random_db(random.Random(0))
+        assert type(make_fd_graph("set", Workspace(db))) is FdTransactionGraph
+        monkeypatch.setenv("REPRO_BITSET", "1")
+        assert type(make_fd_graph(None, Workspace(db))) is BitsetFdGraph

@@ -1,0 +1,58 @@
+"""Engine resolution and hot-loop metric binding."""
+
+import pytest
+
+from repro.core import engine as engine_mod
+from repro.core.engine import (
+    ENGINES,
+    _bound_counter,
+    resolve_engine_name,
+)
+from repro.errors import AlgorithmError
+
+
+class TestResolveEngineName:
+    def test_explicit_names(self):
+        for name in ENGINES:
+            assert resolve_engine_name(name) == name
+
+    def test_default_is_sync(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine_name(None) == "sync"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        assert resolve_engine_name(None) == "batched"
+
+    def test_typo_fails_at_resolution(self, monkeypatch):
+        # The bug: a typo used to survive resolution and explode deep
+        # inside as_engine — possibly on a worker process.
+        monkeypatch.setenv("REPRO_ENGINE", "bacthed")
+        with pytest.raises(AlgorithmError, match="bacthed"):
+            resolve_engine_name(None)
+        with pytest.raises(AlgorithmError, match="sync"):
+            resolve_engine_name("turbo")
+
+
+class TestCounterCache:
+    def test_charging_twice_hits_the_same_counter(self):
+        first = _bound_counter("sync")
+        assert _bound_counter("sync") is first
+        # Distinct engines get distinct label bindings.
+        assert _bound_counter("batched") is not first
+
+    def test_cache_tracks_registry_identity(self, monkeypatch):
+        from repro.service import metrics as metrics_mod
+
+        before = _bound_counter("sync")
+        fresh = metrics_mod.MetricsRegistry()
+        monkeypatch.setattr(metrics_mod, "_DEFAULT_REGISTRY", fresh)
+        after = _bound_counter("sync")
+        assert after is not before  # stale binding must not survive
+        assert _bound_counter("sync") is after
+
+    def test_charge_increments_through_the_cache(self):
+        counter = _bound_counter("sync")
+        base = counter.value
+        engine_mod._count_worlds("sync", 3)
+        assert counter.value == base + 3

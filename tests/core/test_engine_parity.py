@@ -271,3 +271,62 @@ class TestRandomizedTraceParity:
         finally:
             for monitor in monitors.values():
                 monitor.checker.close()
+
+
+class TestPlannerParity:
+    """The bitset planner must be invisible in every observable:
+    byte-identical evaluation plans (same worlds, same order) and
+    byte-identical check results across engines × backends."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_evaluation_plan_streams_are_identical(self, seed):
+        from repro.core.naive import maximal_worlds
+
+        db = random_db(random.Random(seed))
+        planners = {}
+        for planner in ("set", "bitset"):
+            checker = DCSatChecker(db_copy(db), planner=planner)
+            planners[planner] = list(
+                maximal_worlds(checker.workspace, checker.fd_graph)
+            )
+            checker.close()
+        # Exact stream equality — same frozensets, same order.
+        assert planners["bitset"] == planners["set"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planners_agree_across_engines(self, backend, seed):
+        rng = random.Random(seed)
+        db = random_db(rng)
+        checkers = {
+            (engine, planner): checker_for(
+                db, engine, backend,
+                assume_nonnegative_sums=True, planner=planner,
+            )
+            for engine in ENGINES
+            for planner in ("set", "bitset")
+        }
+        try:
+            for query in CONJUNCTIVE_QUERIES:
+                for algorithm in ("naive", "opt", "auto"):
+                    views = {
+                        key: parity_view(checker.check(query, algorithm=algorithm))
+                        for key, checker in checkers.items()
+                    }
+                    reference = views[("sync", "set")]
+                    for key, view in views.items():
+                        assert view == reference, (query, algorithm, key)
+        finally:
+            for checker in checkers.values():
+                checker.close()
+
+    def test_checker_exposes_planner_name(self):
+        db = component_db(components=1, keys=1)
+        for planner, graph_type in (("set", "FdTransactionGraph"),
+                                    ("bitset", "BitsetFdGraph")):
+            checker = DCSatChecker(db_copy(db), planner=planner)
+            try:
+                assert checker.planner == planner
+                assert type(checker.fd_graph).__name__ == graph_type
+            finally:
+                checker.close()

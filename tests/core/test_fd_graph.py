@@ -126,3 +126,53 @@ class TestRestrictedCliques:
         assert not figure2_graph.is_clique({"T1", "T5"})
         assert not figure2_graph.is_clique({"T1", "unknown"})
         assert figure2_graph.is_clique(set())
+
+
+class TestGroupIndexPruning:
+    """Churn regression: ``_group_index`` must shrink back after
+    add→remove cycles — a long-running monitor must not leak dead
+    groups or scan them on every subsequent ``_add_node``."""
+
+    def _db(self):
+        schema = make_schema({"R": ["a", "b"]})
+        constraints = ConstraintSet(schema, [Key("R", ["a"], schema)])
+        return BlockchainDatabase(
+            Database.from_dict(schema, {"R": []}), constraints, []
+        )
+
+    def test_group_index_shrinks_after_churn(self):
+        ws = Workspace(self._db())
+        graph = FdTransactionGraph(ws)
+        assert graph._group_index == {}
+        for cycle in range(3):
+            ids = [f"T{cycle}_{i}" for i in range(8)]
+            for index, tx_id in enumerate(ids):
+                # Distinct keys per transaction: each occupies its own
+                # group; half also contest a shared key.
+                facts = [(f"{cycle}k{index}", "v")]
+                if index % 2:
+                    facts.append((f"{cycle}shared", f"v{index}"))
+                ws.issue(Transaction({"R": facts}, tx_id=tx_id))
+                graph.add_transaction(tx_id)
+            assert len(graph._group_index) == len(ids) + 1
+            for tx_id in ids:
+                ws.forget(tx_id)
+                graph.remove_transaction(tx_id)
+            assert graph._group_index == {}
+            assert graph._tx_signatures == {}
+        assert graph.nodes == set()
+
+    def test_partial_removal_keeps_shared_groups(self):
+        ws = Workspace(self._db())
+        graph = FdTransactionGraph(ws)
+        ws.issue(Transaction({"R": [("k", "x")]}, tx_id="T1"))
+        ws.issue(Transaction({"R": [("k", "y")]}, tx_id="T2"))
+        graph.add_transaction("T1")
+        graph.add_transaction("T2")
+        assert len(graph._group_index) == 1
+        graph.remove_transaction("T1")
+        # T2 still occupies the group: only T1's rhs bucket goes away.
+        (bucket,) = graph._group_index.values()
+        assert len(bucket) == 1
+        graph.remove_transaction("T2")
+        assert graph._group_index == {}
