@@ -14,6 +14,7 @@ import pathlib
 import platform
 import subprocess
 import sys
+import threading
 import time
 
 _SRC = pathlib.Path(__file__).parent.parent / "src"
@@ -24,6 +25,7 @@ import pytest
 
 from repro.bitcoin.generator import PRESETS, Dataset, DatasetSpec, generate_dataset
 from repro.core.checker import DCSatChecker
+from repro.obs.bench import sample_quantiles
 from repro.workloads.constants import ConstantPicker
 
 _dataset_cache: dict[tuple, Dataset] = {}
@@ -73,15 +75,22 @@ def cached_picker(spec: DatasetSpec | str) -> ConstantPicker:
 # locally set ``REPRO_BENCH_JSON=/path/out.json`` (or just
 # ``REPRO_BENCH_WRITE=1`` for the default name) to get one.
 
+#: Artifact schema: bumped whenever the writer changes shape.  v2 added
+#: the schema field itself, cpu_count, and derived p50/p95 on rows that
+#: keep raw ``samples``.
+SCHEMA_VERSION = 2
+
 _bench_records: list[dict] = []
+_bench_lock = threading.Lock()
 
 
-def _git_rev() -> str:
+def _git_rev(cwd: str | None = None) -> str:
+    if cwd is None:
+        cwd = str(pathlib.Path(__file__).parent.parent)
     try:
         return subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10.0,
-            cwd=str(pathlib.Path(__file__).parent.parent),
+            capture_output=True, text=True, timeout=10.0, cwd=cwd,
         ).stdout.strip() or "dev"
     except OSError:
         return "dev"
@@ -91,35 +100,62 @@ def record_bench(name: str, **fields) -> None:
     """Add one row to the session's ``BENCH_<rev>.json`` artifact.
 
     *name* identifies the benchmark; *fields* carry its dimensions
-    (``algorithm=``, ``engine=``, ``backend=``, ``shards=`` ...) and
-    measurements (``seconds=`` medians, counters).
+    (``algorithm=``, ``engine=``, ``backend=``, ``planner=``,
+    ``shards=`` ...) and measurements (``seconds=`` medians, counters).
+    ``samples=[...]`` keeps the raw per-round timings — the writer
+    derives p50/p95 from them.  ``gate=True`` marks a hot-path row the
+    CI regression gate enforces (``repro bench diff --gate``).
+
+    Thread-safe: parallel benchmark helpers may record concurrently.
     """
-    _bench_records.append({"name": name, **fields})
+    with _bench_lock:
+        _bench_records.append({"name": name, **fields})
 
 
-def _bench_json_path() -> str | None:
-    explicit = os.environ.get("REPRO_BENCH_JSON")
+def _bench_json_path(environ: dict | None = None) -> str | None:
+    environ = environ if environ is not None else os.environ
+    explicit = environ.get("REPRO_BENCH_JSON")
     if explicit:
         return explicit
-    if os.environ.get("REPRO_BENCH_WRITE"):
+    if environ.get("REPRO_BENCH_WRITE"):
         return f"BENCH_{_git_rev()}.json"
     return None
+
+
+def build_artifact(records: list[dict], rev: str | None = None) -> dict:
+    """The artifact dict the session writer dumps (testable directly)."""
+    rows = []
+    for record in sorted(records, key=lambda row: row["name"]):
+        row = dict(record)
+        samples = row.get("samples")
+        if samples:
+            row.update(sample_quantiles(list(samples)))
+        rows.append(row)
+    return {
+        "schema": SCHEMA_VERSION,
+        "rev": rev if rev is not None else _git_rev(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": rows,
+    }
+
+
+def write_artifact(path: str, records: list[dict], rev: str | None = None) -> dict:
+    """Serialize *records* as one artifact at *path*; returns the dict."""
+    artifact = build_artifact(records, rev=rev)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, default=str)
+        handle.write("\n")
+    return artifact
 
 
 def pytest_sessionfinish(session, exitstatus):
     path = _bench_json_path()
     if path is None or not _bench_records:
         return
-    artifact = {
-        "rev": _git_rev(),
-        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "benchmarks": sorted(_bench_records, key=lambda row: row["name"]),
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(artifact, handle, indent=2, default=str)
-        handle.write("\n")
+    write_artifact(path, _bench_records)
     print(f"\nwrote {len(_bench_records)} benchmark rows to {path}")
 
 

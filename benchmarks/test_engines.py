@@ -192,7 +192,9 @@ def planner_graph(planner: str):
     return make_fd_graph(planner, Workspace(k_clique_db(PLANNER_K)))
 
 
-def sweep_median(graph, rounds: int = max(ROUNDS, 3)) -> tuple[float, int]:
+def sweep_median(
+    graph, rounds: int = max(ROUNDS, 3)
+) -> tuple[float, int, list[float]]:
     count = sum(1 for _ in graph.maximal_cliques())  # warm any caches
     samples = []
     for _ in range(rounds):
@@ -201,7 +203,7 @@ def sweep_median(graph, rounds: int = max(ROUNDS, 3)) -> tuple[float, int]:
         samples.append(time.perf_counter() - started)
         assert swept == count
     samples.sort()
-    return samples[len(samples) // 2], count
+    return samples[len(samples) // 2], count, samples
 
 
 def test_planner_sweeps_are_identical():
@@ -213,8 +215,8 @@ def test_planner_sweeps_are_identical():
 
 
 def test_bitset_planner_speedup_on_clique_sweep():
-    set_median, count = sweep_median(planner_graph("set"))
-    bitset_median, bitset_count = sweep_median(planner_graph("bitset"))
+    set_median, count, _ = sweep_median(planner_graph("set"))
+    bitset_median, bitset_count, _ = sweep_median(planner_graph("bitset"))
     assert count == bitset_count == PLANNER_K
     speedup = set_median / bitset_median
     assert speedup >= PLANNER_MIN_SPEEDUP, (
@@ -237,7 +239,12 @@ def bench_json_artifact():
     for engine in ENGINES:
         checker = engine_checker(engine)
         before = checker.backend.eval_roundtrips
-        median = timed_median(checker)
+        samples = []
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            result = checker.check(Q_SATISFIED, algorithm="naive")
+            samples.append(time.perf_counter() - started)
+            assert result.satisfied
         record_bench(
             "engines.k_clique_sweep",
             engine=engine,
@@ -246,11 +253,13 @@ def bench_json_artifact():
             planner=checker.planner,
             clique_k=CLIQUE_K,
             rounds=ROUNDS,
-            seconds=median,
+            seconds=sorted(samples)[len(samples) // 2],
+            samples=samples,
             eval_roundtrips=checker.backend.eval_roundtrips - before,
+            gate=True,
         )
     for planner in ("set", "bitset"):
-        median, count = sweep_median(planner_graph(planner))
+        median, count, samples = sweep_median(planner_graph(planner))
         record_bench(
             "planner.clique_sweep",
             planner=planner,
@@ -258,4 +267,6 @@ def bench_json_artifact():
             cliques=count,
             rounds=max(ROUNDS, 3),
             seconds=median,
+            samples=samples,
+            gate=True,
         )

@@ -1,0 +1,29 @@
+"""``python -m benchmarks.trend`` — bench trend reports from a checkout.
+
+A thin wrapper over :mod:`repro.obs.bench` for environments where the
+package is not installed (CI runs the suite straight from the repo):
+
+::
+
+    python -m benchmarks.trend report BENCH_abc1234.json
+    python -m benchmarks.trend diff benchmarks/BASELINE.json \
+        BENCH_abc1234.json --gate
+
+Installed checkouts can use ``repro bench report`` / ``repro bench
+diff`` — same flags, same exit codes (0 parity, 1 gated regression,
+2 usage / malformed artifact).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,12 +6,15 @@
     python -m repro stats chain.json
     python -m repro check chain.json --query "q() <- TxOut(t, s, 'X', a)"
     python -m repro worlds chain.json --limit 50
+    python -m repro bench diff benchmarks/BASELINE.json BENCH_abc1234.json --gate
 
 ``generate`` builds a synthetic Bitcoin dataset and serializes its
 relational blockchain database; ``check`` runs denial-constraint
 satisfaction over a serialized database (exit status 1 signals a
 violable constraint — script-friendly); ``worlds`` enumerates possible
-worlds of small instances.
+worlds of small instances; ``bench`` renders trend reports over the
+benchmark suite's ``BENCH_*.json`` artifacts and gates regressions
+against the committed baseline.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.core.bitset import PLANNERS
 from repro.core.checker import ALGORITHMS, DCSatChecker
 from repro.core.engine import ENGINES
 from repro.errors import ReproError
+from repro.obs.bench import add_bench_subcommands
 from repro.obs.log import LEVELS, configure_logging
 
 
@@ -204,7 +208,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(
                 f"observability endpoint on "
                 f"http://{service.http_host}:{service.http_port} "
-                f"(/metrics /healthz /tracez)",
+                f"(/metrics /healthz /tracez /perfz)",
                 flush=True,
             )
 
@@ -345,7 +349,7 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             print(
                 f"observability endpoint on "
                 f"http://{service.http_host}:{service.http_port} "
-                f"(/metrics /healthz /tracez)",
+                f"(/metrics /healthz /tracez /perfz)",
                 flush=True,
             )
 
@@ -432,6 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
     worlds.add_argument("database")
     worlds.add_argument("--limit", type=int, default=256)
     worlds.set_defaults(func=_cmd_worlds)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark trend reports and the CI regression gate over "
+        "BENCH_*.json artifacts",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    add_bench_subcommands(bench_sub)
 
     serve = sub.add_parser(
         "serve",

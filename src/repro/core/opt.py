@@ -84,6 +84,10 @@ def component_survivors(
                 if stats is not None:
                     stats.components_pruned += 1
                 continue
+            if stats is not None:
+                stats.max_component_size = max(
+                    stats.max_component_size, len(candidates)
+                )
             survivors.append(candidates)
         sp.set(components=total, pruned=pruned, survivors=len(survivors))
     return survivors

@@ -19,6 +19,11 @@ class DCSatStats:
     short_circuit_result: bool | None = None
     components_total: int = 0
     components_pruned: int = 0
+    #: Largest surviving component (pending transactions) the solve
+    #: touched — the size axis of the perf cost model
+    #: (:mod:`repro.obs.perf`): clique-sweep cost grows with ``2^K``,
+    #: so this single number explains most of a check's latency.
+    max_component_size: int = 0
     cliques_enumerated: int = 0
     worlds_checked: int = 0
     evaluations: int = 0
@@ -43,6 +48,11 @@ class DCSatStats:
             self.short_circuit_result = other.short_circuit_result
         self.components_total += other.components_total
         self.components_pruned += other.components_pruned
+        # A maximum, not a sum: pool workers each report their own
+        # largest component; the merged stats keep the overall largest.
+        self.max_component_size = max(
+            self.max_component_size, other.max_component_size
+        )
         self.cliques_enumerated += other.cliques_enumerated
         self.worlds_checked += other.worlds_checked
         self.evaluations += other.evaluations

@@ -11,11 +11,18 @@ Three pieces, usable separately or together:
   workers are serialized back and re-parented under the submitting
   span.
 * :mod:`~repro.obs.http` — an asyncio HTTP endpoint serving
-  ``GET /metrics`` (Prometheus text), ``GET /healthz`` and
-  ``GET /tracez`` next to the JSON-lines port
+  ``GET /metrics`` (Prometheus text), ``GET /healthz``,
+  ``GET /tracez`` and ``GET /perfz`` next to the JSON-lines port
   (``repro serve --http-port``).
 * :mod:`~repro.obs.log` — structured JSON logging correlated with the
   active trace/span (``repro serve --log-level/--log-json``).
+* :mod:`~repro.obs.perf` — the perf telemetry plane: a rolling
+  component :class:`~repro.obs.perf.CostModel` fed by per-solve stats,
+  driving the solver pool's cost-aware group planning and the
+  ``/perfz`` exposition.
+* :mod:`~repro.obs.bench` — committed bench-artifact trend reports and
+  the CI regression gate (``repro bench report`` / ``repro bench
+  diff``).
 
 See ``docs/OBSERVABILITY.md`` for the span model, endpoint reference
 and log schema.
@@ -23,6 +30,7 @@ and log schema.
 
 from repro.obs.http import ObservabilityEndpoint
 from repro.obs.log import JsonFormatter, TextFormatter, configure_logging, get_logger
+from repro.obs.perf import CostModel, build_info, default_cost_model
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -37,6 +45,9 @@ from repro.obs.trace import (
 
 __all__ = [
     "ObservabilityEndpoint",
+    "CostModel",
+    "build_info",
+    "default_cost_model",
     "JsonFormatter",
     "TextFormatter",
     "configure_logging",

@@ -1,0 +1,491 @@
+"""Bench-artifact trend reports and the CI regression gate.
+
+The benchmark suite writes one canonical artifact per run
+(``BENCH_<rev>.json``, see ``benchmarks/conftest.py``): a list of rows,
+each identified by its benchmark *name* plus the dimensions it was
+measured under (algorithm / engine / backend / planner) and carrying
+its measurements (``seconds`` medians, counters).  A pinned run of that
+artifact lives in the repository as ``benchmarks/BASELINE.json``.
+
+This module turns artifacts into decisions:
+
+* ``repro bench report <artifact>`` — render one artifact as a
+  markdown trend table (or JSON).
+* ``repro bench diff <baseline> <current>`` — align rows by identity,
+  compute per-row deltas, and render the trend.  With ``--gate``, exit
+  non-zero when any row the baseline marks ``"gate": true`` regressed
+  by more than the threshold (``--gate-pct``, default
+  ``$REPRO_BENCH_GATE_PCT`` or 25) — the CI regression gate.
+
+Rows whose timings sit below the noise floor (``--min-seconds``,
+default 0.005s on both sides) are never gated: at sub-5ms scale the
+scheduler, not the solver, dominates the delta.  Metadata drift between
+the two artifacts (python version, platform, cpu count, schema) is
+reported as warnings, because a "regression" measured on different
+hardware is usually just different hardware.
+
+``python -m benchmarks.trend`` is a thin wrapper over the same
+:func:`main` for checkouts where the package is not installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: The row-identity dimensions: two rows in different artifacts are the
+#: same measurement iff name and all of these match.
+DIMENSIONS = ("algorithm", "engine", "backend", "planner")
+
+#: Regression threshold (percent) when neither --gate-pct nor
+#: $REPRO_BENCH_GATE_PCT overrides it.
+DEFAULT_GATE_PCT = 25.0
+
+#: Both-sides noise floor in seconds: rows faster than this are never
+#: gated (informational only).
+DEFAULT_MIN_SECONDS = 0.005
+
+GATE_PCT_ENV = "REPRO_BENCH_GATE_PCT"
+
+#: Artifact metadata keys compared by :func:`metadata_warnings`.
+METADATA_KEYS = ("schema", "python", "platform", "cpu_count")
+
+
+def gate_threshold_pct(override: float | None = None) -> float:
+    """The regression threshold: explicit override, else the
+    ``$REPRO_BENCH_GATE_PCT`` environment knob, else 25%."""
+    if override is not None:
+        return override
+    raw = os.environ.get(GATE_PCT_ENV)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ReproError(
+                f"{GATE_PCT_ENV} must be a number, got {raw!r}"
+            )
+    return DEFAULT_GATE_PCT
+
+
+def sample_quantiles(
+    samples: list[float], qs: tuple[float, ...] = (0.5, 0.95)
+) -> dict[str, float]:
+    """Linear-interpolation quantiles of raw timing samples.
+
+    The same estimator :meth:`repro.service.metrics.Histogram.quantile`
+    applies to bucket counts, applied here to the exact samples a
+    benchmark kept — ``{"p50": ..., "p95": ...}`` for the trend report.
+    """
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    out: dict[str, float] = {}
+    for q in qs:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        out[f"p{int(q * 100)}"] = ordered[low] + (position - low) * (
+            ordered[high] - ordered[low]
+        )
+    return out
+
+
+def row_key(row: dict) -> tuple:
+    """The identity of one benchmark row: name + dimension values."""
+    return (row.get("name", ""),) + tuple(
+        str(row.get(dim, "")) for dim in DIMENSIONS
+    )
+
+
+def describe_key(key: tuple) -> str:
+    """``name[dim=value,...]`` — how gate failures name a row."""
+    name = key[0]
+    dims = [
+        f"{dim}={value}"
+        for dim, value in zip(DIMENSIONS, key[1:])
+        if value
+    ]
+    return f"{name}[{','.join(dims)}]" if dims else name
+
+
+def load_artifact(path: str) -> dict:
+    """Read one ``BENCH_*.json`` artifact, validating the basic shape."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            artifact = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"cannot read bench artifact {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise ReproError(f"malformed bench artifact {path}: {error}")
+    if not isinstance(artifact, dict) or not isinstance(
+        artifact.get("benchmarks"), list
+    ):
+        raise ReproError(
+            f"{path} is not a bench artifact "
+            '(expected {"benchmarks": [...], ...})'
+        )
+    return artifact
+
+
+def index_rows(artifact: dict) -> dict[tuple, dict]:
+    rows: dict[tuple, dict] = {}
+    for row in artifact["benchmarks"]:
+        rows[row_key(row)] = row
+    return rows
+
+
+@dataclass
+class RowDiff:
+    """One aligned row of a baseline/current comparison."""
+
+    key: tuple
+    base_seconds: float | None
+    cur_seconds: float | None
+    delta_pct: float | None
+    #: "ok" | "regression" | "improved" | "new" | "missing" | "untimed"
+    status: str
+    #: The baseline marked this row ``"gate": true`` (hot path).
+    gated: bool
+    #: Below the noise floor on both sides — never gated.
+    noisy: bool
+
+    @property
+    def label(self) -> str:
+        return describe_key(self.key)
+
+    def to_dict(self) -> dict:
+        return {
+            "row": self.label,
+            "base_seconds": self.base_seconds,
+            "cur_seconds": self.cur_seconds,
+            "delta_pct": self.delta_pct,
+            "status": self.status,
+            "gated": self.gated,
+            "noisy": self.noisy,
+        }
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison: aligned rows, metadata warnings, verdict."""
+
+    rows: list[RowDiff]
+    warnings: list[str]
+    gate_pct: float
+    min_seconds: float
+    baseline_rev: str = ""
+    current_rev: str = ""
+    #: Gated rows that regressed past the threshold (or vanished).
+    failures: list[RowDiff] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline_rev": self.baseline_rev,
+            "current_rev": self.current_rev,
+            "gate_pct": self.gate_pct,
+            "min_seconds": self.min_seconds,
+            "ok": self.ok,
+            "failures": [row.label for row in self.failures],
+            "warnings": self.warnings,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+
+def metadata_warnings(baseline: dict, current: dict) -> list[str]:
+    """Human-readable drift between two artifacts' run environments."""
+    warnings = []
+    for meta_key in METADATA_KEYS:
+        base, cur = baseline.get(meta_key), current.get(meta_key)
+        if base != cur and (base is not None or cur is not None):
+            warnings.append(
+                f"{meta_key} differs: baseline={base!r} current={cur!r}"
+            )
+    return warnings
+
+
+def diff_artifacts(
+    baseline: dict,
+    current: dict,
+    gate_pct: float | None = None,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BenchDiff:
+    """Align *current* against *baseline* row-by-row.
+
+    A gated baseline row fails the diff when it regressed by more than
+    *gate_pct* percent, or when it is missing from *current* entirely
+    (a silently dropped hot-path benchmark must not pass the gate).
+    New rows and un-gated regressions are informational.
+    """
+    threshold = gate_threshold_pct(gate_pct)
+    base_rows = index_rows(baseline)
+    cur_rows = index_rows(current)
+    diffs: list[RowDiff] = []
+    failures: list[RowDiff] = []
+    for key in sorted(set(base_rows) | set(cur_rows)):
+        base_row, cur_row = base_rows.get(key), cur_rows.get(key)
+        gated = bool(base_row.get("gate")) if base_row else False
+        base_seconds = base_row.get("seconds") if base_row else None
+        cur_seconds = cur_row.get("seconds") if cur_row else None
+        delta_pct: float | None = None
+        noisy = False
+        if base_row is None:
+            status = "new"
+        elif cur_row is None:
+            status = "missing"
+        elif base_seconds is None or cur_seconds is None:
+            # A counters-only row (no timing) can drift but not regress.
+            status = "untimed"
+        else:
+            noisy = base_seconds < min_seconds and cur_seconds < min_seconds
+            if base_seconds > 0:
+                delta_pct = (cur_seconds - base_seconds) / base_seconds * 100.0
+            if delta_pct is not None and delta_pct > threshold and not noisy:
+                status = "regression"
+            elif delta_pct is not None and delta_pct < -threshold and not noisy:
+                status = "improved"
+            else:
+                status = "ok"
+        diff = RowDiff(
+            key=key,
+            base_seconds=base_seconds,
+            cur_seconds=cur_seconds,
+            delta_pct=delta_pct,
+            status=status,
+            gated=gated,
+            noisy=noisy,
+        )
+        diffs.append(diff)
+        if gated and status in ("regression", "missing"):
+            failures.append(diff)
+    return BenchDiff(
+        rows=diffs,
+        warnings=metadata_warnings(baseline, current),
+        gate_pct=threshold,
+        min_seconds=min_seconds,
+        baseline_rev=str(baseline.get("rev", "")),
+        current_rev=str(current.get("rev", "")),
+        failures=failures,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering
+
+
+def _fmt_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "—"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def _fmt_delta(delta_pct: float | None) -> str:
+    if delta_pct is None:
+        return "—"
+    return f"{delta_pct:+.1f}%"
+
+
+def render_report(artifact: dict) -> str:
+    """One artifact as a markdown trend table."""
+    lines = [
+        f"# Bench report — rev `{artifact.get('rev', '?')}`",
+        "",
+        f"- created: {artifact.get('created', '?')}",
+        f"- python: {artifact.get('python', '?')} on "
+        f"{artifact.get('platform', '?')} "
+        f"({artifact.get('cpu_count', '?')} cpus)",
+        "",
+        "| row | seconds | p50 | p95 | gate |",
+        "|---|---:|---:|---:|:---:|",
+    ]
+    for row in sorted(artifact["benchmarks"], key=row_key):
+        quantiles = sample_quantiles(row.get("samples") or [])
+        lines.append(
+            "| {label} | {seconds} | {p50} | {p95} | {gate} |".format(
+                label=describe_key(row_key(row)),
+                seconds=_fmt_seconds(row.get("seconds")),
+                p50=_fmt_seconds(quantiles.get("p50")),
+                p95=_fmt_seconds(quantiles.get("p95")),
+                gate="✓" if row.get("gate") else "",
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_diff(diff: BenchDiff) -> str:
+    """A baseline/current comparison as a markdown trend table."""
+    verdict = "OK" if diff.ok else f"FAIL ({len(diff.failures)} gated row(s))"
+    lines = [
+        f"# Bench diff — `{diff.baseline_rev or '?'}` → "
+        f"`{diff.current_rev or '?'}`: {verdict}",
+        "",
+        f"- gate threshold: +{diff.gate_pct:g}% on rows the baseline "
+        "marks `gate: true`",
+        f"- noise floor: {diff.min_seconds * 1000:g}ms (both sides)",
+    ]
+    for warning in diff.warnings:
+        lines.append(f"- ⚠ {warning}")
+    lines += [
+        "",
+        "| row | baseline | current | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in diff.rows:
+        status = row.status
+        if row.gated:
+            status += " (gated)"
+        if row.noisy:
+            status += " (noise floor)"
+        lines.append(
+            f"| {row.label} | {_fmt_seconds(row.base_seconds)} "
+            f"| {_fmt_seconds(row.cur_seconds)} "
+            f"| {_fmt_delta(row.delta_pct)} | {status} |"
+        )
+    if diff.failures:
+        lines += ["", "Gated regressions:"]
+        for row in diff.failures:
+            lines.append(
+                f"- `{row.label}`: {_fmt_seconds(row.base_seconds)} → "
+                f"{_fmt_seconds(row.cur_seconds)} ({_fmt_delta(row.delta_pct)})"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# CLI (`repro bench ...` and `python -m benchmarks.trend`)
+
+
+def add_bench_subcommands(sub: argparse._SubParsersAction) -> None:
+    """Register ``report`` and ``diff`` on an existing subparser set."""
+    report = sub.add_parser(
+        "report", help="render one BENCH_*.json artifact as a trend table"
+    )
+    report.add_argument("artifact")
+    report.add_argument(
+        "--json", action="store_true", help="emit the artifact summary as JSON"
+    )
+    report.add_argument(
+        "--out", default=None, help="also write the rendering to this path"
+    )
+    report.set_defaults(func=cmd_report)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare a bench artifact against a baseline "
+        "(exit 1 on gated regressions with --gate)",
+    )
+    diff.add_argument("baseline")
+    diff.add_argument("current")
+    diff.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when a row the baseline marks gate:true regressed "
+        "past the threshold (or disappeared)",
+    )
+    diff.add_argument(
+        "--gate-pct", type=float, default=None,
+        help=f"regression threshold in percent "
+        f"(default: ${GATE_PCT_ENV} or {DEFAULT_GATE_PCT:g})",
+    )
+    diff.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        help="noise floor: rows faster than this on both sides are "
+        "never gated",
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON"
+    )
+    diff.add_argument(
+        "--out", default=None, help="also write the rendering to this path"
+    )
+    diff.set_defaults(func=cmd_diff)
+
+
+def _emit(text: str, out: str | None) -> None:
+    print(text, end="")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    artifact = load_artifact(args.artifact)
+    if args.json:
+        payload = dict(artifact)
+        for row in payload["benchmarks"]:
+            samples = row.get("samples")
+            if samples and "p50" not in row:
+                row.update(sample_quantiles(samples))
+        text = json.dumps(payload, indent=2) + "\n"
+    else:
+        text = render_report(artifact)
+    _emit(text, args.out)
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    diff = diff_artifacts(
+        load_artifact(args.baseline),
+        load_artifact(args.current),
+        gate_pct=args.gate_pct,
+        min_seconds=args.min_seconds,
+    )
+    if args.json:
+        text = json.dumps(diff.to_dict(), indent=2) + "\n"
+    else:
+        text = render_diff(diff)
+    _emit(text, args.out)
+    for warning in diff.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.gate and not diff.ok:
+        names = ", ".join(row.label for row in diff.failures)
+        print(f"bench gate FAILED: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="benchmark trend reports and the CI regression gate",
+    )
+    sub = parser.add_subparsers(dest="bench_command", required=True)
+    add_bench_subcommands(sub)
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+__all__ = [
+    "BenchDiff",
+    "DEFAULT_GATE_PCT",
+    "DEFAULT_MIN_SECONDS",
+    "DIMENSIONS",
+    "RowDiff",
+    "add_bench_subcommands",
+    "describe_key",
+    "diff_artifacts",
+    "gate_threshold_pct",
+    "index_rows",
+    "load_artifact",
+    "main",
+    "metadata_warnings",
+    "render_diff",
+    "render_report",
+    "row_key",
+    "sample_quantiles",
+]

@@ -1,6 +1,6 @@
 """A minimal asyncio HTTP/1.1 endpoint for scrapes and probes.
 
-Serves three read-only routes next to the JSON-lines service port,
+Serves four read-only routes next to the JSON-lines service port,
 dependency-free (hand-rolled request parsing — GET only, no bodies):
 
 * ``GET /metrics`` — the Prometheus text exposition
@@ -8,7 +8,9 @@ dependency-free (hand-rolled request parsing — GET only, no bodies):
 * ``GET /healthz`` — liveness JSON (status code 200, or 503 while the
   service drains);
 * ``GET /tracez`` — the recent-trace ring as JSON (``?limit=N`` caps
-  the count, ``?trace_id=...`` selects one trace).
+  the count, ``?trace_id=...`` selects one trace);
+* ``GET /perfz`` — the perf telemetry plane: the component cost model
+  (:mod:`repro.obs.perf`) plus latency-histogram quantile summaries.
 
 The endpoint is provider-driven: the constructor takes callables, not
 service objects, so it composes with anything (and tests can feed it
@@ -57,12 +59,13 @@ def _response(
 class ObservabilityEndpoint:
     """``/metrics`` + ``/healthz`` + ``/tracez`` over plain HTTP.
 
-    ``metrics_text`` returns the exposition body; ``health`` returns
-    ``(status_code, payload_dict)``; ``tracer`` supplies the recent
-    traces.  All three are optional — a missing provider turns its
-    route into a 404.  ``extra`` adds JSON routes generically: a map of
-    path (``"/fabricz"``) to a ``() -> (status_code, payload_dict)``
-    provider, rendered exactly like ``/healthz``.
+    ``metrics_text`` returns the exposition body; ``health`` and
+    ``perf`` return ``(status_code, payload_dict)``; ``tracer``
+    supplies the recent traces.  All are optional — a missing provider
+    turns its route into a 404.  ``extra`` adds JSON routes
+    generically: a map of path (``"/fabricz"``) to a
+    ``() -> (status_code, payload_dict)`` provider, rendered exactly
+    like ``/healthz``.
     """
 
     def __init__(
@@ -71,9 +74,11 @@ class ObservabilityEndpoint:
         health: Callable[[], tuple[int, dict]] | None = None,
         tracer: Tracer | None = None,
         extra: dict[str, Callable[[], tuple[int, dict]]] | None = None,
+        perf: Callable[[], tuple[int, dict]] | None = None,
     ):
         self.metrics_text = metrics_text
         self.health = health
+        self.perf = perf
         self.tracer = tracer if tracer is not None else default_tracer()
         self.extra = dict(extra) if extra else {}
         self._server: asyncio.AbstractServer | None = None
@@ -150,6 +155,13 @@ class ObservabilityEndpoint:
                 )
             if parts.path == "/healthz" and self.health is not None:
                 status, payload = self.health()
+                return _response(
+                    status,
+                    json.dumps(payload, default=str) + "\n",
+                    content_type="application/json",
+                )
+            if parts.path == "/perfz" and self.perf is not None:
+                status, payload = self.perf()
                 return _response(
                     status,
                     json.dumps(payload, default=str) + "\n",

@@ -179,6 +179,44 @@ class Histogram:
         """``(upper bound, cumulative count)`` pairs, ending with +Inf."""
         return self.export()[0]
 
+    def quantile(self, q: float) -> float | None:
+        """The *q*-quantile (``0 < q <= 1``) derived from bucket counts.
+
+        Linear interpolation inside the containing bucket (Prometheus
+        ``histogram_quantile`` semantics); samples in the +Inf bucket
+        clamp to the highest finite bound.  ``None`` with no samples.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            previous = cumulative
+            cumulative += counts[index]
+            if cumulative >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                if counts[index] == 0:  # pragma: no cover - defensive
+                    return bound
+                return lower + (bound - lower) * (rank - previous) / counts[index]
+        # The rank lands in the +Inf bucket: the honest answer is "at
+        # least the top bound" — report the top finite bound.
+        return self.bounds[-1]
+
+    def quantiles(self, qs: Iterable[float] = (0.5, 0.95)) -> dict[str, float]:
+        """``{"p50": ..., "p95": ...}``-style summaries; empty when no
+        samples were observed."""
+        out: dict[str, float] = {}
+        for q in qs:
+            value = self.quantile(q)
+            if value is not None:
+                out[f"p{round(q * 100)}"] = value
+        return out
+
 
 class MetricsRegistry:
     """Named metric series, each identified by (name, labels)."""
@@ -250,6 +288,37 @@ class MetricsRegistry:
         if isinstance(series, (Counter, Gauge)):
             return series.value
         return None
+
+    def histogram_summaries(self) -> dict[str, dict[str, dict]]:
+        """Quantile summaries for every histogram family.
+
+        ``{family name: {label string: {count, sum, p50, p95}}}`` — the
+        ``/perfz`` view of the registry's latency distributions, derived
+        from the bucket counts (mean-only summaries hide tail latency).
+        """
+        with self._lock:
+            families = {
+                name: dict(series)
+                for name, (kind, _help, series) in self._families.items()
+                if kind == "histogram"
+            }
+        out: dict[str, dict[str, dict]] = {}
+        for name, series in sorted(families.items()):
+            rows: dict[str, dict] = {}
+            for label_key, metric in sorted(series.items()):
+                if not isinstance(metric, Histogram):  # pragma: no cover
+                    continue
+                total_sum, total_count = metric.snapshot()
+                if total_count == 0:
+                    continue
+                rows[label_key] = {
+                    "count": total_count,
+                    "sum": total_sum,
+                    **metric.quantiles(),
+                }
+            if rows:
+                out[name] = rows
+        return out
 
     def render_text(self) -> str:
         """The Prometheus text exposition format (plain-text dump)."""

@@ -18,17 +18,29 @@ parallel.  :class:`SolverPool` fans those units out across a
   executor teardown, so long-lived services never replay unbounded
   logs and never pay worker re-fork latency.
 
-* **Determinism.**  Components are dispatched in the same order the
-  sequential solver would visit them, and the verdict is taken from the
-  *lowest-index* violating component, so ``satisfied`` / ``witness``
-  are identical to the sequential path (workers inherit the parent's
-  hash seed under the default ``fork`` start method, keeping clique
-  enumeration order aligned).
+* **Cost-aware group planning.**  Components are packed into at most
+  ``max_workers`` groups before dispatch.  With a warm
+  :class:`~repro.obs.perf.CostModel` (fed by every per-component solve
+  this pool runs), grouping is greedy bin-packing on *predicted* cost —
+  longest predicted component first, into the least-loaded group — so
+  one giant component does not ride with several medium ones while
+  another worker idles.  A cold model falls back to round-robin
+  striping.  The decision (strategy, predicted and observed makespan
+  imbalance) is recorded on the ``parallel_dispatch`` span and in the
+  ``repro_pool_group_imbalance`` gauge.
 
-* **Early cancel.**  As soon as a violation is found at component
-  index *i*, every not-yet-started task with index > *i* is cancelled —
-  lower-index tasks keep running, because one of them may still yield
-  the deterministic (lowest-index) witness.
+* **Determinism.**  Groups hold ascending component indices and the
+  verdict is taken from the *lowest-index* violating component across
+  all groups, so ``satisfied`` / ``witness`` are identical to the
+  sequential path regardless of how components were grouped (workers
+  inherit the parent's hash seed under the default ``fork`` start
+  method, keeping clique enumeration order aligned).
+
+* **Early cancel.**  A worker stops inside its own group at the first
+  violating component (everything after it in the group has a higher
+  index); the coordinator additionally cancels every not-yet-started
+  group whose lowest index exceeds the best witness index found so
+  far.
 
 :class:`PooledDCSatChecker` is a drop-in :class:`DCSatChecker` that
 routes eligible checks through the pool, so a
@@ -55,11 +67,13 @@ from repro.core.results import DCSatResult, DCSatStats
 from repro.core.workspace import Workspace
 from repro.errors import AlgorithmError, ServiceError
 from repro.obs.log import get_logger
+from repro.obs.perf import CostModel, default_cost_model
 from repro.obs.trace import default_tracer
 from repro.obs.trace import span as obs_span
 from repro.query.analysis import is_connected, is_monotone
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.relational.transaction import Transaction
+from repro.service.metrics import default_registry
 from repro.storage import make_backend, resolve_backend_name
 
 Query = ConjunctiveQuery | AggregateQuery
@@ -189,44 +203,58 @@ def _sync_worker(
     return ctx
 
 
-def _solve_component_task(
+def _solve_component_group_task(
     sync: tuple[int, int, tuple, dict | None],
     query: Query,
-    candidates: tuple[str, ...],
+    group: tuple[tuple[int, tuple[str, ...]], ...],
     pivot: bool,
-    index: int = 0,
-) -> tuple[frozenset[str] | None, DCSatStats, list[dict]]:
-    """One per-component clique/world check, run inside a worker.
+) -> list[tuple[int, frozenset[str] | None, DCSatStats, list[dict]]]:
+    """One planned group of per-component checks, run inside a worker.
 
-    Returns the witness, the work counters, and the spans the solve
-    produced — traced locally in this worker process and serialized so
-    the coordinator can re-parent them under the submitting span.
+    *group* holds ``(index, candidates)`` pairs in ascending index
+    order.  Solving stops at the first violating component: everything
+    after it in the group has a higher index, so it can never yield the
+    deterministic (lowest-index) witness.  Each solved component
+    returns its witness, its own work counters (timed individually, so
+    the coordinator can feed the cost model per component), and the
+    spans it produced — traced locally in this worker process and
+    serialized so the coordinator can re-parent them under the
+    submitting span.
     """
     ctx = _sync_worker(*sync)
     workspace: Workspace = ctx["workspace"]
-    stats = DCSatStats(algorithm="opt-pool", parallel_tasks=1)
     tracer = default_tracer()
-    root = tracer.start_trace(
-        "solve_component", component=index, worker_pid=os.getpid()
-    )
-    started = time.perf_counter()
-    try:
-        with tracer.use(root):
-            witness = solve_component(
-                workspace,
-                ctx["fd_graph"],
-                query,
-                set(candidates),
-                ctx["engine"],
-                pivot=pivot,
-                stats=stats,
-            )
-    finally:
-        stats.elapsed_seconds = time.perf_counter() - started
-        root.fold_stats(stats)
-        captured = tracer.finish(root)
-        workspace.clear_active()
-    return witness, stats, captured["spans"]
+    records: list[tuple[int, frozenset[str] | None, DCSatStats, list[dict]]] = []
+    for index, candidates in group:
+        stats = DCSatStats(
+            algorithm="opt-pool",
+            parallel_tasks=1,
+            max_component_size=len(candidates),
+        )
+        root = tracer.start_trace(
+            "solve_component", component=index, worker_pid=os.getpid()
+        )
+        started = time.perf_counter()
+        try:
+            with tracer.use(root):
+                witness = solve_component(
+                    workspace,
+                    ctx["fd_graph"],
+                    query,
+                    set(candidates),
+                    ctx["engine"],
+                    pivot=pivot,
+                    stats=stats,
+                )
+        finally:
+            stats.elapsed_seconds = time.perf_counter() - started
+            root.fold_stats(stats)
+            captured = tracer.finish(root)
+            workspace.clear_active()
+        records.append((index, witness, stats, captured["spans"]))
+        if witness is not None:
+            break
+    return records
 
 
 def _solve_batch_task(
@@ -269,6 +297,21 @@ def _solve_batch_task(
 # Coordinator side.
 
 
+def group_imbalance(loads: list[float]) -> float:
+    """Makespan imbalance of per-group loads: ``(max - mean) / mean``.
+
+    0.0 means perfectly balanced; 1.0 means the heaviest group carries
+    twice the average — the workers assigned lighter groups idle for
+    half the heaviest group's runtime.
+    """
+    if not loads:
+        return 0.0
+    mean = sum(loads) / len(loads)
+    if mean <= 0.0:
+        return 0.0
+    return (max(loads) - mean) / mean
+
+
 class SolverPool:
     """Fans per-component and per-group solver tasks across processes.
 
@@ -276,6 +319,11 @@ class SolverPool:
     changes with :meth:`record_op` (done automatically by
     :class:`PooledDCSatChecker`) so worker snapshots can be advanced
     instead of rebuilt.
+
+    *cost_model* (default: the process-wide
+    :func:`~repro.obs.perf.default_cost_model`) learns per-component
+    solve cost from every check this pool runs and, once warm, drives
+    :meth:`plan_groups`' bin-packing.
     """
 
     def __init__(
@@ -287,11 +335,16 @@ class SolverPool:
         start_method: str | None = None,
         resync_ops: int = 256,
         min_components: int = 2,
+        cost_model: CostModel | None = None,
     ):
         self.checker = checker
         self.max_workers = max_workers or default_pool_size()
         self._backend_name = resolve_backend_name(backend)
         self._engine_name = resolve_engine_name(engine)
+        self.cost_model = (
+            cost_model if cost_model is not None else default_cost_model()
+        )
+        self._planner_name = getattr(checker, "planner", "")
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -455,6 +508,78 @@ class SolverPool:
                     stats.elapsed_seconds = time.perf_counter() - started
                 sp.fold_stats(stats)
 
+    def _observe_component(
+        self, seconds: float, size: int, cliques: int = 0
+    ) -> None:
+        """Feed one per-component timing into the shared cost model."""
+        self.cost_model.observe(
+            seconds,
+            size,
+            engine=self._engine_name,
+            planner=self._planner_name,
+            cliques=cliques,
+        )
+
+    def plan_groups(
+        self,
+        survivors: list[set[str]],
+        strategy: str | None = None,
+    ) -> tuple[list[list[int]], str, list[float]]:
+        """Partition component indices into at most ``max_workers`` groups.
+
+        Returns ``(groups, strategy, predicted_loads)``.  Each group is
+        an ascending list of indices into *survivors*; ``strategy`` is
+        ``"cost"`` (greedy bin-packing on the cost model's predictions,
+        longest-predicted-first into the least-loaded group) or
+        ``"round-robin"`` (index striping — the fallback while the
+        model is cold or has no usable prediction).  ``predicted_loads``
+        carries the per-group predicted seconds under ``"cost"`` and is
+        all zeros under ``"round-robin"``.
+
+        *strategy* forces a specific planner (benchmark comparisons);
+        by default the model picks: warm → cost, cold → round-robin.
+        """
+        count = max(1, min(self.max_workers, len(survivors)))
+        groups: list[list[int]] = [[] for _ in range(count)]
+        loads = [0.0] * count
+        if strategy is None:
+            strategy = "cost" if self.cost_model.warm else "round-robin"
+        if strategy == "cost":
+            predictions = [
+                self.cost_model.predict(
+                    len(candidates),
+                    engine=self._engine_name,
+                    planner=self._planner_name,
+                )
+                for candidates in survivors
+            ]
+            if any(prediction is None for prediction in predictions):
+                strategy = "round-robin"
+            else:
+                order = sorted(
+                    range(len(survivors)),
+                    key=lambda i: (-predictions[i], i),
+                )
+                for index in order:
+                    target = min(range(count), key=lambda g: (loads[g], g))
+                    groups[target].append(index)
+                    loads[target] += predictions[index]
+        if strategy == "round-robin":
+            groups = [[] for _ in range(count)]
+            loads = [0.0] * count
+            for index in range(len(survivors)):
+                groups[index % count].append(index)
+        for group in groups:
+            group.sort()
+        planned = [
+            (group, load) for group, load in zip(groups, loads) if group
+        ]
+        return (
+            [group for group, _ in planned],
+            strategy,
+            [load for _, load in planned],
+        )
+
     def _solve_sequential(
         self,
         query: Query,
@@ -463,6 +588,8 @@ class SolverPool:
         stats: DCSatStats,
     ) -> DCSatResult:
         for index, candidates in enumerate(survivors):
+            cliques_before = stats.cliques_enumerated
+            started = time.perf_counter()
             with obs_span("solve_component", component=index):
                 witness = solve_component(
                     self.checker.workspace,
@@ -473,6 +600,14 @@ class SolverPool:
                     pivot=pivot,
                     stats=stats,
                 )
+            # The sequential path warms the same cost model the parallel
+            # planner reads, so a pool that starts below min_components
+            # still learns component costs.
+            self._observe_component(
+                time.perf_counter() - started,
+                len(candidates),
+                cliques=stats.cliques_enumerated - cliques_before,
+            )
             if witness is not None:
                 return DCSatResult(satisfied=False, witness=witness, stats=stats)
         return DCSatResult(satisfied=True, stats=stats)
@@ -486,21 +621,31 @@ class SolverPool:
     ) -> DCSatResult:
         executor, sync = self._prepare()
         tracer = default_tracer()
+        groups, strategy, predicted = self.plan_groups(survivors)
         with obs_span(
             "parallel_dispatch",
             components=len(survivors),
             workers=self.max_workers,
+            groups=len(groups),
+            strategy=strategy,
         ) as dispatch:
-            futures = {}
-            for index, candidates in enumerate(survivors):
-                future = executor.submit(
-                    _solve_component_task, sync, query,
-                    tuple(sorted(candidates)), pivot, index,
+            if strategy == "cost":
+                dispatch.set(
+                    predicted_imbalance=round(group_imbalance(predicted), 4)
                 )
-                futures[future] = index
+            futures = {}
+            for group_index, group in enumerate(groups):
+                payload = tuple(
+                    (index, tuple(sorted(survivors[index]))) for index in group
+                )
+                future = executor.submit(
+                    _solve_component_group_task, sync, query, payload, pivot
+                )
+                futures[future] = group_index
             best_index: int | None = None
             best_witness: frozenset[str] | None = None
             cancelled = 0
+            group_elapsed: dict[int, float] = {}
             pending = set(futures)
             try:
                 while pending:
@@ -508,25 +653,51 @@ class SolverPool:
                     for future in done:
                         if future.cancelled():
                             continue
-                        witness, task_stats, spans = future.result()
-                        stats.merge(task_stats)
-                        tracer.adopt(spans, dispatch)
-                        index = futures[future]
-                        if witness is not None and (
-                            best_index is None or index < best_index
-                        ):
-                            best_index, best_witness = index, witness
+                        records = future.result()
+                        group_index = futures[future]
+                        elapsed = 0.0
+                        for index, witness, task_stats, spans in records:
+                            stats.merge(task_stats)
+                            tracer.adopt(spans, dispatch)
+                            self._observe_component(
+                                task_stats.elapsed_seconds,
+                                task_stats.max_component_size,
+                                cliques=task_stats.cliques_enumerated,
+                            )
+                            elapsed += task_stats.elapsed_seconds
+                            if witness is not None and (
+                                best_index is None or index < best_index
+                            ):
+                                best_index, best_witness = index, witness
+                        group_elapsed[group_index] = elapsed
                     if best_index is not None:
-                        # Early cancel: components after the lowest violating
-                        # index can no longer influence the verdict.
+                        # Early cancel: a group whose lowest index exceeds
+                        # the best witness can no longer influence the
+                        # verdict (workers already stop within a group).
                         for future in list(pending):
-                            if futures[future] > best_index and future.cancel():
+                            group = groups[futures[future]]
+                            if group[0] > best_index and future.cancel():
                                 pending.discard(future)
                                 cancelled += 1
             finally:
                 for future in pending:
                     future.cancel()
                 dispatch.set(cancelled=cancelled)
+                if group_elapsed:
+                    observed = group_imbalance(list(group_elapsed.values()))
+                    dispatch.set(observed_imbalance=round(observed, 4))
+                    registry = default_registry()
+                    registry.gauge(
+                        "repro_pool_group_imbalance",
+                        "Observed makespan imbalance of the last parallel "
+                        "dispatch: (max - mean) / mean of per-group solve "
+                        "seconds.",
+                    ).set(observed)
+                    registry.counter(
+                        "repro_pool_group_plans_total",
+                        "Parallel dispatches, by group-planning strategy.",
+                        labels={"strategy": strategy},
+                    ).inc()
         if best_index is not None:
             return DCSatResult(
                 satisfied=False, witness=best_witness, stats=stats

@@ -148,6 +148,7 @@ def stats_to_wire(stats: DCSatStats) -> dict:
         "short_circuit_result": stats.short_circuit_result,
         "components_total": stats.components_total,
         "components_pruned": stats.components_pruned,
+        "max_component_size": stats.max_component_size,
         "cliques_enumerated": stats.cliques_enumerated,
         "worlds_checked": stats.worlds_checked,
         "evaluations": stats.evaluations,

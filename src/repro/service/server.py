@@ -42,6 +42,7 @@ from repro.core.monitor import ConstraintMonitor
 from repro.errors import ReproError, ServiceError
 from repro.obs.http import ObservabilityEndpoint
 from repro.obs.log import get_logger
+from repro.obs.perf import build_info, default_cost_model
 from repro.obs.trace import Span, Tracer, default_tracer
 from repro.service import protocol
 from repro.service.metrics import MetricsRegistry, default_registry
@@ -104,6 +105,8 @@ class ConstraintService:
         #: Test/diagnostics hook, run in the solver thread before every
         #: queued operation (e.g. an injected delay).
         self.before_op = before_op
+        #: Wall-clock service start, for ``/healthz`` uptime reporting.
+        self._started_at = time.time()
 
         self._queue: asyncio.Queue | None = None
         self._solver = ThreadPoolExecutor(
@@ -635,10 +638,35 @@ class ConstraintService:
             text += shared.render_text()
         return text
 
+    def _perfz(self) -> tuple[int, dict]:
+        """``GET /perfz``: the perf telemetry plane in one payload —
+        the component cost model driving the pool's group planning,
+        quantile summaries of every latency histogram (service-local
+        and process-wide), and the serving build for correlation with
+        committed bench artifacts."""
+        summaries = self.metrics.histogram_summaries()
+        shared = default_registry()
+        if shared is not self.metrics:
+            for name, rows in shared.histogram_summaries().items():
+                summaries.setdefault(name, rows)
+        return 200, {
+            "cost_model": default_cost_model().snapshot(),
+            "histograms": summaries,
+            "build": self._build_payload(),
+        }
+
+    def _build_payload(self) -> dict:
+        """Build identity + uptime: the correlation key between a scrape
+        and the exact revision (and process) that served it."""
+        payload = build_info()
+        payload["uptime_seconds"] = round(time.time() - self._started_at, 3)
+        return payload
+
     def _health(self) -> tuple[int, dict]:
         """Liveness payload for ``GET /healthz`` (503 while stopping)."""
         payload: dict = {
             "status": "stopping" if self._stopping else "ok",
+            "build": self._build_payload(),
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "queue_limit": self.queue_limit,
             "inflight": self._inflight,
@@ -703,9 +731,9 @@ class ConstraintService:
 
         With *http_port* set (0 picks a free port), an
         :class:`~repro.obs.http.ObservabilityEndpoint` serves
-        ``/metrics``, ``/healthz`` and ``/tracez`` alongside the JSON
-        protocol; its bound address lands in ``self.http_host`` /
-        ``self.http_port`` before *ready* fires.
+        ``/metrics``, ``/healthz``, ``/tracez`` and ``/perfz``
+        alongside the JSON protocol; its bound address lands in
+        ``self.http_host`` / ``self.http_port`` before *ready* fires.
         """
         loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
@@ -729,6 +757,7 @@ class ConstraintService:
                 health=self._health,
                 tracer=self.tracer,
                 extra=extra,
+                perf=self._perfz,
             )
             self.http_host, self.http_port = await self._http.start(
                 host=http_host, port=http_port

@@ -130,6 +130,36 @@ class TestPooledEndToEnd:
         assert payload["queue_limit"] == server.service.queue_limit
         assert payload["pools"][0]["max_workers"] == 2
 
+    def test_perfz_exposes_the_cost_model_end_to_end(self, server, client):
+        client.register("perf-conflict", Q_CONFLICT)
+        client.status("perf-conflict")
+        status, body = http_get(server.http_host, server.http_port, "/perfz")
+        assert status == 200
+        payload = json.loads(body)
+        # The pooled check above fed the process-wide cost model, and
+        # the scrape renders it: observation counts plus per-bucket
+        # EWMA rows tagged with engine and planner.
+        model = payload["cost_model"]
+        assert model["observations"] >= 1
+        assert model["estimates"], "no cost estimates after a pooled check"
+        row = model["estimates"][0]
+        assert {"size_bucket", "engine", "planner", "ewma_seconds", "samples"} <= set(row)
+        # Histogram summaries carry derived quantiles for the hot paths.
+        for summary in payload["histograms"].values():
+            for series in summary.values():
+                assert {"count", "sum", "p50", "p95"} <= set(series)
+        # And the build stamp ties the scrape to a revision.
+        assert payload["build"]["git_rev"]
+        assert payload["build"]["version"]
+        assert payload["build"]["uptime_seconds"] >= 0
+
+    def test_healthz_carries_the_build_stamp(self, server, client):
+        client.ping()
+        status, body = http_get(server.http_host, server.http_port, "/healthz")
+        assert status == 200
+        build = json.loads(body)["build"]
+        assert set(build) == {"git_rev", "version", "python", "uptime_seconds"}
+
     def test_client_supplied_trace_id_is_honored(self, server, client):
         client.register("supplied", Q_CONFLICT)
         client.status("supplied", deadline=30.0)

@@ -1,0 +1,107 @@
+"""The benchmark artifact writer: schema, metadata stamping, env-driven
+output paths, rev fallback outside a checkout, and concurrent recording."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from benchmarks import conftest as bench
+
+
+class TestArtifactShape:
+    def test_schema_and_metadata(self):
+        artifact = bench.build_artifact(
+            [{"name": "x.y", "seconds": 0.5}], rev="abc1234"
+        )
+        assert artifact["schema"] == bench.SCHEMA_VERSION
+        assert artifact["rev"] == "abc1234"
+        assert artifact["python"]
+        assert artifact["platform"]
+        assert artifact["cpu_count"] >= 1
+        assert artifact["created"].endswith("Z")
+        assert artifact["benchmarks"] == [{"name": "x.y", "seconds": 0.5}]
+
+    def test_rows_sorted_by_name(self):
+        artifact = bench.build_artifact(
+            [{"name": "z"}, {"name": "a"}, {"name": "m"}], rev="r"
+        )
+        assert [row["name"] for row in artifact["benchmarks"]] == ["a", "m", "z"]
+
+    def test_samples_derive_quantiles(self):
+        artifact = bench.build_artifact(
+            [{"name": "t", "seconds": 0.2, "samples": [0.1, 0.2, 0.3, 0.4, 1.0]}],
+            rev="r",
+        )
+        row = artifact["benchmarks"][0]
+        assert row["p50"] == 0.3
+        assert row["p95"] == pytest.approx(0.4 + 0.8 * 0.6)
+        # The raw samples stay in the row for downstream re-derivation.
+        assert row["samples"] == [0.1, 0.2, 0.3, 0.4, 1.0]
+
+
+class TestOutputPaths:
+    def test_explicit_json_path_wins(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        env = {"REPRO_BENCH_JSON": path, "REPRO_BENCH_WRITE": "1"}
+        assert bench._bench_json_path(env) == path
+
+    def test_write_flag_uses_default_rev_naming(self):
+        path = bench._bench_json_path({"REPRO_BENCH_WRITE": "1"})
+        assert path == f"BENCH_{bench._git_rev()}.json"
+        assert bench._git_rev() != "dev"  # this IS a checkout
+
+    def test_no_env_means_no_artifact(self):
+        assert bench._bench_json_path({}) is None
+
+    def test_rev_falls_back_outside_a_checkout(self, tmp_path):
+        assert bench._git_rev(cwd=str(tmp_path)) == "dev"
+
+
+class TestWriter:
+    def test_write_artifact_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        written = bench.write_artifact(
+            str(path), [{"name": "a", "seconds": 1.0, "gate": True}], rev="r1"
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert loaded["benchmarks"][0]["gate"] is True
+
+    def test_sessionfinish_writes_when_enabled(self, tmp_path, monkeypatch):
+        path = tmp_path / "session.json"
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(path))
+        monkeypatch.setattr(bench, "_bench_records", [{"name": "s", "seconds": 2.0}])
+        bench.pytest_sessionfinish(session=None, exitstatus=0)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == bench.SCHEMA_VERSION
+        assert loaded["benchmarks"] == [{"name": "s", "seconds": 2.0}]
+
+    def test_sessionfinish_noop_without_records(self, tmp_path, monkeypatch):
+        path = tmp_path / "empty.json"
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(path))
+        monkeypatch.setattr(bench, "_bench_records", [])
+        bench.pytest_sessionfinish(session=None, exitstatus=0)
+        assert not path.exists()
+
+    def test_concurrent_record_bench_loses_nothing(self, monkeypatch):
+        records: list = []
+        monkeypatch.setattr(bench, "_bench_records", records)
+        threads = [
+            threading.Thread(
+                target=lambda t=t: [
+                    bench.record_bench(f"c.{t}", seconds=i / 1000)
+                    for i in range(100)
+                ]
+            )
+            for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(records) == 800
+        artifact = bench.build_artifact(records, rev="r")
+        assert len(artifact["benchmarks"]) == 800
