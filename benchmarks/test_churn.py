@@ -1,0 +1,223 @@
+"""Incremental verdict maintenance under mempool churn, measured.
+
+A seeded trace of mempool events — arrivals, mined transactions
+(:meth:`~repro.bitcoin.mempool.Mempool.remove_confirmed` + relational
+commits), fee evictions — drives two monitors over the same Bitcoin
+world: one maintaining verdicts through the component-scoped verdict
+ledger (the default), one recomputing from scratch
+(``incremental=False``).  After every event both monitors re-answer the
+same standing battery of double-spend constraints; the per-event
+latencies land as raw samples in ``BENCH_<rev>.json`` and the gated row
+asserts the ledger's median per-event win.
+
+The world holds one *contested outpoint*: a payer fee-bumps the same
+payment ``REPRO_BENCH_CHURN_CLIQUE`` times, so the mempool carries a
+clique of mutually-conflicting replacements — one possible world per
+clique member.  Each monitored constraint pins two replacements ("both
+of these in one world" — satisfied, superset-true), so a fresh check
+must sweep every world of the clique while the ledger re-answers from
+the clean component entry.  Ordinary single-input payments churn around
+the clique; mined commits grow the committed state and blanket-dirty
+the ledger, so the trace keeps them a realistic minority.
+
+Sized by ``REPRO_BENCH_CHURN_EVENTS`` / ``_CLIQUE`` / ``_CONSTRAINTS``
+/ ``_MIN_SPEEDUP``; docs/INCREMENTAL.md describes the machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import statistics
+import time
+
+from benchmarks.conftest import record_bench
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.keys import KeyPair
+from repro.bitcoin.mempool import Mempool
+from repro.bitcoin.relmap import (
+    chain_resolver,
+    to_blockchain_database,
+    transaction_to_relational,
+)
+from repro.bitcoin.script import P2PKScript
+from repro.bitcoin.transactions import COIN, TxOutput
+from repro.bitcoin.wallet import Wallet
+from repro.core.checker import DCSatChecker
+from repro.core.monitor import ConstraintMonitor
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+EVENTS = _env_int("REPRO_BENCH_CHURN_EVENTS", 40)
+CLIQUE = _env_int("REPRO_BENCH_CHURN_CLIQUE", 32)
+CONSTRAINTS = _env_int("REPRO_BENCH_CHURN_CONSTRAINTS", 6)
+MIN_SPEEDUP = _env_int("REPRO_BENCH_CHURN_MIN_SPEEDUP", 5)
+SEED = _env_int("REPRO_BENCH_CHURN_SEED", 100)
+#: Ordinary (non-clique) transactions resident before the trace starts.
+WARM_ORDINARY = 12
+
+
+def double_spend_query(tx1: str, tx2: str) -> str:
+    """Both of these replacements in the same possible world: the shared
+    ``(prevTxId, prevSer)`` join pins the contested outpoint, and the
+    ``TxIn`` key makes the conjunction unsatisfiable — a verdict only a
+    full sweep of the clique's component can prove."""
+    return (
+        f"q() <- TxIn(p, s, k, a, '{tx1}', g1), "
+        f"TxIn(p, s, k, a, '{tx2}', g2)"
+    )
+
+
+def build_world():
+    """A genesis-funded chain, a contested-outpoint conflict clique and
+    a pool of independent single-input payments for the trace."""
+    ordinary_count = WARM_ORDINARY + EVENTS
+    contester = Wallet(KeyPair.generate(f"{SEED}:contester"), name="contester")
+    payers = [
+        Wallet(KeyPair.generate(f"{SEED}:payer:{i}"), name=f"payer{i}")
+        for i in range(ordinary_count)
+    ]
+    sink = KeyPair.generate(f"{SEED}:sink").public_key
+
+    # One genesis block funds everyone; the coinbase is capped at the
+    # block subsidy, so the payers split what the contester leaves.
+    chain = Blockchain(difficulty=0)
+    share = (48 * COIN) // ordinary_count
+    assert share > 200_000, "trace too long for one genesis subsidy"
+    outputs = [TxOutput(2 * COIN, P2PKScript(contester.public_key))]
+    outputs += [TxOutput(share, P2PKScript(w.public_key)) for w in payers]
+    chain.append_genesis(outputs)
+
+    # The clique: one payment plus CLIQUE - 1 fee bumps, all spending the
+    # contester's single genesis output — pairwise TxIn-key conflicts.
+    original = contester.create_payment(chain.utxos, sink, 1_000, 10)
+    clique = [original]
+    for extra in range(1, CLIQUE):
+        clique.append(contester.bump_fee(chain.utxos, original, extra))
+
+    rng = random.Random(SEED)
+    ordinary = [
+        payer.create_payment(
+            chain.utxos, sink, rng.randint(1_000, 50_000), rng.randint(1, 50)
+        )
+        for payer in payers
+    ]
+    return chain, clique, ordinary
+
+
+def test_churn_ledger_beats_recompute():
+    chain, clique, ordinary = build_world()
+    assert len(clique) >= 2 * CONSTRAINTS, "clique too small for the battery"
+    protected = {tx.txid for tx in clique}
+    warm = list(clique) + ordinary[:WARM_ORDINARY]
+    arrivals = ordinary[WARM_ORDINARY:]
+    resolve = chain_resolver(chain)
+
+    mempool = Mempool(allow_conflicts=True)
+    for tx in warm:
+        mempool.add(tx, chain)
+
+    ledger_monitor = ConstraintMonitor(
+        DCSatChecker(to_blockchain_database(chain, warm)), incremental=True
+    )
+    recompute_monitor = ConstraintMonitor(
+        DCSatChecker(to_blockchain_database(chain, warm)), incremental=False
+    )
+    monitors = (ledger_monitor, recompute_monitor)
+    names = []
+    for index in range(CONSTRAINTS):
+        name = f"double-spend-{index}"
+        names.append(name)
+        query = double_spend_query(
+            clique[2 * index].txid, clique[2 * index + 1].txid
+        )
+        for monitor in monitors:
+            monitor.register(name, query)
+
+    def status_seconds(monitor) -> float:
+        started = time.perf_counter()
+        for name in names:
+            result = monitor.status(name, use_subsumption=False)
+            assert result.satisfied, f"{name} must stay satisfied"
+        return time.perf_counter() - started
+
+    # Warm both monitors (and the ledger) once before the trace.
+    for monitor in monitors:
+        status_seconds(monitor)
+
+    rng = random.Random(SEED)
+    ledger_samples: list[float] = []
+    recompute_samples: list[float] = []
+    applied = {"arrival": 0, "mined": 0, "eviction": 0, "skipped": 0}
+    for _ in range(EVENTS):
+        kind = rng.choices(
+            ["arrival", "mined", "eviction"], weights=[6, 1, 2]
+        )[0]
+        if kind == "arrival" and not arrivals:
+            kind = "eviction"
+        if kind == "arrival":
+            tx = arrivals.pop(0)
+            mempool.add(tx, chain)
+            relational = transaction_to_relational(tx, resolve)
+            for monitor in monitors:
+                monitor.issue(relational)
+        else:
+            candidates = [
+                txid for txid in mempool._txs if txid not in protected
+            ]
+            if not candidates:
+                applied["skipped"] += 1
+                continue
+            txid = candidates[rng.randrange(len(candidates))]
+            if kind == "mined":
+                mempool.remove_confirmed({txid})
+                for monitor in monitors:
+                    monitor.commit(txid)
+            else:
+                mempool.remove(txid)
+                for monitor in monitors:
+                    monitor.forget(txid)
+        applied[kind] += 1
+        ledger_samples.append(status_seconds(ledger_monitor))
+        recompute_samples.append(status_seconds(recompute_monitor))
+
+    assert len(ledger_samples) >= EVENTS // 2, applied
+    ledger_s = statistics.median(ledger_samples)
+    recompute_s = statistics.median(recompute_samples)
+    speedup = recompute_s / ledger_s if ledger_s else float("inf")
+    counters = ledger_monitor.ledger.counters
+    record_bench(
+        "churn.per_event_status",
+        gate=True,
+        events=len(ledger_samples),
+        constraints=len(names),
+        clique=len(clique),
+        mempool_arrivals=applied["arrival"],
+        mined=applied["mined"],
+        evictions=applied["eviction"],
+        seconds=ledger_s,
+        recompute_seconds=recompute_s,
+        speedup=speedup,
+        components_reused=counters["reused"],
+        components_swept=counters["swept"],
+        samples=ledger_samples,
+    )
+    record_bench(
+        "churn.per_event_status_recompute",
+        events=len(recompute_samples),
+        constraints=len(names),
+        seconds=recompute_s,
+        samples=recompute_samples,
+    )
+    assert counters["reused"] > 0, "the trace never reused a component"
+    assert speedup >= MIN_SPEEDUP, (
+        f"ledger median {ledger_s * 1e3:.2f}ms vs recompute "
+        f"{recompute_s * 1e3:.2f}ms — only {speedup:.1f}x, "
+        f"needed {MIN_SPEEDUP}x ({applied})"
+    )

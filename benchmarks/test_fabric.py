@@ -125,6 +125,7 @@ def test_process_fleet_beats_single_process_shards(tmp_path):
     )
     record_bench(
         "fabric.status_all",
+        gate=True,
         batteries=BATTERIES,
         keys=KEYS,
         shards=BATTERIES,

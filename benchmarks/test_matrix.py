@@ -76,6 +76,7 @@ def test_matrix_cell(algorithm, backend, engine):
     assert result.stats.worlds_checked or result.stats.assignments_examined
     record_bench(
         "matrix.k_clique",
+        gate=True,
         algorithm=algorithm,
         engine=engine,
         backend=backend,

@@ -6,21 +6,50 @@ stays under X") that must be re-examined as the mempool churns.
 :class:`ConstraintMonitor` wraps a :class:`~repro.core.checker.DCSatChecker`,
 registers named denial constraints, caches verdicts, and invalidates
 only the constraints whose relations a state change touches.
+
+Verdicts are maintained *incrementally* (docs/INCREMENTAL.md): the
+monitor owns a :class:`~repro.core.incremental.VerdictLedger` of
+component-scoped sub-verdicts, so an invalidated constraint usually
+re-sweeps only the components the state change actually reached and
+reuses (or revalidates) the rest.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.checker import DCSatChecker
-from repro.core.results import DCSatResult
+from repro.core.incremental import (
+    VerdictLedger,
+    component_footprint,
+    component_still_satisfied,
+    component_still_satisfied_async,
+    revalidate_witness,
+    revalidate_witness_async,
+)
+from repro.core.opt import (
+    component_survivors,
+    solve_component,
+    solve_component_async,
+)
+from repro.core.results import DCSatResult, DCSatStats
 from repro.errors import ReproError
+from repro.obs.perf import default_cost_model
 from repro.obs.trace import span as obs_span
+from repro.query.analysis import is_connected, is_monotone
 from repro.query.ast import AggregateQuery, ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.relational.constraints import ConstraintSet
 from repro.relational.transaction import Transaction
+
+#: check() keyword arguments the ledger path understands.  Anything else
+#: (pending_limit, an explicit non-opt algorithm) routes the entry to
+#: the plain checker, exactly as before.
+_INCREMENTAL_KWARGS = frozenset(
+    {"algorithm", "short_circuit", "use_coverage", "pivot", "normalize"}
+)
 
 
 def coupled_relations(
@@ -74,11 +103,35 @@ class MonitorEntry:
 
 
 class ConstraintMonitor:
-    """Registers denial constraints; re-checks lazily on state changes."""
+    """Registers denial constraints; re-checks lazily on state changes.
 
-    def __init__(self, checker: DCSatChecker):
+    With ``incremental`` (default), verdict recomputation for monotone
+    connected constraints runs through the component-scoped
+    :class:`~repro.core.incremental.VerdictLedger` instead of a full
+    OptDCSat sweep: clean components are reused, and — under
+    ``witness_mode="revalidate"`` — dirty components first try the
+    cheap witness-revalidation / component-short-circuit probes.
+    ``witness_mode="strict"`` (default) re-sweeps every dirty
+    component, keeping witnesses bit-identical to a fresh recompute.
+    """
+
+    def __init__(
+        self,
+        checker: DCSatChecker,
+        incremental: bool = True,
+        witness_mode: str = "strict",
+    ):
         self.checker = checker
+        self.incremental = incremental
+        self.ledger = VerdictLedger(witness_mode=witness_mode)
         self._entries: dict[str, MonitorEntry] = {}
+        #: Per-constraint count of ledger entries the most recent state
+        #: change dirtied or pruned — surfaced by the service layers as
+        #: the op response's ``dirty_components`` payload.
+        self.last_dirty_components: dict[str, int] = {}
+        #: Same counts accumulated until the constraint's next check
+        #: (several ops can land between two status calls).
+        self._dirty_since_check: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -107,6 +160,13 @@ class ConstraintMonitor:
         if name not in self._entries:
             raise ReproError(f"no constraint named {name!r}")
         del self._entries[name]
+        # Long-lived servers churn constraints: drop the per-constraint
+        # state that would otherwise outlive the registration (ledger
+        # sub-verdicts here; the server additionally removes its
+        # labelled latency series).
+        self.ledger.drop(name)
+        self._dirty_since_check.pop(name, None)
+        self.last_dirty_components.pop(name, None)
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -128,7 +188,9 @@ class ConstraintMonitor:
         If ``¬q1`` subsumes ``¬q2`` and ``q1`` is satisfied on this
         database, ``q2`` is satisfied too — no solver run needed.  Only
         positive conjunctive queries participate (the containment test's
-        scope).
+        scope).  Verdicts assembled from reused ledger components are
+        ordinary cached results, so they cover subsumed constraints
+        exactly like fully swept ones.
         """
         from repro.query.ast import ConjunctiveQuery
         from repro.query.containment import denial_subsumes
@@ -159,8 +221,6 @@ class ConstraintMonitor:
             if entry.result is None and use_subsumption:
                 covering = self._subsumed_by_satisfied(entry)
                 if covering is not None:
-                    from repro.core.results import DCSatStats
-
                     entry.result = DCSatResult(
                         satisfied=True,
                         stats=DCSatStats(algorithm=f"subsumed-by:{covering}"),
@@ -169,9 +229,7 @@ class ConstraintMonitor:
                     return entry.result
             if entry.result is None:
                 sp.set(outcome="check")
-                entry.result = self.checker.check(
-                    entry.query, **entry.check_kwargs
-                )
+                entry.result = self._check_entry(entry)
                 entry.checks_run += 1
             else:
                 sp.set(outcome="cache-hit")
@@ -194,8 +252,6 @@ class ConstraintMonitor:
             if entry.result is None and use_subsumption:
                 covering = self._subsumed_by_satisfied(entry)
                 if covering is not None:
-                    from repro.core.results import DCSatStats
-
                     entry.result = DCSatResult(
                         satisfied=True,
                         stats=DCSatStats(algorithm=f"subsumed-by:{covering}"),
@@ -204,9 +260,7 @@ class ConstraintMonitor:
                     return entry.result
             if entry.result is None:
                 sp.set(outcome="check")
-                entry.result = await self.checker.check_async(
-                    entry.query, **entry.check_kwargs
-                )
+                entry.result = await self._check_entry_async(entry)
                 entry.checks_run += 1
             else:
                 sp.set(outcome="cache-hit")
@@ -223,8 +277,6 @@ class ConstraintMonitor:
         fall back to individual checks.
         """
         if batch:
-            from repro.query.analysis import is_monotone
-
             batchable = [
                 entry
                 for entry in self._entries.values()
@@ -250,6 +302,384 @@ class ConstraintMonitor:
             for name, result in self.status_all().items()
             if not result.satisfied
         }
+
+    # ------------------------------------------------------------------
+    # Incremental checking through the verdict ledger
+
+    def _incremental_eligible(self, entry: MonitorEntry) -> bool:
+        """Can this entry's verdict be maintained through the ledger?
+
+        The ledger path is OptDCSat with component-level memoization, so
+        the eligibility gate mirrors the pool's: default-ish kwargs, an
+        ``auto``/``opt`` algorithm request, and a monotone connected
+        query.  Everything else takes the plain checker path unchanged.
+        """
+        if not self.incremental:
+            return False
+        if not set(entry.check_kwargs) <= _INCREMENTAL_KWARGS:
+            return False
+        if entry.check_kwargs.get("algorithm", "auto") not in ("auto", "opt"):
+            return False
+        query = entry.query
+        return is_monotone(
+            query, self.checker.assume_nonnegative_sums
+        ) and is_connected(query)
+
+    def _check_entry(self, entry: MonitorEntry) -> DCSatResult:
+        if self._incremental_eligible(entry):
+            return self._check_incremental(entry)
+        self._dirty_since_check.pop(entry.name, None)
+        return self.checker.check(entry.query, **entry.check_kwargs)
+
+    async def _check_entry_async(self, entry: MonitorEntry) -> DCSatResult:
+        if self._incremental_eligible(entry):
+            return await self._check_incremental_async(entry)
+        self._dirty_since_check.pop(entry.name, None)
+        return await self.checker.check_async(
+            entry.query, **entry.check_kwargs
+        )
+
+    def _incremental_preamble(
+        self, entry: MonitorEntry
+    ) -> tuple[ConjunctiveQuery | AggregateQuery | None, DCSatResult | None, DCSatStats]:
+        """Shared setup of the ledger path: normalize + dirty counters.
+
+        Returns ``(query, early_result, stats)`` — ``early_result`` is
+        non-None when normalization already decided the check.
+        """
+        kwargs = entry.check_kwargs
+        stats = DCSatStats()
+        stats.dirty_components = self._dirty_since_check.pop(entry.name, 0)
+        query = entry.query
+        if kwargs.get("normalize", True):
+            from repro.query.rewriter import Verdict
+            from repro.query.rewriter import normalize as normalize_query
+
+            query, verdict = normalize_query(query)
+            if verdict is Verdict.UNSATISFIABLE:
+                stats.algorithm = "rewrite"
+                return None, DCSatResult(satisfied=True, stats=stats), stats
+        return query, None, stats
+
+    def _check_incremental(self, entry: MonitorEntry) -> DCSatResult:
+        """OptDCSat with the ledger consulted per surviving component."""
+        checker = self.checker
+        kwargs = entry.check_kwargs
+        query, early, stats = self._incremental_preamble(entry)
+        if early is not None:
+            return early
+        started = time.perf_counter()
+        with obs_span("dcsat.check", requested="opt-ledger") as sp:
+            try:
+                decided = checker.fast_paths(
+                    query, True, kwargs.get("short_circuit", True), stats
+                )
+                if decided is not None:
+                    return decided
+                stats.algorithm = "opt-ledger"
+                survivors = component_survivors(
+                    checker.workspace,
+                    checker.fd_graph,
+                    checker.ind_graph,
+                    query,
+                    use_coverage=kwargs.get("use_coverage", True),
+                    stats=stats,
+                )
+                plan = self.ledger.plan(entry.name, checker.epoch, survivors)
+                return self._solve_with_ledger(
+                    entry.name, query, survivors, plan,
+                    kwargs.get("pivot", True), stats,
+                )
+            finally:
+                stats.elapsed_seconds = time.perf_counter() - started
+                sp.fold_stats(stats)
+                checker.workspace.clear_active()
+
+    def _resolve_cached(
+        self,
+        name: str,
+        query,
+        plan,
+        survivors: list[set[str]],
+        stats: DCSatStats,
+        counters: dict[str, int],
+    ) -> tuple[int | None, frozenset[str] | None, list[int]]:
+        """Resolve reuse/revalidate dispositions (the cheap ones) first.
+
+        Returns ``(cutoff, cutoff_witness, sweep_indices)``: the lowest
+        component index already *known* violated from the ledger (with
+        its witness), and the indices below it that still need a sweep.
+        A fresh recompute stops at its first violated component, so
+        components past the cutoff are irrelevant either way.
+        """
+        checker = self.checker
+        cutoff: int | None = None
+        cutoff_witness: frozenset[str] | None = None
+        sweep_indices: list[int] = []
+        for index, (disposition, ledger_entry) in enumerate(plan):
+            candidates = survivors[index]
+            if disposition == "reuse":
+                stats.components_reused += 1
+                counters["reused"] += 1
+                self.ledger.touch(name, ledger_entry)
+                if ledger_entry.witness is not None:
+                    cutoff, cutoff_witness = index, ledger_entry.witness
+                    break
+                continue
+            if disposition == "revalidate":
+                counters["revalidations"] += 1
+                stats.witness_revalidations += 1
+                probe_started = time.perf_counter()
+                if ledger_entry.witness is not None:
+                    alive = revalidate_witness(
+                        checker.workspace, checker.engine, query,
+                        ledger_entry.witness, stats,
+                    )
+                else:
+                    alive = component_still_satisfied(
+                        checker.engine, query, candidates, stats
+                    )
+                self._observe_probe(
+                    time.perf_counter() - probe_started, len(candidates)
+                )
+                if alive:
+                    counters["revalidation_hits"] += 1
+                    refreshed = self.ledger.store(
+                        name, ledger_entry.key, ledger_entry.footprint,
+                        ledger_entry.witness, checker.epoch,
+                    )
+                    if refreshed.witness is not None:
+                        cutoff, cutoff_witness = index, refreshed.witness
+                        break
+                    continue
+            sweep_indices.append(index)
+        return cutoff, cutoff_witness, sweep_indices
+
+    def _solve_with_ledger(
+        self,
+        name: str,
+        query,
+        survivors: list[set[str]],
+        plan,
+        pivot: bool,
+        stats: DCSatStats,
+    ) -> DCSatResult:
+        checker = self.checker
+        counters = self.ledger.counters
+        cutoff, cutoff_witness, sweep_indices = self._resolve_cached(
+            name, query, plan, survivors, stats, counters
+        )
+        witness = self._solve_dirty(
+            name, query, survivors, sweep_indices, pivot, stats
+        )
+        if witness is not None:
+            return DCSatResult(satisfied=False, witness=witness, stats=stats)
+        if cutoff_witness is not None:
+            return DCSatResult(
+                satisfied=False, witness=cutoff_witness, stats=stats
+            )
+        return DCSatResult(satisfied=True, stats=stats)
+
+    def _solve_dirty(
+        self,
+        name: str,
+        query,
+        survivors: list[set[str]],
+        indices: list[int],
+        pivot: bool,
+        stats: DCSatStats,
+    ) -> frozenset[str] | None:
+        """Sweep the components the ledger could not answer.
+
+        Dispatches through the checker's solver pool when one is
+        attached and the dirty set is worth fanning out; otherwise
+        sweeps sequentially in ascending index order with the usual
+        early stop.  Solved components are stored back into the ledger;
+        returns the lowest-index violating witness, if any.
+        """
+        if not indices:
+            return None
+        checker = self.checker
+        counters = self.ledger.counters
+        pool = getattr(checker, "pool", None)
+        if (
+            pool is not None
+            and pool.max_workers > 1
+            and len(indices) >= max(2, pool.min_components)
+        ):
+            resolved = pool.solve_components(
+                query,
+                [(index, survivors[index]) for index in indices],
+                pivot=pivot,
+                stats=stats,
+            )
+        else:
+            resolved = {}
+            for index in indices:
+                candidates = survivors[index]
+                cliques_before = stats.cliques_enumerated
+                sweep_started = time.perf_counter()
+                with obs_span("solve_component", component=index):
+                    witness = solve_component(
+                        checker.workspace, checker.fd_graph, query,
+                        candidates, checker.engine, pivot=pivot, stats=stats,
+                    )
+                default_cost_model().observe(
+                    time.perf_counter() - sweep_started,
+                    len(candidates),
+                    engine=checker.engine.name,
+                    planner=getattr(checker, "planner", ""),
+                    cliques=stats.cliques_enumerated - cliques_before,
+                    mode="sweep",
+                )
+                resolved[index] = witness
+                if witness is not None:
+                    break
+        best_index: int | None = None
+        best_witness: frozenset[str] | None = None
+        for index, witness in resolved.items():
+            counters["swept"] += 1
+            self.ledger.store(
+                name,
+                survivors[index],
+                component_footprint(checker.db, survivors[index]),
+                witness,
+                checker.epoch,
+            )
+            if witness is not None and (
+                best_index is None or index < best_index
+            ):
+                best_index, best_witness = index, witness
+        return best_witness
+
+    async def _check_incremental_async(
+        self, entry: MonitorEntry
+    ) -> DCSatResult:
+        """:meth:`_check_incremental` on the engine's coroutine surface.
+
+        The dirty components are swept sequentially (awaited) — the
+        process pool is a blocking surface, and the async engine's win
+        is overlapping backend I/O, which the awaited sweep preserves.
+        """
+        checker = self.checker
+        kwargs = entry.check_kwargs
+        query, early, stats = self._incremental_preamble(entry)
+        if early is not None:
+            return early
+        started = time.perf_counter()
+        with obs_span(
+            "dcsat.check", requested="opt-ledger", mode="async"
+        ) as sp:
+            try:
+                decided = await checker.fast_paths_async(
+                    query, True, kwargs.get("short_circuit", True), stats
+                )
+                if decided is not None:
+                    return decided
+                stats.algorithm = "opt-ledger"
+                survivors = component_survivors(
+                    checker.workspace,
+                    checker.fd_graph,
+                    checker.ind_graph,
+                    query,
+                    use_coverage=kwargs.get("use_coverage", True),
+                    stats=stats,
+                )
+                plan = self.ledger.plan(entry.name, checker.epoch, survivors)
+                pivot = kwargs.get("pivot", True)
+                counters = self.ledger.counters
+                cutoff_witness: frozenset[str] | None = None
+                sweep_indices: list[int] = []
+                for index, (disposition, ledger_entry) in enumerate(plan):
+                    candidates = survivors[index]
+                    if disposition == "reuse":
+                        stats.components_reused += 1
+                        counters["reused"] += 1
+                        self.ledger.touch(entry.name, ledger_entry)
+                        if ledger_entry.witness is not None:
+                            cutoff_witness = ledger_entry.witness
+                            break
+                        continue
+                    if disposition == "revalidate":
+                        counters["revalidations"] += 1
+                        stats.witness_revalidations += 1
+                        probe_started = time.perf_counter()
+                        if ledger_entry.witness is not None:
+                            alive = await revalidate_witness_async(
+                                checker.workspace, checker.engine, query,
+                                ledger_entry.witness, stats,
+                            )
+                        else:
+                            alive = await component_still_satisfied_async(
+                                checker.engine, query, candidates, stats
+                            )
+                        self._observe_probe(
+                            time.perf_counter() - probe_started,
+                            len(candidates),
+                        )
+                        if alive:
+                            counters["revalidation_hits"] += 1
+                            refreshed = self.ledger.store(
+                                entry.name, ledger_entry.key,
+                                ledger_entry.footprint, ledger_entry.witness,
+                                checker.epoch,
+                            )
+                            if refreshed.witness is not None:
+                                cutoff_witness = refreshed.witness
+                                break
+                            continue
+                    sweep_indices.append(index)
+                best_witness: frozenset[str] | None = None
+                for index in sweep_indices:
+                    candidates = survivors[index]
+                    with obs_span("solve_component", component=index):
+                        witness = await solve_component_async(
+                            checker.workspace, checker.fd_graph, query,
+                            candidates, checker.engine, pivot=pivot,
+                            stats=stats,
+                        )
+                    counters["swept"] += 1
+                    self.ledger.store(
+                        entry.name, candidates,
+                        component_footprint(checker.db, candidates),
+                        witness, checker.epoch,
+                    )
+                    if witness is not None:
+                        best_witness = witness
+                        break
+                if best_witness is not None:
+                    return DCSatResult(
+                        satisfied=False, witness=best_witness, stats=stats
+                    )
+                if cutoff_witness is not None:
+                    return DCSatResult(
+                        satisfied=False, witness=cutoff_witness, stats=stats
+                    )
+                return DCSatResult(satisfied=True, stats=stats)
+            finally:
+                stats.elapsed_seconds = time.perf_counter() - started
+                sp.fold_stats(stats)
+                checker.workspace.clear_active()
+
+    def _observe_probe(self, seconds: float, size: int) -> None:
+        """Feed one revalidation probe into the shared cost model.
+
+        Recorded under ``mode="revalidate"`` so the model (and
+        ``/perfz``) keeps the probe-vs-sweep cost split visible — the
+        whole point of revalidation is that this series stays orders of
+        magnitude below the sweep series for the same size bucket.
+        """
+        default_cost_model().observe(
+            seconds,
+            size,
+            engine=self.checker.engine.name,
+            planner=getattr(self.checker, "planner", ""),
+            mode="revalidate",
+        )
+
+    def ledger_stats(self) -> dict:
+        """The verdict ledger's counters (``/perfz`` and describe())."""
+        return self.ledger.snapshot()
 
     # ------------------------------------------------------------------
     # State changes (targeted invalidation)
@@ -278,19 +708,35 @@ class ConstraintMonitor:
             sp.set(touched=len(touched), invalidated=len(invalidated))
         return invalidated
 
+    def _note_change(
+        self, kind: str, tx_id: str | None, invalidated: list[str]
+    ) -> list[str]:
+        """Propagate one state change into the ledger's dirty-sets."""
+        self.last_dirty_components = self.ledger.note_change(
+            kind, tx_id, invalidated, self.checker.epoch
+        )
+        for name, count in self.last_dirty_components.items():
+            self._dirty_since_check[name] = (
+                self._dirty_since_check.get(name, 0) + count
+            )
+        return invalidated
+
     def issue(self, tx: Transaction) -> list[str]:
         """Forward a newly issued transaction; returns the names of the
         constraints whose cached verdicts were invalidated."""
         self.checker.issue(tx)
-        return self._invalidate_touching(frozenset(tx.relation_names))
+        invalidated = self._invalidate_touching(frozenset(tx.relation_names))
+        return self._note_change("issue", tx.tx_id, invalidated)
 
     def commit(self, tx_id: str) -> list[str]:
         tx = self.checker.commit(tx_id)
-        return self._invalidate_touching(frozenset(tx.relation_names))
+        invalidated = self._invalidate_touching(frozenset(tx.relation_names))
+        return self._note_change("commit", tx_id, invalidated)
 
     def forget(self, tx_id: str) -> list[str]:
         tx = self.checker.forget(tx_id)
-        return self._invalidate_touching(frozenset(tx.relation_names))
+        invalidated = self._invalidate_touching(frozenset(tx.relation_names))
+        return self._note_change("forget", tx_id, invalidated)
 
     def absorb(self, tx: Transaction) -> list[str]:
         """Insert externally committed facts (mined-block coinbases,
@@ -301,7 +747,8 @@ class ConstraintMonitor:
         monitor left every cached verdict stale.
         """
         self.checker.absorb(tx)
-        return self._invalidate_touching(frozenset(tx.relation_names))
+        invalidated = self._invalidate_touching(frozenset(tx.relation_names))
+        return self._note_change("absorb", None, invalidated)
 
     def __repr__(self) -> str:
         cached = sum(1 for e in self._entries.values() if e.result is not None)

@@ -29,6 +29,15 @@ class DCSatStats:
     evaluations: int = 0
     assignments_examined: int = 0
     parallel_tasks: int = 0
+    #: Surviving components answered from the monitor's verdict ledger
+    #: without re-sweeping (:mod:`repro.core.incremental`).
+    components_reused: int = 0
+    #: Dirty components whose stored witness was re-validated against
+    #: the backend instead of re-enumerated.
+    witness_revalidations: int = 0
+    #: Components the triggering state change dirtied or pruned in the
+    #: ledger (0 on a recompute-from-scratch path).
+    dirty_components: int = 0
     elapsed_seconds: float = 0.0
 
     def merge(self, other: "DCSatStats") -> None:
@@ -58,6 +67,9 @@ class DCSatStats:
         self.evaluations += other.evaluations
         self.assignments_examined += other.assignments_examined
         self.parallel_tasks += other.parallel_tasks
+        self.components_reused += other.components_reused
+        self.witness_revalidations += other.witness_revalidations
+        self.dirty_components += other.dirty_components
         # Accumulated, so stats merged from pool workers report the true
         # aggregate solve time rather than the last worker's share.
         self.elapsed_seconds += other.elapsed_seconds

@@ -268,6 +268,11 @@ class FabricMonitor:
         #: Times this router instance was rebuilt from the durable
         #: journal (0 for a fresh boot; :meth:`recover` sets it).
         self.recoveries = 0
+        #: Per-constraint ledger components dirtied by the most recent
+        #: routed state change, merged from every shard the op reached
+        #: (each shard server reports its monitor's
+        #: ``last_dirty_components`` on the wire).
+        self.last_dirty_components: dict[str, int] = {}
         self._executor: ThreadPoolExecutor | None = None
         if any(handle is None for handle in fleet.handles):
             fleet.start()
@@ -664,6 +669,7 @@ class FabricMonitor:
     def _run_actions(
         self, kind: str, actions: list[ShardAction], sp
     ) -> list[str]:
+        self.last_dirty_components = {}
         invalidated: list[str] = []
         applied = skipped = 0
         for action in actions:
@@ -695,7 +701,7 @@ class FabricMonitor:
                     self._drain(shard, action.drained, action.retained)
                 )
                 invalidated.extend(self._invalidate(shard, action.op.touched))
-                self._apply_op(shard, action.op)
+                self._merge_dirty(self._apply_op(shard, action.op))
         sp.set(applied=applied, skipped=skipped)
         hit = set(invalidated)
         return [name for name in self._entries if name in hit]
@@ -710,9 +716,21 @@ class FabricMonitor:
             invalidated: list[str] = []
             for op in drained:
                 invalidated.extend(self._invalidate(shard, op.touched))
-                self._apply_op(shard, op)
+                self._merge_dirty(self._apply_op(shard, op))
             sp.set(drained=len(drained), retained=retained)
         return invalidated
+
+    def _merge_dirty(self, payload: dict | None) -> None:
+        """Fold one applied op's shard-reported component dirty-set into
+        the router-level view.  Sums across shards: under replication a
+        constraint name can only live on one shard, so in practice each
+        name appears once per routed op."""
+        if not payload:
+            return
+        for name, count in payload.get("dirty_components", {}).items():
+            self.last_dirty_components[name] = (
+                self.last_dirty_components.get(name, 0) + int(count)
+            )
 
     def _invalidate(
         self, shard: RemoteShard, touched: frozenset[str]
@@ -738,9 +756,9 @@ class FabricMonitor:
             return op.kind, {"tx": protocol.transaction_to_wire(op.payload)}
         return op.kind, {"tx_id": op.payload}
 
-    def _apply_op(self, shard: RemoteShard, op: AppliedOp) -> None:
+    def _apply_op(self, shard: RemoteShard, op: AppliedOp) -> dict | None:
         wire_op, args = self._wire_of(op)
-        self._apply_wire(shard, wire_op, args, seq=op.seq)
+        return self._apply_wire(shard, wire_op, args, seq=op.seq)
 
     def _record(self, shard: RemoteShard, record: dict) -> None:
         """Append one record to the shard's journal, durably if so
@@ -751,19 +769,24 @@ class FabricMonitor:
 
     def _apply_wire(
         self, shard: RemoteShard, op: str, args: dict, seq: int | None = None
-    ) -> None:
+    ) -> dict | None:
         """Journal, then send.  Journal-first makes every shard-side
         failure safe: a dead or ambiguous shard is respawned and
         replayed into exactly the journaled state (op included), so the
         op is never sent twice and never lost; only a live shard's
-        definitive rejection removes it again (with a durable revoke)."""
+        definitive rejection removes it again (with a durable revoke).
+
+        Returns the shard's response payload, or ``None`` on the
+        revive/defer paths (the replayed shard recomputes its own dirty
+        state, so there is nothing trustworthy to report)."""
         if seq is None:
             seq = self._topology.next_seq()
         record = {"g": seq, "k": "op", "op": op, "args": args}
         with shard.lock:
             self._record(shard, record)
+            payload: dict | None = None
             try:
-                self._call(shard, op, **args)
+                payload = self._call(shard, op, **args)
             except ServiceError as error:
                 if error.code in AMBIGUOUS_CODES:
                     self._revive_or_defer(shard)
@@ -779,6 +802,7 @@ class FabricMonitor:
             except ConnectionError:
                 self._revive_or_defer(shard)
             self._maybe_compact(shard)
+            return payload
 
     def _maybe_compact(self, shard: RemoteShard) -> None:
         if not self._journal_max_ops:
@@ -1047,6 +1071,7 @@ class FabricMonitor:
                 "max_ops": self._journal_max_ops,
             }
         info["recoveries"] = self.recoveries
+        info["last_dirty_components"] = dict(self.last_dirty_components)
         if self._watchdog is not None:
             info["watchdog"] = {
                 "interval": self._watchdog.interval,

@@ -4,7 +4,9 @@ Per-component solve timings (the per-solve
 :class:`~repro.core.results.DCSatStats` the solver pool and sequential
 paths already produce) feed a rolling :class:`CostModel`: exponentially
 weighted moving averages of solve cost, keyed by **component size
-bucket × engine × planner**.  The model answers two questions:
+bucket × engine × planner × mode** (``"sweep"`` for full clique sweeps,
+``"revalidate"`` for the verdict ledger's cheap probes).  The model
+answers two questions:
 
 * *Prediction* — :meth:`CostModel.predict` estimates how long a
   component of a given size will take under a given engine/planner, so
@@ -64,11 +66,17 @@ def bucket_label(bucket: int) -> str:
 
 @dataclass
 class CostEstimate:
-    """The rolling state of one (size bucket, engine, planner) key."""
+    """The rolling state of one (size bucket, engine, planner, mode) key."""
 
     bucket: int
     engine: str
     planner: str
+    #: What kind of work was timed: ``"sweep"`` (a full per-component
+    #: clique sweep) or ``"revalidate"`` (the verdict ledger's witness /
+    #: short-circuit probe — docs/INCREMENTAL.md).  Kept as a separate
+    #: key dimension so the probe series never pollutes the sweep
+    #: predictions the pool's bin-packing reads.
+    mode: str = "sweep"
     ewma_seconds: float = 0.0
     ewma_size: float = 0.0
     ewma_cliques: float = 0.0
@@ -80,6 +88,7 @@ class CostEstimate:
             "size_bucket": bucket_label(self.bucket),
             "engine": self.engine,
             "planner": self.planner,
+            "mode": self.mode,
             "ewma_seconds": self.ewma_seconds,
             "ewma_size": self.ewma_size,
             "ewma_cliques": self.ewma_cliques,
@@ -95,7 +104,7 @@ class CostModel:
     alpha: float = DEFAULT_ALPHA
     warm_after: int = DEFAULT_WARM_AFTER
     export_metrics: bool = True
-    _estimates: dict[tuple[int, str, str], CostEstimate] = field(
+    _estimates: dict[tuple[int, str, str, str], CostEstimate] = field(
         default_factory=dict, repr=False
     )
     _observations: int = field(default=0, repr=False)
@@ -110,9 +119,10 @@ class CostModel:
         engine: str = "",
         planner: str = "",
         cliques: int = 0,
+        mode: str = "sweep",
     ) -> None:
         """Fold one per-component solve timing into the model."""
-        key = (size_bucket(size), engine, planner)
+        key = (size_bucket(size), engine, planner, mode)
         with self._lock:
             estimate = self._estimates.get(key)
             if estimate is None:
@@ -142,6 +152,7 @@ class CostModel:
                     "bucket": bucket_label(key[0]),
                     "engine": engine,
                     "planner": planner,
+                    "mode": mode,
                 },
             ).set(exported)
             registry.counter(
@@ -183,26 +194,28 @@ class CostModel:
             return self._observations >= self.warm_after
 
     def predict(
-        self, size: int, engine: str = "", planner: str = ""
+        self, size: int, engine: str = "", planner: str = "",
+        mode: str = "sweep",
     ) -> float | None:
         """Predicted solve seconds for a component of *size*, or ``None``
         when the model holds nothing usable.
 
-        An exact (bucket, engine, planner) hit answers directly; a miss
-        falls back to the nearest observed bucket under the same engine
-        and planner, scaled linearly by the size ratio — a coarse
-        extrapolation, but bin-packing only needs the relative order of
-        component costs, not their absolute values.
+        An exact (bucket, engine, planner, mode) hit answers directly; a
+        miss falls back to the nearest observed bucket under the same
+        engine, planner and mode, scaled linearly by the size ratio — a
+        coarse extrapolation, but bin-packing only needs the relative
+        order of component costs, not their absolute values.
         """
         bucket = size_bucket(size)
         with self._lock:
-            exact = self._estimates.get((bucket, engine, planner))
+            exact = self._estimates.get((bucket, engine, planner, mode))
             if exact is not None and exact.samples > 0:
                 return exact.ewma_seconds
             candidates = [
                 estimate
-                for (b, e, p), estimate in self._estimates.items()
-                if e == engine and p == planner and estimate.samples > 0
+                for (b, e, p, m), estimate in self._estimates.items()
+                if e == engine and p == planner and m == mode
+                and estimate.samples > 0
             ]
             if not candidates:
                 candidates = [
@@ -224,7 +237,10 @@ class CostModel:
         with self._lock:
             estimates = sorted(
                 (estimate.to_dict() for estimate in self._estimates.values()),
-                key=lambda row: (row["engine"], row["planner"], row["ewma_size"]),
+                key=lambda row: (
+                    row["engine"], row["planner"], row["mode"],
+                    row["ewma_size"],
+                ),
             )
             observations = self._observations
         return {

@@ -271,6 +271,25 @@ class MetricsRegistry:
             "histogram", name, help_text, labels, lambda: Histogram(buckets)
         )
 
+    def remove_series(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> bool:
+        """Drop one labelled series from a family, if it exists.
+
+        Long-lived servers label some series by constraint name
+        (``repro_constraint_check_seconds{constraint=...}``); without
+        removal, registering and unregistering constraints grows the
+        exposition without bound.  Returns whether a series was removed;
+        the family itself (type + help) stays, so re-registering the
+        same name later starts a fresh series.
+        """
+        label_key = _format_labels(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return False
+            return family[2].pop(label_key, None) is not None
+
     def value(
         self, name: str, labels: Mapping[str, str] | None = None
     ) -> float | None:

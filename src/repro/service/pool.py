@@ -509,7 +509,8 @@ class SolverPool:
                 sp.fold_stats(stats)
 
     def _observe_component(
-        self, seconds: float, size: int, cliques: int = 0
+        self, seconds: float, size: int, cliques: int = 0,
+        mode: str = "sweep",
     ) -> None:
         """Feed one per-component timing into the shared cost model."""
         self.cost_model.observe(
@@ -518,6 +519,7 @@ class SolverPool:
             engine=self._engine_name,
             planner=self._planner_name,
             cliques=cliques,
+            mode=mode,
         )
 
     def plan_groups(
@@ -619,12 +621,99 @@ class SolverPool:
         pivot: bool,
         stats: DCSatStats,
     ) -> DCSatResult:
+        resolved = self._dispatch_components(
+            query, list(enumerate(survivors)), pivot, stats
+        )
+        best_index: int | None = None
+        best_witness: frozenset[str] | None = None
+        for index, witness in resolved.items():
+            if witness is not None and (
+                best_index is None or index < best_index
+            ):
+                best_index, best_witness = index, witness
+        if best_index is not None:
+            return DCSatResult(
+                satisfied=False, witness=best_witness, stats=stats
+            )
+        return DCSatResult(satisfied=True, stats=stats)
+
+    def solve_components(
+        self,
+        query: Query,
+        items: list[tuple[int, set[str]]],
+        pivot: bool = True,
+        stats: DCSatStats | None = None,
+    ) -> dict[int, frozenset[str] | None]:
+        """Solve an explicit subset of components.
+
+        *items* holds ``(index, candidates)`` pairs in ascending index
+        order — the monitor's verdict ledger dispatches only its *dirty*
+        components here, keeping the ledger's reused components off the
+        workers entirely (docs/INCREMENTAL.md).  Returns a mapping from
+        component index to witness for every component actually solved;
+        indices above the lowest-index witness may be absent (early
+        stop / early cancel), exactly the components a sequential solve
+        would not have reached either.
+        """
+        stats = stats if stats is not None else DCSatStats()
+        if len(items) < max(2, self.min_components) or self.max_workers <= 1:
+            resolved: dict[int, frozenset[str] | None] = {}
+            for index, candidates in items:
+                cliques_before = stats.cliques_enumerated
+                started = time.perf_counter()
+                with obs_span("solve_component", component=index):
+                    witness = solve_component(
+                        self.checker.workspace,
+                        self.checker.fd_graph,
+                        query,
+                        candidates,
+                        self.checker.engine,
+                        pivot=pivot,
+                        stats=stats,
+                    )
+                self._observe_component(
+                    time.perf_counter() - started,
+                    len(candidates),
+                    cliques=stats.cliques_enumerated - cliques_before,
+                )
+                resolved[index] = witness
+                if witness is not None:
+                    break
+            return resolved
+        return self._dispatch_components(query, items, pivot, stats)
+
+    def _dispatch_components(
+        self,
+        query: Query,
+        items: list[tuple[int, set[str]]],
+        pivot: bool,
+        stats: DCSatStats,
+    ) -> dict[int, frozenset[str] | None]:
+        """Fan ``(index, candidates)`` units across the worker pool.
+
+        The shared core of :meth:`_solve_parallel` (all survivors) and
+        :meth:`solve_components` (a dirty subset): plan groups over the
+        given units, dispatch, merge stats/spans/cost observations, and
+        early-cancel groups whose lowest index exceeds the best witness
+        found so far.  Returns ``{index: witness}`` for every solved
+        component.
+        """
         executor, sync = self._prepare()
         tracer = default_tracer()
-        groups, strategy, predicted = self.plan_groups(survivors)
+        subset = [candidates for _, candidates in items]
+        position_groups, strategy, predicted = self.plan_groups(subset)
+        # plan_groups speaks positions into *subset*; translate back to
+        # the caller's component indices (ascending within each group,
+        # because items arrive ascending and groups are sorted).
+        groups = [
+            [items[position][0] for position in group]
+            for group in position_groups
+        ]
+        candidates_of = dict(items)
+        resolved: dict[int, frozenset[str] | None] = {}
         with obs_span(
             "parallel_dispatch",
-            components=len(survivors),
+            components=len(items),
             workers=self.max_workers,
             groups=len(groups),
             strategy=strategy,
@@ -636,14 +725,14 @@ class SolverPool:
             futures = {}
             for group_index, group in enumerate(groups):
                 payload = tuple(
-                    (index, tuple(sorted(survivors[index]))) for index in group
+                    (index, tuple(sorted(candidates_of[index])))
+                    for index in group
                 )
                 future = executor.submit(
                     _solve_component_group_task, sync, query, payload, pivot
                 )
                 futures[future] = group_index
             best_index: int | None = None
-            best_witness: frozenset[str] | None = None
             cancelled = 0
             group_elapsed: dict[int, float] = {}
             pending = set(futures)
@@ -665,10 +754,11 @@ class SolverPool:
                                 cliques=task_stats.cliques_enumerated,
                             )
                             elapsed += task_stats.elapsed_seconds
+                            resolved[index] = witness
                             if witness is not None and (
                                 best_index is None or index < best_index
                             ):
-                                best_index, best_witness = index, witness
+                                best_index = index
                         group_elapsed[group_index] = elapsed
                     if best_index is not None:
                         # Early cancel: a group whose lowest index exceeds
@@ -698,11 +788,7 @@ class SolverPool:
                         "Parallel dispatches, by group-planning strategy.",
                         labels={"strategy": strategy},
                     ).inc()
-        if best_index is not None:
-            return DCSatResult(
-                satisfied=False, witness=best_witness, stats=stats
-            )
-        return DCSatResult(satisfied=True, stats=stats)
+        return resolved
 
     # -- parallel batch checking ---------------------------------------
 

@@ -153,6 +153,9 @@ def stats_to_wire(stats: DCSatStats) -> dict:
         "worlds_checked": stats.worlds_checked,
         "evaluations": stats.evaluations,
         "parallel_tasks": stats.parallel_tasks,
+        "components_reused": stats.components_reused,
+        "witness_revalidations": stats.witness_revalidations,
+        "dirty_components": stats.dirty_components,
         "elapsed_seconds": stats.elapsed_seconds,
     }
 

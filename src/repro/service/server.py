@@ -178,28 +178,47 @@ class ConstraintService:
             }
         if op == "unregister":
             monitor.unregister(args["name"])
+            # The labelled latency series dies with the constraint, or a
+            # register/unregister churn workload grows the exposition
+            # (and every scrape) without bound.
+            self.metrics.remove_series(
+                "repro_constraint_check_seconds",
+                {"constraint": args["name"]},
+            )
             return {"unregistered": args["name"]}
         if op == "issue":
             tx = protocol.transaction_from_wire(args["tx"])
             return {
                 "tx_id": tx.tx_id,
                 "invalidated": monitor.issue(tx),
+                "dirty_components": dict(
+                    getattr(monitor, "last_dirty_components", {})
+                ),
             }
         if op == "commit":
             return {
                 "tx_id": args["tx_id"],
                 "invalidated": monitor.commit(args["tx_id"]),
+                "dirty_components": dict(
+                    getattr(monitor, "last_dirty_components", {})
+                ),
             }
         if op == "forget":
             return {
                 "tx_id": args["tx_id"],
                 "invalidated": monitor.forget(args["tx_id"]),
+                "dirty_components": dict(
+                    getattr(monitor, "last_dirty_components", {})
+                ),
             }
         if op == "absorb":
             tx = protocol.transaction_from_wire(args["tx"])
             return {
                 "tx_id": tx.tx_id,
                 "invalidated": monitor.absorb(tx),
+                "dirty_components": dict(
+                    getattr(monitor, "last_dirty_components", {})
+                ),
             }
         if op == "status":
             name = args["name"]
@@ -326,6 +345,19 @@ class ConstraintService:
         m.gauge(
             "repro_pending_transactions", "Pending transactions in the db."
         ).set(_monitor_pending_count(self.monitor))
+        ledger_stats = getattr(self.monitor, "ledger_stats", None)
+        if callable(ledger_stats):
+            snapshot = ledger_stats()
+            m.gauge(
+                "repro_ledger_entries",
+                "Component sub-verdicts held in the verdict ledger.",
+            ).set(snapshot.get("entries", 0))
+            for key, value in (snapshot.get("counters") or {}).items():
+                m.gauge(
+                    "repro_ledger_events",
+                    "Verdict-ledger lifecycle counters, by event.",
+                    labels={"event": key},
+                ).set(value)
         export_gauges = getattr(self.monitor, "export_gauges", None)
         if callable(export_gauges):
             export_gauges(m)
@@ -649,11 +681,18 @@ class ConstraintService:
         if shared is not self.metrics:
             for name, rows in shared.histogram_summaries().items():
                 summaries.setdefault(name, rows)
-        return 200, {
+        payload = {
             "cost_model": default_cost_model().snapshot(),
             "histograms": summaries,
             "build": self._build_payload(),
         }
+        ledger_stats = getattr(self.monitor, "ledger_stats", None)
+        if callable(ledger_stats):
+            # Reuse / revalidation counters for the incremental verdict
+            # ledger (docs/INCREMENTAL.md) — the perf story of a churn
+            # workload is the reused:swept ratio, not the raw latency.
+            payload["ledger"] = ledger_stats()
+        return 200, payload
 
     def _build_payload(self) -> dict:
         """Build identity + uptime: the correlation key between a scrape

@@ -135,6 +135,9 @@ class ShardedMonitor:
         self._placement: dict[str, _Shard] = {}
         self.max_skipped = max_skipped
         self._metrics = metrics
+        #: Union of the per-shard monitors' dirty-component counts for
+        #: the most recent routed state change (docs/INCREMENTAL.md).
+        self.last_dirty_components: dict[str, int] = {}
 
     @property
     def epoch(self) -> int:
@@ -237,6 +240,7 @@ class ShardedMonitor:
     ) -> list[str]:
         invalidated: list[str] = []
         applied = skipped = 0
+        self.last_dirty_components = {}
         for action in actions:
             shard = self._shards[action.shard]
             if action.skipped:
@@ -257,10 +261,20 @@ class ShardedMonitor:
                     invalidated.extend(
                         shard.apply(action.op.kind, action.op.payload)
                     )
+                self._merge_dirty(shard)
         sp.set(applied=applied, skipped=skipped)
         # Match the single monitor: names in global registration order.
         hit = set(invalidated)
         return [name for name in self._placement if name in hit]
+
+    def _merge_dirty(self, shard: _Shard) -> None:
+        """Fold one shard monitor's last dirty-set into the front's."""
+        for name, count in getattr(
+            shard.monitor, "last_dirty_components", {}
+        ).items():
+            self.last_dirty_components[name] = (
+                self.last_dirty_components.get(name, 0) + count
+            )
 
     def _replay(
         self, shard: _Shard, drained: list[AppliedOp], retained: int
@@ -272,6 +286,7 @@ class ShardedMonitor:
             invalidated: list[str] = []
             for op in drained:
                 invalidated.extend(shard.apply(op.kind, op.payload))
+                self._merge_dirty(shard)
             sp.set(drained=len(drained), retained=retained)
             if drained:
                 log.debug(
@@ -298,6 +313,14 @@ class ShardedMonitor:
     def checkers(self) -> list[DCSatChecker]:
         return [shard.monitor.checker for shard in self._shards]
 
+    def ledger_stats(self) -> dict:
+        """Verdict-ledger counters aggregated across shard monitors."""
+        merged: dict = {}
+        for shard in self._shards:
+            snapshot = shard.monitor.ledger_stats()
+            shard.monitor.ledger.merge_snapshot(snapshot, merged)
+        return merged
+
     def describe(self) -> dict:
         """Per-shard placement, footprint and routing-state summary."""
         return {
@@ -311,6 +334,7 @@ class ShardedMonitor:
                     "pending": len(shard.monitor.checker.db.pending_ids),
                     "skipped_ops": len(shard.skipped),
                     "flushes": shard.flushes,
+                    "ledger_entries": shard.monitor.ledger.entry_count,
                 }
                 for shard in self._shards
             ],
@@ -348,6 +372,11 @@ class ShardedMonitor:
                 "Times the shard replayed its skipped-op backlog.",
                 labels=labels,
             ).set(shard.flushes)
+            metrics.gauge(
+                "repro_shard_ledger_entries",
+                "Component sub-verdicts in the shard's verdict ledger.",
+                labels=labels,
+            ).set(shard.monitor.ledger.entry_count)
 
     # ------------------------------------------------------------------
     # Lifecycle

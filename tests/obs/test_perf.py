@@ -136,8 +136,8 @@ class TestCostModel:
             metrics_module._DEFAULT_REGISTRY = original
         text = registry.render_text()
         assert (
-            'repro_cost_model_estimate_seconds{bucket="8-15",engine="sync",planner="set"} 0.5'
-            in text
+            'repro_cost_model_estimate_seconds{bucket="8-15",engine="sync",'
+            'mode="sweep",planner="set"} 0.5' in text
         )
         assert "repro_cost_model_observations_total 1" in text
 

@@ -98,6 +98,31 @@ class TestRegistry:
         registry.gauge("repro_shard_pending", labels={"shard": 3}).set(7)
         assert 'repro_shard_pending{shard="3"} 7' in registry.render_text()
 
+    def test_remove_series_drops_one_labelling(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_constraint_check_seconds", "t", labels={"constraint": "a"}
+        ).observe(0.1)
+        registry.histogram(
+            "repro_constraint_check_seconds", "t", labels={"constraint": "b"}
+        ).observe(0.2)
+        assert registry.remove_series(
+            "repro_constraint_check_seconds", {"constraint": "a"}
+        )
+        text = registry.render_text()
+        assert 'constraint="a"' not in text
+        assert 'constraint="b"' in text
+        # Idempotent: a second removal (or an unknown family) is a no-op.
+        assert not registry.remove_series(
+            "repro_constraint_check_seconds", {"constraint": "a"}
+        )
+        assert not registry.remove_series("no_such_family", {"x": "y"})
+        # The family survives, so re-registering restarts a fresh series.
+        registry.histogram(
+            "repro_constraint_check_seconds", "t", labels={"constraint": "a"}
+        ).observe(0.3)
+        assert 'constraint="a"' in registry.render_text()
+
     def test_concurrent_increments(self):
         registry = MetricsRegistry()
         counter = registry.counter("repro_hits_total")

@@ -393,3 +393,34 @@ class TestGracefulShutdown:
             release.set()
             handle.stop()
             checker.close()
+
+
+class TestUnregisterObservability:
+    def test_unregister_drops_labelled_series_and_ledger_state(self):
+        """Regression: register/unregister churn must not leak the
+        per-constraint latency series or the constraint's ledger
+        entries (both are keyed by the constraint's name)."""
+        checker, service, handle = running_service()
+        try:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.register("churny", Q_R_CONFLICT)
+                client.status("churny")
+                text = service.metrics.render_text()
+                assert 'constraint="churny"' in text
+                assert service.monitor.ledger.entry_count >= 1
+                client.unregister("churny")
+                text = service.metrics.render_text()
+                assert 'constraint="churny"' not in text
+                assert service.monitor.ledger.entry_count == 0
+                # Other constraints' series survive the removal.
+                client.register("keeper", Q_R_ABSENT)
+                client.status("keeper")
+                client.register("gone", Q_R_TWO_A)
+                client.status("gone")
+                client.unregister("gone")
+                text = service.metrics.render_text()
+                assert 'constraint="keeper"' in text
+                assert 'constraint="gone"' not in text
+        finally:
+            handle.stop()
+            checker.close()
